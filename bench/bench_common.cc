@@ -1,0 +1,93 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "data/preprocess.h"
+
+namespace adamove::bench {
+
+BenchEnv ReadBenchEnv() {
+  BenchEnv env;
+  env.scale = common::EnvDouble("ADAMOVE_BENCH_SCALE", 0.4);
+  env.max_epochs = common::EnvInt("ADAMOVE_BENCH_EPOCHS", 8);
+  env.hidden = common::EnvInt("ADAMOVE_BENCH_HIDDEN", 64);
+  env.train_cap = common::EnvInt("ADAMOVE_BENCH_TRAIN_CAP", 2500);
+  env.eval_cap = common::EnvInt("ADAMOVE_BENCH_EVAL_CAP", 800);
+  return env;
+}
+
+namespace {
+
+// Deterministic stride subsample preserving chronological spread.
+void StrideSubsample(std::vector<data::Sample>& samples, int cap) {
+  if (cap <= 0 || static_cast<int>(samples.size()) <= cap) return;
+  std::vector<data::Sample> kept;
+  kept.reserve(static_cast<size_t>(cap));
+  const double stride =
+      static_cast<double>(samples.size()) / static_cast<double>(cap);
+  for (int i = 0; i < cap; ++i) {
+    kept.push_back(samples[static_cast<size_t>(i * stride)]);
+  }
+  samples = std::move(kept);
+}
+
+}  // namespace
+
+PreparedDataset Prepare(data::DatasetPreset preset, const BenchEnv& env) {
+  PreparedDataset out;
+  data::ScalePreset(preset, env.scale);
+  out.preset = preset;
+  out.world = data::GenerateSynthetic(preset.synthetic);
+  out.preprocessed = data::Preprocess(out.world.trajectories,
+                                      preset.preprocess);
+  data::SplitConfig split;
+  split.eval_samples.context_sessions = preset.eval_context_sessions;
+  out.dataset = data::MakeDataset(out.preprocessed, split);
+  StrideSubsample(out.dataset.val, env.eval_cap);
+  StrideSubsample(out.dataset.test, env.eval_cap);
+  return out;
+}
+
+core::ModelConfig MakeModelConfig(const PreparedDataset& prepared,
+                                  const BenchEnv& env) {
+  core::ModelConfig config;
+  config.num_locations = prepared.dataset.num_locations;
+  config.num_users = prepared.dataset.num_users;
+  config.hidden_size = env.hidden;
+  config.lambda = prepared.preset.lambda;
+  return config;
+}
+
+core::TrainConfig MakeTrainConfig(const BenchEnv& env) {
+  core::TrainConfig config;
+  config.max_epochs = env.max_epochs;
+  config.max_train_samples_per_epoch = env.train_cap;
+  return config;
+}
+
+void TrainModel(core::MobilityModel& model, const data::Dataset& dataset,
+                const core::TrainConfig& config) {
+  model.Fit(dataset);
+  if (model.trainable()) {
+    core::Trainer trainer(config);
+    trainer.Train(model, dataset);
+  }
+}
+
+std::vector<std::string> MetricCells(const core::Metrics& metrics) {
+  using common::TablePrinter;
+  return {TablePrinter::Fmt(metrics.rec1), TablePrinter::Fmt(metrics.rec5),
+          TablePrinter::Fmt(metrics.rec10), TablePrinter::Fmt(metrics.mrr)};
+}
+
+void PrintBenchBanner(const std::string& bench_name, const BenchEnv& env) {
+  std::printf("=== %s ===\n", bench_name.c_str());
+  std::printf(
+      "env: scale=%.2f epochs=%d hidden=%d "
+      "(override via ADAMOVE_BENCH_SCALE / _EPOCHS / _HIDDEN)\n\n",
+      env.scale, env.max_epochs, env.hidden);
+}
+
+}  // namespace adamove::bench

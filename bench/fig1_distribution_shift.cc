@@ -1,0 +1,71 @@
+// Reproduces Fig. 1(b)(c): the temporal distribution shift evidence.
+// (b) one user's location-visit heatmap over biweekly windows;
+// (c) cosine similarity of the biweekly mobility distribution to the
+//     historical (first-90-day) distribution, decaying over time.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "data/stats.h"
+
+int main() {
+  using namespace adamove;
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner("Fig. 1: Temporal Shifts in Human Mobility Data",
+                          env);
+  bench::PreparedDataset prepared =
+      bench::Prepare(data::NycLikePreset(), env);
+
+  // Fig. 1(b): heatmap of the user with the most sessions.
+  size_t best_user = 0;
+  for (size_t u = 0; u < prepared.preprocessed.users.size(); ++u) {
+    if (prepared.preprocessed.users[u].sessions.size() >
+        prepared.preprocessed.users[best_user].sessions.size()) {
+      best_user = u;
+    }
+  }
+  data::VisitHeatmap hm = data::ComputeVisitHeatmap(
+      prepared.preprocessed, static_cast<int64_t>(best_user), 14);
+  std::printf("Fig. 1(b): visit heatmap of user %zu "
+              "(rows=locations, cols=biweekly windows, '#' scaled count)\n",
+              best_user);
+  const size_t max_rows = std::min<size_t>(hm.locations.size(), 18);
+  for (size_t r = 0; r < max_rows; ++r) {
+    std::printf("  loc %4lld |", static_cast<long long>(hm.locations[r]));
+    for (int c : hm.counts[r]) {
+      const char* cell = c == 0 ? " " : (c < 3 ? "." : (c < 8 ? "+" : "#"));
+      std::printf("%s", cell);
+    }
+    std::printf("|\n");
+  }
+  if (hm.locations.size() > max_rows) {
+    std::printf("  ... (%zu more locations)\n",
+                hm.locations.size() - max_rows);
+  }
+
+  // Fig. 1(c): similarity decay.
+  auto series =
+      data::MobilitySimilaritySeries(prepared.preprocessed, 90, 14);
+  std::printf("\nFig. 1(c): mobility similarity vs. historical "
+              "distribution (per biweekly window)\n");
+  common::TablePrinter table({"Window (wk)", "Similarity", "Bar"});
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i] < 0) continue;
+    std::string bar(static_cast<size_t>(series[i] * 40), '#');
+    table.AddRow({std::to_string((i + 1) * 2),
+                  common::TablePrinter::Fmt(series[i]), bar});
+  }
+  table.Print();
+  if (series.size() >= 4) {
+    const double early = series.front();
+    const double late = series.back();
+    std::printf("\nShape check (paper: similarity decays over time, below "
+                "0.5 by week 12): first window %.3f -> last window %.3f "
+                "(%s)\n",
+                early, late, late < early ? "DECAYS as in paper" :
+                "no decay — unexpected");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Fig. 4: ablation on model variants.
+//   Base Model      = LightMob base (λ=0), frozen            (the LSTM row)
+//   w/o LightMob    = base model + PTTA (no contrastive branch)
+//   w/o PTTA        = LightMob, frozen at test time
+//   T3A             = LightMob + T3A (pseudo-labels + entropy importance)
+//   w/ ent          = LightMob + PTTA with entropy importance
+//   w/ pseudo-label = LightMob + PTTA with pseudo-labels
+//   AdaMove         = LightMob + PTTA (similarity + true labels)
+// Shapes to reproduce: every variant below AdaMove; w/o PTTA drops more
+// than w/o LightMob; AdaMove far above T3A.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/adamove.h"
+#include "core/lightmob.h"
+
+int main() {
+  using namespace adamove;
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner("Fig. 4: Ablation on Different Model Variants",
+                          env);
+  common::TablePrinter table(
+      {"Dataset", "Variant", "Rec@1", "Rec@5", "Rec@10", "MRR"});
+  for (const auto& preset : data::AllPresets()) {
+    bench::PreparedDataset prepared = bench::Prepare(preset, env);
+    const core::TrainConfig train_config = bench::MakeTrainConfig(env);
+    core::ModelConfig full_config = bench::MakeModelConfig(prepared, env);
+    core::ModelConfig base_config = full_config;
+    base_config.lambda = 0.0;
+
+    core::LightMob base(base_config, "BaseModel");
+    bench::TrainModel(base, prepared.dataset, train_config);
+    core::LightMob lightmob(full_config);
+    bench::TrainModel(lightmob, prepared.dataset, train_config);
+
+    core::PttaConfig ptta;  // similarity + true labels
+    core::PttaConfig with_ent = ptta;
+    with_ent.similarity_importance = false;
+    core::PttaConfig with_pseudo = ptta;
+    with_pseudo.use_true_labels = false;
+    const core::PttaConfig t3a = core::T3aConfig();
+
+    struct Variant {
+      const char* name;
+      core::LightMob* model;
+      const core::PttaConfig* adapter;  // nullptr = frozen
+    };
+    const Variant variants[] = {
+        {"Base Model", &base, nullptr},
+        {"w/o LightMob", &base, &ptta},
+        {"w/o PTTA", &lightmob, nullptr},
+        {"T3A", &lightmob, &t3a},
+        {"w/ ent", &lightmob, &with_ent},
+        {"w/ pseudo-label", &lightmob, &with_pseudo},
+        {"AdaMove", &lightmob, &ptta},
+    };
+    for (const auto& variant : variants) {
+      core::EvalResult result;
+      if (variant.adapter == nullptr) {
+        result = core::Evaluate(*variant.model, prepared.dataset.test);
+      } else {
+        core::TestTimeAdapter adapter(*variant.adapter);
+        result = core::EvaluateWithAdapter(*variant.model,
+                                           prepared.dataset.test, adapter);
+      }
+      std::vector<std::string> row{preset.name, variant.name};
+      for (auto& cell : bench::MetricCells(result.metrics)) {
+        row.push_back(cell);
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "[fig4] %s/%s rec@1=%.4f\n", preset.name.c_str(),
+                   variant.name, result.metrics.rec1);
+    }
+  }
+  table.Print();
+  std::printf("\nPaper shapes: both w/o variants beat Base Model; w/o PTTA "
+              "drops more than w/o LightMob (the shift matters most); "
+              "AdaMove beats T3A by 32.07%% avg Rec@1; similarity beats "
+              "entropy importance; true labels beat pseudo-labels.\n");
+  return 0;
+}

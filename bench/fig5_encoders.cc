@@ -1,0 +1,43 @@
+// Reproduces Fig. 5: impact of the trajectory encoder family (RNN, LSTM,
+// GRU, Transformer) on AdaMove. Paper shape: recurrent encoders beat the
+// Transformer on these sparse trajectories; GRU is the best overall.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/adamove.h"
+
+int main() {
+  using namespace adamove;
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner("Fig. 5: Ablation on Different Trajectory Encoders",
+                          env);
+  common::TablePrinter table(
+      {"Dataset", "Encoder", "Rec@1", "Rec@5", "Rec@10", "MRR"});
+  for (const auto& preset : data::AllPresets()) {
+    bench::PreparedDataset prepared = bench::Prepare(preset, env);
+    const core::TrainConfig train_config = bench::MakeTrainConfig(env);
+    for (core::EncoderType type :
+         {core::EncoderType::kRnn, core::EncoderType::kLstm,
+          core::EncoderType::kGru, core::EncoderType::kTransformer}) {
+      core::ModelConfig config = bench::MakeModelConfig(prepared, env);
+      config.encoder = type;  // Transformer: 2 layers, 8 heads (§IV-C)
+      core::AdaMove model(config);
+      model.Train(prepared.dataset, train_config);
+      core::EvalResult result = model.EvaluateTta(prepared.dataset.test);
+      std::vector<std::string> row{preset.name,
+                                   core::EncoderTypeName(type)};
+      for (auto& cell : bench::MetricCells(result.metrics)) {
+        row.push_back(cell);
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "[fig5] %s/%s rec@1=%.4f\n", preset.name.c_str(),
+                   core::EncoderTypeName(type).c_str(), result.metrics.rec1);
+    }
+  }
+  table.Print();
+  std::printf("\nPaper shape: GRU best, Transformer worst (sparse "
+              "trajectories underuse attention capacity).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Fig. 7: impact of the knowledge-base capacity M (patterns kept
+// per location in PTTA). Paper shape: rises up to M≈3-5, then slowly
+// degrades as less-relevant patterns add noise; LYMOB insensitive.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/adamove.h"
+#include "core/lightmob.h"
+
+int main() {
+  using namespace adamove;
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner(
+      "Fig. 7: Impact of Capacity of the Knowledge Base M", env);
+  common::TablePrinter table(
+      {"Dataset", "M", "Rec@1", "Rec@5", "Rec@10", "MRR"});
+  for (const auto& preset : data::AllPresets()) {
+    bench::PreparedDataset prepared = bench::Prepare(preset, env);
+    core::LightMob model(bench::MakeModelConfig(prepared, env));
+    bench::TrainModel(model, prepared.dataset, bench::MakeTrainConfig(env));
+    for (int m : {1, 3, 5, 8, 12, 15, 20}) {
+      core::PttaConfig config;
+      config.capacity = m;
+      core::TestTimeAdapter adapter(config);
+      core::EvalResult result =
+          core::EvaluateWithAdapter(model, prepared.dataset.test, adapter);
+      std::vector<std::string> row{preset.name, std::to_string(m)};
+      for (auto& cell : bench::MetricCells(result.metrics)) {
+        row.push_back(cell);
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "[fig7] %s/M=%d rec@1=%.4f\n",
+                   preset.name.c_str(), m, result.metrics.rec1);
+    }
+  }
+  table.Print();
+  std::printf("\nPaper shape: too-small M starves adaptation; too-large M "
+              "admits irrelevant patterns; LYMOB least sensitive.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Fig. 8: impact of the contrastive trade-off λ in LightMob's
+// hybrid loss (Eq. 11). Paper shape: accuracy improves with λ up to a
+// dataset-dependent optimum, then declines (over-weighting historical
+// patterns under shift).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+#include "core/adamove.h"
+
+int main() {
+  using namespace adamove;
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner("Fig. 8: Impact of the Parameter lambda", env);
+  common::TablePrinter table(
+      {"Dataset", "lambda", "Rec@1", "Rec@5", "Rec@10", "MRR"});
+  for (const auto& preset : data::AllPresets()) {
+    bench::PreparedDataset prepared = bench::Prepare(preset, env);
+    for (double lambda : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+      core::ModelConfig config = bench::MakeModelConfig(prepared, env);
+      config.lambda = lambda;
+      core::AdaMove model(config);
+      model.Train(prepared.dataset, bench::MakeTrainConfig(env));
+      core::EvalResult result = model.EvaluateTta(prepared.dataset.test);
+      std::vector<std::string> row{preset.name,
+                                   common::TablePrinter::Fmt(lambda, 2)};
+      for (auto& cell : bench::MetricCells(result.metrics)) {
+        row.push_back(cell);
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "[fig8] %s/lambda=%.1f rec@1=%.4f\n",
+                   preset.name.c_str(), lambda, result.metrics.rec1);
+    }
+  }
+  table.Print();
+  std::printf("\nPaper shape: inverted-U with a dataset-dependent optimum "
+              "(0.8 / 0.2 / 0.6 at full scale); larger shifts favour "
+              "smaller lambda. At this reduced scale the optimum sits near "
+              "0.1-0.2 (see EXPERIMENTS.md).\n");
+  return 0;
+}

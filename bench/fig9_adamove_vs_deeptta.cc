@@ -1,0 +1,55 @@
+// Reproduces Fig. 9: accuracy of AdaMove vs DeepTTA (DeepMove + PTTA, i.e.
+// explicit history encoding at test time). Paper shape: on par, with
+// AdaMove slightly ahead on NYC and LYMOB — the contrastive distillation
+// retains the historical knowledge the explicit branch would provide.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "baselines/deepmove.h"
+#include "common/table_printer.h"
+#include "core/adamove.h"
+#include "core/evaluator.h"
+
+int main() {
+  using namespace adamove;
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner("Fig. 9: AdaMove vs DeepTTA on Different Datasets",
+                          env);
+  common::TablePrinter table(
+      {"Dataset", "Method", "Rec@1", "Rec@5", "Rec@10", "MRR"});
+  for (const auto& preset : data::AllPresets()) {
+    bench::PreparedDataset prepared = bench::Prepare(preset, env);
+    const core::ModelConfig config = bench::MakeModelConfig(prepared, env);
+    const core::TrainConfig train_config = bench::MakeTrainConfig(env);
+
+    baselines::DeepMove deeptta(config, "DeepTTA");
+    bench::TrainModel(deeptta, prepared.dataset, train_config);
+    core::TestTimeAdapter adapter{core::PttaConfig{}};
+    core::EvalResult deeptta_result = core::EvaluateWithAdapter(
+        deeptta, prepared.dataset.test, adapter);
+    std::vector<std::string> row{preset.name, "DeepTTA"};
+    for (auto& cell : bench::MetricCells(deeptta_result.metrics)) {
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+
+    core::AdaMove adamove(config);
+    adamove.Train(prepared.dataset, train_config);
+    core::EvalResult adamove_result =
+        adamove.EvaluateTta(prepared.dataset.test);
+    row = {preset.name, "AdaMove"};
+    for (auto& cell : bench::MetricCells(adamove_result.metrics)) {
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+    std::fprintf(stderr, "[fig9] %s DeepTTA=%.4f AdaMove=%.4f\n",
+                 preset.name.c_str(), deeptta_result.metrics.rec1,
+                 adamove_result.metrics.rec1);
+  }
+  table.Print();
+  std::printf("\nPaper shape: near-parity; AdaMove should not lose "
+              "meaningfully despite skipping the history branch at test "
+              "time (see Table III for the speed side).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of the nn substrate: the primitives whose
+// cost dominates training (matmul, LSTM step, attention) and the
+// forward/backward tape overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+#include "nn/rnn.h"
+
+namespace {
+
+using namespace adamove;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn({n, n}, rng);
+  nn::Tensor b = nn::Tensor::Randn({n, n}, rng);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LstmForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  common::Rng rng(2);
+  nn::LstmEncoder enc(72, 64, rng);
+  nn::Tensor x = nn::Tensor::Randn({t, 72}, rng);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Forward(x, false).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_LstmForward)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  common::Rng rng(3);
+  nn::LstmEncoder enc(72, 64, rng);
+  nn::Tensor x = nn::Tensor::Randn({t, 72}, rng);
+  for (auto _ : state) {
+    enc.ZeroGrad();
+    nn::Tensor h = enc.Forward(x, true);
+    nn::Sum(nn::Mul(h, h)).Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(8)->Arg(32);
+
+void BM_TransformerForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  common::Rng rng(4);
+  nn::TransformerSeqEncoder enc(72, 64, 2, 8, 0.1f, rng);
+  nn::Tensor x = nn::Tensor::Randn({t, 72}, rng);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Forward(x, false).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_TransformerForward)->Arg(8)->Arg(32);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  common::Rng rng(5);
+  nn::Tensor w = nn::Tensor::Randn({5000, 48}, rng);
+  std::vector<int64_t> idx(64);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<int64_t>(rng.UniformInt(0, 4999));
+  }
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::EmbeddingLookup(w, idx).data().data());
+  }
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+void BM_TapeOverhead(benchmark::State& state) {
+  // Compares tape-on forward cost vs NoGrad (see BM_LstmForward): the gap
+  // is the autograd bookkeeping price the NoGradGuard avoids at inference.
+  common::Rng rng(6);
+  nn::LstmEncoder enc(72, 64, rng);
+  nn::Tensor x = nn::Tensor::Randn({32, 72}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Forward(x, false).data().data());
+  }
+}
+BENCHMARK(BM_TapeOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Distribution-shift study: quantifies *why* test-time adaptation helps.
+// Splits the test samples of a shifted world into "stable" users and
+// "shifted" users (using the simulator's ground truth) and reports the
+// frozen-vs-adapted gap separately — adaptation should matter much more
+// for shifted users. Also sweeps the shift magnitude to show the gap grow.
+//
+// Build: cmake --build build --target distribution_shift_study
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/table_printer.h"
+#include "core/adamove.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+
+using namespace adamove;
+
+namespace {
+
+struct GroupMetrics {
+  core::Metrics stable;
+  core::Metrics shifted;
+};
+
+GroupMetrics EvaluateByGroup(core::AdaMove& model,
+                             const data::Dataset& dataset,
+                             const std::set<int64_t>& shifted_dense,
+                             bool adapt) {
+  core::MetricAccumulator stable_acc, shifted_acc;
+  for (const auto& s : dataset.test) {
+    const auto scores =
+        adapt ? model.Predict(s) : model.model().Scores(s);
+    (shifted_dense.count(s.user) ? shifted_acc : stable_acc)
+        .Add(scores, s.target.location);
+  }
+  return {stable_acc.Result(), shifted_acc.Result()};
+}
+
+}  // namespace
+
+int main() {
+  common::TablePrinter table({"Shift fraction", "Group", "Frozen Rec@1",
+                              "AdaMove Rec@1", "Gain"});
+  for (double shift_frac : {0.0, 0.4, 0.8}) {
+    data::DatasetPreset preset = data::NycLikePreset();
+    data::ScalePreset(preset, 0.4);
+    preset.synthetic.shift_user_frac = shift_frac;
+    data::SyntheticResult world = data::GenerateSynthetic(preset.synthetic);
+    data::PreprocessedData pre =
+        data::Preprocess(world.trajectories, preset.preprocess);
+    data::SplitConfig split;
+    split.eval_samples.context_sessions = preset.eval_context_sessions;
+    data::Dataset dataset = data::MakeDataset(pre, split);
+
+    // Map the simulator's raw shifted-user ids to dense ids.
+    std::set<int64_t> shifted_raw(world.shifted_users.begin(),
+                                  world.shifted_users.end());
+    std::set<int64_t> shifted_dense;
+    for (size_t u = 0; u < pre.user_to_raw.size(); ++u) {
+      if (shifted_raw.count(pre.user_to_raw[u]) > 0) {
+        shifted_dense.insert(static_cast<int64_t>(u));
+      }
+    }
+
+    core::ModelConfig config;
+    config.num_locations = dataset.num_locations;
+    config.num_users = dataset.num_users;
+    config.lambda = preset.lambda;
+    core::AdaMove model(config);
+    core::TrainConfig tc;
+    tc.max_epochs = 6;
+    tc.max_train_samples_per_epoch = 2500;  // keep the demo snappy
+    model.Train(dataset, tc);
+
+    GroupMetrics frozen =
+        EvaluateByGroup(model, dataset, shifted_dense, /*adapt=*/false);
+    GroupMetrics adapted =
+        EvaluateByGroup(model, dataset, shifted_dense, /*adapt=*/true);
+    auto add_row = [&](const char* group, const core::Metrics& f,
+                       const core::Metrics& a) {
+      if (f.count == 0) return;
+      table.AddRow({common::TablePrinter::Fmt(shift_frac, 1), group,
+                    common::TablePrinter::Fmt(f.rec1),
+                    common::TablePrinter::Fmt(a.rec1),
+                    common::TablePrinter::Fmt(a.rec1 - f.rec1)});
+    };
+    add_row("stable", frozen.stable, adapted.stable);
+    add_row("shifted", frozen.shifted, adapted.shifted);
+    std::printf("shift_frac=%.1f done (%zu test samples, %zu shifted "
+                "users)\n",
+                shift_frac, dataset.test.size(), shifted_dense.size());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nExpected: the adaptation gain concentrates on shifted "
+              "users and grows with the shift fraction — the mechanism "
+              "behind the paper's Fig. 1 motivation and Table II gains.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the complete AdaMove workflow in ~60 lines.
+//
+//   1. generate (or load) a check-in corpus,
+//   2. preprocess into sessions and split into train/val/test samples,
+//   3. train LightMob with the contrastive hybrid loss,
+//   4. predict with Preference-aware Test-Time Adaptation,
+//   5. compare frozen vs adapted accuracy.
+//
+// Build: cmake --build build --target quickstart && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/adamove.h"
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+
+using namespace adamove;
+
+int main() {
+  // 1. A small synthetic city with a mid-timeline behaviour shift.
+  data::DatasetPreset preset = data::NycLikePreset();
+  data::ScalePreset(preset, 0.4);  // keep the demo fast
+  data::SyntheticResult world = data::GenerateSynthetic(preset.synthetic);
+  std::printf("Generated %zu users of raw check-ins.\n",
+              world.trajectories.size());
+
+  // 2. Preprocess exactly as the paper (filter, 72h sessions, 70/10/20).
+  data::PreprocessedData pre =
+      data::Preprocess(world.trajectories, preset.preprocess);
+  data::SplitConfig split;
+  split.eval_samples.context_sessions = preset.eval_context_sessions;
+  data::Dataset dataset = data::MakeDataset(pre, split);
+  std::printf("After preprocessing: %lld users, %lld locations, "
+              "%zu/%zu/%zu train/val/test samples.\n",
+              static_cast<long long>(dataset.num_users),
+              static_cast<long long>(dataset.num_locations),
+              dataset.train.size(), dataset.val.size(),
+              dataset.test.size());
+
+  // 3. Train LightMob (encoder + predictor + contrastive history branch).
+  core::ModelConfig model_config;
+  model_config.num_locations = dataset.num_locations;
+  model_config.num_users = dataset.num_users;
+  model_config.lambda = preset.lambda;
+  core::AdaMove model(model_config);
+  core::TrainConfig train_config;
+  train_config.max_epochs = 6;
+  train_config.max_train_samples_per_epoch = 2500;  // keep the demo snappy
+  train_config.verbose = true;
+  model.Train(dataset, train_config);
+
+  // 4. Predict the next location for one test trajectory, with adaptation.
+  const data::Sample& sample = dataset.test.front();
+  const int64_t predicted = model.PredictLocation(sample);
+  std::printf("\nUser %lld, trajectory of %zu points -> predicted next "
+              "location %lld (truth %lld)\n",
+              static_cast<long long>(sample.user), sample.recent.size(),
+              static_cast<long long>(predicted),
+              static_cast<long long>(sample.target.location));
+
+  // 5. Frozen vs test-time-adapted evaluation.
+  core::EvalResult frozen = model.EvaluateFrozen(dataset.test);
+  core::EvalResult adapted = model.EvaluateTta(dataset.test);
+  std::printf("\nFrozen  : Rec@1 %.4f  Rec@10 %.4f  MRR %.4f\n",
+              frozen.metrics.rec1, frozen.metrics.rec10,
+              frozen.metrics.mrr);
+  std::printf("AdaMove : Rec@1 %.4f  Rec@10 %.4f  MRR %.4f  "
+              "(%.2f ms/sample)\n",
+              adapted.metrics.rec1, adapted.metrics.rec10,
+              adapted.metrics.mrr, adapted.avg_ms_per_sample);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "baselines/clsprec.h"
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+ClspRec::ClspRec(const core::ModelConfig& config) : config_(config) {
+  common::Rng rng(config.seed + 606);
+  embedding_ = std::make_unique<core::PointEmbedding>(config, rng);
+  shared_encoder_ = std::make_unique<nn::TransformerSeqEncoder>(
+      embedding_->dim(), config.hidden_size, /*num_layers=*/1,
+      /*num_heads=*/4, config.dropout, rng);
+  classifier_ = std::make_unique<nn::Linear>(2 * config.hidden_size,
+                                             config.num_locations, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("shared_encoder", shared_encoder_.get());
+  RegisterModule("classifier", classifier_.get());
+}
+
+nn::Tensor ClspRec::FinalRepresentation(const data::Sample& sample,
+                                        bool training,
+                                        nn::Tensor* h_short_out,
+                                        nn::Tensor* h_long_out) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  nn::Tensor h_rec =
+      shared_encoder_->Forward(embedding_->Forward(sample.recent), training);
+  nn::Tensor h_short = nn::Row(h_rec, h_rec.rows() - 1);
+  nn::Tensor h_long;
+  if (!sample.history.empty()) {
+    nn::Tensor h_hist = shared_encoder_->Forward(
+        embedding_->Forward(sample.history), training);
+    h_long = nn::Row(h_hist, h_hist.rows() - 1);
+  } else {
+    h_long = nn::Tensor::Zeros({1, config_.hidden_size});
+  }
+  if (h_short_out != nullptr) *h_short_out = h_short;
+  if (h_long_out != nullptr) *h_long_out = h_long;
+  return nn::ConcatCols({h_short, h_long});
+}
+
+nn::Tensor ClspRec::Loss(const data::Sample& sample, bool training) {
+  nn::Tensor h_short, h_long;
+  nn::Tensor rep = FinalRepresentation(sample, training, &h_short, &h_long);
+  nn::Tensor loss = nn::CrossEntropy(classifier_->Forward(rep),
+                                     {sample.target.location});
+  // Contrastive alignment of the two preference views: the shared encoder's
+  // short-term state should agree with the long-term state of the same user;
+  // negatives are other short-term states drawn from shuffled recent points
+  // (reversed sequence) — a cheap in-sample negative view.
+  if (!sample.history.empty() && sample.recent.size() >= 2) {
+    std::vector<data::Point> reversed(sample.recent.rbegin(),
+                                      sample.recent.rend());
+    nn::Tensor h_neg = shared_encoder_->Forward(
+        embedding_->Forward(reversed), training);
+    nn::Tensor negatives = nn::Row(h_neg, h_neg.rows() - 1);
+    nn::Tensor con = nn::InfoNceLoss(h_short, h_long, negatives);
+    loss = nn::Add(
+        loss, nn::ScalarMul(con, static_cast<float>(contrastive_weight_)));
+  }
+  return loss;
+}
+
+std::vector<float> ClspRec::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  return classifier_
+      ->Forward(FinalRepresentation(sample, false, nullptr, nullptr))
+      .data();
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,45 @@
+#ifndef ADAMOVE_BASELINES_CLSPREC_H_
+#define ADAMOVE_BASELINES_CLSPREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/model.h"
+#include "nn/attention.h"
+
+namespace adamove::baselines {
+
+/// CLSPRec (Duan et al., CIKM'23), simplified to its credited mechanism: a
+/// *shared* Transformer trajectory encoder applied to both the long-term
+/// (historical) and short-term (recent) sequences, trained with a
+/// contrastive objective aligning the two preference views plus the usual
+/// cross-entropy; the predictor combines both views. Unlike LightMob (which
+/// uses contrastive learning to *drop* the history branch at test time),
+/// CLSPRec still encodes the history at inference.
+class ClspRec : public core::MobilityModel {
+ public:
+  explicit ClspRec(const core::ModelConfig& config);
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "CLSPRec"; }
+  int64_t num_locations() const override { return config_.num_locations; }
+
+ private:
+  nn::Tensor FinalRepresentation(const data::Sample& sample, bool training,
+                                 nn::Tensor* h_short_out,
+                                 nn::Tensor* h_long_out);
+
+  core::ModelConfig config_;
+  double contrastive_weight_ = 0.3;
+  std::unique_ptr<core::PointEmbedding> embedding_;
+  std::unique_ptr<nn::TransformerSeqEncoder> shared_encoder_;
+  std::unique_ptr<nn::Linear> classifier_;  // in = 2H
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_CLSPREC_H_

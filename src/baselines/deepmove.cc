@@ -1,0 +1,60 @@
+#include "baselines/deepmove.h"
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+DeepMove::DeepMove(const core::ModelConfig& config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  common::Rng rng(config.seed + 101);
+  encoder_ = std::make_unique<core::TrajectoryEncoder>(config, rng);
+  hist_attn_ =
+      std::make_unique<core::HistoryAttention>(config.hidden_size, rng);
+  classifier_ = std::make_unique<nn::Linear>(2 * config.hidden_size,
+                                             config.num_locations, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("hist_attn", hist_attn_.get());
+  RegisterModule("classifier", classifier_.get());
+}
+
+nn::Tensor DeepMove::JointRepresentations(const data::Sample& sample,
+                                          bool training) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  nn::Tensor h_rec = encoder_->Forward(sample.recent, training);
+  nn::Tensor context;
+  if (!sample.history.empty()) {
+    nn::Tensor h_hist = encoder_->Forward(sample.history, training);
+    context = hist_attn_->Forward(h_hist, h_rec);
+  } else {
+    context = nn::Tensor::Zeros({h_rec.rows(), h_rec.cols()});
+  }
+  return nn::ConcatCols({h_rec, context});
+}
+
+nn::Tensor DeepMove::Loss(const data::Sample& sample, bool training) {
+  nn::Tensor joint = JointRepresentations(sample, training);
+  nn::Tensor logits =
+      classifier_->Forward(nn::Row(joint, joint.rows() - 1));
+  return nn::CrossEntropy(logits, {sample.target.location});
+}
+
+std::vector<float> DeepMove::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  nn::Tensor joint = JointRepresentations(sample, /*training=*/false);
+  return classifier_->Forward(nn::Row(joint, joint.rows() - 1)).data();
+}
+
+nn::Tensor DeepMove::PrefixRepresentations(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  return JointRepresentations(sample, /*training=*/false);
+}
+
+nn::Tensor DeepMove::TrainingLogits(const data::Sample& sample,
+                                    bool training) {
+  nn::Tensor joint = JointRepresentations(sample, training);
+  return classifier_->Forward(nn::Row(joint, joint.rows() - 1));
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,53 @@
+#ifndef ADAMOVE_BASELINES_DEEPMOVE_H_
+#define ADAMOVE_BASELINES_DEEPMOVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/history_attention.h"
+#include "core/model.h"
+
+namespace adamove::baselines {
+
+/// DeepMove (Feng et al., WWW'18), simplified to its credited mechanism: a
+/// recurrent encoder over the recent trajectory plus an attention module
+/// that *explicitly* fuses historical-trajectory hiddens at both training
+/// and inference time. The predictor sees [h_rec ; attention-context].
+///
+/// DeepMove is an AdaptableModel so that attaching PTTA yields the paper's
+/// DeepTTA variant (Table III / Fig. 9): its prefix representation at step k
+/// is the concatenation of the recurrent hidden and its history-enhanced
+/// counterpart, both of which one causal pass provides.
+class DeepMove : public core::AdaptableModel {
+ public:
+  explicit DeepMove(const core::ModelConfig& config,
+                    std::string name = "DeepMove");
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return name_; }
+  int64_t num_locations() const override { return config_.num_locations; }
+
+  nn::Tensor PrefixRepresentations(const data::Sample& sample) override;
+  nn::Linear& classifier() override { return *classifier_; }
+  nn::Tensor TrainingLogits(const data::Sample& sample,
+                            bool training) override;
+
+ private:
+  /// {T, 2H} joint representation of recent (+ history context) — shared by
+  /// Loss/Scores/PrefixRepresentations.
+  nn::Tensor JointRepresentations(const data::Sample& sample, bool training);
+
+  core::ModelConfig config_;
+  std::string name_;
+  std::unique_ptr<core::TrajectoryEncoder> encoder_;
+  std::unique_ptr<core::HistoryAttention> hist_attn_;
+  std::unique_ptr<nn::Linear> classifier_;  // in = 2H
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_DEEPMOVE_H_

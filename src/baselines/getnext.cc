@@ -1,0 +1,113 @@
+#include "baselines/getnext.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+GetNext::GetNext(const core::ModelConfig& config) : config_(config) {
+  common::Rng rng(config.seed + 505);
+  embedding_ = std::make_unique<core::PointEmbedding>(config, rng);
+  encoder_ = std::make_unique<nn::TransformerSeqEncoder>(
+      embedding_->dim(), config.hidden_size, /*num_layers=*/1,
+      /*num_heads=*/4, config.dropout, rng);
+  classifier_ = std::make_unique<nn::Linear>(config.hidden_size,
+                                             config.num_locations, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("classifier", classifier_.get());
+  flow_.resize(static_cast<size_t>(config.num_locations));
+}
+
+void GetNext::Fit(const data::Dataset& dataset) {
+  // Count transitions over all training trajectories (the global flow map).
+  std::vector<std::map<int64_t, float>> counts(
+      static_cast<size_t>(config_.num_locations));
+  auto add_transition = [&](int64_t from, int64_t to) {
+    counts[static_cast<size_t>(from)][to] += 1.0f;
+  };
+  for (const auto& sample : dataset.train) {
+    const auto& r = sample.recent;
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+      add_transition(r[i].location, r[i + 1].location);
+    }
+    if (!r.empty()) add_transition(r.back().location, sample.target.location);
+  }
+  for (int64_t l = 0; l < config_.num_locations; ++l) {
+    std::vector<std::pair<int64_t, float>> successors(
+        counts[static_cast<size_t>(l)].begin(),
+        counts[static_cast<size_t>(l)].end());
+    std::sort(successors.begin(), successors.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (static_cast<int>(successors.size()) > kTopSuccessors) {
+      successors.resize(kTopSuccessors);
+    }
+    float total = 0.0f;
+    for (const auto& [to, w] : successors) total += w;
+    if (total > 0.0f) {
+      for (auto& [to, w] : successors) w /= total;
+    }
+    flow_[static_cast<size_t>(l)] = std::move(successors);
+  }
+}
+
+nn::Tensor GetNext::GraphEnhancedEmbedding(
+    const std::vector<data::Point>& points) {
+  nn::Tensor emb = embedding_->Forward(points);
+  // One propagation step over the flow map: average the location embeddings
+  // of each point's top successors, weighted by transition frequency, and
+  // blend it into the location slice of the point embedding.
+  nn::Embedding& loc_emb = embedding_->location_embedding();
+  const int64_t loc_dim = loc_emb.dim();
+  std::vector<nn::Tensor> rows;
+  rows.reserve(points.size());
+  bool any_flow = false;
+  for (const auto& p : points) {
+    const auto& successors = flow_[static_cast<size_t>(p.location)];
+    if (successors.empty()) {
+      rows.push_back(nn::Tensor::Zeros({1, loc_dim}));
+      continue;
+    }
+    any_flow = true;
+    std::vector<int64_t> ids;
+    nn::Tensor weights = nn::Tensor::Zeros(
+        {1, static_cast<int64_t>(successors.size())});
+    for (size_t i = 0; i < successors.size(); ++i) {
+      ids.push_back(successors[i].first);
+      weights.set(0, static_cast<int64_t>(i), successors[i].second);
+    }
+    rows.push_back(nn::MatMul(weights, loc_emb.Forward(ids)));
+  }
+  if (!any_flow) return emb;  // untrained flow map (Fit not yet called)
+  nn::Tensor graph = nn::ConcatRows(rows);  // {T, loc_dim}
+  // Pad to embedding width so the blend touches only the location slice.
+  nn::Tensor pad = nn::Tensor::Zeros(
+      {graph.rows(), embedding_->dim() - loc_dim});
+  nn::Tensor graph_full = nn::ConcatCols({graph, pad});
+  return nn::Add(emb, nn::ScalarMul(graph_full, 0.5f));
+}
+
+nn::Tensor GetNext::FinalRepresentation(const data::Sample& sample,
+                                        bool training) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  nn::Tensor h =
+      encoder_->Forward(GraphEnhancedEmbedding(sample.recent), training);
+  return nn::Row(h, h.rows() - 1);
+}
+
+nn::Tensor GetNext::Loss(const data::Sample& sample, bool training) {
+  return nn::CrossEntropy(
+      classifier_->Forward(FinalRepresentation(sample, training)),
+      {sample.target.location});
+}
+
+std::vector<float> GetNext::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  return classifier_->Forward(FinalRepresentation(sample, false)).data();
+}
+
+}  // namespace adamove::baselines

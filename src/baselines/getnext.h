@@ -1,0 +1,49 @@
+#ifndef ADAMOVE_BASELINES_GETNEXT_H_
+#define ADAMOVE_BASELINES_GETNEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/model.h"
+#include "nn/attention.h"
+
+namespace adamove::baselines {
+
+/// GETNext (Yang et al., SIGIR'22), simplified to its credited mechanism:
+/// a *global trajectory flow map* — the location-transition graph counted
+/// over all training trajectories — enhances each location's embedding with
+/// a weighted average of its top successors' embeddings (one propagation
+/// step of the flow graph, the collaborative signal), before a Transformer
+/// encoder predicts the next location. Fit() builds the flow map.
+class GetNext : public core::MobilityModel {
+ public:
+  explicit GetNext(const core::ModelConfig& config);
+
+  void Fit(const data::Dataset& dataset) override;
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "GETNext"; }
+  int64_t num_locations() const override { return config_.num_locations; }
+
+  /// Successors kept per location in the flow map.
+  static constexpr int kTopSuccessors = 5;
+
+ private:
+  nn::Tensor GraphEnhancedEmbedding(const std::vector<data::Point>& points);
+  nn::Tensor FinalRepresentation(const data::Sample& sample, bool training);
+
+  core::ModelConfig config_;
+  std::unique_ptr<core::PointEmbedding> embedding_;
+  std::unique_ptr<nn::TransformerSeqEncoder> encoder_;
+  std::unique_ptr<nn::Linear> classifier_;
+  // flow map: per location, (successor, normalized weight), top-k.
+  std::vector<std::vector<std::pair<int64_t, float>>> flow_;
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_GETNEXT_H_

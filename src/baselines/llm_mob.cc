@@ -1,0 +1,51 @@
+#include "baselines/llm_mob.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/point.h"
+
+namespace adamove::baselines {
+
+nn::Tensor LlmMobSurrogate::Loss(const data::Sample& /*sample*/,
+                                 bool /*training*/) {
+  return nn::Tensor::Scalar(0.0f);
+}
+
+std::vector<float> LlmMobSurrogate::Scores(const data::Sample& sample) {
+  std::vector<float> scores(static_cast<size_t>(num_locations_), 0.0f);
+  // Historical stays (the prompt's long-term habit evidence).
+  std::vector<float> hist_count(static_cast<size_t>(num_locations_), 0.0f);
+  std::vector<float> hist_slot_count(static_cast<size_t>(num_locations_),
+                                     0.0f);
+  const int query_slot = data::TimeSlotOf(sample.target.timestamp);
+  for (const auto& p : sample.history) {
+    hist_count[static_cast<size_t>(p.location)] += 1.0f;
+    if (data::TimeSlotOf(p.timestamp) == query_slot) {
+      hist_slot_count[static_cast<size_t>(p.location)] += 1.0f;
+    }
+  }
+  // Contextual stays: geometric recency weighting over the recent sequence.
+  std::vector<float> recent_weight(static_cast<size_t>(num_locations_), 0.0f);
+  float w = 1.0f;
+  for (auto it = sample.recent.rbegin(); it != sample.recent.rend(); ++it) {
+    recent_weight[static_cast<size_t>(it->location)] += w;
+    w *= 0.8f;
+  }
+  // Deterministic per-sample perturbation (seeded by the query) modelling
+  // the LLM's fuzzy ordering of near-tied candidates.
+  common::Rng noise(static_cast<uint64_t>(sample.user) * 1000003u +
+                    static_cast<uint64_t>(sample.target.timestamp));
+  for (int64_t l = 0; l < num_locations_; ++l) {
+    const size_t i = static_cast<size_t>(l);
+    double raw = w_hist_ * std::log1p(hist_count[i]) +
+                 w_recent_ * recent_weight[i] +
+                 w_time_ * std::log1p(hist_slot_count[i]);
+    if (rank_noise_ > 0.0) raw += noise.Uniform(0.0, rank_noise_);
+    scores[i] = static_cast<float>(raw);
+  }
+  return scores;
+}
+
+}  // namespace adamove::baselines

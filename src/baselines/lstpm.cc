@@ -1,0 +1,91 @@
+#include "baselines/lstpm.h"
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+namespace {
+
+// Splits a flat history into session-like chunks on 72 h gaps relative to
+// the chunk's first point (mirrors the dataset's sessionization).
+std::vector<std::pair<size_t, size_t>> SessionRanges(
+    const std::vector<data::Point>& points) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const int64_t window = 72 * data::kSecondsPerHour;
+  size_t begin = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0 && points[i].timestamp - points[begin].timestamp > window) {
+      ranges.emplace_back(begin, i);
+      begin = i;
+    }
+  }
+  if (begin < points.size()) ranges.emplace_back(begin, points.size());
+  return ranges;
+}
+
+}  // namespace
+
+Lstpm::Lstpm(const core::ModelConfig& config) : config_(config) {
+  common::Rng rng(config.seed + 202);
+  embedding_ = std::make_unique<core::PointEmbedding>(config, rng);
+  short_term_ = std::make_unique<nn::LstmEncoder>(embedding_->dim(),
+                                                  config.hidden_size, rng);
+  session_proj_ = std::make_unique<nn::Linear>(embedding_->dim(),
+                                               config.hidden_size, rng);
+  query_proj_ = std::make_unique<nn::Linear>(config.hidden_size,
+                                             config.hidden_size, rng);
+  classifier_ = std::make_unique<nn::Linear>(2 * config.hidden_size,
+                                             config.num_locations, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("short_term", short_term_.get());
+  RegisterModule("session_proj", session_proj_.get());
+  RegisterModule("query_proj", query_proj_.get());
+  RegisterModule("classifier", classifier_.get());
+}
+
+nn::Tensor Lstpm::FinalRepresentation(const data::Sample& sample,
+                                      bool training) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  nn::Tensor emb_rec = embedding_->Forward(sample.recent);
+  nn::Tensor h_short = short_term_->Forward(emb_rec, training);
+  nn::Tensor h_last = nn::Row(h_short, h_short.rows() - 1);
+
+  nn::Tensor context;
+  if (!sample.history.empty()) {
+    // Session-level pooled representations of the history.
+    nn::Tensor emb_hist = embedding_->Forward(sample.history);
+    std::vector<nn::Tensor> pooled;
+    for (const auto& [begin, end] : SessionRanges(sample.history)) {
+      nn::Tensor chunk = nn::SliceRows(emb_hist, static_cast<int64_t>(begin),
+                                       static_cast<int64_t>(end - begin));
+      // Mean pooling over the session.
+      nn::Tensor mean = nn::ScalarMul(
+          nn::MatMul(nn::Tensor::Full({1, chunk.rows()}, 1.0f), chunk),
+          1.0f / static_cast<float>(chunk.rows()));
+      pooled.push_back(mean);
+    }
+    nn::Tensor sessions = session_proj_->Forward(nn::ConcatRows(pooled));
+    // Non-local attention: the short-term state queries the session bank.
+    nn::Tensor q = query_proj_->Forward(h_last);
+    context = nn::ScaledDotAttention(q, sessions, sessions,
+                                     /*causal=*/false);
+  } else {
+    context = nn::Tensor::Zeros({1, config_.hidden_size});
+  }
+  return nn::ConcatCols({h_last, context});
+}
+
+nn::Tensor Lstpm::Loss(const data::Sample& sample, bool training) {
+  nn::Tensor rep = FinalRepresentation(sample, training);
+  return nn::CrossEntropy(classifier_->Forward(rep),
+                          {sample.target.location});
+}
+
+std::vector<float> Lstpm::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  return classifier_->Forward(FinalRepresentation(sample, false)).data();
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,41 @@
+#ifndef ADAMOVE_BASELINES_LSTPM_H_
+#define ADAMOVE_BASELINES_LSTPM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/model.h"
+
+namespace adamove::baselines {
+
+/// LSTPM (Sun et al., AAAI'20), simplified to its credited mechanisms:
+/// long-term preference via a non-local attention over *session-level*
+/// pooled representations of the historical trajectory, and short-term
+/// preference from a recurrent pass over the recent trajectory. The
+/// predictor sees [h_short ; long-term context].
+class Lstpm : public core::MobilityModel {
+ public:
+  explicit Lstpm(const core::ModelConfig& config);
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "LSTPM"; }
+  int64_t num_locations() const override { return config_.num_locations; }
+
+ private:
+  nn::Tensor FinalRepresentation(const data::Sample& sample, bool training);
+
+  core::ModelConfig config_;
+  std::unique_ptr<core::PointEmbedding> embedding_;
+  std::unique_ptr<nn::SequenceEncoder> short_term_;
+  std::unique_ptr<nn::Linear> session_proj_;  // pooled emb -> H
+  std::unique_ptr<nn::Linear> query_proj_;    // non-local attention query
+  std::unique_ptr<nn::Linear> classifier_;    // in = 2H
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_LSTPM_H_

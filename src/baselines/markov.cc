@@ -1,0 +1,50 @@
+#include "baselines/markov.h"
+
+#include "common/check.h"
+
+namespace adamove::baselines {
+
+void MarkovModel::Fit(const data::Dataset& dataset) {
+  popularity_.assign(static_cast<size_t>(num_locations_), 0.0f);
+  transitions_.clear();
+  for (const auto& sample : dataset.train) {
+    // Count consecutive transitions inside the recent trajectory plus the
+    // final transition to the target.
+    const auto& r = sample.recent;
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+      transitions_[r[i].location][r[i + 1].location] += 1.0f;
+      popularity_[static_cast<size_t>(r[i + 1].location)] += 1.0f;
+    }
+    if (!r.empty()) {
+      transitions_[r.back().location][sample.target.location] += 1.0f;
+    }
+    popularity_[static_cast<size_t>(sample.target.location)] += 1.0f;
+  }
+}
+
+nn::Tensor MarkovModel::Loss(const data::Sample& /*sample*/,
+                             bool /*training*/) {
+  // Non-gradient model; the trainer never calls this (trainable() is false).
+  return nn::Tensor::Scalar(0.0f);
+}
+
+std::vector<float> MarkovModel::Scores(const data::Sample& sample) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  // Smoothed: transition counts dominate, popularity breaks ties.
+  float pop_max = 1.0f;
+  for (float p : popularity_) pop_max = std::max(pop_max, p);
+  std::vector<float> scores(static_cast<size_t>(num_locations_), 0.0f);
+  for (int64_t l = 0; l < num_locations_; ++l) {
+    scores[static_cast<size_t>(l)] =
+        0.5f * popularity_[static_cast<size_t>(l)] / pop_max;
+  }
+  auto it = transitions_.find(sample.recent.back().location);
+  if (it != transitions_.end()) {
+    for (const auto& [to, count] : it->second) {
+      scores[static_cast<size_t>(to)] += count;
+    }
+  }
+  return scores;
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,37 @@
+#ifndef ADAMOVE_BASELINES_MARKOV_H_
+#define ADAMOVE_BASELINES_MARKOV_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+
+namespace adamove::baselines {
+
+/// First-order Markov transition model with add-one smoothing against the
+/// global popularity prior. Not one of the paper's nine baselines; kept as a
+/// non-neural sanity anchor (classic PMC-style predictor, cf. [7], [8]).
+class MarkovModel : public core::MobilityModel {
+ public:
+  explicit MarkovModel(int64_t num_locations)
+      : num_locations_(num_locations) {}
+
+  bool trainable() const override { return false; }
+  void Fit(const data::Dataset& dataset) override;
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "Markov"; }
+  int64_t num_locations() const override { return num_locations_; }
+
+ private:
+  int64_t num_locations_;
+  // transitions_[from][to] = count
+  std::unordered_map<int64_t, std::unordered_map<int64_t, float>> transitions_;
+  std::vector<float> popularity_;
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_MARKOV_H_

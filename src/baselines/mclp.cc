@@ -1,0 +1,82 @@
+#include "baselines/mclp.h"
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+namespace {
+constexpr int64_t kArrivalSlotDim = 8;
+}  // namespace
+
+Mclp::Mclp(const core::ModelConfig& config) : config_(config) {
+  common::Rng rng(config.seed + 707);
+  embedding_ = std::make_unique<core::PointEmbedding>(config, rng);
+  encoder_ = std::make_unique<nn::LstmEncoder>(embedding_->dim(),
+                                               config.hidden_size, rng);
+  arrival_slot_emb_ = std::make_unique<nn::Embedding>(data::kNumTimeSlots,
+                                                      kArrivalSlotDim, rng);
+  user_emb_ = std::make_unique<nn::Embedding>(config.num_users,
+                                              config.user_emb_dim, rng);
+  user_query_ = std::make_unique<nn::Linear>(config.user_emb_dim,
+                                             embedding_->dim(), rng);
+  pref_proj_ =
+      std::make_unique<nn::Linear>(embedding_->dim(), config.hidden_size, rng);
+  classifier_ = std::make_unique<nn::Linear>(
+      2 * config.hidden_size + kArrivalSlotDim, config.num_locations, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("arrival_slot_emb", arrival_slot_emb_.get());
+  RegisterModule("user_emb", user_emb_.get());
+  RegisterModule("user_query", user_query_.get());
+  RegisterModule("pref_proj", pref_proj_.get());
+  RegisterModule("classifier", classifier_.get());
+}
+
+int Mclp::EstimateArrivalSlot(const std::vector<data::Point>& recent) {
+  ADAMOVE_CHECK(!recent.empty());
+  int64_t mean_gap = 6 * data::kSecondsPerHour;  // prior: ~6 h between stays
+  if (recent.size() >= 2) {
+    const int64_t span = recent.back().timestamp - recent.front().timestamp;
+    mean_gap = span / static_cast<int64_t>(recent.size() - 1);
+  }
+  return data::TimeSlotOf(recent.back().timestamp + mean_gap);
+}
+
+nn::Tensor Mclp::FinalRepresentation(const data::Sample& sample,
+                                     bool training) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  nn::Tensor h =
+      encoder_->Forward(embedding_->Forward(sample.recent), training);
+  nn::Tensor h_last = nn::Row(h, h.rows() - 1);
+  // User preference: the user embedding queries the historical points.
+  nn::Tensor pref;
+  if (!sample.history.empty()) {
+    nn::Tensor hist_emb = embedding_->Forward(sample.history);
+    nn::Tensor query =
+        user_query_->Forward(user_emb_->Forward({sample.user}));
+    nn::Tensor pooled =
+        nn::ScaledDotAttention(query, hist_emb, hist_emb, /*causal=*/false);
+    pref = pref_proj_->Forward(pooled);
+  } else {
+    pref = nn::Tensor::Zeros({1, config_.hidden_size});
+  }
+  // Arrival-time context from the (crude) estimator.
+  const int slot = EstimateArrivalSlot(sample.recent);
+  nn::Tensor slot_emb = arrival_slot_emb_->Forward({slot});
+  return nn::ConcatCols({h_last, pref, slot_emb});
+}
+
+nn::Tensor Mclp::Loss(const data::Sample& sample, bool training) {
+  return nn::CrossEntropy(
+      classifier_->Forward(FinalRepresentation(sample, training)),
+      {sample.target.location});
+}
+
+std::vector<float> Mclp::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  return classifier_->Forward(FinalRepresentation(sample, false)).data();
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,37 @@
+#include "baselines/mhsa.h"
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+Mhsa::Mhsa(const core::ModelConfig& config) : config_(config) {
+  common::Rng rng(config.seed + 404);
+  embedding_ = std::make_unique<core::PointEmbedding>(config, rng);
+  encoder_ = std::make_unique<nn::TransformerSeqEncoder>(
+      embedding_->dim(), config.hidden_size, /*num_layers=*/2,
+      /*num_heads=*/8, config.dropout, rng);
+  classifier_ = std::make_unique<nn::Linear>(config.hidden_size,
+                                             config.num_locations, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("classifier", classifier_.get());
+}
+
+nn::Tensor Mhsa::Loss(const data::Sample& sample, bool training) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  nn::Tensor h =
+      encoder_->Forward(embedding_->Forward(sample.recent), training);
+  nn::Tensor logits = classifier_->Forward(nn::Row(h, h.rows() - 1));
+  return nn::CrossEntropy(logits, {sample.target.location});
+}
+
+std::vector<float> Mhsa::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  nn::Tensor h =
+      encoder_->Forward(embedding_->Forward(sample.recent), false);
+  return classifier_->Forward(nn::Row(h, h.rows() - 1)).data();
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,37 @@
+#ifndef ADAMOVE_BASELINES_MHSA_H_
+#define ADAMOVE_BASELINES_MHSA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/model.h"
+#include "nn/attention.h"
+
+namespace adamove::baselines {
+
+/// MHSA (Hong et al., 2023): a multi-head self-attentional network over the
+/// recent trajectory's context-enriched point embeddings; the last position
+/// predicts the next location. Implemented as a causal Transformer encoder
+/// over Eq. 4-style embeddings — the mechanism the paper credits it for.
+class Mhsa : public core::MobilityModel {
+ public:
+  explicit Mhsa(const core::ModelConfig& config);
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "MHSA"; }
+  int64_t num_locations() const override { return config_.num_locations; }
+
+ private:
+  core::ModelConfig config_;
+  std::unique_ptr<core::PointEmbedding> embedding_;
+  std::unique_ptr<nn::TransformerSeqEncoder> encoder_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_MHSA_H_

@@ -1,0 +1,64 @@
+#include "baselines/nlpmm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "data/point.h"
+
+namespace adamove::baselines {
+
+void Nlpmm::Fit(const data::Dataset& dataset) {
+  global_first_.clear();
+  personal_first_.clear();
+  second_.clear();
+  by_slot_.clear();
+  for (const auto& sample : dataset.train) {
+    // Reconstruct the full labeled sequence: recent points + target.
+    std::vector<data::Point> seq = sample.recent;
+    seq.push_back(sample.target);
+    for (size_t i = 1; i < seq.size(); ++i) {
+      const int64_t prev = seq[i - 1].location;
+      const int64_t next = seq[i].location;
+      global_first_[prev][next] += 1.0f;
+      personal_first_[PersonalKey(sample.user, prev)][next] += 1.0f;
+      if (i >= 2) {
+        second_[PairKey(seq[i - 2].location, prev)][next] += 1.0f;
+      }
+      by_slot_[data::TimeSlotOf(seq[i].timestamp)][next] += 1.0f;
+    }
+  }
+}
+
+nn::Tensor Nlpmm::Loss(const data::Sample& /*sample*/, bool /*training*/) {
+  return nn::Tensor::Scalar(0.0f);
+}
+
+std::vector<float> Nlpmm::Scores(const data::Sample& sample) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  std::vector<float> scores(static_cast<size_t>(num_locations_), 0.0f);
+  auto blend = [&](const Counts* counts, double weight) {
+    if (counts == nullptr) return;
+    float total = 0.0f;
+    for (const auto& [loc, c] : *counts) total += c;
+    if (total <= 0.0f) return;
+    for (const auto& [loc, c] : *counts) {
+      scores[static_cast<size_t>(loc)] +=
+          static_cast<float>(weight) * c / total;
+    }
+  };
+  auto find = [](const auto& map, auto key) -> const Counts* {
+    auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+  };
+  const int64_t last = sample.recent.back().location;
+  blend(find(global_first_, last), w_global_);
+  blend(find(personal_first_, PersonalKey(sample.user, last)), w_personal_);
+  if (sample.recent.size() >= 2) {
+    const int64_t prev2 = sample.recent[sample.recent.size() - 2].location;
+    blend(find(second_, PairKey(prev2, last)), w_second_);
+  }
+  blend(find(by_slot_, data::TimeSlotOf(sample.target.timestamp)), w_slot_);
+  return scores;
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,52 @@
+#ifndef ADAMOVE_BASELINES_NLPMM_H_
+#define ADAMOVE_BASELINES_NLPMM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+
+namespace adamove::baselines {
+
+/// NLPMM-style next-location predictor (Chen et al., PAKDD'14 — reference
+/// [8] of the paper): an ensemble of Markov models — a *global* first-order
+/// transition model, a *personal* first-order model, a second-order model,
+/// and a time-slot-conditioned visit model — blended with fixed weights.
+/// Non-neural; included as a second statistical anchor beside MarkovModel.
+class Nlpmm : public core::MobilityModel {
+ public:
+  explicit Nlpmm(int64_t num_locations) : num_locations_(num_locations) {}
+
+  bool trainable() const override { return false; }
+  void Fit(const data::Dataset& dataset) override;
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "NLPMM"; }
+  int64_t num_locations() const override { return num_locations_; }
+
+ private:
+  using Counts = std::unordered_map<int64_t, float>;
+
+  int64_t num_locations_;
+  std::unordered_map<int64_t, Counts> global_first_;            // l -> next
+  std::unordered_map<int64_t, Counts> personal_first_;          // (u,l) key
+  std::unordered_map<int64_t, Counts> second_;                  // (l1,l2) key
+  std::unordered_map<int, Counts> by_slot_;                     // slot -> loc
+  double w_global_ = 1.0;
+  double w_personal_ = 1.5;
+  double w_second_ = 1.0;
+  double w_slot_ = 0.5;
+
+  int64_t PersonalKey(int64_t user, int64_t loc) const {
+    return user * num_locations_ + loc;
+  }
+  int64_t PairKey(int64_t a, int64_t b) const {
+    return a * num_locations_ + b;
+  }
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_NLPMM_H_

@@ -1,0 +1,54 @@
+#include "baselines/registry.h"
+
+#include "baselines/clsprec.h"
+#include "baselines/deepmove.h"
+#include "baselines/getnext.h"
+#include "baselines/llm_mob.h"
+#include "baselines/lstpm.h"
+#include "baselines/markov.h"
+#include "baselines/mclp.h"
+#include "baselines/mhsa.h"
+#include "baselines/nlpmm.h"
+#include "baselines/stan.h"
+#include "core/lightmob.h"
+
+namespace adamove::baselines {
+
+std::unique_ptr<core::MobilityModel> MakeModel(
+    const std::string& name, const core::ModelConfig& config) {
+  if (name == "LSTM") {
+    // The LSTM baseline is exactly LightMob's base model: recent-only
+    // encoder + FC predictor, no history attention, no contrastive loss.
+    core::ModelConfig base = config;
+    base.lambda = 0.0;
+    base.encoder = core::EncoderType::kLstm;
+    return std::make_unique<core::LightMob>(base, "LSTM");
+  }
+  if (name == "LightMob") {
+    return std::make_unique<core::LightMob>(config);
+  }
+  if (name == "DeepMove") return std::make_unique<DeepMove>(config);
+  if (name == "LSTPM") return std::make_unique<Lstpm>(config);
+  if (name == "STAN") return std::make_unique<Stan>(config);
+  if (name == "GETNext") return std::make_unique<GetNext>(config);
+  if (name == "CLSPRec") return std::make_unique<ClspRec>(config);
+  if (name == "MCLP") return std::make_unique<Mclp>(config);
+  if (name == "MHSA") return std::make_unique<Mhsa>(config);
+  if (name == "LLM-Mob") {
+    return std::make_unique<LlmMobSurrogate>(config.num_locations);
+  }
+  if (name == "Markov") {
+    return std::make_unique<MarkovModel>(config.num_locations);
+  }
+  if (name == "NLPMM") {
+    return std::make_unique<Nlpmm>(config.num_locations);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PaperBaselineNames() {
+  return {"LSTM",    "DeepMove", "LSTPM", "STAN",    "GETNext",
+          "CLSPRec", "MCLP",     "MHSA",  "LLM-Mob"};
+}
+
+}  // namespace adamove::baselines

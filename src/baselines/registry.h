@@ -1,0 +1,25 @@
+#ifndef ADAMOVE_BASELINES_REGISTRY_H_
+#define ADAMOVE_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+
+namespace adamove::baselines {
+
+/// Builds a model by its paper name. Supported names: "LSTM", "DeepMove",
+/// "LSTPM", "STAN", "GETNext", "CLSPRec", "MCLP", "MHSA", "LLM-Mob",
+/// "Markov", "LightMob" (the last is AdaMove's model without PTTA).
+/// Returns nullptr for unknown names.
+std::unique_ptr<core::MobilityModel> MakeModel(
+    const std::string& name, const core::ModelConfig& config);
+
+/// The nine baselines of Table II, in the paper's order.
+std::vector<std::string> PaperBaselineNames();
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_REGISTRY_H_

@@ -1,0 +1,70 @@
+#include "baselines/stan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::baselines {
+
+Stan::Stan(const core::ModelConfig& config)
+    : config_(config), dropout_rng_(config.seed + 303) {
+  common::Rng rng(config.seed + 304);
+  embedding_ = std::make_unique<core::PointEmbedding>(config, rng);
+  interval_emb_ = std::make_unique<nn::Embedding>(
+      kIntervalBuckets, embedding_->dim(), rng);
+  input_proj_ =
+      std::make_unique<nn::Linear>(embedding_->dim(), config.hidden_size, rng);
+  self_attn_ = std::make_unique<nn::MultiHeadAttention>(config.hidden_size,
+                                                        4, rng);
+  recall_attn_ = std::make_unique<nn::MultiHeadAttention>(config.hidden_size,
+                                                          4, rng);
+  ln_ = std::make_unique<nn::LayerNormLayer>(config.hidden_size);
+  classifier_ = std::make_unique<nn::Linear>(config.hidden_size,
+                                             config.num_locations, rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("interval_emb", interval_emb_.get());
+  RegisterModule("input_proj", input_proj_.get());
+  RegisterModule("self_attn", self_attn_.get());
+  RegisterModule("recall_attn", recall_attn_.get());
+  RegisterModule("ln", ln_.get());
+  RegisterModule("classifier", classifier_.get());
+}
+
+nn::Tensor Stan::FinalRepresentation(const data::Sample& sample,
+                                     bool training) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  const auto& points = sample.recent;
+  nn::Tensor emb = embedding_->Forward(points);
+  // Time-interval embeddings between consecutive check-ins (bucketized in
+  // hours, capped at 48 h); position 0 gets bucket 0.
+  std::vector<int64_t> buckets(points.size(), 0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    const int64_t hours = (points[i].timestamp - points[i - 1].timestamp) /
+                          data::kSecondsPerHour;
+    buckets[i] = std::clamp<int64_t>(hours, 0, kIntervalBuckets - 1);
+  }
+  emb = nn::Add(emb, interval_emb_->Forward(buckets));
+  nn::Tensor x = input_proj_->Forward(emb);
+  // Layer 1: spatio-temporal aggregation (causal self-attention).
+  nn::Tensor z = nn::Add(x, self_attn_->Forward(x, x, /*causal=*/true));
+  z = ln_->Forward(z);
+  z = nn::Dropout(z, config_.dropout, dropout_rng_, training);
+  // Layer 2: target recall — the final state queries the whole sequence.
+  nn::Tensor query = nn::Row(z, z.rows() - 1);
+  return recall_attn_->Forward(query, z, /*causal=*/false);
+}
+
+nn::Tensor Stan::Loss(const data::Sample& sample, bool training) {
+  nn::Tensor rep = FinalRepresentation(sample, training);
+  return nn::CrossEntropy(classifier_->Forward(rep),
+                          {sample.target.location});
+}
+
+std::vector<float> Stan::Scores(const data::Sample& sample) {
+  nn::NoGradGuard no_grad;
+  return classifier_->Forward(FinalRepresentation(sample, false)).data();
+}
+
+}  // namespace adamove::baselines

@@ -1,0 +1,50 @@
+#ifndef ADAMOVE_BASELINES_STAN_H_
+#define ADAMOVE_BASELINES_STAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/model.h"
+#include "nn/attention.h"
+
+namespace adamove::baselines {
+
+/// STAN (Luo et al., WWW'21), simplified to its credited mechanism: a
+/// bi-layer attention over the recent trajectory where the first layer
+/// aggregates spatio-temporal correlations (self-attention over point
+/// embeddings enriched with time-interval embeddings between consecutive
+/// check-ins) and the second layer recalls the target with an attention
+/// queried by the final state.
+class Stan : public core::MobilityModel {
+ public:
+  explicit Stan(const core::ModelConfig& config);
+
+  nn::Tensor Loss(const data::Sample& sample, bool training) override;
+  std::vector<float> Scores(const data::Sample& sample) override;
+  std::string name() const override { return "STAN"; }
+  int64_t num_locations() const override { return config_.num_locations; }
+
+  /// Number of time-interval buckets (hours between consecutive points,
+  /// capped at 2 days).
+  static constexpr int64_t kIntervalBuckets = 49;
+
+ private:
+  nn::Tensor FinalRepresentation(const data::Sample& sample, bool training);
+
+  core::ModelConfig config_;
+  common::Rng dropout_rng_;
+  std::unique_ptr<core::PointEmbedding> embedding_;
+  std::unique_ptr<nn::Embedding> interval_emb_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::unique_ptr<nn::MultiHeadAttention> self_attn_;
+  std::unique_ptr<nn::MultiHeadAttention> recall_attn_;
+  std::unique_ptr<nn::LayerNormLayer> ln_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace adamove::baselines
+
+#endif  // ADAMOVE_BASELINES_STAN_H_

@@ -1,0 +1,65 @@
+#ifndef ADAMOVE_COMMON_CHECK_H_
+#define ADAMOVE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace adamove::common {
+
+/// Prints a fatal message with source location and aborts. Used by the CHECK
+/// macros below; programmer errors (violated invariants, shape mismatches)
+/// terminate the process rather than unwinding, following the no-exceptions
+/// policy of this codebase.
+[[noreturn]] inline void FatalCheckFailure(const char* file, int line,
+                                           const std::string& message) {
+  std::fprintf(stderr, "[ADAMOVE FATAL] %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace internal_check {
+
+/// Builds the "a vs b" detail string for binary CHECK_xx macros.
+template <typename A, typename B>
+std::string BinaryFailureMessage(const char* expr, const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << expr << " (" << a << " vs " << b << ")";
+  return oss.str();
+}
+
+}  // namespace internal_check
+
+}  // namespace adamove::common
+
+/// CHECK(cond): aborts with a message when `cond` is false. Always on,
+/// including release builds — invariants in a data system must not be
+/// silently skipped.
+#define ADAMOVE_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::adamove::common::FatalCheckFailure(__FILE__, __LINE__,          \
+                                           "CHECK failed: " #cond);    \
+    }                                                                   \
+  } while (0)
+
+#define ADAMOVE_CHECK_OP(op, a, b)                                          \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      ::adamove::common::FatalCheckFailure(                                 \
+          __FILE__, __LINE__,                                               \
+          ::adamove::common::internal_check::BinaryFailureMessage(          \
+              #a " " #op " " #b, (a), (b)));                                \
+    }                                                                       \
+  } while (0)
+
+#define ADAMOVE_CHECK_EQ(a, b) ADAMOVE_CHECK_OP(==, a, b)
+#define ADAMOVE_CHECK_NE(a, b) ADAMOVE_CHECK_OP(!=, a, b)
+#define ADAMOVE_CHECK_LT(a, b) ADAMOVE_CHECK_OP(<, a, b)
+#define ADAMOVE_CHECK_LE(a, b) ADAMOVE_CHECK_OP(<=, a, b)
+#define ADAMOVE_CHECK_GT(a, b) ADAMOVE_CHECK_OP(>, a, b)
+#define ADAMOVE_CHECK_GE(a, b) ADAMOVE_CHECK_OP(>=, a, b)
+
+#endif  // ADAMOVE_COMMON_CHECK_H_

@@ -1,0 +1,34 @@
+#ifndef ADAMOVE_COMMON_TABLE_PRINTER_H_
+#define ADAMOVE_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace adamove::common {
+
+/// Formats aligned ASCII tables for the benchmark harness so every bench
+/// binary prints rows in the same style as the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; the number of cells must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to 4 decimals (the paper's precision).
+  static std::string Fmt(double v, int precision = 4);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,32 @@
+#ifndef ADAMOVE_COMMON_TIMER_H_
+#define ADAMOVE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace adamove::common {
+
+/// Monotonic wall-clock stopwatch used for the efficiency experiments
+/// (Table III) and benchmark harness timing.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_TIMER_H_

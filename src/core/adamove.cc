@@ -1,0 +1,48 @@
+#include "core/adamove.h"
+
+#include <algorithm>
+
+#include "nn/serialize.h"
+
+namespace adamove::core {
+
+AdaMove::AdaMove(const ModelConfig& model_config,
+                 const PttaConfig& ptta_config)
+    : model_(std::make_unique<LightMob>(model_config)),
+      adapter_(ptta_config) {}
+
+std::vector<EpochLog> AdaMove::Train(const data::Dataset& dataset,
+                                     const TrainConfig& train_config) {
+  Trainer trainer(train_config);
+  return trainer.Train(*model_, dataset);
+}
+
+std::vector<float> AdaMove::Predict(const data::Sample& sample) const {
+  return adapter_.Predict(*model_, sample);
+}
+
+int64_t AdaMove::PredictLocation(const data::Sample& sample) const {
+  const std::vector<float> scores = Predict(sample);
+  return static_cast<int64_t>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+EvalResult AdaMove::EvaluateTta(
+    const std::vector<data::Sample>& samples) const {
+  return EvaluateWithAdapter(*model_, samples, adapter_);
+}
+
+EvalResult AdaMove::EvaluateFrozen(
+    const std::vector<data::Sample>& samples) const {
+  return Evaluate(*model_, samples);
+}
+
+bool AdaMove::Save(const std::string& path) const {
+  return nn::SaveModule(path, *model_);
+}
+
+bool AdaMove::Load(const std::string& path) {
+  return nn::LoadModule(path, *model_);
+}
+
+}  // namespace adamove::core

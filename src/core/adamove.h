@@ -1,0 +1,59 @@
+#ifndef ADAMOVE_CORE_ADAMOVE_H_
+#define ADAMOVE_CORE_ADAMOVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/evaluator.h"
+#include "core/lightmob.h"
+#include "core/ptta.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace adamove::core {
+
+/// The AdaMove façade: LightMob training plus PTTA-adapted inference — the
+/// complete system of the paper behind one API.
+///
+///   AdaMove model(model_config);
+///   model.Train(dataset, train_config);
+///   auto scores = model.Predict(sample);           // PTTA-adapted
+///   auto result = model.EvaluateTta(dataset.test); // Table II row
+class AdaMove {
+ public:
+  explicit AdaMove(const ModelConfig& model_config,
+                   const PttaConfig& ptta_config = PttaConfig());
+
+  /// Trains LightMob with the paper's recipe; returns the epoch log.
+  std::vector<EpochLog> Train(const data::Dataset& dataset,
+                              const TrainConfig& train_config);
+
+  /// PTTA-adapted scores for one trajectory sample.
+  std::vector<float> Predict(const data::Sample& sample) const;
+
+  /// Adapted top-1 next location.
+  int64_t PredictLocation(const data::Sample& sample) const;
+
+  /// Full test-time-adaptive evaluation (accuracy + per-sample latency).
+  EvalResult EvaluateTta(const std::vector<data::Sample>& samples) const;
+
+  /// Frozen-model evaluation (the "w/o PTTA" ablation).
+  EvalResult EvaluateFrozen(const std::vector<data::Sample>& samples) const;
+
+  /// Saves / loads the trained LightMob weights.
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
+
+  LightMob& model() { return *model_; }
+  const TestTimeAdapter& adapter() const { return adapter_; }
+
+ private:
+  std::unique_ptr<LightMob> model_;
+  TestTimeAdapter adapter_;
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_ADAMOVE_H_

@@ -1,0 +1,119 @@
+#include "core/distill.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace adamove::core {
+
+nn::Tensor DistillationLoss(const nn::Tensor& student_logits,
+                            const std::vector<float>& teacher_logits,
+                            const DistillConfig& config) {
+  ADAMOVE_CHECK_EQ(student_logits.rows(), 1);
+  const int64_t l = student_logits.cols();
+  ADAMOVE_CHECK_EQ(static_cast<int64_t>(teacher_logits.size()), l);
+  const float inv_t = 1.0f / static_cast<float>(config.temperature);
+  // Teacher soft targets (constant w.r.t. the student's graph).
+  std::vector<float> p(teacher_logits.size());
+  float mx = teacher_logits[0];
+  for (float v : teacher_logits) mx = std::max(mx, v);
+  double denom = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] = std::exp((teacher_logits[i] - mx) * inv_t);
+    denom += p[i];
+  }
+  for (auto& v : p) v = static_cast<float>(v / denom);
+  nn::Tensor teacher_probs = nn::Tensor::FromVector({1, l}, std::move(p));
+  // KL(p || q) = Σ p log p − Σ p log q; the entropy term is constant, so
+  // the differentiable objective is the soft cross-entropy −Σ p log q,
+  // scaled by T² as in Hinton et al. to keep gradient magnitudes stable.
+  nn::Tensor log_q = nn::LogSoftmax(nn::ScalarMul(student_logits, inv_t));
+  nn::Tensor soft_ce = nn::Neg(nn::Sum(nn::Mul(teacher_probs, log_q)));
+  return nn::ScalarMul(
+      soft_ce, static_cast<float>(config.temperature * config.temperature));
+}
+
+std::vector<EpochLog> DistillTrain(MobilityModel& teacher,
+                                   AdaptableModel& student,
+                                   const data::Dataset& dataset,
+                                   const TrainConfig& train_config,
+                                   const DistillConfig& distill_config) {
+  ADAMOVE_CHECK(!dataset.train.empty());
+  common::Rng rng(train_config.seed);
+  nn::Adam optimizer(student.Parameters(), train_config.learning_rate);
+  nn::PlateauDecay scheduler(train_config.decay_factor,
+                             train_config.min_learning_rate,
+                             train_config.plateau_patience);
+
+  std::vector<size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t epoch_samples =
+      train_config.max_train_samples_per_epoch > 0
+          ? std::min(order.size(),
+                     static_cast<size_t>(
+                         train_config.max_train_samples_per_epoch))
+          : order.size();
+  const float inv_batch = 1.0f / static_cast<float>(train_config.batch_size);
+  const float mu = static_cast<float>(distill_config.mu);
+
+  std::vector<EpochLog> logs;
+  for (int epoch = 1; epoch <= train_config.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    int in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t i = 0; i < epoch_samples; ++i) {
+      const data::Sample& sample = dataset.train[order[i]];
+      // One student forward with the tape on serves both loss terms; the
+      // (frozen) teacher provides soft targets via its no-grad Scores path.
+      nn::Tensor logits = student.TrainingLogits(sample, /*training=*/true);
+      nn::Tensor hard = nn::CrossEntropy(logits, {sample.target.location});
+      nn::Tensor soft = DistillationLoss(logits, teacher.Scores(sample),
+                                         distill_config);
+      nn::Tensor loss = nn::Add(nn::ScalarMul(hard, 1.0f - mu),
+                                nn::ScalarMul(soft, mu));
+      loss_sum += loss.item();
+      nn::ScalarMul(loss, inv_batch).Backward();
+      if (++in_batch == train_config.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    // Validation Rec@1 for the plateau schedule.
+    MetricAccumulator acc;
+    if (!dataset.val.empty()) {
+      const size_t cap =
+          train_config.max_val_samples > 0
+              ? std::min(dataset.val.size(),
+                         static_cast<size_t>(train_config.max_val_samples))
+              : dataset.val.size();
+      const size_t stride = std::max<size_t>(1, dataset.val.size() / cap);
+      for (size_t i = 0; i < dataset.val.size(); i += stride) {
+        acc.Add(student.Scores(dataset.val[i]),
+                dataset.val[i].target.location);
+      }
+    }
+    EpochLog log;
+    log.epoch = epoch;
+    log.train_loss = loss_sum / static_cast<double>(epoch_samples);
+    log.val_rec1 = acc.Result().rec1;
+    const bool keep_going = scheduler.Update(log.val_rec1, optimizer);
+    log.learning_rate = optimizer.learning_rate();
+    logs.push_back(log);
+    if (!keep_going) break;
+  }
+  return logs;
+}
+
+}  // namespace adamove::core

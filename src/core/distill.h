@@ -1,0 +1,48 @@
+#ifndef ADAMOVE_CORE_DISTILL_H_
+#define ADAMOVE_CORE_DISTILL_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace adamove::core {
+
+/// Teacher-student knowledge distillation — the extension the paper's
+/// conclusion sketches as future work ("extend the base model in AdaMove to
+/// a more powerful lightweight model that can distill knowledge
+/// comprehensively, e.g., teacher-student model"). A history-aware teacher
+/// (typically DeepMove) is trained first; the lightweight student (the base
+/// model, recent-only) is then trained with
+///
+///   L = (1 - mu) * CE(student, label)
+///     + mu * T^2 * KL( softmax(teacher/T) || softmax(student/T) )
+///
+/// so the student absorbs the teacher's history knowledge — an alternative
+/// to LightMob's contrastive route, ablated in bench/ext_distillation.
+struct DistillConfig {
+  double mu = 0.5;          // soft-target weight
+  double temperature = 2.0;  // softening temperature T
+};
+
+/// KL(p_teacher || p_student) * T^2 for a single sample's logits
+/// ({1, L} each); the teacher side is treated as a constant.
+nn::Tensor DistillationLoss(const nn::Tensor& student_logits,
+                            const std::vector<float>& teacher_logits,
+                            const DistillConfig& config);
+
+/// Trains `student` on `dataset` with the hybrid hard/soft loss, querying
+/// `teacher` (already trained, frozen) for soft targets. The usual Trainer
+/// recipe (Adam, batches, plateau decay) is reused; returns the epoch log.
+std::vector<EpochLog> DistillTrain(MobilityModel& teacher,
+                                   AdaptableModel& student,
+                                   const data::Dataset& dataset,
+                                   const TrainConfig& train_config,
+                                   const DistillConfig& distill_config);
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_DISTILL_H_

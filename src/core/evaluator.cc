@@ -1,0 +1,40 @@
+#include "core/evaluator.h"
+
+#include "common/timer.h"
+
+namespace adamove::core {
+
+EvalResult Evaluate(MobilityModel& model,
+                    const std::vector<data::Sample>& samples) {
+  EvalResult result;
+  MetricAccumulator acc;
+  common::Timer timer;
+  for (const auto& sample : samples) {
+    acc.Add(model.Scores(sample), sample.target.location);
+  }
+  result.metrics = acc.Result();
+  if (!samples.empty()) {
+    result.avg_ms_per_sample =
+        timer.ElapsedMs() / static_cast<double>(samples.size());
+  }
+  return result;
+}
+
+EvalResult EvaluateWithAdapter(AdaptableModel& model,
+                               const std::vector<data::Sample>& samples,
+                               const TestTimeAdapter& adapter) {
+  EvalResult result;
+  MetricAccumulator acc;
+  common::Timer timer;
+  for (const auto& sample : samples) {
+    acc.Add(adapter.Predict(model, sample), sample.target.location);
+  }
+  result.metrics = acc.Result();
+  if (!samples.empty()) {
+    result.avg_ms_per_sample =
+        timer.ElapsedMs() / static_cast<double>(samples.size());
+  }
+  return result;
+}
+
+}  // namespace adamove::core

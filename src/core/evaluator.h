@@ -1,0 +1,34 @@
+#ifndef ADAMOVE_CORE_EVALUATOR_H_
+#define ADAMOVE_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/model.h"
+#include "core/ptta.h"
+#include "data/dataset.h"
+
+namespace adamove::core {
+
+/// Evaluation output: accuracy metrics plus the average wall-clock cost per
+/// sample (the quantity Table III reports).
+struct EvalResult {
+  Metrics metrics;
+  double avg_ms_per_sample = 0.0;
+};
+
+/// Plain (frozen-model) evaluation.
+EvalResult Evaluate(MobilityModel& model,
+                    const std::vector<data::Sample>& samples);
+
+/// Test-time-adaptive evaluation: every sample's prediction goes through
+/// the given adapter (PTTA/T3A/...), re-adjusting the classifier from that
+/// sample's recent trajectory.
+EvalResult EvaluateWithAdapter(AdaptableModel& model,
+                               const std::vector<data::Sample>& samples,
+                               const TestTimeAdapter& adapter);
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_EVALUATOR_H_

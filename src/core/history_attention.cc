@@ -1,0 +1,26 @@
+#include "core/history_attention.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace adamove::core {
+
+HistoryAttention::HistoryAttention(int64_t hidden_size, common::Rng& rng) {
+  wq_ = std::make_unique<nn::Linear>(hidden_size, hidden_size, rng, false);
+  wk_ = std::make_unique<nn::Linear>(hidden_size, hidden_size, rng, false);
+  wv_ = std::make_unique<nn::Linear>(hidden_size, hidden_size, rng, false);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+}
+
+nn::Tensor HistoryAttention::Forward(const nn::Tensor& h_hist,
+                                     const nn::Tensor& h_rec) const {
+  ADAMOVE_CHECK_EQ(h_hist.cols(), h_rec.cols());
+  nn::Tensor q = wq_->Forward(h_rec);
+  nn::Tensor k = wk_->Forward(h_hist);
+  nn::Tensor v = wv_->Forward(h_hist);
+  return nn::ScaledDotAttention(q, k, v, /*causal=*/false);
+}
+
+}  // namespace adamove::core

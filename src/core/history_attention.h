@@ -1,0 +1,33 @@
+#ifndef ADAMOVE_CORE_HISTORY_ATTENTION_H_
+#define ADAMOVE_CORE_HISTORY_ATTENTION_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace adamove::core {
+
+/// The attention that fuses historical-trajectory knowledge into recent
+/// representations (Eqs. 7–8): Q is projected from the recent hiddens, K/V
+/// from the historical hiddens, and the history-enhanced representations are
+/// H̃_rec = Softmax(QKᵀ/√d_k) V. Used by LightMob at training time (to build
+/// contrastive targets) and by DeepMove/DeepTTA at inference.
+class HistoryAttention : public nn::Module {
+ public:
+  HistoryAttention(int64_t hidden_size, common::Rng& rng);
+
+  /// h_hist: {T_h, H}, h_rec: {T_r, H} -> {T_r, H}.
+  nn::Tensor Forward(const nn::Tensor& h_hist, const nn::Tensor& h_rec) const;
+
+ private:
+  std::unique_ptr<nn::Linear> wq_;
+  std::unique_ptr<nn::Linear> wk_;
+  std::unique_ptr<nn::Linear> wv_;
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_HISTORY_ATTENTION_H_

@@ -1,0 +1,43 @@
+#include "core/metrics.h"
+
+#include "common/check.h"
+
+namespace adamove::core {
+
+int64_t MetricAccumulator::RankOf(const std::vector<float>& scores,
+                                  int64_t target) {
+  ADAMOVE_CHECK_GE(target, 0);
+  ADAMOVE_CHECK_LT(target, static_cast<int64_t>(scores.size()));
+  const float ts = scores[static_cast<size_t>(target)];
+  int64_t rank = 1;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    const float s = scores[static_cast<size_t>(i)];
+    if (s > ts || (s == ts && i < target)) ++rank;
+  }
+  return rank;
+}
+
+void MetricAccumulator::Add(const std::vector<float>& scores, int64_t target) {
+  const int64_t rank = RankOf(scores, target);
+  ++count_;
+  if (rank <= 1) ++hits1_;
+  if (rank <= 5) ++hits5_;
+  if (rank <= 10) {
+    ++hits10_;
+    reciprocal_sum_ += 1.0 / static_cast<double>(rank);
+  }
+}
+
+Metrics MetricAccumulator::Result() const {
+  Metrics m;
+  m.count = count_;
+  if (count_ == 0) return m;
+  const double n = static_cast<double>(count_);
+  m.rec1 = hits1_ / n;
+  m.rec5 = hits5_ / n;
+  m.rec10 = hits10_ / n;
+  m.mrr = reciprocal_sum_ / n;
+  return m;
+}
+
+}  // namespace adamove::core

@@ -1,0 +1,40 @@
+#ifndef ADAMOVE_CORE_METRICS_H_
+#define ADAMOVE_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adamove::core {
+
+/// The paper's evaluation metrics: Rec@{1,5,10} and MRR@10 (§IV-A).
+struct Metrics {
+  double rec1 = 0.0;
+  double rec5 = 0.0;
+  double rec10 = 0.0;
+  double mrr = 0.0;
+  int64_t count = 0;
+};
+
+/// Streaming accumulator over (scores, target) pairs. The rank of the target
+/// is 1 + the number of locations with a strictly higher score + the number
+/// of earlier-indexed ties (deterministic tie-breaking).
+class MetricAccumulator {
+ public:
+  void Add(const std::vector<float>& scores, int64_t target);
+
+  /// Rank of `target` in `scores` (1-based); exposed for tests.
+  static int64_t RankOf(const std::vector<float>& scores, int64_t target);
+
+  Metrics Result() const;
+
+ private:
+  int64_t count_ = 0;
+  int64_t hits1_ = 0;
+  int64_t hits5_ = 0;
+  int64_t hits10_ = 0;
+  double reciprocal_sum_ = 0.0;  // MRR@10: 1/rank when rank <= 10, else 0
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_METRICS_H_

@@ -1,0 +1,139 @@
+#include "core/online_adapter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/ptta.h"
+#include "nn/ops.h"
+
+namespace adamove::core {
+
+namespace {
+
+float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  ADAMOVE_CHECK_EQ(a.size(), b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? static_cast<float>(dot / denom) : 0.0f;
+}
+
+}  // namespace
+
+void OnlineAdapter::Observe(int64_t user, const std::vector<float>& pattern,
+                            int64_t next_location, int64_t timestamp) {
+  ADAMOVE_CHECK(!pattern.empty());
+  auto& entries = users_[user].by_location[next_location];
+  entries.push_back(Entry{pattern, timestamp});
+  if (entries.size() > kMaxCandidatesPerLocation) {
+    entries.erase(entries.begin());  // FIFO: drop the oldest candidate
+  }
+}
+
+std::vector<float> OnlineAdapter::Predict(AdaptableModel& model,
+                                          int64_t user,
+                                          const std::vector<float>& query,
+                                          int64_t query_time) const {
+  nn::Linear& classifier = model.classifier();
+  const int64_t hidden = classifier.in_features();
+  const int64_t num_loc = classifier.out_features();
+  ADAMOVE_CHECK_EQ(static_cast<int64_t>(query.size()), hidden);
+  const std::vector<float>& weight = classifier.weight().data();
+
+  // Start from the frozen column scores; overwrite adapted columns below.
+  std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
+  auto column_score = [&](const float* column) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < hidden; ++i) {
+      acc += static_cast<double>(query[static_cast<size_t>(i)]) *
+             column[i * num_loc];
+    }
+    return acc;
+  };
+  for (int64_t l = 0; l < num_loc; ++l) {
+    scores[static_cast<size_t>(l)] =
+        static_cast<float>(column_score(weight.data() + l));
+  }
+
+  auto it = users_.find(user);
+  if (it != users_.end()) {
+    for (const auto& [location, entries] : it->second.by_location) {
+      // Fresh candidates ranked by similarity to the query pattern.
+      std::vector<std::pair<float, const Entry*>> fresh;
+      for (const auto& entry : entries) {
+        if (max_age_seconds_ > 0 &&
+            query_time - entry.timestamp > max_age_seconds_) {
+          continue;
+        }
+        fresh.emplace_back(Cosine(query, entry.pattern), &entry);
+      }
+      if (fresh.empty()) continue;
+      const size_t keep =
+          std::min(fresh.size(), static_cast<size_t>(config_.capacity));
+      std::partial_sort(fresh.begin(), fresh.begin() + keep, fresh.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                        });
+      // θ'_l = mean({θ_l} ∪ kept patterns); score = query · θ'_l.
+      std::vector<double> centroid(static_cast<size_t>(hidden));
+      for (int64_t i = 0; i < hidden; ++i) {
+        centroid[static_cast<size_t>(i)] =
+            weight[static_cast<size_t>(i * num_loc + location)];
+      }
+      for (size_t k = 0; k < keep; ++k) {
+        for (int64_t i = 0; i < hidden; ++i) {
+          centroid[static_cast<size_t>(i)] +=
+              fresh[k].second->pattern[static_cast<size_t>(i)];
+        }
+      }
+      double acc = 0.0;
+      for (int64_t i = 0; i < hidden; ++i) {
+        acc += query[static_cast<size_t>(i)] *
+               centroid[static_cast<size_t>(i)];
+      }
+      scores[static_cast<size_t>(location)] =
+          static_cast<float>(acc / (1.0 + static_cast<double>(keep)));
+    }
+  }
+  if (classifier.has_bias()) {
+    const auto& bias = classifier.bias().data();
+    for (int64_t l = 0; l < num_loc; ++l) {
+      scores[static_cast<size_t>(l)] += bias[static_cast<size_t>(l)];
+    }
+  }
+  return scores;
+}
+
+std::vector<float> OnlineAdapter::ObserveAndPredict(
+    AdaptableModel& model, const data::Sample& sample) {
+  nn::Tensor reps = model.PrefixRepresentations(sample);
+  const int64_t t = reps.rows();
+  const int64_t hidden = reps.cols();
+  for (int64_t k = 0; k + 1 < t; ++k) {
+    std::vector<float> pattern(
+        reps.data().begin() + k * hidden,
+        reps.data().begin() + (k + 1) * hidden);
+    Observe(sample.user, pattern,
+            sample.recent[static_cast<size_t>(k + 1)].location,
+            sample.recent[static_cast<size_t>(k + 1)].timestamp);
+  }
+  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
+  return Predict(model, sample.user, query, sample.target.timestamp);
+}
+
+size_t OnlineAdapter::PatternCount(int64_t user) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return 0;
+  size_t n = 0;
+  for (const auto& [loc, entries] : it->second.by_location) {
+    n += entries.size();
+  }
+  return n;
+}
+
+}  // namespace adamove::core

@@ -1,0 +1,78 @@
+#ifndef ADAMOVE_CORE_ONLINE_ADAPTER_H_
+#define ADAMOVE_CORE_ONLINE_ADAPTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+
+namespace adamove::core {
+
+/// Streaming variant of PTTA for the real-time deployment §III-B sketches:
+/// instead of rebuilding the knowledge base from scratch for every query,
+/// the adapter keeps a *persistent per-user knowledge base* that absorbs
+/// each observed transition once (pattern h_t with the next location as its
+/// label) and answers queries from the accumulated state.
+///
+/// Differences from the per-sample TestTimeAdapter:
+///  * O(1) incremental updates per new check-in instead of O(N) per query;
+///  * patterns age out: each entry's importance is its similarity to the
+///    *query* pattern, recomputed at prediction time over at most
+///    `max_patterns_per_location` stored candidates (bounded memory);
+///  * entries older than `max_age_seconds` relative to the query are
+///    dropped — the analogue of the sliding recent-trajectory window.
+class OnlineAdapter {
+ public:
+  OnlineAdapter(const PttaConfig& config, int64_t max_age_seconds =
+                                              5 * 72 * 3600 /* ~c=5 windows */)
+      : config_(config), max_age_seconds_(max_age_seconds) {}
+
+  /// Ingests one observed transition of `user`: the trajectory pattern
+  /// `pattern` (the encoder state before the visit) whose true next
+  /// location turned out to be `next_location` at `timestamp`.
+  void Observe(int64_t user, const std::vector<float>& pattern,
+               int64_t next_location, int64_t timestamp);
+
+  /// Adapted scores for `user`'s current trajectory state: the model's
+  /// classifier columns are replaced by centroids of {θ_l} ∪ the top-M
+  /// stored patterns most similar to `query` that are fresh at
+  /// `query_time`.
+  std::vector<float> Predict(AdaptableModel& model, int64_t user,
+                             const std::vector<float>& query,
+                             int64_t query_time) const;
+
+  /// Convenience: encode `sample.recent` with the model, observe all of
+  /// its transitions (idempotence is the caller's concern), and predict.
+  std::vector<float> ObserveAndPredict(AdaptableModel& model,
+                                       const data::Sample& sample);
+
+  /// Stored patterns for a user (across locations); 0 if unknown.
+  size_t PatternCount(int64_t user) const;
+
+  /// Drops state for all users.
+  void Reset() { users_.clear(); }
+
+ private:
+  struct Entry {
+    std::vector<float> pattern;
+    int64_t timestamp = 0;
+  };
+  struct UserState {
+    // location -> stored candidate patterns (bounded FIFO).
+    std::unordered_map<int64_t, std::vector<Entry>> by_location;
+  };
+
+  /// Per-location candidate cap (FIFO); the top-M by similarity are chosen
+  /// from these at query time.
+  static constexpr size_t kMaxCandidatesPerLocation = 32;
+
+  PttaConfig config_;
+  int64_t max_age_seconds_;
+  std::unordered_map<int64_t, UserState> users_;
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_ONLINE_ADAPTER_H_

@@ -1,0 +1,224 @@
+#include "core/ptta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace adamove::core {
+
+namespace {
+
+// Cosine similarity between two length-h float spans.
+float Cosine(const float* a, const float* b, int64_t h) {
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (int64_t i = 0; i < h; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12f ? dot / denom : 0.0f;
+}
+
+// Logits of one pattern against the (original) classifier; weight is the
+// {H, L} row-major matrix, bias {L} or empty.
+void LogitsOf(const float* h, const std::vector<float>& weight,
+              const std::vector<float>& bias, int64_t hidden, int64_t num_loc,
+              std::vector<float>* out) {
+  out->assign(static_cast<size_t>(num_loc), 0.0f);
+  for (int64_t i = 0; i < hidden; ++i) {
+    const float hv = h[i];
+    if (hv == 0.0f) continue;
+    const float* wrow = weight.data() + i * num_loc;
+    for (int64_t l = 0; l < num_loc; ++l) (*out)[l] += hv * wrow[l];
+  }
+  if (!bias.empty()) {
+    for (int64_t l = 0; l < num_loc; ++l) (*out)[l] += bias[l];
+  }
+}
+
+// Entropy of softmax(logits); lower entropy = more reliable prediction.
+float SoftmaxEntropy(const std::vector<float>& logits) {
+  float mx = logits[0];
+  for (float v : logits) mx = std::max(mx, v);
+  double denom = 0.0;
+  for (float v : logits) denom += std::exp(static_cast<double>(v - mx));
+  double entropy = 0.0;
+  for (float v : logits) {
+    const double p = std::exp(static_cast<double>(v - mx)) / denom;
+    if (p > 1e-12) entropy -= p * std::log(p);
+  }
+  return static_cast<float>(entropy);
+}
+
+int64_t ArgMax(const std::vector<float>& v) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < static_cast<int64_t>(v.size()); ++i) {
+    if (v[static_cast<size_t>(i)] > v[static_cast<size_t>(best)]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+void TopMBuffer::Offer(float importance, int id) {
+  if (capacity_ <= 0) return;
+  if (!use_heap_) {
+    // Algorithm 1 lines 11-16: fill, then replace the current minimum.
+    if (static_cast<int>(items_.size()) < capacity_) {
+      items_.emplace_back(importance, id);
+      return;
+    }
+    auto min_it = std::min_element(items_.begin(), items_.end());
+    if (importance > min_it->first) *min_it = {importance, id};
+  } else {
+    // Min-heap on importance: O(log M) per update.
+    if (static_cast<int>(items_.size()) < capacity_) {
+      items_.emplace_back(importance, id);
+      std::push_heap(items_.begin(), items_.end(), std::greater<>());
+      return;
+    }
+    if (importance > items_.front().first) {
+      std::pop_heap(items_.begin(), items_.end(), std::greater<>());
+      items_.back() = {importance, id};
+      std::push_heap(items_.begin(), items_.end(), std::greater<>());
+    }
+  }
+}
+
+std::vector<int> TopMBuffer::Ids() const {
+  std::vector<int> ids;
+  ids.reserve(items_.size());
+  for (const auto& [imp, id] : items_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<float> TestTimeAdapter::AdjustedWeights(
+    const nn::Tensor& reps, const std::vector<int64_t>& labels,
+    const nn::Linear& classifier, AdapterStats* stats) const {
+  const int64_t t = reps.rows();
+  const int64_t hidden = reps.cols();
+  const int64_t num_loc = classifier.out_features();
+  ADAMOVE_CHECK_EQ(classifier.in_features(), hidden);
+  ADAMOVE_CHECK_EQ(static_cast<int64_t>(labels.size()), t - 1);
+  const std::vector<float>& weight = classifier.weight().data();  // {H, L}
+  const std::vector<float> bias =
+      classifier.has_bias() ? classifier.bias().data() : std::vector<float>();
+
+  const float* h_test = reps.data().data() + (t - 1) * hidden;
+
+  // Per-pattern importance.
+  std::vector<float> importance(static_cast<size_t>(t - 1));
+  std::vector<float> logits;
+  for (int64_t k = 0; k + 1 < t; ++k) {
+    const float* h_k = reps.data().data() + k * hidden;
+    if (config_.similarity_importance) {
+      importance[static_cast<size_t>(k)] = Cosine(h_test, h_k, hidden);
+    } else {
+      LogitsOf(h_k, weight, bias, hidden, num_loc, &logits);
+      importance[static_cast<size_t>(k)] = -SoftmaxEntropy(logits);
+    }
+  }
+
+  // Knowledge base: top-M patterns per location. Following the normative
+  // text of §III-B (K_l = P_l^M ∪ {θ_l}) the original column θ_l is always
+  // retained and M bounds the *patterns* only.
+  std::unordered_map<int64_t, TopMBuffer> kb;
+  for (int64_t k = 0; k + 1 < t; ++k) {
+    int64_t label = labels[static_cast<size_t>(k)];
+    ADAMOVE_CHECK_GE(label, 0);
+    ADAMOVE_CHECK_LT(label, num_loc);
+    auto [it, inserted] = kb.try_emplace(
+        label, TopMBuffer(config_.capacity, /*use_heap=*/false));
+    it->second.Offer(importance[static_cast<size_t>(k)],
+                     static_cast<int>(k));
+  }
+  if (stats != nullptr) stats->patterns_generated = static_cast<int>(t - 1);
+
+  // Weight update (Eq. 2): θ'_l = mean({θ_l} ∪ kept patterns).
+  std::vector<float> adjusted = weight;  // {H, L} row-major copy
+  for (const auto& [label, buffer] : kb) {
+    const std::vector<int> kept = buffer.Ids();
+    if (kept.empty()) continue;
+    std::vector<double> acc(static_cast<size_t>(hidden));
+    for (int64_t i = 0; i < hidden; ++i) {
+      acc[static_cast<size_t>(i)] = weight[i * num_loc + label];  // θ_l
+    }
+    for (int k : kept) {
+      const float* h_k = reps.data().data() + static_cast<int64_t>(k) * hidden;
+      for (int64_t i = 0; i < hidden; ++i) {
+        acc[static_cast<size_t>(i)] += h_k[i];
+      }
+    }
+    const double inv = 1.0 / (1.0 + static_cast<double>(kept.size()));
+    for (int64_t i = 0; i < hidden; ++i) {
+      adjusted[i * num_loc + label] =
+          static_cast<float>(acc[static_cast<size_t>(i)] * inv);
+    }
+    if (stats != nullptr) ++stats->columns_updated;
+  }
+  return adjusted;
+}
+
+std::vector<float> TestTimeAdapter::Predict(AdaptableModel& model,
+                                            const data::Sample& sample,
+                                            AdapterStats* stats) const {
+  // Step 1 (Autoregressive Pattern Generation): one causal forward pass
+  // yields h_k for every prefix of the recent trajectory.
+  nn::Tensor reps = model.PrefixRepresentations(sample);
+  const int64_t t = reps.rows();
+  const int64_t hidden = reps.cols();
+  nn::Linear& classifier = model.classifier();
+  const int64_t num_loc = classifier.out_features();
+
+  // Labels for patterns h_0..h_{T-2}.
+  std::vector<int64_t> labels(static_cast<size_t>(t - 1));
+  if (config_.use_true_labels) {
+    // The autoregressive structure gives the *actual* next location of each
+    // prefix for free (§III-B "Main Idea", improvement over T3A).
+    for (int64_t k = 0; k + 1 < t; ++k) {
+      labels[static_cast<size_t>(k)] =
+          sample.recent[static_cast<size_t>(k + 1)].location;
+    }
+  } else {
+    // T3A-style pseudo-labels from the (frozen) original classifier.
+    const std::vector<float>& weight = classifier.weight().data();
+    const std::vector<float> bias = classifier.has_bias()
+                                        ? classifier.bias().data()
+                                        : std::vector<float>();
+    std::vector<float> logits;
+    for (int64_t k = 0; k + 1 < t; ++k) {
+      const float* h_k = reps.data().data() + k * hidden;
+      LogitsOf(h_k, weight, bias, hidden, num_loc, &logits);
+      labels[static_cast<size_t>(k)] = ArgMax(logits);
+    }
+  }
+
+  std::vector<float> adjusted;
+  if (t >= 2) {
+    adjusted = AdjustedWeights(reps, labels, classifier, stats);
+  } else {
+    adjusted = classifier.weight().data();  // nothing to adapt from
+  }
+
+  // Inference (Eq. 3): scores of the test pattern under g_Θ'.
+  const float* h_test = reps.data().data() + (t - 1) * hidden;
+  std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
+  for (int64_t i = 0; i < hidden; ++i) {
+    const float hv = h_test[i];
+    if (hv == 0.0f) continue;
+    const float* wrow = adjusted.data() + i * num_loc;
+    for (int64_t l = 0; l < num_loc; ++l) scores[static_cast<size_t>(l)] +=
+        hv * wrow[l];
+  }
+  if (classifier.has_bias()) {
+    const auto& bias = classifier.bias().data();
+    for (int64_t l = 0; l < num_loc; ++l) scores[static_cast<size_t>(l)] +=
+        bias[static_cast<size_t>(l)];
+  }
+  return scores;
+}
+
+}  // namespace adamove::core

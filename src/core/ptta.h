@@ -1,0 +1,80 @@
+#ifndef ADAMOVE_CORE_PTTA_H_
+#define ADAMOVE_CORE_PTTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "nn/tensor.h"
+
+namespace adamove::core {
+
+/// Diagnostics of one adaptation call (used by tests and ablations).
+struct AdapterStats {
+  int patterns_generated = 0;   // |P| = |recent| - 1
+  int columns_updated = 0;      // locations whose θ_l changed
+};
+
+/// Preference-aware Test-Time Adaptation (Algorithm 1) and its ablation
+/// variants (T3A, w/ ent, w/ pseudo-label), selected via PttaConfig:
+///
+///   PTTA            = { similarity importance, true labels }
+///   "w/ ent"        = { entropy importance,    true labels }
+///   "w/ pseudo"     = { similarity importance, pseudo labels }
+///   T3A             = { entropy importance,    pseudo labels }
+///
+/// The adapter is stateless across samples: following §III-B, only the
+/// recent trajectory of the *current* test sample is used to adjust the
+/// classifier, and the original weights are restored semantics-wise because
+/// the adjusted matrix is a local copy.
+class TestTimeAdapter {
+ public:
+  explicit TestTimeAdapter(const PttaConfig& config) : config_(config) {}
+
+  /// End-to-end Algorithm 1: generates labeled patterns from the sample's
+  /// recent trajectory, builds the knowledge base, updates the classifier
+  /// weights, and returns adapted scores for all locations.
+  std::vector<float> Predict(AdaptableModel& model, const data::Sample& sample,
+                             AdapterStats* stats = nullptr) const;
+
+  /// Steps 2–3 of Algorithm 1 exposed for tests: given prefix
+  /// representations `reps` ({T, H}; the last row is the test pattern
+  /// h_{N_u}) and per-pattern labels for rows [0, T-2], returns the adjusted
+  /// weight matrix Θ' as a flat {H, L} row-major vector.
+  std::vector<float> AdjustedWeights(const nn::Tensor& reps,
+                                     const std::vector<int64_t>& labels,
+                                     const nn::Linear& classifier,
+                                     AdapterStats* stats = nullptr) const;
+
+  const PttaConfig& config() const { return config_; }
+
+ private:
+  PttaConfig config_;
+};
+
+/// Internal knowledge-base helper exposed for the microbenchmark ablation:
+/// maintains the top-M importance values with either a linear scan (the
+/// paper's Algorithm 1 lines 13-16) or a min-heap (the paper's suggested
+/// O(log M) priority queue). Both produce identical contents.
+class TopMBuffer {
+ public:
+  TopMBuffer(int capacity, bool use_heap)
+      : capacity_(capacity), use_heap_(use_heap) {}
+
+  /// Offers (importance, id); keeps the M largest importances.
+  void Offer(float importance, int id);
+
+  /// Ids currently kept (unordered).
+  std::vector<int> Ids() const;
+
+ private:
+  int capacity_;
+  bool use_heap_;
+  // (importance, id); when use_heap_ the vector is maintained as a min-heap.
+  std::vector<std::pair<float, int>> items_;
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_PTTA_H_

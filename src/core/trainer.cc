@@ -1,0 +1,93 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace adamove::core {
+
+namespace {
+
+// Validation Rec@1 on (a deterministic subset of) the validation samples.
+double ValidationRec1(MobilityModel& model,
+                      const std::vector<data::Sample>& val, int max_samples) {
+  if (val.empty()) return 0.0;
+  const size_t n = max_samples > 0
+                       ? std::min(val.size(), static_cast<size_t>(max_samples))
+                       : val.size();
+  const size_t stride = std::max<size_t>(1, val.size() / n);
+  MetricAccumulator acc;
+  for (size_t i = 0; i < val.size(); i += stride) {
+    acc.Add(model.Scores(val[i]), val[i].target.location);
+  }
+  return acc.Result().rec1;
+}
+
+}  // namespace
+
+std::vector<EpochLog> Trainer::Train(MobilityModel& model,
+                                     const data::Dataset& dataset) const {
+  ADAMOVE_CHECK(!dataset.train.empty());
+  common::Rng rng(config_.seed);
+  nn::Adam optimizer(model.Parameters(), config_.learning_rate);
+  nn::PlateauDecay scheduler(config_.decay_factor, config_.min_learning_rate,
+                             config_.plateau_patience);
+
+  std::vector<size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochLog> logs;
+  const float inv_batch = 1.0f / static_cast<float>(config_.batch_size);
+  const size_t epoch_samples =
+      config_.max_train_samples_per_epoch > 0
+          ? std::min(order.size(),
+                     static_cast<size_t>(config_.max_train_samples_per_epoch))
+          : order.size();
+  for (int epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    int in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t i = 0; i < epoch_samples; ++i) {
+      const size_t idx = order[i];
+      nn::Tensor loss =
+          model.Loss(dataset.train[idx], /*training=*/true);
+      loss_sum += loss.item();
+      // Average gradients over the batch.
+      nn::ScalarMul(loss, inv_batch).Backward();
+      if (++in_batch == config_.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    EpochLog log;
+    log.epoch = epoch;
+    log.train_loss = loss_sum / static_cast<double>(epoch_samples);
+    log.val_rec1 =
+        ValidationRec1(model, dataset.val, config_.max_val_samples);
+    const bool keep_going = scheduler.Update(log.val_rec1, optimizer);
+    log.learning_rate = optimizer.learning_rate();
+    logs.push_back(log);
+    if (config_.verbose) {
+      std::fprintf(stderr,
+                   "[%s] epoch %d loss %.4f val@1 %.4f lr %.2e\n",
+                   model.name().c_str(), epoch, log.train_loss, log.val_rec1,
+                   log.learning_rate);
+    }
+    if (!keep_going) break;  // lr reached min: the paper's early stop
+  }
+  return logs;
+}
+
+}  // namespace adamove::core

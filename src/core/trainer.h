@@ -1,0 +1,38 @@
+#ifndef ADAMOVE_CORE_TRAINER_H_
+#define ADAMOVE_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "data/dataset.h"
+
+namespace adamove::core {
+
+/// One training epoch's log line.
+struct EpochLog {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_rec1 = 0.0;
+  double learning_rate = 0.0;
+};
+
+/// The shared training loop used for LightMob and all trainable baselines:
+/// Adam at lr 1e-2, per-sample losses accumulated into batches of 50,
+/// learning-rate decay on validation-accuracy plateaus, early stop once the
+/// rate reaches 1e-4 or `max_epochs` (30) is hit — the §IV-A recipe.
+class Trainer {
+ public:
+  explicit Trainer(const TrainConfig& config) : config_(config) {}
+
+  /// Trains in place; returns the per-epoch log.
+  std::vector<EpochLog> Train(MobilityModel& model,
+                              const data::Dataset& dataset) const;
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_TRAINER_H_

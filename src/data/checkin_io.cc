@@ -1,0 +1,67 @@
+#include "data/checkin_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace adamove::data {
+
+bool SaveCheckinsCsv(const std::string& path,
+                     const std::vector<Trajectory>& trajectories) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "user,location,timestamp\n";
+  for (const auto& tr : trajectories) {
+    for (const auto& p : tr.points) {
+      out << tr.user << ',' << p.location << ',' << p.timestamp << '\n';
+    }
+  }
+  return out.good();
+}
+
+bool LoadCheckinsCsv(const std::string& path,
+                     std::vector<Trajectory>* trajectories) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  std::map<int64_t, std::vector<Point>> by_user;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream iss(line);
+    std::string cell;
+    Point p;
+    if (!std::getline(iss, cell, ',')) return false;
+    char* end = nullptr;
+    p.user = std::strtoll(cell.c_str(), &end, 10);
+    if (end == cell.c_str()) {
+      std::fprintf(stderr, "LoadCheckinsCsv: bad user at line %zu\n", line_no);
+      return false;
+    }
+    if (!std::getline(iss, cell, ',')) return false;
+    p.location = std::strtoll(cell.c_str(), &end, 10);
+    if (end == cell.c_str()) return false;
+    if (!std::getline(iss, cell, ',')) return false;
+    p.timestamp = std::strtoll(cell.c_str(), &end, 10);
+    if (end == cell.c_str()) return false;
+    by_user[p.user].push_back(p);
+  }
+  trajectories->clear();
+  for (auto& [user, points] : by_user) {
+    std::sort(points.begin(), points.end(),
+              [](const Point& a, const Point& b) {
+                return a.timestamp < b.timestamp;
+              });
+    Trajectory tr;
+    tr.user = user;
+    tr.points = std::move(points);
+    trajectories->push_back(std::move(tr));
+  }
+  return true;
+}
+
+}  // namespace adamove::data

@@ -1,0 +1,24 @@
+#ifndef ADAMOVE_DATA_CHECKIN_IO_H_
+#define ADAMOVE_DATA_CHECKIN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/point.h"
+
+namespace adamove::data {
+
+/// Writes check-ins as CSV with header `user,location,timestamp` (unix
+/// seconds), one row per point. Returns false on IO error.
+bool SaveCheckinsCsv(const std::string& path,
+                     const std::vector<Trajectory>& trajectories);
+
+/// Loads check-ins from the CSV format above (a Foursquare-style dump can be
+/// converted to this 3-column form). Rows are grouped by user and sorted by
+/// time. Returns false on IO/parse error.
+bool LoadCheckinsCsv(const std::string& path,
+                     std::vector<Trajectory>* trajectories);
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_CHECKIN_IO_H_

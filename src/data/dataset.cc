@@ -1,0 +1,81 @@
+#include "data/dataset.h"
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace adamove::data {
+
+std::vector<Sample> BuildSamples(const UserSessions& user, int begin, int end,
+                                 const SampleConfig& config) {
+  ADAMOVE_CHECK_GE(begin, 0);
+  ADAMOVE_CHECK_LE(end, static_cast<int>(user.sessions.size()));
+  ADAMOVE_CHECK_GE(config.context_sessions, 1);
+  std::vector<Sample> samples;
+  for (int s = begin; s < end; ++s) {
+    const Session& session = user.sessions[static_cast<size_t>(s)];
+    const int ctx_begin = std::max(0, s - (config.context_sessions - 1));
+    // Points from the c-1 preceding context sessions.
+    std::vector<Point> context;
+    for (int cs = ctx_begin; cs < s; ++cs) {
+      const Session& prev = user.sessions[static_cast<size_t>(cs)];
+      context.insert(context.end(), prev.begin(), prev.end());
+    }
+    // History: everything before the context window.
+    std::vector<Point> history;
+    for (int hs = 0; hs < ctx_begin; ++hs) {
+      const Session& h = user.sessions[static_cast<size_t>(hs)];
+      history.insert(history.end(), h.begin(), h.end());
+    }
+    if (config.max_history_points > 0 &&
+        static_cast<int>(history.size()) > config.max_history_points) {
+      history.erase(history.begin(),
+                    history.end() - config.max_history_points);
+    }
+    // Slide over the current session: predict session[k] from the context
+    // plus the session prefix [0, k).
+    for (size_t k = 1; k < session.size(); ++k) {
+      Sample sample;
+      sample.user = user.user;
+      sample.history = history;
+      sample.recent = context;
+      sample.recent.insert(sample.recent.end(), session.begin(),
+                           session.begin() + static_cast<ptrdiff_t>(k));
+      if (config.max_recent_points > 0 &&
+          static_cast<int>(sample.recent.size()) > config.max_recent_points) {
+        sample.recent.erase(
+            sample.recent.begin(),
+            sample.recent.end() - config.max_recent_points);
+      }
+      sample.target = session[k];
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+Dataset MakeDataset(const PreprocessedData& data, const SplitConfig& config) {
+  Dataset out;
+  out.num_locations = data.num_locations;
+  out.num_users = data.num_users;
+  for (const auto& user : data.users) {
+    const int n = static_cast<int>(user.sessions.size());
+    // Round to the nearest session so fractions like 0.7 + 0.1 do not lose a
+    // session to floating-point truncation.
+    int train_end = static_cast<int>(std::llround(n * config.train_frac));
+    int val_end = static_cast<int>(
+        std::llround(n * (config.train_frac + config.val_frac)));
+    train_end = std::clamp(train_end, 1, n);
+    val_end = std::clamp(val_end, train_end, n);
+    auto train = BuildSamples(user, 0, train_end, config.train_samples);
+    auto val = BuildSamples(user, train_end, val_end, config.eval_samples);
+    auto test = BuildSamples(user, val_end, n, config.eval_samples);
+    out.train.insert(out.train.end(), train.begin(), train.end());
+    out.val.insert(out.val.end(), val.begin(), val.end());
+    out.test.insert(out.test.end(), test.begin(), test.end());
+  }
+  return out;
+}
+
+}  // namespace adamove::data

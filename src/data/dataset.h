@@ -1,0 +1,69 @@
+#ifndef ADAMOVE_DATA_DATASET_H_
+#define ADAMOVE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point.h"
+#include "data/preprocess.h"
+
+namespace adamove::data {
+
+/// One supervised next-location sample built by the sliding-window strategy.
+struct Sample {
+  int64_t user = 0;
+  /// The recent trajectory (model input): points of the current session's
+  /// prefix preceded by up to c-1 full earlier sessions (Definition 3
+  /// approximated at session granularity, as in the paper's setup).
+  std::vector<Point> recent;
+  /// Points before `recent` (most recent last), capped at a maximum length.
+  /// Consumed by history-aware models (DeepMove/DeepTTA) and by LightMob's
+  /// contrastive training branch.
+  std::vector<Point> history;
+  /// The point to predict; `target.location` is the label.
+  Point target;
+};
+
+/// Sample-construction parameters.
+struct SampleConfig {
+  /// Number of sessions c forming the recent trajectory (context length).
+  /// The paper trains with c = 1 and evaluates with c = 5/6/5 (NYC/TKY/LYMOB).
+  int context_sessions = 1;
+  /// Cap on the number of history points kept per sample (cost control for
+  /// the attention branch; most recent points are kept).
+  int max_history_points = 48;
+  /// Cap on recent length (most recent points kept); 0 = uncapped.
+  int max_recent_points = 64;
+};
+
+/// A dataset split into train/val/test sample sets over a shared location
+/// and user vocabulary.
+struct Dataset {
+  std::vector<Sample> train;
+  std::vector<Sample> val;
+  std::vector<Sample> test;
+  int64_t num_locations = 0;
+  int64_t num_users = 0;
+};
+
+/// Per-user chronological session split: earliest 70 % of sessions -> train,
+/// next 10 % -> val, last 20 % -> test (fractions configurable).
+struct SplitConfig {
+  double train_frac = 0.7;
+  double val_frac = 0.1;
+  SampleConfig train_samples;                 // c defaults to 1
+  SampleConfig eval_samples{.context_sessions = 5};  // c per §IV-A
+};
+
+/// Builds sliding-window samples for the sessions of one user restricted to
+/// session indices [begin, end); context sessions may reach back before
+/// `begin` (test samples legitimately see earlier data as input context).
+std::vector<Sample> BuildSamples(const UserSessions& user, int begin, int end,
+                                 const SampleConfig& config);
+
+/// Splits preprocessed data per §IV-A and materializes samples.
+Dataset MakeDataset(const PreprocessedData& data, const SplitConfig& config);
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_DATASET_H_

@@ -1,0 +1,126 @@
+#include "data/foursquare_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace adamove::data {
+
+namespace {
+
+int MonthIndex(const char* name) {
+  static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  for (int i = 0; i < 12; ++i) {
+    if (std::strncmp(name, kMonths[i], 3) == 0) return i;
+  }
+  return -1;
+}
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+// Days from 1970-01-01 to the first day of `year`.
+int64_t DaysToYear(int year) {
+  int64_t days = 0;
+  for (int y = 1970; y < year; ++y) days += IsLeap(y) ? 366 : 365;
+  return days;
+}
+
+int64_t DaysToMonth(int year, int month) {
+  static const int kCum[] = {0,   31,  59,  90,  120, 151,
+                             181, 212, 243, 273, 304, 334};
+  int64_t days = kCum[month];
+  if (month >= 2 && IsLeap(year)) ++days;
+  return days;
+}
+
+}  // namespace
+
+bool ParseFoursquareTime(const std::string& text, int64_t* unix_seconds) {
+  // "Tue Apr 03 18:00:09 +0000 2012"
+  char weekday[8], month[8], tz[8];
+  int day, hour, minute, second, year;
+  if (std::sscanf(text.c_str(), "%3s %3s %d %d:%d:%d %7s %d", weekday, month,
+                  &day, &hour, &minute, &second, tz, &year) != 8) {
+    return false;
+  }
+  const int m = MonthIndex(month);
+  if (m < 0 || day < 1 || day > 31 || hour < 0 || hour > 23 || minute < 0 ||
+      minute > 59 || second < 0 || second > 60 || year < 1970) {
+    return false;
+  }
+  const int64_t days = DaysToYear(year) + DaysToMonth(year, m) + (day - 1);
+  *unix_seconds = days * kSecondsPerDay + hour * 3600 + minute * 60 + second;
+  return true;
+}
+
+bool LoadFoursquareTsv(const std::string& path,
+                       FoursquareLoadResult* result) {
+  std::ifstream in(path);
+  if (!in) return false;
+  result->trajectories.clear();
+  result->location_to_venue.clear();
+  result->skipped_lines = 0;
+
+  std::unordered_map<std::string, int64_t> venue_index;
+  std::map<int64_t, std::vector<Point>> by_user;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Strip a trailing \r from Windows-style dumps.
+    if (line.back() == '\r') line.pop_back();
+    std::istringstream iss(line);
+    std::string user_str, venue, cat_id, cat_name, lat, lon, tz_offset, time;
+    if (!std::getline(iss, user_str, '\t') ||
+        !std::getline(iss, venue, '\t') ||
+        !std::getline(iss, cat_id, '\t') ||
+        !std::getline(iss, cat_name, '\t') ||
+        !std::getline(iss, lat, '\t') || !std::getline(iss, lon, '\t') ||
+        !std::getline(iss, tz_offset, '\t') || !std::getline(iss, time)) {
+      ++result->skipped_lines;
+      continue;
+    }
+    char* end = nullptr;
+    const int64_t user = std::strtoll(user_str.c_str(), &end, 10);
+    if (end == user_str.c_str()) {
+      ++result->skipped_lines;
+      continue;
+    }
+    const long tz_minutes = std::strtol(tz_offset.c_str(), &end, 10);
+    if (end == tz_offset.c_str()) {
+      ++result->skipped_lines;
+      continue;
+    }
+    int64_t utc = 0;
+    if (!ParseFoursquareTime(time, &utc)) {
+      ++result->skipped_lines;
+      continue;
+    }
+    auto [it, inserted] = venue_index.try_emplace(
+        venue, static_cast<int64_t>(venue_index.size()));
+    if (inserted) result->location_to_venue.push_back(venue);
+    Point p;
+    p.user = user;
+    p.location = it->second;
+    p.timestamp = utc + static_cast<int64_t>(tz_minutes) * 60;  // local time
+    by_user[user].push_back(p);
+  }
+  for (auto& [user, points] : by_user) {
+    std::sort(points.begin(), points.end(),
+              [](const Point& a, const Point& b) {
+                return a.timestamp < b.timestamp;
+              });
+    Trajectory tr;
+    tr.user = user;
+    tr.points = std::move(points);
+    result->trajectories.push_back(std::move(tr));
+  }
+  return true;
+}
+
+}  // namespace adamove::data

@@ -1,0 +1,40 @@
+#ifndef ADAMOVE_DATA_FOURSQUARE_IO_H_
+#define ADAMOVE_DATA_FOURSQUARE_IO_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/point.h"
+
+namespace adamove::data {
+
+/// Loader for the Foursquare TSMC2014 check-in dumps (the NYC/TKY datasets
+/// of the paper; dataset_TSMC2014_{NYC,TKY}.txt). Tab-separated columns:
+///
+///   user_id \t venue_id \t venue_category_id \t venue_category_name \t
+///   latitude \t longitude \t timezone_offset_minutes \t UTC_time
+///
+/// where UTC_time looks like "Tue Apr 03 18:00:09 +0000 2012". Venue ids
+/// (strings) are re-mapped to dense int64 location ids; the timezone offset
+/// is applied so timestamps are in local time (the paper's time-slot coding
+/// is local). Lines that fail to parse are skipped and counted.
+struct FoursquareLoadResult {
+  std::vector<Trajectory> trajectories;
+  /// venue string id for each dense location id
+  std::vector<std::string> location_to_venue;
+  size_t skipped_lines = 0;
+};
+
+/// Loads a TSMC2014-format file; returns false only on IO failure (a file
+/// that exists but has unparsable rows yields skipped_lines > 0 instead).
+bool LoadFoursquareTsv(const std::string& path,
+                       FoursquareLoadResult* result);
+
+/// Parses the TSMC2014 UTC time format ("Tue Apr 03 18:00:09 +0000 2012")
+/// into unix seconds; returns false on malformed input. Exposed for tests.
+bool ParseFoursquareTime(const std::string& text, int64_t* unix_seconds);
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_FOURSQUARE_IO_H_

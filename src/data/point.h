@@ -1,0 +1,51 @@
+#ifndef ADAMOVE_DATA_POINT_H_
+#define ADAMOVE_DATA_POINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adamove::data {
+
+/// A spatio-temporal check-in point (Definition 1 plus the user id that all
+/// models embed): user `user` visited location `location` at unix time
+/// `timestamp` (seconds).
+struct Point {
+  int64_t user = 0;
+  int64_t location = 0;
+  int64_t timestamp = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.user == b.user && a.location == b.location &&
+           a.timestamp == b.timestamp;
+  }
+};
+
+/// A user's chronologically ordered check-in sequence (Definition 2).
+struct Trajectory {
+  int64_t user = 0;
+  std::vector<Point> points;
+};
+
+/// A session: the sub-trajectory inside one time window of T hours
+/// (the paper uses T = 72 h).
+using Session = std::vector<Point>;
+
+constexpr int kSecondsPerHour = 3600;
+constexpr int kSecondsPerDay = 24 * kSecondsPerHour;
+
+/// Encodes a timestamp into the paper's 48 discrete time slots:
+/// [0,23] hour-of-day on workdays, [24,47] hour-of-day on weekends.
+/// The unix epoch (1970-01-01) was a Thursday.
+inline int TimeSlotOf(int64_t timestamp) {
+  const int64_t days = timestamp / kSecondsPerDay;
+  const int hour = static_cast<int>((timestamp / kSecondsPerHour) % 24);
+  const int day_of_week = static_cast<int>((days + 4) % 7);  // 0 = Sunday
+  const bool weekend = (day_of_week == 0 || day_of_week == 6);
+  return weekend ? 24 + hour : hour;
+}
+
+constexpr int kNumTimeSlots = 48;
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_POINT_H_

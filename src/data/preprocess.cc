@@ -1,0 +1,99 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace adamove::data {
+
+std::vector<Session> SegmentSessions(const Trajectory& trajectory,
+                                     int window_hours) {
+  std::vector<Session> sessions;
+  const int64_t window = static_cast<int64_t>(window_hours) * kSecondsPerHour;
+  for (const Point& p : trajectory.points) {
+    if (sessions.empty() ||
+        p.timestamp - sessions.back().front().timestamp > window) {
+      sessions.emplace_back();
+    }
+    if (!sessions.back().empty()) {
+      ADAMOVE_CHECK_GE(p.timestamp, sessions.back().back().timestamp);
+    }
+    sessions.back().push_back(p);
+  }
+  return sessions;
+}
+
+PreprocessedData Preprocess(const std::vector<Trajectory>& raw,
+                            const PreprocessConfig& config) {
+  // 1. Count distinct users per location; keep popular locations.
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> loc_users;
+  for (const auto& tr : raw) {
+    for (const auto& p : tr.points) loc_users[p.location].insert(tr.user);
+  }
+  std::unordered_set<int64_t> kept_locations;
+  for (const auto& [loc, users] : loc_users) {
+    if (static_cast<int>(users.size()) >= config.min_users_per_location) {
+      kept_locations.insert(loc);
+    }
+  }
+
+  // 2. Per user: filter points, segment sessions, drop short sessions,
+  //    drop inactive users.
+  struct Candidate {
+    int64_t raw_user;
+    std::vector<Session> sessions;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& tr : raw) {
+    Trajectory filtered;
+    filtered.user = tr.user;
+    for (const auto& p : tr.points) {
+      if (kept_locations.count(p.location) > 0) filtered.points.push_back(p);
+    }
+    if (filtered.points.empty()) continue;
+    std::sort(filtered.points.begin(), filtered.points.end(),
+              [](const Point& a, const Point& b) {
+                return a.timestamp < b.timestamp;
+              });
+    std::vector<Session> sessions =
+        SegmentSessions(filtered, config.session_window_hours);
+    std::vector<Session> kept;
+    for (auto& s : sessions) {
+      if (static_cast<int>(s.size()) >= config.min_points_per_session) {
+        kept.push_back(std::move(s));
+      }
+    }
+    if (static_cast<int>(kept.size()) >= config.min_sessions_per_user) {
+      candidates.push_back({tr.user, std::move(kept)});
+    }
+  }
+
+  // 3. Dense re-indexing of users and surviving locations (location ids are
+  //    assigned in first-appearance order for determinism).
+  PreprocessedData out;
+  std::unordered_map<int64_t, int64_t> loc_index;
+  for (auto& cand : candidates) {
+    UserSessions us;
+    us.user = static_cast<int64_t>(out.users.size());
+    out.user_to_raw.push_back(cand.raw_user);
+    for (auto& session : cand.sessions) {
+      for (auto& p : session) {
+        auto [it, inserted] =
+            loc_index.try_emplace(p.location,
+                                  static_cast<int64_t>(loc_index.size()));
+        if (inserted) out.location_to_raw.push_back(p.location);
+        p.location = it->second;
+        p.user = us.user;
+      }
+      us.sessions.push_back(std::move(session));
+    }
+    out.users.push_back(std::move(us));
+  }
+  out.num_users = static_cast<int64_t>(out.users.size());
+  out.num_locations = static_cast<int64_t>(loc_index.size());
+  return out;
+}
+
+}  // namespace adamove::data

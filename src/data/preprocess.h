@@ -1,0 +1,55 @@
+#ifndef ADAMOVE_DATA_PREPROCESS_H_
+#define ADAMOVE_DATA_PREPROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point.h"
+
+namespace adamove::data {
+
+/// Pre-processing parameters from §IV-A of the paper. The paper's values are
+/// the defaults; synthetic presets lower `min_users_per_location` because the
+/// reduced-scale datasets have fewer users than Foursquare.
+struct PreprocessConfig {
+  /// Locations visited by fewer than this many distinct users are dropped.
+  int min_users_per_location = 10;
+  /// Session window T in hours.
+  int session_window_hours = 72;
+  /// Sessions with fewer points than this are dropped.
+  int min_points_per_session = 5;
+  /// Users with fewer sessions than this are dropped.
+  int min_sessions_per_user = 5;
+};
+
+/// One user's data after preprocessing: sessions in chronological order,
+/// with locations and user ids re-indexed to dense [0, n).
+struct UserSessions {
+  int64_t user = 0;  // dense re-indexed id
+  std::vector<Session> sessions;
+};
+
+/// Output of the preprocessing pipeline.
+struct PreprocessedData {
+  std::vector<UserSessions> users;
+  int64_t num_locations = 0;  // dense location vocabulary size
+  int64_t num_users = 0;
+  /// original location id for each dense id (for case studies / reporting)
+  std::vector<int64_t> location_to_raw;
+  std::vector<int64_t> user_to_raw;
+};
+
+/// Splits a chronologically ordered trajectory into sessions: a new session
+/// starts when a point falls outside the `window_hours` window opened by the
+/// current session's first point.
+std::vector<Session> SegmentSessions(const Trajectory& trajectory,
+                                     int window_hours);
+
+/// Full pipeline of §IV-A: location filtering, session segmentation,
+/// short-session and inactive-user removal, dense re-indexing.
+PreprocessedData Preprocess(const std::vector<Trajectory>& raw,
+                            const PreprocessConfig& config);
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_PREPROCESS_H_

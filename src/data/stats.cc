@@ -1,0 +1,151 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "data/point.h"
+
+namespace adamove::data {
+
+namespace {
+
+// Cosine similarity between sparse distributions.
+double SparseCosine(const std::unordered_map<int64_t, double>& a,
+                    const std::unordered_map<int64_t, double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [k, v] : a) {
+    na += v * v;
+    auto it = b.find(k);
+    if (it != b.end()) dot += v * it->second;
+  }
+  for (const auto& [k, v] : b) nb += v * v;
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+// Per-user visit distribution within [t0, t1), then averaged over users.
+std::unordered_map<int64_t, double> AverageVisitDistribution(
+    const PreprocessedData& data, int64_t t0, int64_t t1) {
+  std::unordered_map<int64_t, double> avg;
+  int users_with_data = 0;
+  for (const auto& user : data.users) {
+    std::unordered_map<int64_t, double> dist;
+    double total = 0.0;
+    for (const auto& session : user.sessions) {
+      for (const auto& p : session) {
+        if (p.timestamp >= t0 && p.timestamp < t1) {
+          dist[p.location] += 1.0;
+          total += 1.0;
+        }
+      }
+    }
+    if (total <= 0.0) continue;
+    ++users_with_data;
+    for (auto& [loc, cnt] : dist) cnt /= total;
+    for (const auto& [loc, prob] : dist) avg[loc] += prob;
+  }
+  if (users_with_data > 0) {
+    for (auto& [loc, prob] : avg) prob /= users_with_data;
+  }
+  return avg;
+}
+
+std::pair<int64_t, int64_t> TimeRange(const PreprocessedData& data) {
+  int64_t tmin = std::numeric_limits<int64_t>::max();
+  int64_t tmax = std::numeric_limits<int64_t>::min();
+  for (const auto& user : data.users) {
+    for (const auto& session : user.sessions) {
+      for (const auto& p : session) {
+        tmin = std::min(tmin, p.timestamp);
+        tmax = std::max(tmax, p.timestamp);
+      }
+    }
+  }
+  if (tmin > tmax) return {0, 0};
+  return {tmin, tmax};
+}
+
+}  // namespace
+
+DatasetStats ComputeStats(const PreprocessedData& data) {
+  DatasetStats stats;
+  stats.num_users = data.num_users;
+  stats.num_locations = data.num_locations;
+  for (const auto& user : data.users) {
+    stats.num_sessions += static_cast<int64_t>(user.sessions.size());
+    for (const auto& session : user.sessions) {
+      stats.num_points += static_cast<int64_t>(session.size());
+    }
+  }
+  auto [tmin, tmax] = TimeRange(data);
+  stats.time_span_days = (tmax - tmin) / kSecondsPerDay;
+  if (stats.num_sessions > 0) {
+    stats.avg_session_length =
+        static_cast<double>(stats.num_points) /
+        static_cast<double>(stats.num_sessions);
+  }
+  if (stats.num_users > 0) {
+    stats.avg_sessions_per_user =
+        static_cast<double>(stats.num_sessions) /
+        static_cast<double>(stats.num_users);
+  }
+  return stats;
+}
+
+std::vector<double> MobilitySimilaritySeries(const PreprocessedData& data,
+                                             int history_days,
+                                             int window_days) {
+  std::vector<double> series;
+  auto [tmin, tmax] = TimeRange(data);
+  if (tmax <= tmin) return series;
+  const int64_t hist_end =
+      tmin + static_cast<int64_t>(history_days) * kSecondsPerDay;
+  auto hist = AverageVisitDistribution(data, tmin, hist_end);
+  if (hist.empty()) return series;
+  const int64_t window = static_cast<int64_t>(window_days) * kSecondsPerDay;
+  for (int64_t t0 = hist_end; t0 + window <= tmax + 1; t0 += window) {
+    auto w = AverageVisitDistribution(data, t0, t0 + window);
+    series.push_back(w.empty() ? -1.0 : SparseCosine(hist, w));
+  }
+  return series;
+}
+
+VisitHeatmap ComputeVisitHeatmap(const PreprocessedData& data, int64_t user,
+                                 int window_days) {
+  VisitHeatmap heatmap;
+  ADAMOVE_CHECK_GE(user, 0);
+  ADAMOVE_CHECK_LT(user, static_cast<int64_t>(data.users.size()));
+  const auto& sessions = data.users[static_cast<size_t>(user)].sessions;
+  int64_t tmin = std::numeric_limits<int64_t>::max();
+  int64_t tmax = std::numeric_limits<int64_t>::min();
+  for (const auto& session : sessions) {
+    for (const auto& p : session) {
+      tmin = std::min(tmin, p.timestamp);
+      tmax = std::max(tmax, p.timestamp);
+    }
+  }
+  if (tmin > tmax) return heatmap;
+  const int64_t window = static_cast<int64_t>(window_days) * kSecondsPerDay;
+  const int num_windows =
+      static_cast<int>((tmax - tmin) / window) + 1;
+  std::map<int64_t, std::vector<int>> counts;  // ordered rows
+  for (const auto& session : sessions) {
+    for (const auto& p : session) {
+      auto& row = counts[p.location];
+      if (row.empty()) row.assign(static_cast<size_t>(num_windows), 0);
+      const int w = static_cast<int>((p.timestamp - tmin) / window);
+      ++row[static_cast<size_t>(w)];
+    }
+  }
+  for (auto& [loc, row] : counts) {
+    heatmap.locations.push_back(loc);
+    heatmap.counts.push_back(std::move(row));
+  }
+  return heatmap;
+}
+
+}  // namespace adamove::data

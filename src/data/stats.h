@@ -1,0 +1,50 @@
+#ifndef ADAMOVE_DATA_STATS_H_
+#define ADAMOVE_DATA_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/preprocess.h"
+
+namespace adamove::data {
+
+/// Table I-style statistics of a preprocessed dataset. The paper counts
+/// sessions as "trajectories".
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_locations = 0;
+  int64_t num_sessions = 0;
+  int64_t num_points = 0;
+  int64_t time_span_days = 0;
+  double avg_session_length = 0.0;
+  double avg_sessions_per_user = 0.0;
+};
+
+DatasetStats ComputeStats(const PreprocessedData& data);
+
+/// Reproduces the Fig. 1(c) analysis: the location-visit distribution of
+/// each user over the earliest `history_days` is averaged into a historical
+/// mobility distribution; afterwards, for every `window_days` window, the
+/// same construction gives a biweekly distribution whose cosine similarity
+/// to the historical one is reported.
+///
+/// Returns one similarity value per complete window after the history
+/// period (empty windows are skipped and reported as -1).
+std::vector<double> MobilitySimilaritySeries(const PreprocessedData& data,
+                                             int history_days = 90,
+                                             int window_days = 14);
+
+/// Fig. 1(b): per-user visit heatmap — rows are locations this user ever
+/// visited (dense ids), columns are consecutive `window_days` windows,
+/// entries are visit counts.
+struct VisitHeatmap {
+  std::vector<int64_t> locations;       // row labels (dense location ids)
+  std::vector<std::vector<int>> counts;  // [location][window]
+};
+
+VisitHeatmap ComputeVisitHeatmap(const PreprocessedData& data, int64_t user,
+                                 int window_days = 14);
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_STATS_H_

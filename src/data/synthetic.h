@@ -1,0 +1,81 @@
+#ifndef ADAMOVE_DATA_SYNTHETIC_H_
+#define ADAMOVE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/point.h"
+#include "data/preprocess.h"
+
+namespace adamove::data {
+
+/// Configuration of the synthetic human-mobility simulator that substitutes
+/// for the Foursquare (NYC/TKY) and LYMOB check-in datasets (see DESIGN.md
+/// §2). Users follow weekly periodic routines over a personal set of anchor
+/// locations (home/work/leisure) with Zipf-distributed exploration; at a
+/// configurable point in time a fraction of users undergo a *regime shift*
+/// (e.g. a job change) replacing part of their anchors — this produces the
+/// temporal distribution shift the paper studies.
+struct SyntheticConfig {
+  int num_users = 120;
+  int num_locations = 400;
+  int num_days = 330;
+  double checkins_per_day = 2.2;  // mean per user (Poisson)
+  int anchors_per_user = 6;
+  double zipf_exponent = 0.7;   // anchor/exploration popularity skew
+  double explore_prob = 0.08;   // probability of a random (Zipf) check-in
+  double shift_time_frac = 0.72;   // when in [0,1] of the span shifts occur
+  double shift_user_frac = 0.6;    // fraction of users that shift
+  double shift_anchor_frac = 0.6;  // fraction of non-home anchors replaced
+  /// Gradual drift: per user per week, the probability of replacing one
+  /// random non-home anchor with a fresh location. This produces the
+  /// continuous decay of mobility similarity in Fig. 1(c) on top of the
+  /// one-shot regime shift.
+  double anchor_churn_per_week = 0.06;
+  uint64_t seed = 42;
+  int64_t start_timestamp = 1333238400;  // 2012-04-01 (as NYC/TKY)
+};
+
+/// Simulator output. Besides the raw check-in trajectories it exposes the
+/// ground-truth regime-shift metadata used by the Fig. 10 case study.
+struct SyntheticResult {
+  std::vector<Trajectory> trajectories;
+  int64_t shift_timestamp = 0;
+  std::vector<int64_t> shifted_users;              // raw user ids
+  std::vector<std::vector<int64_t>> anchors_before;  // [user][anchor] raw loc
+  std::vector<std::vector<int64_t>> anchors_after;
+};
+
+/// Runs the simulator.
+SyntheticResult GenerateSynthetic(const SyntheticConfig& config);
+
+/// A named dataset preset: simulator config + the preprocessing /
+/// evaluation hyper-parameters the paper uses for that dataset.
+struct DatasetPreset {
+  std::string name;
+  SyntheticConfig synthetic;
+  PreprocessConfig preprocess;
+  int eval_context_sessions = 5;  // c in val/test (§IV-A: 5, 6, 5)
+  double lambda = 0.8;            // LightMob trade-off λ (§IV-A)
+};
+
+/// Reduced-scale analogue of Foursquare New York (long span, large shift).
+DatasetPreset NycLikePreset();
+/// Reduced-scale analogue of Foursquare Tokyo (long span, strongest shift,
+/// more users/locations).
+DatasetPreset TkyLikePreset();
+/// Reduced-scale analogue of LYMOB-CityD (75-day span, dense check-ins,
+/// small shift).
+DatasetPreset LymobLikePreset();
+
+/// All three presets in the paper's order.
+std::vector<DatasetPreset> AllPresets();
+
+/// Multiplies user count (and proportionally locations) by `factor`,
+/// keeping the rest of the dynamics; used by the bench scale knob.
+void ScalePreset(DatasetPreset& preset, double factor);
+
+}  // namespace adamove::data
+
+#endif  // ADAMOVE_DATA_SYNTHETIC_H_

@@ -1,0 +1,117 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace adamove::nn {
+
+MultiHeadAttention::MultiHeadAttention(int64_t model_dim, int64_t num_heads,
+                                       common::Rng& rng)
+    : model_dim_(model_dim), num_heads_(num_heads) {
+  ADAMOVE_CHECK_GT(num_heads, 0);
+  ADAMOVE_CHECK_EQ(model_dim % num_heads, 0);
+  head_dim_ = model_dim / num_heads;
+  wq_ = std::make_unique<Linear>(model_dim, model_dim, rng, false);
+  wk_ = std::make_unique<Linear>(model_dim, model_dim, rng, false);
+  wv_ = std::make_unique<Linear>(model_dim, model_dim, rng, false);
+  wo_ = std::make_unique<Linear>(model_dim, model_dim, rng, false);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+  RegisterModule("wo", wo_.get());
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& kv,
+                                   bool causal) const {
+  ADAMOVE_CHECK_EQ(q.cols(), model_dim_);
+  ADAMOVE_CHECK_EQ(kv.cols(), model_dim_);
+  Tensor qp = wq_->Forward(q);
+  Tensor kp = wk_->Forward(kv);
+  Tensor vp = wv_->Forward(kv);
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor qh = SliceCols(qp, h * head_dim_, head_dim_);
+    Tensor kh = SliceCols(kp, h * head_dim_, head_dim_);
+    Tensor vh = SliceCols(vp, h * head_dim_, head_dim_);
+    heads.push_back(ScaledDotAttention(qh, kh, vh, causal));
+  }
+  return wo_->Forward(ConcatCols(heads));
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t model_dim,
+                                                 int64_t num_heads,
+                                                 int64_t ffn_dim,
+                                                 float dropout,
+                                                 common::Rng& rng)
+    : dropout_(dropout) {
+  mha_ = std::make_unique<MultiHeadAttention>(model_dim, num_heads, rng);
+  ln1_ = std::make_unique<LayerNormLayer>(model_dim);
+  ln2_ = std::make_unique<LayerNormLayer>(model_dim);
+  ffn1_ = std::make_unique<Linear>(model_dim, ffn_dim, rng);
+  ffn2_ = std::make_unique<Linear>(ffn_dim, model_dim, rng);
+  RegisterModule("mha", mha_.get());
+  RegisterModule("ln1", ln1_.get());
+  RegisterModule("ln2", ln2_.get());
+  RegisterModule("ffn1", ffn1_.get());
+  RegisterModule("ffn2", ffn2_.get());
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x, bool causal,
+                                        bool training,
+                                        common::Rng& rng) const {
+  Tensor normed = ln1_->Forward(x);
+  Tensor attn = mha_->Forward(normed, normed, causal);
+  Tensor h = Add(x, Dropout(attn, dropout_, rng, training));
+  Tensor ffn = ffn2_->Forward(Relu(ffn1_->Forward(ln2_->Forward(h))));
+  return Add(h, Dropout(ffn, dropout_, rng, training));
+}
+
+TransformerSeqEncoder::TransformerSeqEncoder(int64_t input_size,
+                                             int64_t hidden_size,
+                                             int64_t num_layers,
+                                             int64_t num_heads, float dropout,
+                                             common::Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      dropout_(dropout),
+      dropout_rng_(rng.engine()()) {
+  input_proj_ = std::make_unique<Linear>(input_size, hidden_size, rng);
+  RegisterModule("input_proj", input_proj_.get());
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        hidden_size, num_heads, 2 * hidden_size, dropout, rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+  final_ln_ = std::make_unique<LayerNormLayer>(hidden_size);
+  RegisterModule("final_ln", final_ln_.get());
+}
+
+Tensor TransformerSeqEncoder::Forward(const Tensor& x, bool training) {
+  ADAMOVE_CHECK_EQ(x.cols(), input_size_);
+  Tensor h = AddPositionalEncoding(input_proj_->Forward(x));
+  for (const auto& layer : layers_) {
+    h = layer->Forward(h, /*causal=*/true, training, dropout_rng_);
+  }
+  return final_ln_->Forward(h);
+}
+
+Tensor AddPositionalEncoding(const Tensor& x) {
+  const int64_t t_len = x.rows(), d = x.cols();
+  Tensor pe = Tensor::Zeros({t_len, d});
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t i = 0; i < d; i += 2) {
+      const double freq =
+          std::pow(10000.0, -static_cast<double>(i) / static_cast<double>(d));
+      pe.set(t, i, static_cast<float>(std::sin(t * freq)));
+      if (i + 1 < d) {
+        pe.set(t, i + 1, static_cast<float>(std::cos(t * freq)));
+      }
+    }
+  }
+  return Add(x, pe);
+}
+
+}  // namespace adamove::nn

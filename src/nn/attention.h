@@ -1,0 +1,84 @@
+#ifndef ADAMOVE_NN_ATTENTION_H_
+#define ADAMOVE_NN_ATTENTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/rnn.h"
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+/// Multi-head (self- or cross-) attention. Query/key/value projections are
+/// {model_dim, model_dim}; heads are contiguous column blocks.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t model_dim, int64_t num_heads, common::Rng& rng);
+
+  /// q: {Tq, D}, kv: {Tk, D}. `causal` requires Tq == Tk and masks future
+  /// positions (used by self-attention in causal sequence encoders).
+  Tensor Forward(const Tensor& q, const Tensor& kv, bool causal) const;
+
+  int64_t model_dim() const { return model_dim_; }
+
+ private:
+  int64_t model_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::unique_ptr<Linear> wq_;
+  std::unique_ptr<Linear> wk_;
+  std::unique_ptr<Linear> wv_;
+  std::unique_ptr<Linear> wo_;
+};
+
+/// Pre-LN Transformer encoder layer: x + MHA(LN(x)); then x + FFN(LN(x)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t model_dim, int64_t num_heads,
+                          int64_t ffn_dim, float dropout, common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool causal, bool training,
+                 common::Rng& rng) const;
+
+ private:
+  float dropout_;
+  std::unique_ptr<MultiHeadAttention> mha_;
+  std::unique_ptr<LayerNormLayer> ln1_;
+  std::unique_ptr<LayerNormLayer> ln2_;
+  std::unique_ptr<Linear> ffn1_;
+  std::unique_ptr<Linear> ffn2_;
+};
+
+/// Causal Transformer sequence encoder implementing SequenceEncoder: input
+/// projection + sinusoidal positions + N pre-LN layers. The causal mask
+/// preserves the prefix property required by PTTA. The paper's setting is
+/// 2 layers with 8 heads.
+class TransformerSeqEncoder : public SequenceEncoder {
+ public:
+  TransformerSeqEncoder(int64_t input_size, int64_t hidden_size,
+                        int64_t num_layers, int64_t num_heads, float dropout,
+                        common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  int64_t hidden_size() const override { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  float dropout_;
+  common::Rng dropout_rng_;
+  std::unique_ptr<Linear> input_proj_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  std::unique_ptr<LayerNormLayer> final_ln_;
+};
+
+/// Adds fixed sinusoidal positional encodings to a {T, D} tensor.
+Tensor AddPositionalEncoding(const Tensor& x);
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_ATTENTION_H_

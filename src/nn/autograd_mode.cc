@@ -1,0 +1,15 @@
+#include "nn/autograd_mode.h"
+
+namespace adamove::nn {
+
+namespace {
+thread_local bool grad_mode_enabled = true;
+}  // namespace
+
+bool GradModeEnabled() { return grad_mode_enabled; }
+
+namespace internal_autograd {
+void SetGradMode(bool enabled) { grad_mode_enabled = enabled; }
+}  // namespace internal_autograd
+
+}  // namespace adamove::nn

@@ -1,0 +1,31 @@
+#ifndef ADAMOVE_NN_AUTOGRAD_MODE_H_
+#define ADAMOVE_NN_AUTOGRAD_MODE_H_
+
+namespace adamove::nn {
+
+/// Whether ops currently record the autograd tape (default true).
+bool GradModeEnabled();
+
+namespace internal_autograd {
+void SetGradMode(bool enabled);
+}  // namespace internal_autograd
+
+/// RAII guard disabling gradient recording in its scope — inference paths
+/// (Scores, PTTA prefix encoding, evaluation) wrap themselves in this to
+/// skip tape construction entirely.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradModeEnabled()) {
+    internal_autograd::SetGradMode(false);
+  }
+  ~NoGradGuard() { internal_autograd::SetGradMode(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_AUTOGRAD_MODE_H_

@@ -1,0 +1,54 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace adamove::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, common::Rng& rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  ADAMOVE_CHECK_GT(in_features, 0);
+  ADAMOVE_CHECK_GT(out_features, 0);
+  // Xavier-uniform initialization.
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = RegisterParameter(
+      "weight", Tensor::RandUniform({in_features, out_features}, rng, bound));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({1, out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  ADAMOVE_CHECK_EQ(x.cols(), in_features_);
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, common::Rng& rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  ADAMOVE_CHECK_GT(num_embeddings, 0);
+  ADAMOVE_CHECK_GT(dim, 0);
+  weight_ = RegisterParameter(
+      "weight", Tensor::Randn({num_embeddings, dim}, rng, 0.1f));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return EmbeddingLookup(weight_, indices);
+}
+
+LayerNormLayer::LayerNormLayer(int64_t dim) {
+  ADAMOVE_CHECK_GT(dim, 0);
+  gain_ = RegisterParameter("gain", Tensor::Full({1, dim}, 1.0f));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1, dim}));
+}
+
+Tensor LayerNormLayer::Forward(const Tensor& x) const {
+  return LayerNorm(x, gain_, bias_);
+}
+
+}  // namespace adamove::nn

@@ -1,0 +1,30 @@
+#include "nn/loss.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace adamove::nn {
+
+Tensor InfoNceLoss(const Tensor& anchor, const Tensor& positive,
+                   const Tensor& negatives,
+                   bool include_positive_in_denominator,
+                   float temperature) {
+  ADAMOVE_CHECK_EQ(anchor.rows(), 1);
+  ADAMOVE_CHECK_EQ(positive.rows(), 1);
+  ADAMOVE_CHECK_GE(negatives.rows(), 1);
+  ADAMOVE_CHECK_GT(temperature, 0.0f);
+  const float inv_t = 1.0f / temperature;
+  Tensor pos_sim = ScalarMul(CosSimRows(anchor, positive), inv_t);  // {1}
+  Tensor neg_sims = ScalarMul(CosSimRows(anchor, negatives), inv_t);  // {K}
+  // Scaled similarities live in [-1/T, 1/T]; for the temperatures used here
+  // exp/log stay in a safe range without max-subtraction.
+  Tensor denom_terms = Exp(neg_sims);
+  Tensor denom = Sum(denom_terms);
+  if (include_positive_in_denominator) {
+    denom = Add(denom, Exp(pos_sim));
+  }
+  // L = -pos + log(denominator)
+  return Add(ScalarMul(pos_sim, -1.0f), Log(denom));
+}
+
+}  // namespace adamove::nn

@@ -1,0 +1,29 @@
+#ifndef ADAMOVE_NN_LOSS_H_
+#define ADAMOVE_NN_LOSS_H_
+
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+/// InfoNCE contrastive loss exactly as Eq. (9) of the AdaMove paper:
+///
+///   L = -log( exp(sim(anchor, positive)) / sum_k exp(sim(anchor, neg_k)) )
+///     = -sim(anchor, positive) + logsumexp_k sim(anchor, neg_k)
+///
+/// where sim is cosine similarity. Note the paper's denominator ranges over
+/// negatives only (it does not include the positive pair); `include_positive
+/// _in_denominator` switches to the textbook InfoNCE form for ablation.
+///
+/// `temperature` divides the cosine similarities before the exp (the usual
+/// InfoNCE temperature; 1.0 reproduces Eq. (9) literally, smaller values
+/// sharpen the contrast as in CLIP-style training).
+///
+/// anchor: {1, H}; positive: {1, H}; negatives: {K, H} with K >= 1.
+Tensor InfoNceLoss(const Tensor& anchor, const Tensor& positive,
+                   const Tensor& negatives,
+                   bool include_positive_in_denominator = false,
+                   float temperature = 1.0f);
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_LOSS_H_

@@ -1,0 +1,86 @@
+#ifndef ADAMOVE_NN_MODULE_H_
+#define ADAMOVE_NN_MODULE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+/// Base class for neural-network building blocks. A Module owns named
+/// parameters (Tensors with requires_grad) and may own named sub-modules;
+/// Parameters()/NamedParameters() walk the whole tree, which is what the
+/// optimizers and the serializer consume.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters in this module and its sub-modules.
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> out;
+    CollectParameters("", out, nullptr);
+    return out;
+  }
+
+  /// Parameters with hierarchical dot-separated names (for serialization).
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const {
+    std::vector<Tensor> tensors;
+    std::vector<std::pair<std::string, Tensor>> named;
+    CollectParameters("", tensors, &named);
+    return named;
+  }
+
+  /// Zeroes every parameter gradient in the tree.
+  void ZeroGrad() {
+    for (auto& p : Parameters()) p.ZeroGrad();
+  }
+
+  /// Total number of scalar parameters (model size reporting).
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.size();
+    return n;
+  }
+
+ protected:
+  /// Registers a trainable parameter under `name`; returns it for storing.
+  Tensor RegisterParameter(const std::string& name, Tensor t) {
+    t.impl()->requires_grad = true;
+    params_.emplace_back(name, t);
+    return t;
+  }
+
+  /// Registers a sub-module (not owned) under `name`.
+  void RegisterModule(const std::string& name, Module* m) {
+    modules_.emplace_back(name, m);
+  }
+
+ private:
+  void CollectParameters(
+      const std::string& prefix, std::vector<Tensor>& out,
+      std::vector<std::pair<std::string, Tensor>>* named) const {
+    for (const auto& [name, t] : params_) {
+      out.push_back(t);
+      if (named != nullptr) {
+        named->emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+      }
+    }
+    for (const auto& [name, m] : modules_) {
+      m->CollectParameters(prefix.empty() ? name : prefix + "." + name, out,
+                           named);
+    }
+  }
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> modules_;
+};
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_MODULE_H_

@@ -1,0 +1,971 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/autograd_mode.h"
+
+namespace adamove::nn {
+
+namespace {
+
+constexpr float kEps = 1e-12f;
+
+bool AnyRequiresGrad(std::initializer_list<const Tensor*> ts) {
+  if (!GradModeEnabled()) return false;
+  for (const Tensor* t : ts) {
+    if (t->defined() && t->requires_grad()) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<TensorImpl> NewNode(std::vector<int64_t> shape,
+                                    bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(impl->size()), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+// Adds `src_grad` (the out-grad) into `dst`'s grad with optional row
+// broadcast reduction: if dst has 1 row but the out tensor had R rows, the
+// gradient is summed over rows.
+void AccumulateWithRowBroadcast(TensorImpl* dst,
+                                const std::vector<float>& out_grad,
+                                int64_t out_rows, int64_t out_cols) {
+  dst->EnsureGrad();
+  int64_t dst_rows = dst->shape.size() == 1 ? 1 : dst->shape[0];
+  if (dst_rows == out_rows) {
+    for (size_t i = 0; i < out_grad.size(); ++i) dst->grad[i] += out_grad[i];
+  } else {
+    ADAMOVE_CHECK_EQ(dst_rows, 1);
+    for (int64_t r = 0; r < out_rows; ++r) {
+      for (int64_t c = 0; c < out_cols; ++c) {
+        dst->grad[static_cast<size_t>(c)] +=
+            out_grad[static_cast<size_t>(r * out_cols + c)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  ADAMOVE_CHECK_EQ(a.cols(), b.cols());
+  const bool broadcast = (b.rows() == 1 && a.rows() > 1);
+  ADAMOVE_CHECK(broadcast || a.rows() == b.rows());
+  const int64_t rows = a.rows(), cols = a.cols();
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t ao = static_cast<size_t>(r * cols);
+    const size_t bo = broadcast ? 0 : ao;
+    for (int64_t c = 0; c < cols; ++c) {
+      out->data[ao + c] = ad[ao + c] + bd[bo + c];
+    }
+  }
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, oi, rows, cols]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+      }
+      if (bi->requires_grad) {
+        AccumulateWithRowBroadcast(bi.get(), oi->grad, rows, cols);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  ADAMOVE_CHECK_EQ(a.cols(), b.cols());
+  const bool broadcast = (b.rows() == 1 && a.rows() > 1);
+  ADAMOVE_CHECK(broadcast || a.rows() == b.rows());
+  const int64_t rows = a.rows(), cols = a.cols();
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t ao = static_cast<size_t>(r * cols);
+    const size_t bo = broadcast ? 0 : ao;
+    for (int64_t c = 0; c < cols; ++c) {
+      out->data[ao + c] = ad[ao + c] - bd[bo + c];
+    }
+  }
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, oi, rows, cols]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+      }
+      if (bi->requires_grad) {
+        std::vector<float> neg(oi->grad.size());
+        for (size_t i = 0; i < neg.size(); ++i) neg[i] = -oi->grad[i];
+        AccumulateWithRowBroadcast(bi.get(), neg, rows, cols);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  ADAMOVE_CHECK(a.shape() == b.shape());
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = ad[i] * bd[i];
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, oi]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) {
+          ai->grad[i] += oi->grad[i] * bi->data[i];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) {
+          bi->grad[i] += oi->grad[i] * ai->data[i];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ScalarMul(const Tensor& a, float s) {
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = ad[i] * s;
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, s]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        ai->grad[i] += oi->grad[i] * s;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ScalarAdd(const Tensor& a, float s) {
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = ad[i] + s;
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  ADAMOVE_CHECK(a.shape() == b.shape());
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  auto safe = [](float v) {
+    return std::abs(v) < kEps ? (v < 0.0f ? -kEps : kEps) : v;
+  };
+  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = ad[i] / safe(bd[i]);
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, oi, safe]() {
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        const float inv_b = 1.0f / safe(bi->data[i]);
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          ai->grad[i] += oi->grad[i] * inv_b;
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          bi->grad[i] -= oi->grad[i] * ai->data[i] * inv_b * inv_b;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+namespace {
+
+// C({n,m}) += A({n,k}) * B({k,m}); plain ikj loop, auto-vectorizes well.
+void MatMulInto(const float* a, const float* b, float* c, int64_t n, int64_t k,
+                int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C({n,m}) += A({k,n})^T * B({k,m})
+void MatMulTransAInto(const float* a, const float* b, float* c, int64_t k,
+                      int64_t n, int64_t m) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * n;
+    const float* brow = b + p * m;
+    for (int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C({n,m}) += A({n,k}) * B({m,k})^T
+void MatMulTransBInto(const float* a, const float* b, float* c, int64_t n,
+                      int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  ADAMOVE_CHECK_EQ(k, b.rows());
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode({n, m}, rg);
+  MatMulInto(a.data().data(), b.data().data(), out->data.data(), n, k, m);
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, oi, n, k, m]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA += dC * B^T
+        MatMulTransBInto(oi->grad.data(), bi->data.data(), ai->grad.data(), n,
+                         m, k);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB += A^T * dC
+        MatMulTransAInto(ai->data.data(), oi->grad.data(), bi->grad.data(), n,
+                         k, m);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int64_t n = a.rows(), m = a.cols();
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode({m, n}, rg);
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      out->data[static_cast<size_t>(j * n + i)] =
+          ad[static_cast<size_t>(i * m + j)];
+    }
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, n, m]() {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+          ai->grad[static_cast<size_t>(i * m + j)] +=
+              oi->grad[static_cast<size_t>(j * n + i)];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  ADAMOVE_CHECK(!parts.empty());
+  const int64_t rows = parts[0].rows();
+  int64_t total_cols = 0;
+  bool rg = false;
+  for (const auto& p : parts) {
+    ADAMOVE_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+    rg = rg || p.requires_grad();
+  }
+  auto out = NewNode({rows, total_cols}, rg);
+  int64_t col_off = 0;
+  for (const auto& p : parts) {
+    const int64_t pc = p.cols();
+    const auto& pd = p.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy_n(pd.begin() + r * pc, pc,
+                  out->data.begin() + r * total_cols + col_off);
+    }
+    col_off += pc;
+  }
+  if (rg) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(parts.size());
+    for (const auto& p : parts) impls.push_back(p.impl());
+    TensorImpl* oi = out.get();
+    out->parents = impls;
+    out->backward_fn = [impls, oi, rows, total_cols]() {
+      int64_t off = 0;
+      for (auto& pi : impls) {
+        const int64_t pc =
+            pi->shape.size() == 1 ? pi->shape[0] : pi->shape[1];
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t c = 0; c < pc; ++c) {
+              pi->grad[static_cast<size_t>(r * pc + c)] +=
+                  oi->grad[static_cast<size_t>(r * total_cols + off + c)];
+            }
+          }
+        }
+        off += pc;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  ADAMOVE_CHECK(!parts.empty());
+  const int64_t cols = parts[0].cols();
+  int64_t total_rows = 0;
+  bool rg = false;
+  for (const auto& p : parts) {
+    ADAMOVE_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+    rg = rg || p.requires_grad();
+  }
+  auto out = NewNode({total_rows, cols}, rg);
+  int64_t row_off = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data().begin(), p.data().end(),
+              out->data.begin() + row_off * cols);
+    row_off += p.rows();
+  }
+  if (rg) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(parts.size());
+    for (const auto& p : parts) impls.push_back(p.impl());
+    TensorImpl* oi = out.get();
+    out->parents = impls;
+    out->backward_fn = [impls, oi, cols]() {
+      int64_t off = 0;
+      for (auto& pi : impls) {
+        const int64_t pr = pi->shape.size() == 1 ? 1 : pi->shape[0];
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (int64_t i = 0; i < pr * cols; ++i) {
+            pi->grad[static_cast<size_t>(i)] +=
+                oi->grad[static_cast<size_t>(off * cols + i)];
+          }
+        }
+        off += pr;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  ADAMOVE_CHECK_GE(start, 0);
+  ADAMOVE_CHECK_GT(len, 0);
+  ADAMOVE_CHECK_LE(start + len, cols);
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode({rows, len}, rg);
+  const auto& ad = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy_n(ad.begin() + r * cols + start, len,
+                out->data.begin() + r * len);
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, rows, cols, start, len]() {
+      ai->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < len; ++c) {
+          ai->grad[static_cast<size_t>(r * cols + start + c)] +=
+              oi->grad[static_cast<size_t>(r * len + c)];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  ADAMOVE_CHECK_GE(start, 0);
+  ADAMOVE_CHECK_GT(len, 0);
+  ADAMOVE_CHECK_LE(start + len, rows);
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode({len, cols}, rg);
+  std::copy_n(a.data().begin() + start * cols, len * cols, out->data.begin());
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, cols, start, len]() {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < len * cols; ++i) {
+        ai->grad[static_cast<size_t>(start * cols + i)] +=
+            oi->grad[static_cast<size_t>(i)];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Row(const Tensor& a, int64_t r) { return SliceRows(a, r, 1); }
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  const int64_t n = static_cast<int64_t>(indices.size());
+  ADAMOVE_CHECK_GT(n, 0);
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode({n, cols}, rg);
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t r = indices[static_cast<size_t>(i)];
+    ADAMOVE_CHECK_GE(r, 0);
+    ADAMOVE_CHECK_LT(r, rows);
+    std::copy_n(ad.begin() + r * cols, cols, out->data.begin() + i * cols);
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    auto idxs = std::make_shared<std::vector<int64_t>>(indices);
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, idxs, cols]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < idxs->size(); ++i) {
+        const int64_t r = (*idxs)[i];
+        for (int64_t c = 0; c < cols; ++c) {
+          ai->grad[static_cast<size_t>(r * cols + c)] +=
+              oi->grad[i * static_cast<size_t>(cols) +
+                       static_cast<size_t>(c)];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = fwd(ad[i]);
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, bwd]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        ai->grad[i] += oi->grad[i] * bwd(ai->data[i], oi->data[i]);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, kEps)); },
+      [](float x, float) { return 1.0f / std::max(x, kEps); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float, float y) { return 0.5f / std::max(y, kEps); });
+}
+
+Tensor Pow(const Tensor& a, float p) {
+  return UnaryOp(
+      a, [p](float x) { return std::pow(x, p); },
+      [p](float x, float) { return p * std::pow(x, p - 1.0f); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  ADAMOVE_CHECK_LE(lo, hi);
+  return UnaryOp(
+      a,
+      [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float x, float) {
+        return (x >= lo && x <= hi) ? 1.0f : 0.0f;
+      });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::abs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Neg(const Tensor& a) { return ScalarMul(a, -1.0f); }
+
+Tensor Sum(const Tensor& a) {
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode({1}, rg);
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  out->data[0] = acc;
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi]() {
+      ai->EnsureGrad();
+      const float g = oi->grad[0];
+      for (auto& v : ai->grad) v += g;
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.size());
+  return ScalarMul(Sum(a), inv);
+}
+
+Tensor RowSum(const Tensor& a) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode({rows, 1}, rg);
+  const auto& ad = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      acc += ad[static_cast<size_t>(r * cols + c)];
+    }
+    out->data[static_cast<size_t>(r)] = acc;
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, rows, cols]() {
+      ai->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float g = oi->grad[static_cast<size_t>(r)];
+        for (int64_t c = 0; c < cols; ++c) {
+          ai->grad[static_cast<size_t>(r * cols + c)] += g;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor RowMean(const Tensor& a) {
+  return ScalarMul(RowSum(a), 1.0f / static_cast<float>(a.cols()));
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t off = static_cast<size_t>(r * cols);
+    float mx = ad[off];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, ad[off + c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(ad[off + c] - mx);
+      out->data[off + c] = e;
+      denom += e;
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t c = 0; c < cols; ++c) out->data[off + c] *= inv;
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, rows, cols]() {
+      ai->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const size_t off = static_cast<size_t>(r * cols);
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+          dot += oi->grad[off + c] * oi->data[off + c];
+        }
+        for (int64_t c = 0; c < cols; ++c) {
+          ai->grad[off + c] +=
+              oi->data[off + c] * (oi->grad[off + c] - dot);
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t off = static_cast<size_t>(r * cols);
+    float mx = ad[off];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, ad[off + c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) denom += std::exp(ad[off + c] - mx);
+    const float lse = mx + std::log(denom);
+    for (int64_t c = 0; c < cols; ++c) out->data[off + c] = ad[off + c] - lse;
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, rows, cols]() {
+      ai->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const size_t off = static_cast<size_t>(r * cols);
+        float gsum = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) gsum += oi->grad[off + c];
+        for (int64_t c = 0; c < cols; ++c) {
+          ai->grad[off + c] +=
+              oi->grad[off + c] - std::exp(oi->data[off + c]) * gsum;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float eps) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  ADAMOVE_CHECK_EQ(gain.size(), cols);
+  ADAMOVE_CHECK_EQ(bias.size(), cols);
+  bool rg = AnyRequiresGrad({&a, &gain, &bias});
+  auto out = NewNode(a.shape(), rg);
+  const auto& ad = a.data();
+  const auto& gd = gain.data();
+  const auto& bd = bias.data();
+  // Persist per-row inverse stddev and normalized values for the backward.
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  auto xhat = std::make_shared<std::vector<float>>(ad.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t off = static_cast<size_t>(r * cols);
+    float mean = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) mean += ad[off + c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float d = ad[off + c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float xh = (ad[off + c] - mean) * istd;
+      (*xhat)[off + c] = xh;
+      out->data[off + c] = gd[static_cast<size_t>(c)] * xh +
+                           bd[static_cast<size_t>(c)];
+    }
+  }
+  if (rg) {
+    auto ai = a.impl(), gi = gain.impl(), bi = bias.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, gi, bi};
+    out->backward_fn = [ai, gi, bi, oi, rows, cols, inv_std, xhat]() {
+      for (int64_t r = 0; r < rows; ++r) {
+        const size_t off = static_cast<size_t>(r * cols);
+        const float istd = (*inv_std)[static_cast<size_t>(r)];
+        if (gi->requires_grad) {
+          gi->EnsureGrad();
+          for (int64_t c = 0; c < cols; ++c) {
+            gi->grad[static_cast<size_t>(c)] +=
+                oi->grad[off + c] * (*xhat)[off + c];
+          }
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int64_t c = 0; c < cols; ++c) {
+            bi->grad[static_cast<size_t>(c)] += oi->grad[off + c];
+          }
+        }
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          // dxhat = dy * gain; dx = istd*(dxhat - mean(dxhat)
+          //                               - xhat * mean(dxhat*xhat))
+          float m1 = 0.0f, m2 = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float dxh =
+                oi->grad[off + c] * gi->data[static_cast<size_t>(c)];
+            m1 += dxh;
+            m2 += dxh * (*xhat)[off + c];
+          }
+          m1 /= static_cast<float>(cols);
+          m2 /= static_cast<float>(cols);
+          for (int64_t c = 0; c < cols; ++c) {
+            const float dxh =
+                oi->grad[off + c] * gi->data[static_cast<size_t>(c)];
+            ai->grad[off + c] +=
+                istd * (dxh - m1 - (*xhat)[off + c] * m2);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor EmbeddingLookup(const Tensor& weight,
+                       const std::vector<int64_t>& indices) {
+  const int64_t v = weight.rows(), d = weight.cols();
+  const int64_t n = static_cast<int64_t>(indices.size());
+  ADAMOVE_CHECK_GT(n, 0);
+  bool rg = AnyRequiresGrad({&weight});
+  auto out = NewNode({n, d}, rg);
+  const auto& wd = weight.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t idx = indices[static_cast<size_t>(i)];
+    ADAMOVE_CHECK_GE(idx, 0);
+    ADAMOVE_CHECK_LT(idx, v);
+    std::copy_n(wd.begin() + idx * d, d, out->data.begin() + i * d);
+  }
+  if (rg) {
+    auto wi = weight.impl();
+    TensorImpl* oi = out.get();
+    auto idxs = std::make_shared<std::vector<int64_t>>(indices);
+    out->parents = {wi};
+    out->backward_fn = [wi, oi, idxs, d]() {
+      wi->EnsureGrad();
+      const int64_t n = static_cast<int64_t>(idxs->size());
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t idx = (*idxs)[static_cast<size_t>(i)];
+        for (int64_t c = 0; c < d; ++c) {
+          wi->grad[static_cast<size_t>(idx * d + c)] +=
+              oi->grad[static_cast<size_t>(i * d + c)];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor CosSimRows(const Tensor& a, const Tensor& b) {
+  ADAMOVE_CHECK_EQ(a.rows(), 1);
+  const int64_t h = a.cols();
+  ADAMOVE_CHECK_EQ(b.cols(), h);
+  const int64_t k = b.rows();
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode({k}, rg);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  float na = 0.0f;
+  for (int64_t c = 0; c < h; ++c) na += ad[c] * ad[c];
+  na = std::max(std::sqrt(na), kEps);
+  auto norms_b = std::make_shared<std::vector<float>>(k);
+  for (int64_t r = 0; r < k; ++r) {
+    const size_t off = static_cast<size_t>(r * h);
+    float nb = 0.0f, dot = 0.0f;
+    for (int64_t c = 0; c < h; ++c) {
+      nb += bd[off + c] * bd[off + c];
+      dot += ad[c] * bd[off + c];
+    }
+    nb = std::max(std::sqrt(nb), kEps);
+    (*norms_b)[static_cast<size_t>(r)] = nb;
+    out->data[static_cast<size_t>(r)] = dot / (na * nb);
+  }
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    const float na_captured = na;
+    out->backward_fn = [ai, bi, oi, norms_b, h, k, na_captured]() {
+      for (int64_t r = 0; r < k; ++r) {
+        const float g = oi->grad[static_cast<size_t>(r)];
+        if (g == 0.0f) continue;
+        const float s = oi->data[static_cast<size_t>(r)];
+        const float nb = (*norms_b)[static_cast<size_t>(r)];
+        const size_t off = static_cast<size_t>(r * h);
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          for (int64_t c = 0; c < h; ++c) {
+            const float da = bi->data[off + c] / (na_captured * nb) -
+                             s * ai->data[static_cast<size_t>(c)] /
+                                 (na_captured * na_captured);
+            ai->grad[static_cast<size_t>(c)] += g * da;
+          }
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int64_t c = 0; c < h; ++c) {
+            const float db = ai->data[static_cast<size_t>(c)] /
+                                 (na_captured * nb) -
+                             s * bi->data[off + c] / (nb * nb);
+            bi->grad[off + c] += g * db;
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Dropout(const Tensor& a, float p, common::Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  ADAMOVE_CHECK_LT(p, 1.0f);
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.data().size());
+  const auto& ad = a.data();
+  for (size_t i = 0; i < ad.size(); ++i) {
+    const float m = rng.Bernoulli(p) ? 0.0f : scale;
+    (*mask)[i] = m;
+    out->data[i] = ad[i] * m;
+  }
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, mask]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        ai->grad[i] += oi->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int64_t>& targets) {
+  const int64_t n = log_probs.rows(), l = log_probs.cols();
+  ADAMOVE_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  bool rg = AnyRequiresGrad({&log_probs});
+  auto out = NewNode({1}, rg);
+  float acc = 0.0f;
+  const auto& lp = log_probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t t = targets[static_cast<size_t>(i)];
+    ADAMOVE_CHECK_GE(t, 0);
+    ADAMOVE_CHECK_LT(t, l);
+    acc -= lp[static_cast<size_t>(i * l + t)];
+  }
+  out->data[0] = acc / static_cast<float>(n);
+  if (rg) {
+    auto li = log_probs.impl();
+    TensorImpl* oi = out.get();
+    auto tgt = std::make_shared<std::vector<int64_t>>(targets);
+    out->parents = {li};
+    out->backward_fn = [li, oi, tgt, n, l]() {
+      li->EnsureGrad();
+      const float g = oi->grad[0] / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        li->grad[static_cast<size_t>(i * l + (*tgt)[static_cast<size_t>(i)])] -=
+            g;
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor CrossEntropy(const Tensor& logits,
+                    const std::vector<int64_t>& targets) {
+  return NllLoss(LogSoftmax(logits), targets);
+}
+
+Tensor ScaledDotAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                          bool causal) {
+  const int64_t dk = q.cols();
+  ADAMOVE_CHECK_EQ(k.cols(), dk);
+  ADAMOVE_CHECK_EQ(k.rows(), v.rows());
+  Tensor scores = ScalarMul(MatMul(q, Transpose(k)),
+                            1.0f / std::sqrt(static_cast<float>(dk)));
+  if (causal) {
+    ADAMOVE_CHECK_EQ(q.rows(), k.rows());
+    const int64_t t = q.rows();
+    Tensor mask = Tensor::Zeros({t, t});
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t j = i + 1; j < t; ++j) mask.set(i, j, -1e9f);
+    }
+    scores = Add(scores, mask);
+  }
+  return MatMul(Softmax(scores), v);
+}
+
+}  // namespace adamove::nn

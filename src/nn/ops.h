@@ -1,0 +1,142 @@
+#ifndef ADAMOVE_NN_OPS_H_
+#define ADAMOVE_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+// Differentiable operations on Tensors. Every op builds the autograd graph
+// when any input requires a gradient, and skips it otherwise (pure inference
+// pays no tape cost). 2-D tensors are {rows, cols}, row-major; 1-D tensors
+// behave as a single row where a matrix is expected.
+
+/// Elementwise a + b. When `b` has a single row and `a` has many, `b` is
+/// broadcast over the rows of `a` (bias addition).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b (same broadcast rule as Add).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) a * b; same-shape only.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// a * s for a compile-time-known scalar s.
+Tensor ScalarMul(const Tensor& a, float s);
+
+/// a + s elementwise.
+Tensor ScalarAdd(const Tensor& a, float s);
+
+/// Elementwise a / b; same-shape only. Divisors are clamped away from zero
+/// (|b| >= 1e-12) for numeric safety.
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// Elementwise a^p for a scalar exponent (a clamped to >= 0 when p is
+/// fractional would be caller's concern; gradient is p*a^(p-1)).
+Tensor Pow(const Tensor& a, float p);
+
+/// Elementwise clamp into [lo, hi]; gradient is 1 inside, 0 outside.
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+/// Elementwise absolute value (gradient sign(a); 0 at 0).
+Tensor Abs(const Tensor& a);
+
+/// Elementwise negation.
+Tensor Neg(const Tensor& a);
+
+/// Matrix product of a {N,K} and b {K,M} -> {N,M}.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a 2-D tensor.
+Tensor Transpose(const Tensor& a);
+
+/// Concatenates tensors along columns; all inputs must share a row count.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Concatenates tensors along rows; all inputs must share a column count.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Column slice [start, start+len) of a 2-D tensor.
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len);
+
+/// Row slice [start, start+len) of a 2-D tensor.
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len);
+
+/// Single row r as a {1, cols} tensor (differentiable).
+Tensor Row(const Tensor& a, int64_t r);
+
+/// Gathers rows of `a` by index -> {N, cols}; backward scatter-adds.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+// -- nonlinearities ----------------------------------------------------------
+
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs are clamped to >= 1e-12 for numeric safety.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+
+// -- reductions & normalizations ----------------------------------------------
+
+/// Sum of all elements -> scalar {1}.
+Tensor Sum(const Tensor& a);
+
+/// Mean of all elements -> scalar {1}.
+Tensor Mean(const Tensor& a);
+
+/// Per-row sum of a 2-D tensor -> {N, 1}.
+Tensor RowSum(const Tensor& a);
+
+/// Per-row mean of a 2-D tensor -> {N, 1}.
+Tensor RowMean(const Tensor& a);
+
+/// Row-wise softmax of a 2-D tensor.
+Tensor Softmax(const Tensor& a);
+
+/// Row-wise log-softmax (numerically stable).
+Tensor LogSoftmax(const Tensor& a);
+
+/// Row-wise LayerNorm with learned gain/bias ({1, cols} each), eps inside.
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float eps = 1e-5f);
+
+// -- embeddings & similarity ---------------------------------------------------
+
+/// Gathers rows of `weight` {V,D} by index -> {N,D}; backward scatter-adds.
+Tensor EmbeddingLookup(const Tensor& weight,
+                       const std::vector<int64_t>& indices);
+
+/// Cosine similarity between the single row `a` {1,H} and each row of `b`
+/// {K,H} -> {K}. Norms are floored at 1e-12.
+Tensor CosSimRows(const Tensor& a, const Tensor& b);
+
+// -- regularization ------------------------------------------------------------
+
+/// Inverted dropout: at train time zeroes each element w.p. p and rescales
+/// by 1/(1-p); identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, float p, common::Rng& rng, bool training);
+
+// -- losses ---------------------------------------------------------------------
+
+/// Mean negative log-likelihood of `targets` under row-wise `log_probs`
+/// {N,L} (log-softmax outputs) -> scalar.
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int64_t>& targets);
+
+/// Cross-entropy from raw logits {N,L} -> scalar (LogSoftmax + NllLoss).
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& targets);
+
+// -- attention convenience -------------------------------------------------------
+
+/// Scaled dot-product attention: Softmax(Q K^T / sqrt(dk) + mask) V.
+/// `causal` masks out j > i (future positions).
+Tensor ScaledDotAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                          bool causal);
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_OPS_H_

@@ -1,0 +1,91 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace adamove::nn {
+
+void ClipGradNorm(std::vector<Tensor>& params, double max_norm) {
+  if (max_norm <= 0.0) return;
+  double total = 0.0;
+  for (auto& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm) return;
+  const float scale = static_cast<float>(max_norm / (total + 1e-12));
+  for (auto& p : params) {
+    for (auto& g : p.grad()) g *= scale;
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double clip)
+    : Optimizer(std::move(params)), clip_(clip) {
+  lr_ = lr;
+}
+
+void Sgd::Step() {
+  ClipGradNorm(params_, clip_);
+  const float lr = static_cast<float>(lr_);
+  for (auto& p : params_) {
+    auto& d = p.data();
+    auto& g = p.grad();
+    for (size_t i = 0; i < d.size(); ++i) d[i] -= lr * g[i];
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps, double clip)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      clip_(clip) {
+  lr_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0f);
+    v_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ClipGradNorm(params_, clip_);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float step_size = static_cast<float>(lr_ / bc1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& d = params_[i].data();
+    auto& g = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < d.size(); ++j) {
+      m[j] = static_cast<float>(beta1_) * m[j] +
+             static_cast<float>(1.0 - beta1_) * g[j];
+      v[j] = static_cast<float>(beta2_) * v[j] +
+             static_cast<float>(1.0 - beta2_) * g[j] * g[j];
+      const float vhat = static_cast<float>(static_cast<double>(v[j]) / bc2);
+      d[j] -= step_size * m[j] /
+              (std::sqrt(vhat) + static_cast<float>(eps_));
+    }
+  }
+}
+
+bool PlateauDecay::Update(double val_accuracy, Optimizer& opt) {
+  if (val_accuracy > best_) {
+    best_ = val_accuracy;
+    bad_epochs_ = 0;
+  } else {
+    ++bad_epochs_;
+    if (bad_epochs_ >= patience_) {
+      opt.set_learning_rate(opt.learning_rate() * factor_);
+      bad_epochs_ = 0;
+    }
+  }
+  return opt.learning_rate() > min_lr_;
+}
+
+}  // namespace adamove::nn

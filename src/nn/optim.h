@@ -1,0 +1,83 @@
+#ifndef ADAMOVE_NN_OPTIM_H_
+#define ADAMOVE_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+/// Optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Tensor> params_;
+  double lr_ = 1e-2;
+};
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double clip = 0.0);
+  void Step() override;
+
+ private:
+  double clip_;
+};
+
+/// Adam (Kingma & Ba, 2014) — the paper's optimizer (initial lr 1e-2).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double clip = 5.0);
+  void Step() override;
+
+ private:
+  double beta1_, beta2_, eps_, clip_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// The paper's LR schedule: the learning rate decays when validation
+/// accuracy fails to improve, and training stops once lr <= min_lr (1e-4).
+class PlateauDecay {
+ public:
+  PlateauDecay(double factor = 0.5, double min_lr = 1e-4, int patience = 1)
+      : factor_(factor), min_lr_(min_lr), patience_(patience) {}
+
+  /// Reports a new validation accuracy; decays `opt`'s lr after `patience`
+  /// consecutive non-improving epochs. Returns true while training should
+  /// continue (lr above min_lr).
+  bool Update(double val_accuracy, Optimizer& opt);
+
+  double best() const { return best_; }
+
+ private:
+  double factor_;
+  double min_lr_;
+  int patience_;
+  int bad_epochs_ = 0;
+  double best_ = -1.0;
+};
+
+/// Clips the global L2 norm of a gradient set to `max_norm` (no-op if 0).
+void ClipGradNorm(std::vector<Tensor>& params, double max_norm);
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_OPTIM_H_

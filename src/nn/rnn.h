@@ -1,0 +1,76 @@
+#ifndef ADAMOVE_NN_RNN_H_
+#define ADAMOVE_NN_RNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+/// Interface for causal sequence encoders: given a {T, in} sequence of step
+/// embeddings, produce a {T, H} matrix whose row t encodes the prefix
+/// x[0..t]. The causal (prefix) property is what lets PTTA obtain every
+/// prefix representation from a single forward pass.
+class SequenceEncoder : public Module {
+ public:
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+  virtual int64_t hidden_size() const = 0;
+};
+
+/// Vanilla (Elman) RNN: h_t = tanh(x_t W_ih + h_{t-1} W_hh + b).
+class RnnEncoder : public SequenceEncoder {
+ public:
+  RnnEncoder(int64_t input_size, int64_t hidden_size, common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  int64_t hidden_size() const override { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_ih_;
+  Tensor w_hh_;
+  Tensor bias_;
+};
+
+/// Single-layer LSTM with the standard i,f,g,o gate layout.
+class LstmEncoder : public SequenceEncoder {
+ public:
+  LstmEncoder(int64_t input_size, int64_t hidden_size, common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  int64_t hidden_size() const override { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_ih_;  // {in, 4H}
+  Tensor w_hh_;  // {H, 4H}
+  Tensor bias_;  // {1, 4H}
+};
+
+/// Single-layer GRU (reset/update/new-gate layout r,z,n).
+class GruEncoder : public SequenceEncoder {
+ public:
+  GruEncoder(int64_t input_size, int64_t hidden_size, common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  int64_t hidden_size() const override { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_ih_;  // {in, 3H}
+  Tensor w_hh_;  // {H, 3H}
+  Tensor b_ih_;  // {1, 3H}
+  Tensor b_hh_;  // {1, 3H}
+};
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_RNN_H_

@@ -1,0 +1,109 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace adamove::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xADA30001;
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadU32(in, &n)) return false;
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveParameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<uint32_t>(named_params.size()));
+  for (const auto& [name, t] : named_params) {
+    WriteString(out, name);
+    WriteU32(out, static_cast<uint32_t>(t.shape().size()));
+    for (int64_t d : t.shape()) WriteU32(out, static_cast<uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  }
+  return out.good();
+}
+
+bool LoadParameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) return false;
+  if (!ReadU32(in, &count)) return false;
+  std::map<std::string, std::pair<std::vector<int64_t>, std::vector<float>>>
+      entries;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!ReadString(in, &name)) return false;
+    uint32_t rank = 0;
+    if (!ReadU32(in, &rank)) return false;
+    std::vector<int64_t> shape(rank);
+    int64_t numel = 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint32_t dim = 0;
+      if (!ReadU32(in, &dim)) return false;
+      shape[d] = static_cast<int64_t>(dim);
+      numel *= shape[d];
+    }
+    std::vector<float> data(static_cast<size_t>(numel));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in.good()) return false;
+    entries[name] = {std::move(shape), std::move(data)};
+  }
+  for (const auto& [name, t] : named_params) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      std::fprintf(stderr, "LoadParameters: missing entry '%s'\n",
+                   name.c_str());
+      return false;
+    }
+    if (it->second.first != t.shape()) {
+      std::fprintf(stderr, "LoadParameters: shape mismatch for '%s'\n",
+                   name.c_str());
+      return false;
+    }
+    const_cast<Tensor&>(t).data() = it->second.second;
+  }
+  return true;
+}
+
+bool SaveModule(const std::string& path, const Module& module) {
+  return SaveParameters(path, module.NamedParameters());
+}
+
+bool LoadModule(const std::string& path, const Module& module) {
+  return LoadParameters(path, module.NamedParameters());
+}
+
+}  // namespace adamove::nn

@@ -1,0 +1,32 @@
+#ifndef ADAMOVE_NN_SERIALIZE_H_
+#define ADAMOVE_NN_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+
+/// Writes named parameters to a simple binary checkpoint (magic, count,
+/// then per-entry name / shape / float payload). Returns false on IO error.
+bool SaveParameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params);
+
+/// Loads a checkpoint into an existing parameter list: every entry in
+/// `named_params` must be present in the file with a matching shape.
+/// Returns false on IO error, missing entry, or shape mismatch.
+bool LoadParameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params);
+
+/// Convenience wrappers over Module::NamedParameters().
+bool SaveModule(const std::string& path, const Module& module);
+bool LoadModule(const std::string& path, const Module& module);
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_SERIALIZE_H_

@@ -1,0 +1,43 @@
+#ifndef ADAMOVE_NN_STACKED_H_
+#define ADAMOVE_NN_STACKED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/rnn.h"
+
+namespace adamove::nn {
+
+/// Chains several causal sequence encoders: layer 0 maps {T, in} -> {T, H},
+/// subsequent layers map {T, H} -> {T, H}. Composing causal layers stays
+/// causal, so the prefix property PTTA needs is preserved (tested).
+class StackedEncoder : public SequenceEncoder {
+ public:
+  explicit StackedEncoder(std::vector<std::unique_ptr<SequenceEncoder>> layers)
+      : layers_(std::move(layers)) {
+    ADAMOVE_CHECK(!layers_.empty());
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      RegisterModule("layer" + std::to_string(i), layers_[i].get());
+    }
+  }
+
+  Tensor Forward(const Tensor& x, bool training) override {
+    Tensor h = x;
+    for (auto& layer : layers_) h = layer->Forward(h, training);
+    return h;
+  }
+
+  int64_t hidden_size() const override {
+    return layers_.back()->hidden_size();
+  }
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SequenceEncoder>> layers_;
+};
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_STACKED_H_

@@ -1,0 +1,204 @@
+#include "nn/tensor.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace adamove::nn {
+
+namespace {
+
+std::shared_ptr<TensorImpl> MakeImpl(std::vector<int64_t> shape,
+                                     bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  int64_t n = impl->size();
+  ADAMOVE_CHECK_GE(n, 0);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  return Tensor(MakeImpl(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value,
+                    bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  for (auto& v : impl->data) v = value;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values, bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  ADAMOVE_CHECK_EQ(static_cast<int64_t>(values.size()), impl->size());
+  impl->data = std::move(values);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, common::Rng& rng,
+                     float stddev, bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, common::Rng& rng,
+                           float bound, bool requires_grad) {
+  auto impl = MakeImpl(std::move(shape), requires_grad);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full({1}, value, requires_grad);
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  ADAMOVE_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::size() const {
+  ADAMOVE_CHECK(defined());
+  return impl_->size();
+}
+
+int64_t Tensor::rows() const {
+  const auto& s = shape();
+  if (s.size() == 1) return 1;
+  ADAMOVE_CHECK_EQ(s.size(), 2u);
+  return s[0];
+}
+
+int64_t Tensor::cols() const {
+  const auto& s = shape();
+  if (s.size() == 1) return s[0];
+  ADAMOVE_CHECK_EQ(s.size(), 2u);
+  return s[1];
+}
+
+bool Tensor::requires_grad() const {
+  ADAMOVE_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+std::vector<float>& Tensor::data() {
+  ADAMOVE_CHECK(defined());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  ADAMOVE_CHECK(defined());
+  return impl_->data;
+}
+
+std::vector<float>& Tensor::grad() {
+  ADAMOVE_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  ADAMOVE_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  ADAMOVE_CHECK_GE(r, 0);
+  ADAMOVE_CHECK_LT(r, rows());
+  ADAMOVE_CHECK_GE(c, 0);
+  ADAMOVE_CHECK_LT(c, cols());
+  return data()[static_cast<size_t>(r * cols() + c)];
+}
+
+void Tensor::set(int64_t r, int64_t c, float v) {
+  ADAMOVE_CHECK_GE(r, 0);
+  ADAMOVE_CHECK_LT(r, rows());
+  ADAMOVE_CHECK_GE(c, 0);
+  ADAMOVE_CHECK_LT(c, cols());
+  data()[static_cast<size_t>(r * cols() + c)] = v;
+}
+
+float Tensor::item(int64_t i) const {
+  ADAMOVE_CHECK_GE(i, 0);
+  ADAMOVE_CHECK_LT(i, size());
+  return data()[static_cast<size_t>(i)];
+}
+
+void Tensor::Backward() {
+  ADAMOVE_CHECK(defined());
+  ADAMOVE_CHECK_EQ(size(), 1);  // backward only from scalars (losses)
+  // Topological order over the reachable graph.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;  // node, next-child index
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      TensorImpl* parent = node->parents[idx].get();
+      ++idx;
+      if (visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // order now lists parents before children; traverse in reverse so each
+  // node's grad is complete before it propagates to its parents.
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+}
+
+void Tensor::ZeroGrad() {
+  ADAMOVE_CHECK(defined());
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  ADAMOVE_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream oss;
+  oss << "Tensor(shape=[";
+  for (size_t i = 0; i < shape().size(); ++i) {
+    if (i > 0) oss << ",";
+    oss << shape()[i];
+  }
+  oss << "], data=[";
+  int64_t n = std::min<int64_t>(size(), 32);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) oss << ",";
+    oss << data()[static_cast<size_t>(i)];
+  }
+  if (size() > n) oss << ",...";
+  oss << "])";
+  return oss.str();
+}
+
+}  // namespace adamove::nn

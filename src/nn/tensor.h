@@ -1,0 +1,117 @@
+#ifndef ADAMOVE_NN_TENSOR_H_
+#define ADAMOVE_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace adamove::nn {
+
+/// Storage + autograd node for a Tensor. Users interact with the `Tensor`
+/// handle below; TensorImpl is exposed only because op implementations in
+/// ops.cc build the autograd graph from it.
+struct TensorImpl {
+  std::vector<float> data;
+  std::vector<float> grad;          // allocated lazily, same size as data
+  std::vector<int64_t> shape;
+  bool requires_grad = false;
+  // Reverse-mode hook: accumulates this node's grad into its parents' grads.
+  std::function<void()> backward_fn;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  int64_t size() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// A dense float tensor with reverse-mode automatic differentiation on a
+/// dynamic tape. Tensor is a cheap shared handle (copying shares storage).
+///
+/// Supported ranks: the library is written for the 1-D / 2-D shapes used in
+/// sequence models; a 2-D tensor of shape {rows, cols} is row-major.
+class Tensor {
+ public:
+  /// Default-constructed handle is empty; most APIs CHECK on defined().
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // -- factories -------------------------------------------------------------
+
+  /// All-zeros tensor of the given shape.
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+
+  /// All-`value` tensor of the given shape.
+  static Tensor Full(std::vector<int64_t> shape, float value,
+                     bool requires_grad = false);
+
+  /// Tensor initialized from an explicit value vector (size must match).
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values,
+                           bool requires_grad = false);
+
+  /// Gaussian-initialized tensor (mean 0, given stddev).
+  static Tensor Randn(std::vector<int64_t> shape, common::Rng& rng,
+                      float stddev = 1.0f, bool requires_grad = false);
+
+  /// Uniform(-bound, bound)-initialized tensor.
+  static Tensor RandUniform(std::vector<int64_t> shape, common::Rng& rng,
+                            float bound, bool requires_grad = false);
+
+  /// Scalar tensor of shape {1}.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  // -- accessors ---------------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int64_t size() const;
+  /// Rows/cols of a 2-D tensor; a 1-D tensor is treated as a single row.
+  int64_t rows() const;
+  int64_t cols() const;
+  bool requires_grad() const;
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+
+  /// Element access for 2-D tensors.
+  float at(int64_t r, int64_t c) const;
+  void set(int64_t r, int64_t c, float v);
+  /// Element access for flat offsets.
+  float item(int64_t i = 0) const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  // -- autograd ---------------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor: seeds d(this)=1
+  /// and accumulates gradients into every reachable parameter's grad buffer.
+  void Backward();
+
+  /// Zeroes this tensor's grad buffer (allocating it if needed).
+  void ZeroGrad();
+
+  /// Detaches from the autograd graph: returns a tensor sharing no history
+  /// (fresh copy of the data, requires_grad=false).
+  Tensor Detach() const;
+
+  /// Human-readable dump (small tensors only; for debugging/tests).
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+}  // namespace adamove::nn
+
+#endif  // ADAMOVE_NN_TENSOR_H_

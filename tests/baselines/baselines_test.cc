@@ -1,0 +1,188 @@
+#include "baselines/registry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepmove.h"
+#include "baselines/markov.h"
+#include "baselines/mclp.h"
+#include "core/ptta.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/point.h"
+
+namespace adamove::baselines {
+namespace {
+
+core::ModelConfig SmallConfig() {
+  core::ModelConfig c;
+  c.num_locations = 15;
+  c.num_users = 3;
+  c.hidden_size = 16;
+  c.location_emb_dim = 8;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 4;
+  c.transformer_heads = 4;
+  return c;
+}
+
+data::Sample MakeSample(std::vector<int64_t> recent,
+                        std::vector<int64_t> history, int64_t target) {
+  data::Sample s;
+  s.user = 1;
+  int64_t t = 1333238400;
+  for (int64_t l : history) {
+    s.history.push_back({s.user, l, t});
+    t += 4 * data::kSecondsPerHour;
+  }
+  for (int64_t l : recent) {
+    s.recent.push_back({s.user, l, t});
+    t += 4 * data::kSecondsPerHour;
+  }
+  s.target = {s.user, target, t};
+  return s;
+}
+
+data::Dataset TinyDataset() {
+  data::Dataset ds;
+  ds.num_locations = 15;
+  ds.num_users = 3;
+  for (int i = 0; i < 60; ++i) {
+    const int64_t start = i % 3;
+    data::Sample s = MakeSample({start, start + 1, start + 2},
+                                {start + 3, start + 4}, start + 3);
+    s.user = i % 3;
+    for (auto& p : s.recent) p.user = s.user;
+    for (auto& p : s.history) p.user = s.user;
+    s.target.user = s.user;
+    (i % 5 == 0 ? ds.val : ds.train).push_back(s);
+  }
+  ds.test = ds.val;
+  return ds;
+}
+
+class RegistryModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryModelTest, ConstructsAndScores) {
+  auto model = MakeModel(GetParam(), SmallConfig());
+  ASSERT_NE(model, nullptr) << GetParam();
+  EXPECT_EQ(model->name(), GetParam());
+  EXPECT_EQ(model->num_locations(), 15);
+  data::Dataset ds = TinyDataset();
+  model->Fit(ds);  // no-op for most, required for Markov/GETNext
+  auto scores = model->Scores(MakeSample({1, 2, 3}, {4, 5}, 6));
+  EXPECT_EQ(scores.size(), 15u);
+  for (float v : scores) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(RegistryModelTest, TrainableModelsHaveFiniteLossAndGradients) {
+  auto model = MakeModel(GetParam(), SmallConfig());
+  ASSERT_NE(model, nullptr);
+  if (!model->trainable()) GTEST_SKIP() << "non-gradient model";
+  model->Fit(TinyDataset());
+  model->ZeroGrad();
+  nn::Tensor loss =
+      model->Loss(MakeSample({1, 2, 3}, {4, 5, 6}, 7), /*training=*/true);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  loss.Backward();
+  int with_grad = 0;
+  for (auto& p : model->Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_grad, 0) << GetParam();
+}
+
+TEST_P(RegistryModelTest, LearnsTinyPatternOrScoresIt) {
+  // Every model must beat random (1/15) on the trivially learnable corpus.
+  auto model = MakeModel(GetParam(), SmallConfig());
+  ASSERT_NE(model, nullptr);
+  data::Dataset ds = TinyDataset();
+  model->Fit(ds);
+  if (model->trainable()) {
+    core::TrainConfig tc;
+    tc.max_epochs = 8;
+    tc.batch_size = 10;
+    tc.learning_rate = 5e-3;
+    core::Trainer(tc).Train(*model, ds);
+  }
+  core::MetricAccumulator acc;
+  for (const auto& s : ds.test) acc.Add(model->Scores(s), s.target.location);
+  EXPECT_GT(acc.Result().rec10, 2.0 / 15.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, RegistryModelTest,
+    ::testing::Values("LSTM", "DeepMove", "LSTPM", "STAN", "GETNext",
+                      "CLSPRec", "MCLP", "MHSA", "LLM-Mob", "Markov",
+                      "LightMob"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeModel("NotAModel", SmallConfig()), nullptr);
+}
+
+TEST(RegistryTest, PaperBaselinesAreNineInOrder) {
+  auto names = PaperBaselineNames();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "LSTM");
+  EXPECT_EQ(names.back(), "LLM-Mob");
+}
+
+TEST(MarkovTest, PredictsObservedTransition) {
+  MarkovModel markov(15);
+  data::Dataset ds = TinyDataset();
+  markov.Fit(ds);
+  // In the corpus, 2 is always followed by 3.
+  auto scores = markov.Scores(MakeSample({1, 2}, {}, 3));
+  int64_t best = 0;
+  for (int64_t l = 1; l < 15; ++l) {
+    if (scores[static_cast<size_t>(l)] > scores[static_cast<size_t>(best)]) {
+      best = l;
+    }
+  }
+  EXPECT_EQ(best, 3);
+}
+
+TEST(DeepMoveTest, PrefixRepresentationsAreTwiceHidden) {
+  DeepMove model(SmallConfig());
+  data::Sample s = MakeSample({1, 2, 3, 4}, {5, 6}, 7);
+  nn::Tensor reps = model.PrefixRepresentations(s);
+  EXPECT_EQ(reps.rows(), 4);
+  EXPECT_EQ(reps.cols(), 32);  // 2 * hidden
+  EXPECT_EQ(model.classifier().in_features(), 32);
+}
+
+TEST(DeepMoveTest, WorksAsDeepTtaWithAdapter) {
+  DeepMove model(SmallConfig());
+  core::TestTimeAdapter adapter(core::PttaConfig{});
+  data::Sample s = MakeSample({1, 2, 1, 2, 1}, {5, 6}, 2);
+  auto scores = adapter.Predict(model, s);
+  EXPECT_EQ(scores.size(), 15u);
+  for (float v : scores) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MclpTest, ArrivalSlotEstimatorUsesMeanGap) {
+  // Points at hours 0 and 4 on a Thursday (epoch day 0): mean gap 4 h,
+  // estimated arrival hour 8, workday slot 8.
+  std::vector<data::Point> recent = {
+      {0, 1, 0}, {0, 2, 4 * data::kSecondsPerHour}};
+  EXPECT_EQ(Mclp::EstimateArrivalSlot(recent), 8);
+  // Single point: falls back to the 6 h prior.
+  std::vector<data::Point> one = {{0, 1, 0}};
+  EXPECT_EQ(Mclp::EstimateArrivalSlot(one), 6);
+}
+
+}  // namespace
+}  // namespace adamove::baselines

@@ -1,0 +1,141 @@
+#include "core/distill.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/lightmob.h"
+#include "data/point.h"
+#include "nn/ops.h"
+
+namespace adamove::core {
+namespace {
+
+ModelConfig TinyConfig(double lambda = 0.0) {
+  ModelConfig c;
+  c.num_locations = 6;
+  c.num_users = 2;
+  c.hidden_size = 12;
+  c.location_emb_dim = 6;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 2;
+  c.lambda = lambda;
+  return c;
+}
+
+// Cyclic corpus (same as trainer_test): 0->1->2->0 shifted by start.
+data::Dataset CyclicDataset(int samples = 90) {
+  data::Dataset ds;
+  ds.num_locations = 6;
+  ds.num_users = 2;
+  int64_t t = 1333238400;
+  for (int i = 0; i < samples; ++i) {
+    data::Sample s;
+    s.user = i % 2;
+    const int64_t start = i % 3;
+    for (int k = 0; k < 4; ++k) {
+      s.recent.push_back({s.user, (start + k) % 3, t});
+      t += 2 * data::kSecondsPerHour;
+    }
+    s.target = {s.user, (start + 4) % 3, t};
+    (i % 4 == 0 ? ds.val : ds.train).push_back(s);
+  }
+  ds.test = ds.val;
+  return ds;
+}
+
+TEST(DistillationLossTest, ZeroWhenStudentMatchesTeacher) {
+  // Identical logits => KL(p||q) = 0 (up to float error).
+  std::vector<float> logits = {1.0f, 2.0f, 0.5f, -1.0f};
+  nn::Tensor student = nn::Tensor::FromVector({1, 4}, logits, true);
+  DistillConfig config;
+  nn::Tensor loss = DistillationLoss(student, logits, config);
+  // The implementation returns the soft cross-entropy (KL + teacher
+  // entropy); matching distributions minimize it at H(p) * T^2.
+  nn::Tensor self_entropy = DistillationLoss(student, logits, config);
+  EXPECT_NEAR(loss.item(), self_entropy.item(), 1e-6f);
+  // Any *other* student distribution has strictly higher soft CE.
+  std::vector<float> other = {2.0f, 1.0f, -0.5f, 1.0f};
+  nn::Tensor worse = DistillationLoss(
+      nn::Tensor::FromVector({1, 4}, other, true), logits, config);
+  EXPECT_GT(worse.item(), loss.item());
+}
+
+TEST(DistillationLossTest, GradientPullsTowardTeacher) {
+  // Teacher prefers class 0; a uniform student should get a negative
+  // gradient on logit 0 (push up) and positive on the rest.
+  std::vector<float> teacher = {5.0f, 0.0f, 0.0f};
+  nn::Tensor student = nn::Tensor::Zeros({1, 3}, true);
+  DistillConfig config;
+  DistillationLoss(student, teacher, config).Backward();
+  EXPECT_LT(student.grad()[0], 0.0f);
+  EXPECT_GT(student.grad()[1], 0.0f);
+  EXPECT_GT(student.grad()[2], 0.0f);
+}
+
+TEST(DistillationLossTest, TemperatureSoftensTargets) {
+  std::vector<float> teacher = {5.0f, 0.0f, 0.0f};
+  nn::Tensor student = nn::Tensor::Zeros({1, 3}, true);
+  DistillConfig sharp;
+  sharp.temperature = 1.0;
+  DistillConfig soft;
+  soft.temperature = 5.0;
+  student.ZeroGrad();
+  DistillationLoss(student, teacher, sharp).Backward();
+  const float sharp_g0 = student.grad()[0] / 1.0f;  // T^2 = 1
+  student.ZeroGrad();
+  DistillationLoss(student, teacher, soft).Backward();
+  const float soft_g0 = student.grad()[0] / 25.0f;  // undo T^2
+  // Softer targets spread mass: the per-unit pull toward class 0 weakens.
+  EXPECT_LT(std::abs(soft_g0), std::abs(sharp_g0));
+}
+
+TEST(DistillationLossTest, RejectsMismatchedSizes) {
+  nn::Tensor student = nn::Tensor::Zeros({1, 3}, true);
+  EXPECT_DEATH(DistillationLoss(student, {1.0f, 2.0f}, DistillConfig{}),
+               "CHECK");
+}
+
+TEST(DistillTrainTest, StudentLearnsFromTeacher) {
+  data::Dataset ds = CyclicDataset();
+  // Teacher: trained conventionally to high accuracy.
+  LightMob teacher(TinyConfig());
+  TrainConfig tc;
+  tc.max_epochs = 20;
+  tc.batch_size = 16;
+  tc.decay_factor = 0.8;
+  Trainer(tc).Train(teacher, ds);
+  const double teacher_rec1 = Evaluate(teacher, ds.test).metrics.rec1;
+  ASSERT_GT(teacher_rec1, 0.8);
+
+  // Student: fresh model trained only through distillation + CE.
+  ModelConfig student_config = TinyConfig();
+  student_config.seed = 99;  // different init
+  LightMob student(student_config, "Student");
+  DistillConfig dc;
+  auto logs = DistillTrain(teacher, student, ds, tc, dc);
+  ASSERT_FALSE(logs.empty());
+  EXPECT_LT(logs.back().train_loss, logs.front().train_loss);
+  const double student_rec1 = Evaluate(student, ds.test).metrics.rec1;
+  EXPECT_GT(student_rec1, 0.8);
+}
+
+TEST(DistillTrainTest, PureSoftTargetsAlsoTeach) {
+  // mu = 1: the student never sees a hard label, only the teacher.
+  data::Dataset ds = CyclicDataset();
+  LightMob teacher(TinyConfig());
+  TrainConfig tc;
+  tc.max_epochs = 20;
+  tc.batch_size = 16;
+  tc.decay_factor = 0.8;
+  Trainer(tc).Train(teacher, ds);
+  LightMob student(TinyConfig(), "Student");
+  DistillConfig dc;
+  dc.mu = 1.0;
+  DistillTrain(teacher, student, ds, tc, dc);
+  EXPECT_GT(Evaluate(student, ds.test).metrics.rec1, 0.5);
+}
+
+}  // namespace
+}  // namespace adamove::core

@@ -1,0 +1,162 @@
+#include "core/lightmob.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/point.h"
+#include "nn/ops.h"
+
+namespace adamove::core {
+namespace {
+
+ModelConfig SmallConfig(double lambda = 0.8) {
+  ModelConfig c;
+  c.num_locations = 20;
+  c.num_users = 4;
+  c.hidden_size = 16;
+  c.location_emb_dim = 8;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 4;
+  c.lambda = lambda;
+  return c;
+}
+
+data::Sample MakeSample(std::vector<int64_t> recent,
+                        std::vector<int64_t> history, int64_t target) {
+  data::Sample s;
+  s.user = 2;
+  // Recent timestamps are anchored at a fixed instant so that samples with
+  // different history lengths still embed identical recent points.
+  int64_t t = 1333238400 - 5 * data::kSecondsPerHour *
+                               static_cast<int64_t>(history.size());
+  for (int64_t l : history) {
+    s.history.push_back({s.user, l, t});
+    t += 5 * data::kSecondsPerHour;
+  }
+  t = 1333238400;
+  for (int64_t l : recent) {
+    s.recent.push_back({s.user, l, t});
+    t += 5 * data::kSecondsPerHour;
+  }
+  s.target = {s.user, target, t};
+  return s;
+}
+
+TEST(LightMobTest, ScoresHaveOneEntryPerLocation) {
+  LightMob model(SmallConfig());
+  auto scores = model.Scores(MakeSample({1, 2, 3}, {4, 5}, 6));
+  EXPECT_EQ(scores.size(), 20u);
+}
+
+TEST(LightMobTest, LossIsFiniteAndPositive) {
+  LightMob model(SmallConfig());
+  nn::Tensor loss =
+      model.Loss(MakeSample({1, 2, 3}, {4, 5, 6}, 7), /*training=*/true);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  // CE alone is ~log(20) ≈ 3; contrastive can subtract at most ~1+log K.
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+TEST(LightMobTest, LambdaZeroHasNoHistoryBranch) {
+  LightMob base(SmallConfig(0.0), "LSTM");
+  EXPECT_EQ(base.name(), "LSTM");
+  data::Sample with_hist = MakeSample({1, 2, 3}, {4, 5, 6}, 7);
+  data::Sample without_hist = MakeSample({1, 2, 3}, {}, 7);
+  // With λ = 0 the history must not influence the loss at all.
+  EXPECT_FLOAT_EQ(base.Loss(with_hist, false).item(),
+                  base.Loss(without_hist, false).item());
+}
+
+TEST(LightMobTest, ContrastiveTermSkippedWhenAllNextLocationsAreTarget) {
+  LightMob model(SmallConfig());
+  // recent = <5, 5, 5>, target 5: every prefix's next location equals the
+  // target, so §III-C filtering leaves no negatives.
+  data::Sample s = MakeSample({5, 5, 5}, {1, 2}, 5);
+  nn::Tensor h_rec = model.encoder().Forward(s.recent, false);
+  nn::Tensor h_hist = model.encoder().Forward(s.history, false);
+  EXPECT_FALSE(model.ContrastiveTerm(h_rec, h_hist, s).defined());
+}
+
+TEST(LightMobTest, ContrastiveTermPresentWithValidNegatives) {
+  LightMob model(SmallConfig());
+  data::Sample s = MakeSample({5, 6, 7}, {1, 2}, 9);
+  nn::Tensor h_rec = model.encoder().Forward(s.recent, false);
+  nn::Tensor h_hist = model.encoder().Forward(s.history, false);
+  nn::Tensor con = model.ContrastiveTerm(h_rec, h_hist, s);
+  ASSERT_TRUE(con.defined());
+  EXPECT_TRUE(std::isfinite(con.item()));
+}
+
+TEST(LightMobTest, ContrastiveLossChangesLossValue) {
+  data::Sample s = MakeSample({5, 6, 7, 8}, {1, 2, 3}, 9);
+  LightMob with(SmallConfig(0.8));
+  LightMob without(SmallConfig(0.0));
+  // Same seed => identical encoder/classifier init, so any difference comes
+  // from the contrastive term.
+  const float a = with.Loss(s, false).item();
+  const float b = without.Loss(s, false).item();
+  EXPECT_NE(a, b);
+}
+
+TEST(LightMobTest, PrefixRepresentationsMatchScoresPath) {
+  // The last prefix representation run through the classifier must equal
+  // Scores() — this ties PTTA's view of the model to normal inference.
+  LightMob model(SmallConfig());
+  data::Sample s = MakeSample({3, 1, 4, 1, 5}, {2, 6}, 9);
+  nn::Tensor reps = model.PrefixRepresentations(s);
+  EXPECT_EQ(reps.rows(), 5);
+  EXPECT_EQ(reps.cols(), 16);
+  nn::Tensor logits =
+      model.classifier().Forward(nn::Row(reps, reps.rows() - 1));
+  const auto scores = model.Scores(s);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(scores[i], logits.data()[i], 1e-5f);
+  }
+}
+
+TEST(LightMobTest, GradientsFlowThroughHybridLoss) {
+  LightMob model(SmallConfig());
+  model.ZeroGrad();
+  nn::Tensor loss = model.Loss(MakeSample({1, 2, 3}, {4, 5, 6}, 7), true);
+  loss.Backward();
+  // At least the classifier and the encoder must receive gradient signal.
+  int params_with_grad = 0;
+  for (auto& p : model.Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        ++params_with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(params_with_grad, 5);
+}
+
+TEST(LightMobTest, ParameterCountMatchesArchitecture) {
+  ModelConfig c = SmallConfig(0.0);
+  LightMob model(c);
+  // loc emb 20*8 + time emb 48*4 + user emb 4*4 + LSTM ((16+16)*64 + 64)
+  // + classifier 16*20 + 20.
+  const int64_t expected = 20 * 8 + 48 * 4 + 4 * 4 +
+                           (16 * 64 + 16 * 64 + 64) + 16 * 20 + 20;
+  EXPECT_EQ(model.NumParameters(), expected);
+}
+
+TEST(LightMobTest, EncoderVariantsAllWork) {
+  for (EncoderType type :
+       {EncoderType::kRnn, EncoderType::kLstm, EncoderType::kGru,
+        EncoderType::kTransformer}) {
+    ModelConfig c = SmallConfig();
+    c.encoder = type;
+    c.transformer_heads = 4;
+    LightMob model(c);
+    auto scores = model.Scores(MakeSample({1, 2, 3}, {4}, 5));
+    EXPECT_EQ(scores.size(), 20u) << EncoderTypeName(type);
+    nn::Tensor loss = model.Loss(MakeSample({1, 2, 3}, {4, 5}, 6), true);
+    EXPECT_TRUE(std::isfinite(loss.item())) << EncoderTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace adamove::core

@@ -1,0 +1,63 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adamove::core {
+namespace {
+
+TEST(MetricsTest, RankOfTopScore) {
+  EXPECT_EQ(MetricAccumulator::RankOf({0.1f, 0.9f, 0.5f}, 1), 1);
+  EXPECT_EQ(MetricAccumulator::RankOf({0.1f, 0.9f, 0.5f}, 2), 2);
+  EXPECT_EQ(MetricAccumulator::RankOf({0.1f, 0.9f, 0.5f}, 0), 3);
+}
+
+TEST(MetricsTest, TiesBreakByIndex) {
+  // Equal scores: the earlier index wins the better rank.
+  EXPECT_EQ(MetricAccumulator::RankOf({0.5f, 0.5f}, 0), 1);
+  EXPECT_EQ(MetricAccumulator::RankOf({0.5f, 0.5f}, 1), 2);
+}
+
+TEST(MetricsTest, RejectsBadTarget) {
+  EXPECT_DEATH(MetricAccumulator::RankOf({0.5f}, 1), "CHECK");
+}
+
+TEST(MetricsTest, AccumulatesRecallBands) {
+  MetricAccumulator acc;
+  // 12 locations; craft ranks 1, 3, 7, 12.
+  std::vector<float> scores(12);
+  for (int i = 0; i < 12; ++i) scores[i] = static_cast<float>(12 - i);
+  acc.Add(scores, 0);   // rank 1
+  acc.Add(scores, 2);   // rank 3
+  acc.Add(scores, 6);   // rank 7
+  acc.Add(scores, 11);  // rank 12
+  Metrics m = acc.Result();
+  EXPECT_EQ(m.count, 4);
+  EXPECT_DOUBLE_EQ(m.rec1, 0.25);
+  EXPECT_DOUBLE_EQ(m.rec5, 0.5);
+  EXPECT_DOUBLE_EQ(m.rec10, 0.75);
+  // MRR@10 = (1 + 1/3 + 1/7 + 0) / 4
+  EXPECT_NEAR(m.mrr, (1.0 + 1.0 / 3 + 1.0 / 7) / 4.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  Metrics m = MetricAccumulator().Result();
+  EXPECT_EQ(m.count, 0);
+  EXPECT_EQ(m.rec1, 0.0);
+  EXPECT_EQ(m.mrr, 0.0);
+}
+
+TEST(MetricsTest, MonotonicBands) {
+  // Rec@1 <= Rec@5 <= Rec@10 always.
+  MetricAccumulator acc;
+  std::vector<float> scores(20);
+  for (int i = 0; i < 20; ++i) scores[i] = static_cast<float>(i % 7);
+  for (int t = 0; t < 20; ++t) acc.Add(scores, t);
+  Metrics m = acc.Result();
+  EXPECT_LE(m.rec1, m.rec5);
+  EXPECT_LE(m.rec5, m.rec10);
+  EXPECT_LE(m.mrr, m.rec10);
+  EXPECT_GE(m.mrr, m.rec1);
+}
+
+}  // namespace
+}  // namespace adamove::core

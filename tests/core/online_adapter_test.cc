@@ -1,0 +1,114 @@
+#include "core/online_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lightmob.h"
+#include "data/point.h"
+
+namespace adamove::core {
+namespace {
+
+ModelConfig SmallConfig() {
+  ModelConfig c;
+  c.num_locations = 10;
+  c.num_users = 4;
+  c.hidden_size = 8;
+  c.location_emb_dim = 4;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 2;
+  c.lambda = 0.0;
+  return c;
+}
+
+data::Sample MakeSample(int64_t user, std::vector<int64_t> recent,
+                        int64_t target, int64_t t0 = 1333238400) {
+  data::Sample s;
+  s.user = user;
+  int64_t t = t0;
+  for (int64_t l : recent) {
+    s.recent.push_back({user, l, t});
+    t += 3 * data::kSecondsPerHour;
+  }
+  s.target = {user, target, t};
+  return s;
+}
+
+TEST(OnlineAdapterTest, ObserveAccumulatesBoundedPatterns) {
+  OnlineAdapter adapter{PttaConfig{}};
+  std::vector<float> pattern = {1, 0, 0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 100; ++i) {
+    adapter.Observe(1, pattern, 3, 1000 + i);
+  }
+  // Per-location FIFO cap bounds memory.
+  EXPECT_LE(adapter.PatternCount(1), 32u);
+  EXPECT_EQ(adapter.PatternCount(2), 0u);
+  adapter.Reset();
+  EXPECT_EQ(adapter.PatternCount(1), 0u);
+}
+
+TEST(OnlineAdapterTest, PredictMatchesFrozenWhenEmpty) {
+  LightMob model(SmallConfig());
+  OnlineAdapter adapter{PttaConfig{}};
+  data::Sample s = MakeSample(1, {1, 2, 3}, 4);
+  nn::Tensor reps = model.PrefixRepresentations(s);
+  const int64_t hidden = reps.cols();
+  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
+  std::vector<float> adapted =
+      adapter.Predict(model, 1, query, s.target.timestamp);
+  std::vector<float> frozen = model.Scores(s);
+  ASSERT_EQ(adapted.size(), frozen.size());
+  for (size_t i = 0; i < adapted.size(); ++i) {
+    EXPECT_NEAR(adapted[i], frozen[i], 1e-4f);
+  }
+}
+
+TEST(OnlineAdapterTest, RepeatedObservationsBoostZeroedColumn) {
+  LightMob model(SmallConfig());
+  // Zero out location 7's column so its frozen score is just the bias.
+  nn::Tensor weight = model.classifier().weight();
+  const int64_t num_loc = model.classifier().out_features();
+  for (int64_t i = 0; i < model.classifier().in_features(); ++i) {
+    weight.data()[static_cast<size_t>(i * num_loc + 7)] = 0.0f;
+  }
+  OnlineAdapter adapter{PttaConfig{}};
+  data::Sample s = MakeSample(1, {2, 7, 2, 7, 2, 7, 2}, 7);
+  std::vector<float> frozen = model.Scores(s);
+  std::vector<float> adapted = adapter.ObserveAndPredict(model, s);
+  EXPECT_GT(adapted[7], frozen[7]);
+  // State persists: a later sample of the same user still benefits.
+  data::Sample later = MakeSample(1, {2}, 7, s.target.timestamp + 3600);
+  std::vector<float> later_scores = adapter.ObserveAndPredict(model, later);
+  EXPECT_GT(later_scores[7], model.Scores(later)[7]);
+}
+
+TEST(OnlineAdapterTest, StateIsPerUser) {
+  LightMob model(SmallConfig());
+  OnlineAdapter adapter{PttaConfig{}};
+  adapter.ObserveAndPredict(model, MakeSample(1, {2, 7, 2, 7}, 7));
+  EXPECT_GT(adapter.PatternCount(1), 0u);
+  EXPECT_EQ(adapter.PatternCount(2), 0u);
+}
+
+TEST(OnlineAdapterTest, OldPatternsAgeOut) {
+  LightMob model(SmallConfig());
+  nn::Tensor weight = model.classifier().weight();
+  const int64_t num_loc = model.classifier().out_features();
+  for (int64_t i = 0; i < model.classifier().in_features(); ++i) {
+    weight.data()[static_cast<size_t>(i * num_loc + 7)] = 0.0f;
+  }
+  OnlineAdapter adapter{PttaConfig{}, /*max_age_seconds=*/3600};
+  data::Sample s = MakeSample(1, {2, 7, 2, 7, 2}, 7);
+  adapter.ObserveAndPredict(model, s);
+  // A query far in the future finds only stale patterns -> frozen scores.
+  data::Sample future = MakeSample(1, {2}, 7,
+                                   s.target.timestamp + 100 * 24 * 3600);
+  nn::Tensor reps = model.PrefixRepresentations(future);
+  const int64_t hidden = reps.cols();
+  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
+  std::vector<float> scores =
+      adapter.Predict(model, 1, query, future.target.timestamp);
+  EXPECT_NEAR(scores[7], model.Scores(future)[7], 1e-4f);
+}
+
+}  // namespace
+}  // namespace adamove::core

@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ptta.h"
+#include "nn/layers.h"
+
+namespace adamove::core {
+namespace {
+
+// Parameter: (T prefix count, H hidden, L locations, M capacity, seed).
+using Params = std::tuple<int, int, int, int, int>;
+
+class PttaPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    std::tie(t_, h_, l_, m_, seed_) = GetParam();
+    rng_ = std::make_unique<common::Rng>(static_cast<uint64_t>(seed_));
+    reps_ = nn::Tensor::Randn({t_, h_}, *rng_, 1.0f);
+    classifier_ = std::make_unique<nn::Linear>(h_, l_, *rng_);
+    labels_.resize(static_cast<size_t>(t_ - 1));
+    for (auto& label : labels_) label = rng_->UniformInt(0, l_ - 1);
+  }
+
+  // Reference implementation of steps 2-3: brute-force top-M by similarity
+  // then exact centroid.
+  std::vector<float> ReferenceAdjusted() const {
+    const auto& weight = classifier_->weight().data();
+    std::vector<float> adjusted = weight;
+    const float* h_test = reps_.data().data() + (t_ - 1) * h_;
+    auto cosine = [&](const float* a, const float* b) {
+      double dot = 0, na = 0, nb = 0;
+      for (int i = 0; i < h_; ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+      }
+      return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+    };
+    for (int64_t label = 0; label < l_; ++label) {
+      std::vector<std::pair<double, int>> candidates;  // (sim, k)
+      for (int k = 0; k + 1 < t_; ++k) {
+        if (labels_[static_cast<size_t>(k)] != label) continue;
+        const float* h_k = reps_.data().data() + k * h_;
+        candidates.emplace_back(cosine(h_test, h_k), k);
+      }
+      if (candidates.empty()) continue;
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      if (static_cast<int>(candidates.size()) > m_) candidates.resize(m_);
+      std::vector<double> acc(static_cast<size_t>(h_));
+      for (int i = 0; i < h_; ++i) acc[i] = weight[i * l_ + label];
+      for (const auto& [sim, k] : candidates) {
+        const float* h_k = reps_.data().data() + k * h_;
+        for (int i = 0; i < h_; ++i) acc[i] += h_k[i];
+      }
+      for (int i = 0; i < h_; ++i) {
+        adjusted[i * l_ + label] = static_cast<float>(
+            acc[i] / (1.0 + static_cast<double>(candidates.size())));
+      }
+    }
+    return adjusted;
+  }
+
+  int t_, h_, l_, m_, seed_;
+  std::unique_ptr<common::Rng> rng_;
+  nn::Tensor reps_;
+  std::unique_ptr<nn::Linear> classifier_;
+  std::vector<int64_t> labels_;
+};
+
+TEST_P(PttaPropertyTest, MatchesBruteForceReference) {
+  // The streaming Algorithm-1 implementation must agree with a brute-force
+  // sort-and-average reference on arbitrary inputs. (Ties in similarity are
+  // measure-zero for random reps.)
+  PttaConfig config;
+  config.capacity = m_;
+  TestTimeAdapter adapter(config);
+  std::vector<float> got =
+      adapter.AdjustedWeights(reps_, labels_, *classifier_);
+  std::vector<float> want = ReferenceAdjusted();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-4f) << "entry " << i;
+  }
+}
+
+TEST_P(PttaPropertyTest, OnlyLabeledColumnsChange) {
+  PttaConfig config;
+  config.capacity = m_;
+  TestTimeAdapter adapter(config);
+  std::vector<float> adjusted =
+      adapter.AdjustedWeights(reps_, labels_, *classifier_);
+  const auto& original = classifier_->weight().data();
+  std::vector<bool> labeled(static_cast<size_t>(l_), false);
+  for (int64_t label : labels_) labeled[static_cast<size_t>(label)] = true;
+  for (int64_t col = 0; col < l_; ++col) {
+    if (labeled[static_cast<size_t>(col)]) continue;
+    for (int i = 0; i < h_; ++i) {
+      EXPECT_EQ(adjusted[i * l_ + col], original[i * l_ + col]);
+    }
+  }
+}
+
+TEST_P(PttaPropertyTest, StatsCountColumnsAndPatterns) {
+  PttaConfig config;
+  config.capacity = m_;
+  TestTimeAdapter adapter(config);
+  AdapterStats stats;
+  adapter.AdjustedWeights(reps_, labels_, *classifier_, &stats);
+  EXPECT_EQ(stats.patterns_generated, t_ - 1);
+  std::vector<bool> labeled(static_cast<size_t>(l_), false);
+  int distinct = 0;
+  for (int64_t label : labels_) {
+    if (!labeled[static_cast<size_t>(label)]) {
+      labeled[static_cast<size_t>(label)] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_EQ(stats.columns_updated, distinct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PttaPropertyTest,
+    ::testing::Values(Params{3, 4, 5, 1, 1}, Params{6, 8, 4, 2, 2},
+                      Params{12, 16, 30, 5, 3}, Params{25, 8, 3, 5, 4},
+                      Params{40, 32, 100, 3, 5}, Params{8, 8, 8, 20, 6}));
+
+}  // namespace
+}  // namespace adamove::core

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.h"
+#include "core/lightmob.h"
+#include "data/point.h"
+#include "nn/ops.h"
+#include "nn/stacked.h"
+
+namespace adamove::core {
+namespace {
+
+ModelConfig StackedConfig(int64_t layers) {
+  ModelConfig c;
+  c.num_locations = 10;
+  c.num_users = 2;
+  c.hidden_size = 8;
+  c.location_emb_dim = 4;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 2;
+  c.rnn_layers = layers;
+  c.lambda = 0.0;
+  return c;
+}
+
+std::vector<data::Point> Points(int n) {
+  std::vector<data::Point> out;
+  int64_t t = 1333238400;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({1, i % 10, t});
+    t += 3 * data::kSecondsPerHour;
+  }
+  return out;
+}
+
+TEST(StackedConfigTest, MultiLayerEncoderKeepsPrefixProperty) {
+  common::Rng rng(1);
+  TrajectoryEncoder enc(StackedConfig(3), rng);
+  auto pts = Points(5);
+  nn::Tensor full = enc.Forward(pts, false);
+  EXPECT_EQ(full.rows(), 5);
+  EXPECT_EQ(full.cols(), 8);
+  auto prefix = std::vector<data::Point>(pts.begin(), pts.begin() + 2);
+  nn::Tensor h = enc.Forward(prefix, false);
+  for (int64_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(h.at(1, c), full.at(1, c), 1e-5f);
+  }
+}
+
+TEST(StackedConfigTest, MoreLayersMeanMoreParameters) {
+  LightMob one(StackedConfig(1));
+  LightMob three(StackedConfig(3));
+  EXPECT_GT(three.NumParameters(), one.NumParameters());
+  // Each extra LSTM layer adds (H*4H + H*4H + 4H) parameters.
+  const int64_t per_layer = 8 * 32 + 8 * 32 + 32;
+  EXPECT_EQ(three.NumParameters() - one.NumParameters(), 2 * per_layer);
+}
+
+TEST(StackedConfigTest, StackedModelTrainsAndAdapts) {
+  LightMob model(StackedConfig(2));
+  data::Sample s;
+  s.user = 1;
+  s.recent = Points(6);
+  s.target = {1, 3, s.recent.back().timestamp + 3600};
+  model.ZeroGrad();
+  nn::Tensor loss = model.Loss(s, true);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  loss.Backward();
+  // PTTA consumes stacked prefix representations just the same.
+  nn::Tensor reps = model.PrefixRepresentations(s);
+  EXPECT_EQ(reps.rows(), 6);
+  EXPECT_EQ(reps.cols(), 8);
+}
+
+TEST(StackedConfigTest, RejectsZeroLayers) {
+  common::Rng rng(2);
+  ModelConfig c = StackedConfig(0);
+  EXPECT_DEATH(TrajectoryEncoder(c, rng), "CHECK");
+}
+
+}  // namespace
+}  // namespace adamove::core

@@ -1,0 +1,82 @@
+#include "data/checkin_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace adamove::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CheckinIoTest, RoundTrips) {
+  std::vector<Trajectory> trajs(2);
+  trajs[0].user = 3;
+  trajs[0].points = {{3, 10, 1000}, {3, 11, 2000}};
+  trajs[1].user = 7;
+  trajs[1].points = {{7, 12, 1500}};
+  const std::string path = TempPath("adamove_io_roundtrip.csv");
+  ASSERT_TRUE(SaveCheckinsCsv(path, trajs));
+
+  std::vector<Trajectory> loaded;
+  ASSERT_TRUE(LoadCheckinsCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].user, 3);
+  ASSERT_EQ(loaded[0].points.size(), 2u);
+  EXPECT_TRUE(loaded[0].points[1] == (Point{3, 11, 2000}));
+  EXPECT_EQ(loaded[1].user, 7);
+  std::remove(path.c_str());
+}
+
+TEST(CheckinIoTest, SortsPointsByTime) {
+  const std::string path = TempPath("adamove_io_sort.csv");
+  {
+    std::ofstream out(path);
+    out << "user,location,timestamp\n";
+    out << "1,5,3000\n1,6,1000\n1,7,2000\n";
+  }
+  std::vector<Trajectory> loaded;
+  ASSERT_TRUE(LoadCheckinsCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].points[0].location, 6);
+  EXPECT_EQ(loaded[0].points[1].location, 7);
+  EXPECT_EQ(loaded[0].points[2].location, 5);
+  std::remove(path.c_str());
+}
+
+TEST(CheckinIoTest, FailsOnMissingFile) {
+  std::vector<Trajectory> loaded;
+  EXPECT_FALSE(LoadCheckinsCsv("/nonexistent/file.csv", &loaded));
+}
+
+TEST(CheckinIoTest, FailsOnGarbageRow) {
+  const std::string path = TempPath("adamove_io_garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "user,location,timestamp\n";
+    out << "not_a_number,2,3\n";
+  }
+  std::vector<Trajectory> loaded;
+  EXPECT_FALSE(LoadCheckinsCsv(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(CheckinIoTest, SkipsEmptyLines) {
+  const std::string path = TempPath("adamove_io_empty.csv");
+  {
+    std::ofstream out(path);
+    out << "user,location,timestamp\n";
+    out << "1,2,3\n\n1,3,4\n";
+  }
+  std::vector<Trajectory> loaded;
+  ASSERT_TRUE(LoadCheckinsCsv(path, &loaded));
+  EXPECT_EQ(loaded[0].points.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adamove::data

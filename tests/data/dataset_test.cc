@@ -1,0 +1,138 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/point.h"
+
+namespace adamove::data {
+namespace {
+
+// A user with `n_sessions` sessions of `len` points each; session s visits
+// locations s*10+k at hour s*200+k.
+UserSessions MakeUser(int64_t user, int n_sessions, int len) {
+  UserSessions us;
+  us.user = user;
+  for (int s = 0; s < n_sessions; ++s) {
+    Session session;
+    for (int k = 0; k < len; ++k) {
+      session.push_back(Point{
+          user, static_cast<int64_t>(s * 10 + k),
+          (static_cast<int64_t>(s) * 200 + k) * kSecondsPerHour});
+    }
+    us.sessions.push_back(session);
+  }
+  return us;
+}
+
+TEST(BuildSamplesTest, OneSessionContextSlidesOverSession) {
+  UserSessions user = MakeUser(0, 3, 4);
+  SampleConfig config;
+  config.context_sessions = 1;
+  auto samples = BuildSamples(user, 0, 1, config);
+  // Session of 4 points -> 3 samples (predict position 1, 2, 3).
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].recent.size(), 1u);
+  EXPECT_EQ(samples[0].target.location, 1);
+  EXPECT_EQ(samples[2].recent.size(), 3u);
+  EXPECT_EQ(samples[2].target.location, 3);
+  // c=1: no history beyond the current session for session 0.
+  EXPECT_TRUE(samples[0].history.empty());
+}
+
+TEST(BuildSamplesTest, ContextSessionsPrependEarlierSessions) {
+  UserSessions user = MakeUser(0, 4, 4);
+  SampleConfig config;
+  config.context_sessions = 3;
+  auto samples = BuildSamples(user, 3, 4, config);  // last session only
+  ASSERT_EQ(samples.size(), 3u);
+  // recent = sessions 1,2 fully + prefix of session 3.
+  EXPECT_EQ(samples[0].recent.size(), 4u + 4u + 1u);
+  // history = session 0 only.
+  EXPECT_EQ(samples[0].history.size(), 4u);
+  EXPECT_EQ(samples[0].history[0].location, 0);
+}
+
+TEST(BuildSamplesTest, HistoryCapKeepsMostRecent) {
+  UserSessions user = MakeUser(0, 5, 4);
+  SampleConfig config;
+  config.context_sessions = 1;
+  config.max_history_points = 0;  // history is everything before session 4
+  // Without the cap: sessions 0..3 -> 16 points... but context_sessions=1
+  // means ctx_begin = 4, so history is sessions 0..3.
+  auto uncapped = BuildSamples(user, 4, 5, config);
+  ASSERT_FALSE(uncapped.empty());
+  EXPECT_EQ(uncapped[0].history.size(), 16u);
+  config.max_history_points = 6;
+  auto capped = BuildSamples(user, 4, 5, config);
+  EXPECT_EQ(capped[0].history.size(), 6u);
+  // Kept points are the most recent (end of session 3).
+  EXPECT_EQ(capped[0].history.back().location, 33);
+}
+
+TEST(BuildSamplesTest, RecentCapKeepsMostRecent) {
+  UserSessions user = MakeUser(0, 4, 6);
+  SampleConfig config;
+  config.context_sessions = 4;
+  config.max_recent_points = 5;
+  auto samples = BuildSamples(user, 3, 4, config);
+  for (const auto& s : samples) {
+    EXPECT_LE(s.recent.size(), 5u);
+  }
+  // Target location is still the true next point of the session.
+  EXPECT_EQ(samples[0].target.location, 31);
+}
+
+TEST(MakeDatasetTest, SplitsFractionsPerUser) {
+  PreprocessedData data;
+  data.num_locations = 100;
+  data.num_users = 2;
+  data.users.push_back(MakeUser(0, 10, 4));
+  data.users.push_back(MakeUser(1, 10, 4));
+  SplitConfig config;
+  Dataset ds = MakeDataset(data, config);
+  // 10 sessions: 7 train, 1 val, 2 test per user; 3 samples per session.
+  EXPECT_EQ(ds.train.size(), 2u * 7u * 3u);
+  EXPECT_EQ(ds.val.size(), 2u * 1u * 3u);
+  EXPECT_EQ(ds.test.size(), 2u * 2u * 3u);
+  EXPECT_EQ(ds.num_locations, 100);
+  EXPECT_EQ(ds.num_users, 2);
+}
+
+TEST(MakeDatasetTest, TestSamplesComeFromLatestSessions) {
+  PreprocessedData data;
+  data.num_locations = 100;
+  data.num_users = 1;
+  data.users.push_back(MakeUser(0, 10, 4));
+  Dataset ds = MakeDataset(data, SplitConfig{});
+  // Train targets precede all test targets chronologically.
+  int64_t max_train = 0, min_test = INT64_MAX;
+  for (const auto& s : ds.train) {
+    max_train = std::max(max_train, s.target.timestamp);
+  }
+  for (const auto& s : ds.test) {
+    min_test = std::min(min_test, s.target.timestamp);
+  }
+  EXPECT_LT(max_train, min_test);
+}
+
+TEST(MakeDatasetTest, EvalContextWiderThanTrain) {
+  PreprocessedData data;
+  data.num_locations = 100;
+  data.num_users = 1;
+  data.users.push_back(MakeUser(0, 10, 4));
+  SplitConfig config;
+  config.eval_samples.context_sessions = 5;
+  Dataset ds = MakeDataset(data, config);
+  // Test samples should carry more recent context than train samples.
+  size_t max_train_recent = 0, max_test_recent = 0;
+  for (const auto& s : ds.train) {
+    max_train_recent = std::max(max_train_recent, s.recent.size());
+  }
+  for (const auto& s : ds.test) {
+    max_test_recent = std::max(max_test_recent, s.recent.size());
+  }
+  EXPECT_GT(max_test_recent, max_train_recent);
+}
+
+}  // namespace
+}  // namespace adamove::data

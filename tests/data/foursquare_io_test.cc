@@ -1,0 +1,100 @@
+#include "data/foursquare_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace adamove::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ParseFoursquareTimeTest, KnownTimestamps) {
+  int64_t t = 0;
+  // 2012-04-03 18:00:09 UTC = 1333476009.
+  ASSERT_TRUE(ParseFoursquareTime("Tue Apr 03 18:00:09 +0000 2012", &t));
+  EXPECT_EQ(t, 1333476009);
+  // Epoch.
+  ASSERT_TRUE(ParseFoursquareTime("Thu Jan 01 00:00:00 +0000 1970", &t));
+  EXPECT_EQ(t, 0);
+  // Leap-year day: 2012-02-29 12:00:00 UTC = 1330516800.
+  ASSERT_TRUE(ParseFoursquareTime("Wed Feb 29 12:00:00 +0000 2012", &t));
+  EXPECT_EQ(t, 1330516800);
+}
+
+TEST(ParseFoursquareTimeTest, RejectsGarbage) {
+  int64_t t = 0;
+  EXPECT_FALSE(ParseFoursquareTime("not a time", &t));
+  EXPECT_FALSE(ParseFoursquareTime("Tue Xxx 03 18:00:09 +0000 2012", &t));
+  EXPECT_FALSE(ParseFoursquareTime("Tue Apr 33 18:00:09 +0000 2012", &t));
+  EXPECT_FALSE(ParseFoursquareTime("Tue Apr 03 25:00:09 +0000 2012", &t));
+}
+
+TEST(LoadFoursquareTsvTest, ParsesAndReindexesVenues) {
+  const std::string path = TempPath("adamove_4sq.tsv");
+  {
+    std::ofstream out(path);
+    out << "470\t49bbd6c0f964a520f4531fe3\t4bf58dd8d48988d127951735\t"
+           "Arts & Crafts Store\t40.72\t-74.0\t-240\t"
+           "Tue Apr 03 18:00:09 +0000 2012\n";
+    out << "470\t4a43c0aef964a520c6a61fe3\t4bf58dd8d48988d1df941735\t"
+           "Bridge\t40.60\t-73.99\t-240\t"
+           "Tue Apr 03 19:00:09 +0000 2012\n";
+    out << "979\t49bbd6c0f964a520f4531fe3\t4bf58dd8d48988d127951735\t"
+           "Arts & Crafts Store\t40.72\t-74.0\t-240\t"
+           "Wed Apr 04 10:00:00 +0000 2012\n";
+  }
+  FoursquareLoadResult result;
+  ASSERT_TRUE(LoadFoursquareTsv(path, &result));
+  EXPECT_EQ(result.skipped_lines, 0u);
+  ASSERT_EQ(result.trajectories.size(), 2u);
+  EXPECT_EQ(result.location_to_venue.size(), 2u);
+  // Same venue string maps to the same dense id across users.
+  EXPECT_EQ(result.trajectories[0].points[0].location,
+            result.trajectories[1].points[0].location);
+  // Timezone offset (-240 min) applied: local = utc - 4h.
+  EXPECT_EQ(result.trajectories[0].points[0].timestamp,
+            1333476009 - 240 * 60);
+  std::remove(path.c_str());
+}
+
+TEST(LoadFoursquareTsvTest, SkipsMalformedRowsAndCountsThem) {
+  const std::string path = TempPath("adamove_4sq_bad.tsv");
+  {
+    std::ofstream out(path);
+    out << "garbage line without tabs\n";
+    out << "470\tv1\tc\tn\t1\t2\tnot_a_number\t"
+           "Tue Apr 03 18:00:09 +0000 2012\n";
+    out << "470\tv1\tc\tn\t1\t2\t-240\tTue Apr 03 18:00:09 +0000 2012\n";
+  }
+  FoursquareLoadResult result;
+  ASSERT_TRUE(LoadFoursquareTsv(path, &result));
+  EXPECT_EQ(result.skipped_lines, 2u);
+  ASSERT_EQ(result.trajectories.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadFoursquareTsvTest, MissingFileFails) {
+  FoursquareLoadResult result;
+  EXPECT_FALSE(LoadFoursquareTsv("/does/not/exist.tsv", &result));
+}
+
+TEST(LoadFoursquareTsvTest, HandlesCarriageReturns) {
+  const std::string path = TempPath("adamove_4sq_crlf.tsv");
+  {
+    std::ofstream out(path);
+    out << "470\tv1\tc\tn\t1\t2\t-240\tTue Apr 03 18:00:09 +0000 2012\r\n";
+  }
+  FoursquareLoadResult result;
+  ASSERT_TRUE(LoadFoursquareTsv(path, &result));
+  EXPECT_EQ(result.skipped_lines, 0u);
+  ASSERT_EQ(result.trajectories.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adamove::data

@@ -1,0 +1,132 @@
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+
+namespace adamove::data {
+namespace {
+
+// Parameter: (users, locations, days, density, eval context c, seed).
+using Params = std::tuple<int, int, int, double, int, int>;
+
+class PipelinePropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    auto [users, locations, days, density, c, seed] = GetParam();
+    SyntheticConfig config;
+    config.num_users = users;
+    config.num_locations = locations;
+    config.num_days = days;
+    config.checkins_per_day = density;
+    config.seed = static_cast<uint64_t>(seed);
+    world_ = GenerateSynthetic(config);
+    PreprocessConfig pconfig;
+    pconfig.min_users_per_location = 2;
+    pre_ = Preprocess(world_.trajectories, pconfig);
+    SplitConfig split;
+    split.eval_samples.context_sessions = c;
+    dataset_ = MakeDataset(pre_, split);
+    pconfig_ = pconfig;
+  }
+
+  SyntheticResult world_;
+  PreprocessedData pre_;
+  Dataset dataset_;
+  PreprocessConfig pconfig_;
+};
+
+TEST_P(PipelinePropertyTest, PreprocessedInvariantsHold) {
+  std::set<int64_t> seen_users;
+  for (const auto& user : pre_.users) {
+    EXPECT_TRUE(seen_users.insert(user.user).second);  // dense & unique
+    EXPECT_GE(static_cast<int>(user.sessions.size()),
+              pconfig_.min_sessions_per_user);
+    for (const auto& session : user.sessions) {
+      EXPECT_GE(static_cast<int>(session.size()),
+                pconfig_.min_points_per_session);
+      // Session fits its window and is chronological.
+      EXPECT_LE(session.back().timestamp - session.front().timestamp,
+                static_cast<int64_t>(pconfig_.session_window_hours) *
+                    kSecondsPerHour);
+      for (size_t i = 1; i < session.size(); ++i) {
+        EXPECT_GE(session[i].timestamp, session[i - 1].timestamp);
+      }
+      for (const auto& p : session) {
+        EXPECT_GE(p.location, 0);
+        EXPECT_LT(p.location, pre_.num_locations);
+        EXPECT_EQ(p.user, user.user);
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen_users.size()), pre_.num_users);
+}
+
+TEST_P(PipelinePropertyTest, SampleInvariantsHold) {
+  auto check = [&](const std::vector<Sample>& samples) {
+    for (const auto& s : samples) {
+      ASSERT_FALSE(s.recent.empty());
+      EXPECT_GE(s.target.location, 0);
+      EXPECT_LT(s.target.location, dataset_.num_locations);
+      EXPECT_GE(s.user, 0);
+      EXPECT_LT(s.user, dataset_.num_users);
+      // Chronological: history < recent < target.
+      if (!s.history.empty()) {
+        EXPECT_LE(s.history.back().timestamp, s.recent.front().timestamp);
+      }
+      for (size_t i = 1; i < s.recent.size(); ++i) {
+        EXPECT_GE(s.recent[i].timestamp, s.recent[i - 1].timestamp);
+      }
+      EXPECT_GE(s.target.timestamp, s.recent.back().timestamp);
+    }
+  };
+  check(dataset_.train);
+  check(dataset_.val);
+  check(dataset_.test);
+}
+
+TEST_P(PipelinePropertyTest, SplitIsChronologicalPerUser) {
+  // For every user, no test target precedes a train target.
+  std::unordered_map<int64_t, int64_t> max_train;
+  for (const auto& s : dataset_.train) {
+    auto [it, inserted] = max_train.try_emplace(s.user, s.target.timestamp);
+    if (!inserted) it->second = std::max(it->second, s.target.timestamp);
+  }
+  for (const auto& s : dataset_.test) {
+    auto it = max_train.find(s.user);
+    if (it == max_train.end()) continue;
+    EXPECT_GT(s.target.timestamp, it->second) << "user " << s.user;
+  }
+}
+
+TEST_P(PipelinePropertyTest, PipelineIsDeterministic) {
+  auto [users, locations, days, density, c, seed] = GetParam();
+  SyntheticConfig config;
+  config.num_users = users;
+  config.num_locations = locations;
+  config.num_days = days;
+  config.checkins_per_day = density;
+  config.seed = static_cast<uint64_t>(seed);
+  SyntheticResult again = GenerateSynthetic(config);
+  PreprocessedData pre2 = Preprocess(again.trajectories, pconfig_);
+  ASSERT_EQ(pre2.num_users, pre_.num_users);
+  ASSERT_EQ(pre2.num_locations, pre_.num_locations);
+  SplitConfig split;
+  split.eval_samples.context_sessions = c;
+  Dataset ds2 = MakeDataset(pre2, split);
+  EXPECT_EQ(ds2.train.size(), dataset_.train.size());
+  EXPECT_EQ(ds2.test.size(), dataset_.test.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelinePropertyTest,
+    ::testing::Values(Params{15, 60, 60, 2.5, 1, 11},
+                      Params{25, 80, 100, 3.0, 3, 12},
+                      Params{20, 70, 80, 5.0, 5, 13},
+                      Params{30, 100, 50, 4.0, 6, 14}));
+
+}  // namespace
+}  // namespace adamove::data

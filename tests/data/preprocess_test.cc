@@ -1,0 +1,152 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "data/point.h"
+
+namespace adamove::data {
+namespace {
+
+Point P(int64_t user, int64_t loc, int64_t hours) {
+  return Point{user, loc, hours * kSecondsPerHour};
+}
+
+TEST(TimeSlotTest, EncodesWorkdayAndWeekendSeparately) {
+  // Unix epoch day 0 is a Thursday. Hour 10 on Thursday -> slot 10.
+  EXPECT_EQ(TimeSlotOf(10 * kSecondsPerHour), 10);
+  // Day 2 after epoch is a Saturday -> weekend slots 24..47.
+  EXPECT_EQ(TimeSlotOf(2 * kSecondsPerDay + 10 * kSecondsPerHour), 34);
+  // Day 3 is a Sunday.
+  EXPECT_EQ(TimeSlotOf(3 * kSecondsPerDay), 24);
+  // Day 4 is a Monday.
+  EXPECT_EQ(TimeSlotOf(4 * kSecondsPerDay + 23 * kSecondsPerHour), 23);
+}
+
+TEST(SegmentSessionsTest, SplitsOnWindowBoundary) {
+  Trajectory tr;
+  tr.user = 0;
+  tr.points = {P(0, 1, 0), P(0, 2, 10), P(0, 3, 71), P(0, 4, 73),
+               P(0, 5, 80)};
+  auto sessions = SegmentSessions(tr, /*window_hours=*/72);
+  // First session opens at hour 0 and holds points up to hour 72.
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].size(), 3u);
+  EXPECT_EQ(sessions[1].size(), 2u);
+  EXPECT_EQ(sessions[1][0].location, 4);
+}
+
+TEST(SegmentSessionsTest, WindowAnchorsAtSessionStartNotLastPoint) {
+  Trajectory tr;
+  tr.user = 0;
+  // Points every 48 h: each is within 72 h of the previous point but the
+  // third is outside the window opened by the first.
+  tr.points = {P(0, 1, 0), P(0, 2, 48), P(0, 3, 96)};
+  auto sessions = SegmentSessions(tr, 72);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].size(), 2u);
+}
+
+TEST(SegmentSessionsTest, EmptyTrajectoryGivesNoSessions) {
+  Trajectory tr;
+  EXPECT_TRUE(SegmentSessions(tr, 72).empty());
+}
+
+class PreprocessPipelineTest : public ::testing::Test {
+ protected:
+  // Builds `num_users` users all visiting the same two locations in
+  // `sessions_per_user` well-separated dense sessions.
+  std::vector<Trajectory> MakeRegularCorpus(int num_users,
+                                            int sessions_per_user,
+                                            int points_per_session) {
+    std::vector<Trajectory> out;
+    for (int u = 0; u < num_users; ++u) {
+      Trajectory tr;
+      tr.user = 100 + u;  // raw ids not dense
+      for (int s = 0; s < sessions_per_user; ++s) {
+        for (int k = 0; k < points_per_session; ++k) {
+          const int64_t t =
+              (static_cast<int64_t>(s) * 200 + k) * kSecondsPerHour;
+          tr.points.push_back(Point{tr.user, 1000 + (k % 2), t});
+        }
+      }
+      out.push_back(tr);
+    }
+    return out;
+  }
+};
+
+TEST_F(PreprocessPipelineTest, KeepsRegularUsersAndReindexes) {
+  auto raw = MakeRegularCorpus(4, 6, 5);
+  PreprocessConfig config;
+  config.min_users_per_location = 3;
+  PreprocessedData data = Preprocess(raw, config);
+  EXPECT_EQ(data.num_users, 4);
+  EXPECT_EQ(data.num_locations, 2);
+  for (const auto& user : data.users) {
+    EXPECT_EQ(user.sessions.size(), 6u);
+    for (const auto& session : user.sessions) {
+      for (const auto& p : session) {
+        EXPECT_LT(p.location, data.num_locations);
+        EXPECT_EQ(p.user, user.user);
+      }
+    }
+  }
+  // Raw id mapping preserved.
+  EXPECT_EQ(data.user_to_raw[0], 100);
+  EXPECT_EQ(data.location_to_raw.size(), 2u);
+}
+
+TEST_F(PreprocessPipelineTest, DropsUnpopularLocations) {
+  auto raw = MakeRegularCorpus(4, 6, 5);
+  // One user sprinkles in a location nobody else visits.
+  raw[0].points.push_back(Point{raw[0].user, 9999, 5 * kSecondsPerHour});
+  PreprocessConfig config;
+  config.min_users_per_location = 3;
+  PreprocessedData data = Preprocess(raw, config);
+  EXPECT_EQ(data.num_locations, 2);  // 9999 filtered
+}
+
+TEST_F(PreprocessPipelineTest, DropsShortSessions) {
+  auto raw = MakeRegularCorpus(4, 6, 5);
+  // Add a far-future session with only 2 points to user 0: it must vanish.
+  const int64_t base = 100000 * static_cast<int64_t>(kSecondsPerHour);
+  raw[0].points.push_back(Point{raw[0].user, 1000, base});
+  raw[0].points.push_back(Point{raw[0].user, 1001, base + 1});
+  PreprocessConfig config;
+  config.min_users_per_location = 3;
+  PreprocessedData data = Preprocess(raw, config);
+  EXPECT_EQ(data.users[0].sessions.size(), 6u);
+}
+
+TEST_F(PreprocessPipelineTest, DropsInactiveUsers) {
+  auto raw = MakeRegularCorpus(4, 6, 5);
+  raw.push_back(MakeRegularCorpus(1, 2, 5)[0]);  // only 2 sessions
+  raw.back().user = 999;
+  PreprocessConfig config;
+  config.min_users_per_location = 3;
+  PreprocessedData data = Preprocess(raw, config);
+  EXPECT_EQ(data.num_users, 4);
+}
+
+TEST_F(PreprocessPipelineTest, SortsOutOfOrderPoints) {
+  auto raw = MakeRegularCorpus(3, 6, 5);
+  std::swap(raw[0].points[0], raw[0].points[3]);
+  PreprocessConfig config;
+  config.min_users_per_location = 3;
+  PreprocessedData data = Preprocess(raw, config);
+  for (const auto& session : data.users[0].sessions) {
+    for (size_t i = 1; i < session.size(); ++i) {
+      EXPECT_GE(session[i].timestamp, session[i - 1].timestamp);
+    }
+  }
+}
+
+TEST_F(PreprocessPipelineTest, EmptyInputGivesEmptyOutput) {
+  PreprocessedData data = Preprocess({}, PreprocessConfig{});
+  EXPECT_EQ(data.num_users, 0);
+  EXPECT_EQ(data.num_locations, 0);
+  EXPECT_TRUE(data.users.empty());
+}
+
+}  // namespace
+}  // namespace adamove::data

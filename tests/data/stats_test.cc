@@ -1,0 +1,115 @@
+#include "data/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/point.h"
+
+namespace adamove::data {
+namespace {
+
+PreprocessedData TwoUserData() {
+  PreprocessedData data;
+  data.num_users = 2;
+  data.num_locations = 3;
+  for (int64_t u = 0; u < 2; ++u) {
+    UserSessions us;
+    us.user = u;
+    Session s1, s2;
+    for (int k = 0; k < 5; ++k) {
+      s1.push_back(Point{u, k % 3, static_cast<int64_t>(k) * kSecondsPerHour});
+      s2.push_back(Point{u, (k + u) % 3,
+                         30 * static_cast<int64_t>(kSecondsPerDay) +
+                             static_cast<int64_t>(k) * kSecondsPerHour});
+    }
+    us.sessions = {s1, s2};
+    data.users.push_back(us);
+  }
+  return data;
+}
+
+TEST(StatsTest, CountsUsersSessionsPoints) {
+  DatasetStats stats = ComputeStats(TwoUserData());
+  EXPECT_EQ(stats.num_users, 2);
+  EXPECT_EQ(stats.num_locations, 3);
+  EXPECT_EQ(stats.num_sessions, 4);
+  EXPECT_EQ(stats.num_points, 20);
+  EXPECT_DOUBLE_EQ(stats.avg_session_length, 5.0);
+  EXPECT_DOUBLE_EQ(stats.avg_sessions_per_user, 2.0);
+  EXPECT_EQ(stats.time_span_days, 30);
+}
+
+TEST(StatsTest, EmptyDataGivesZeroStats) {
+  DatasetStats stats = ComputeStats(PreprocessedData{});
+  EXPECT_EQ(stats.num_sessions, 0);
+  EXPECT_EQ(stats.time_span_days, 0);
+}
+
+TEST(MobilitySimilarityTest, IdenticalDistributionGivesSimilarityOne) {
+  // Users repeat the same visit pattern forever: every window matches the
+  // historical distribution exactly.
+  PreprocessedData data;
+  data.num_users = 1;
+  data.num_locations = 2;
+  UserSessions us;
+  us.user = 0;
+  for (int day = 0; day < 120; day += 5) {
+    Session s;
+    for (int k = 0; k < 6; ++k) {
+      s.push_back(Point{0, static_cast<int64_t>(k % 2),
+                        static_cast<int64_t>(day) * kSecondsPerDay +
+                            static_cast<int64_t>(k) * kSecondsPerHour});
+    }
+    us.sessions.push_back(s);
+  }
+  data.users.push_back(us);
+  auto series = MobilitySimilaritySeries(data, /*history_days=*/30,
+                                         /*window_days=*/14);
+  ASSERT_FALSE(series.empty());
+  for (double sim : series) EXPECT_NEAR(sim, 1.0, 1e-9);
+}
+
+TEST(MobilitySimilarityTest, DisjointLocationsGiveZero) {
+  // Location 0 visited in the first 30 days, location 1 afterwards.
+  PreprocessedData data;
+  data.num_users = 1;
+  data.num_locations = 2;
+  UserSessions us;
+  us.user = 0;
+  for (int day = 0; day < 90; day += 3) {
+    Session s;
+    const int64_t loc = day < 30 ? 0 : 1;
+    for (int k = 0; k < 5; ++k) {
+      s.push_back(Point{0, loc,
+                        static_cast<int64_t>(day) * kSecondsPerDay +
+                            static_cast<int64_t>(k) * kSecondsPerHour});
+    }
+    us.sessions.push_back(s);
+  }
+  data.users.push_back(us);
+  auto series = MobilitySimilaritySeries(data, 30, 14);
+  ASSERT_FALSE(series.empty());
+  for (double sim : series) EXPECT_NEAR(sim, 0.0, 1e-9);
+}
+
+TEST(VisitHeatmapTest, CountsVisitsPerWindow) {
+  PreprocessedData data = TwoUserData();
+  VisitHeatmap hm = ComputeVisitHeatmap(data, 0, /*window_days=*/14);
+  ASSERT_EQ(hm.locations.size(), 3u);
+  // User 0 visits locations {0,1,2} in window 0 and window 2 (day 30).
+  for (const auto& row : hm.counts) {
+    ASSERT_EQ(row.size(), 3u);  // 30 days / 14 -> 3 windows
+  }
+  int total = 0;
+  for (const auto& row : hm.counts) {
+    for (int c : row) total += c;
+  }
+  EXPECT_EQ(total, 10);  // user 0 has 10 points
+}
+
+TEST(VisitHeatmapTest, RejectsBadUser) {
+  PreprocessedData data = TwoUserData();
+  EXPECT_DEATH(ComputeVisitHeatmap(data, 7), "CHECK");
+}
+
+}  // namespace
+}  // namespace adamove::data

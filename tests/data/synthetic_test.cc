@@ -1,0 +1,203 @@
+#include "data/synthetic.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "data/stats.h"
+
+namespace adamove::data {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_users = 30;
+  c.num_locations = 120;
+  c.num_days = 120;
+  c.checkins_per_day = 3.0;
+  c.seed = 99;
+  return c;
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticResult a = GenerateSynthetic(SmallConfig());
+  SyntheticResult b = GenerateSynthetic(SmallConfig());
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (size_t u = 0; u < a.trajectories.size(); ++u) {
+    EXPECT_EQ(a.trajectories[u].points.size(),
+              b.trajectories[u].points.size());
+    for (size_t i = 0; i < a.trajectories[u].points.size(); ++i) {
+      EXPECT_TRUE(a.trajectories[u].points[i] == b.trajectories[u].points[i]);
+    }
+  }
+  SyntheticConfig other = SmallConfig();
+  other.seed = 100;
+  SyntheticResult c = GenerateSynthetic(other);
+  // A different seed produces a different corpus.
+  bool any_diff = false;
+  for (size_t u = 0; u < a.trajectories.size() && !any_diff; ++u) {
+    if (a.trajectories[u].points.size() != c.trajectories[u].points.size()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, TrajectoriesAreChronological) {
+  SyntheticResult r = GenerateSynthetic(SmallConfig());
+  for (const auto& tr : r.trajectories) {
+    for (size_t i = 1; i < tr.points.size(); ++i) {
+      EXPECT_GE(tr.points[i].timestamp, tr.points[i - 1].timestamp);
+    }
+  }
+}
+
+TEST(SyntheticTest, PointsAreWithinConfiguredRanges) {
+  SyntheticConfig config = SmallConfig();
+  SyntheticResult r = GenerateSynthetic(config);
+  const int64_t end = config.start_timestamp +
+                      static_cast<int64_t>(config.num_days) * kSecondsPerDay;
+  int64_t total_points = 0;
+  for (const auto& tr : r.trajectories) {
+    total_points += static_cast<int64_t>(tr.points.size());
+    for (const auto& p : tr.points) {
+      EXPECT_GE(p.location, 0);
+      EXPECT_LT(p.location, config.num_locations);
+      EXPECT_GE(p.timestamp, config.start_timestamp);
+      EXPECT_LT(p.timestamp, end);
+    }
+  }
+  // Poisson(3)/day * 120 days * 30 users ≈ 10800 ± noise.
+  EXPECT_GT(total_points, 8000);
+  EXPECT_LT(total_points, 14000);
+}
+
+TEST(SyntheticTest, ShiftedUsersChangeAnchors) {
+  SyntheticConfig config = SmallConfig();
+  config.shift_user_frac = 0.5;
+  config.anchor_churn_per_week = 0.0;  // isolate the one-shot shift
+  SyntheticResult r = GenerateSynthetic(config);
+  EXPECT_FALSE(r.shifted_users.empty());
+  std::set<int64_t> shifted(r.shifted_users.begin(), r.shifted_users.end());
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    const auto& before = r.anchors_before[static_cast<size_t>(u)];
+    const auto& after = r.anchors_after[static_cast<size_t>(u)];
+    if (shifted.count(u) > 0) {
+      EXPECT_NE(before, after) << "user " << u;
+      // Home anchor (index 0) survives a job change.
+      EXPECT_EQ(before[0], after[0]);
+    } else {
+      EXPECT_EQ(before, after) << "user " << u;
+    }
+  }
+}
+
+TEST(SyntheticTest, GradualChurnDecaysSimilarityWithoutShiftEvent) {
+  // With no one-shot shift but steady anchor churn, the biweekly mobility
+  // similarity must still decay over time (the continuous drift of
+  // Fig. 1(c)).
+  SyntheticConfig config = SmallConfig();
+  config.num_days = 200;
+  config.shift_user_frac = 0.0;
+  config.anchor_churn_per_week = 0.15;
+  SyntheticResult r = GenerateSynthetic(config);
+  PreprocessConfig pconfig;
+  pconfig.min_users_per_location = 2;
+  auto series = MobilitySimilaritySeries(
+      Preprocess(r.trajectories, pconfig), 60, 14);
+  ASSERT_GE(series.size(), 6u);
+  const double early = (series[0] + series[1]) / 2.0;
+  const double late =
+      (series[series.size() - 1] + series[series.size() - 2]) / 2.0;
+  EXPECT_GT(early, late);
+}
+
+TEST(SyntheticTest, ShiftedUsersVisitNewLocationsAfterShift) {
+  SyntheticConfig config = SmallConfig();
+  config.shift_user_frac = 1.0;
+  config.explore_prob = 0.0;  // isolate the anchor behaviour
+  SyntheticResult r = GenerateSynthetic(config);
+  int users_with_new_locations = 0;
+  for (const auto& tr : r.trajectories) {
+    std::set<int64_t> before_locs, after_locs;
+    for (const auto& p : tr.points) {
+      (p.timestamp < r.shift_timestamp ? before_locs : after_locs)
+          .insert(p.location);
+    }
+    for (int64_t l : after_locs) {
+      if (before_locs.count(l) == 0) {
+        ++users_with_new_locations;
+        break;
+      }
+    }
+  }
+  // With a full shift, the vast majority of users visit novel locations.
+  EXPECT_GT(users_with_new_locations,
+            static_cast<int>(r.trajectories.size() * 3 / 4));
+}
+
+TEST(SyntheticTest, MobilitySimilarityDecaysAfterShift) {
+  // The Fig. 1(c) phenomenon: biweekly similarity to the historical
+  // distribution drops once the regime shift kicks in.
+  SyntheticConfig config = SmallConfig();
+  config.num_days = 200;
+  config.shift_time_frac = 0.6;
+  config.shift_user_frac = 0.9;
+  config.shift_anchor_frac = 0.8;
+  SyntheticResult r = GenerateSynthetic(config);
+  PreprocessConfig pconfig;
+  pconfig.min_users_per_location = 2;
+  PreprocessedData data = Preprocess(r.trajectories, pconfig);
+  auto series = MobilitySimilaritySeries(data, /*history_days=*/60,
+                                         /*window_days=*/14);
+  ASSERT_GE(series.size(), 6u);
+  // Average of the first two windows (pre-shift) vs last two (post-shift).
+  const double early = (series[0] + series[1]) / 2.0;
+  const double late =
+      (series[series.size() - 1] + series[series.size() - 2]) / 2.0;
+  EXPECT_GT(early, late + 0.05);
+}
+
+TEST(SyntheticTest, PresetsSurvivePreprocessing) {
+  for (auto preset : AllPresets()) {
+    // Shrink to keep this test fast while checking the whole pipeline.
+    ScalePreset(preset, 0.4);
+    preset.synthetic.num_days = std::min(preset.synthetic.num_days, 100);
+    SyntheticResult r = GenerateSynthetic(preset.synthetic);
+    PreprocessedData data = Preprocess(r.trajectories, preset.preprocess);
+    EXPECT_GT(data.num_users, preset.synthetic.num_users / 2)
+        << preset.name;
+    EXPECT_GT(data.num_locations, 10) << preset.name;
+    DatasetStats stats = ComputeStats(data);
+    EXPECT_GE(stats.avg_session_length, 5.0) << preset.name;
+    // The pipeline must yield usable train/test splits.
+    Dataset ds = MakeDataset(data, SplitConfig{});
+    EXPECT_GT(ds.train.size(), 100u) << preset.name;
+    EXPECT_GT(ds.test.size(), 20u) << preset.name;
+  }
+}
+
+TEST(SyntheticTest, ScalePresetScalesUsersAndLocations) {
+  DatasetPreset p = NycLikePreset();
+  const int users = p.synthetic.num_users;
+  const int locs = p.synthetic.num_locations;
+  ScalePreset(p, 0.5);
+  EXPECT_EQ(p.synthetic.num_users, users / 2);
+  EXPECT_EQ(p.synthetic.num_locations, locs / 2);
+  ScalePreset(p, 0.0);  // invalid factor: no-op
+  EXPECT_EQ(p.synthetic.num_users, users / 2);
+}
+
+TEST(SyntheticTest, LymobPresetIsDenserAndShorter) {
+  DatasetPreset nyc = NycLikePreset();
+  DatasetPreset lymob = LymobLikePreset();
+  EXPECT_EQ(lymob.synthetic.num_days, 75);
+  EXPECT_GT(lymob.synthetic.checkins_per_day, nyc.synthetic.checkins_per_day);
+  EXPECT_LT(lymob.synthetic.shift_user_frac, nyc.synthetic.shift_user_frac);
+}
+
+}  // namespace
+}  // namespace adamove::data

@@ -1,0 +1,128 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/nn/gradcheck.h"
+
+namespace adamove::nn {
+namespace {
+
+using ::adamove::nn::testing::ExpectGradientsMatch;
+
+TEST(MultiHeadAttentionTest, OutputShapeSelfAttention) {
+  common::Rng rng(1);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor x = Tensor::Randn({5, 8}, rng);
+  Tensor y = mha.Forward(x, x, /*causal=*/false);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+TEST(MultiHeadAttentionTest, CrossAttentionShapes) {
+  common::Rng rng(2);
+  MultiHeadAttention mha(8, 4, rng);
+  Tensor q = Tensor::Randn({2, 8}, rng);
+  Tensor kv = Tensor::Randn({7, 8}, rng);
+  Tensor y = mha.Forward(q, kv, /*causal=*/false);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+TEST(MultiHeadAttentionTest, RejectsIndivisibleHeads) {
+  common::Rng rng(3);
+  EXPECT_DEATH(MultiHeadAttention(10, 3, rng), "CHECK");
+}
+
+TEST(MultiHeadAttentionTest, CausalMaskBlocksFuture) {
+  common::Rng rng(4);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor x1 = Tensor::Randn({4, 8}, rng);
+  Tensor y1 = mha.Forward(x1, x1, /*causal=*/true);
+  // Mutating the last position must not change earlier outputs.
+  Tensor x2 = x1.Detach();
+  for (int64_t c = 0; c < 8; ++c) x2.set(3, c, 5.0f);
+  Tensor y2 = mha.Forward(x2, x2, /*causal=*/true);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_FLOAT_EQ(y1.at(r, c), y2.at(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(MultiHeadAttentionTest, GradCheck) {
+  common::Rng rng(5);
+  MultiHeadAttention mha(4, 2, rng);
+  Tensor x = Tensor::Randn({3, 4}, rng, 0.5f, true);
+  std::vector<Tensor> inputs = mha.Parameters();
+  inputs.push_back(x);
+  ExpectGradientsMatch(inputs, [&] {
+    Tensor y = mha.Forward(x, x, true);
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST(TransformerSeqEncoderTest, PrefixPropertyViaCausalMask) {
+  common::Rng rng(6);
+  TransformerSeqEncoder enc(5, 8, /*layers=*/2, /*heads=*/2, /*dropout=*/0.0f,
+                            rng);
+  Tensor x = Tensor::Randn({6, 5}, rng);
+  Tensor full = enc.Forward(x, false);
+  for (int64_t t = 2; t <= 6; t += 2) {
+    Tensor h = enc.Forward(SliceRows(x, 0, t), false);
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(h.at(t - 1, c), full.at(t - 1, c), 1e-4f);
+    }
+  }
+}
+
+TEST(TransformerSeqEncoderTest, DropoutOnlyWhenTraining) {
+  common::Rng rng(7);
+  TransformerSeqEncoder enc(4, 8, 1, 2, /*dropout=*/0.5f, rng);
+  Tensor x = Tensor::Randn({4, 4}, rng);
+  Tensor a = enc.Forward(x, /*training=*/false);
+  Tensor b = enc.Forward(x, /*training=*/false);
+  EXPECT_EQ(a.data(), b.data());
+  Tensor c = enc.Forward(x, /*training=*/true);
+  Tensor d = enc.Forward(x, /*training=*/true);
+  EXPECT_NE(c.data(), d.data());  // different dropout masks
+}
+
+TEST(PositionalEncodingTest, AddsDistinctPerPosition) {
+  Tensor x = Tensor::Zeros({4, 6});
+  Tensor y = AddPositionalEncoding(x);
+  // Position 0: sin(0)=0, cos(0)=1 pattern.
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 1.0f);
+  // Rows must differ pairwise.
+  for (int64_t r = 1; r < 4; ++r) {
+    bool differs = false;
+    for (int64_t c = 0; c < 6; ++c) {
+      if (y.at(r, c) != y.at(0, c)) differs = true;
+    }
+    EXPECT_TRUE(differs);
+  }
+}
+
+TEST(TransformerSeqEncoderTest, GradientsReachAllParameters) {
+  common::Rng rng(8);
+  TransformerSeqEncoder enc(3, 8, 1, 2, 0.0f, rng);
+  Tensor x = Tensor::Randn({4, 3}, rng);
+  Sum(Mul(enc.Forward(x, true), enc.Forward(x, true))).Backward();
+  int with_grad = 0;
+  int total = 0;
+  for (auto& p : enc.Parameters()) {
+    ++total;
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(with_grad, total);
+}
+
+}  // namespace
+}  // namespace adamove::nn

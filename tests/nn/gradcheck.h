@@ -1,0 +1,52 @@
+#ifndef ADAMOVE_TESTS_NN_GRADCHECK_H_
+#define ADAMOVE_TESTS_NN_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace adamove::nn::testing {
+
+/// Compares the analytic gradient of `loss_fn` w.r.t. each input against a
+/// central finite difference. `loss_fn` must build a fresh graph from the
+/// inputs' current data each time it is called and return a scalar tensor.
+inline void ExpectGradientsMatch(
+    std::vector<Tensor> inputs, const std::function<Tensor()>& loss_fn,
+    double eps = 1e-3, double rtol = 5e-2, double atol = 1e-3) {
+  // Analytic pass.
+  for (auto& in : inputs) in.ZeroGrad();
+  Tensor loss = loss_fn();
+  ASSERT_EQ(loss.size(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& in : inputs) analytic.push_back(in.grad());
+
+  // Numeric pass.
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    auto& data = inputs[t].data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float orig = data[i];
+      data[i] = orig + static_cast<float>(eps);
+      const double up = loss_fn().item();
+      data[i] = orig - static_cast<float>(eps);
+      const double down = loss_fn().item();
+      data[i] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double a = analytic[t][i];
+      const double tol = atol + rtol * std::max(std::abs(numeric),
+                                                std::abs(a));
+      EXPECT_NEAR(a, numeric, tol)
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+}  // namespace adamove::nn::testing
+
+#endif  // ADAMOVE_TESTS_NN_GRADCHECK_H_

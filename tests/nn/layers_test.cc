@@ -1,0 +1,133 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace adamove::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  common::Rng rng(1);
+  Linear layer(3, 5, rng);
+  EXPECT_EQ(layer.in_features(), 3);
+  EXPECT_EQ(layer.out_features(), 5);
+  EXPECT_TRUE(layer.has_bias());
+  Tensor x = Tensor::Randn({4, 3}, rng);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 5);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  common::Rng rng(2);
+  Linear layer(3, 5, rng, /*with_bias=*/false);
+  EXPECT_FALSE(layer.has_bias());
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  // y(0) must be exactly 0 for a zero input without bias.
+  Tensor x = Tensor::Zeros({1, 3});
+  Tensor y = layer.Forward(x);
+  for (float v : y.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(LinearTest, MatchesManualMatMul) {
+  common::Rng rng(3);
+  Linear layer(2, 2, rng);
+  Tensor x = Tensor::FromVector({1, 2}, {1.0f, -1.0f});
+  Tensor manual = Add(MatMul(x, layer.weight()), layer.bias());
+  EXPECT_EQ(layer.Forward(x).data(), manual.data());
+}
+
+TEST(LinearTest, RejectsWrongInputWidth) {
+  common::Rng rng(4);
+  Linear layer(3, 5, rng);
+  Tensor x = Tensor::Zeros({1, 4});
+  EXPECT_DEATH(layer.Forward(x), "CHECK");
+}
+
+TEST(EmbeddingTest, LooksUpRows) {
+  common::Rng rng(5);
+  Embedding emb(6, 3, rng);
+  Tensor y = emb.Forward({4, 4, 0});
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 3);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(y.at(0, c), y.at(1, c));  // same index, same row
+    EXPECT_EQ(y.at(0, c), emb.weight().at(4, c));
+  }
+}
+
+TEST(EmbeddingTest, RejectsOutOfRange) {
+  common::Rng rng(6);
+  Embedding emb(6, 3, rng);
+  EXPECT_DEATH(emb.Forward({6}), "CHECK");
+  EXPECT_DEATH(emb.Forward({-1}), "CHECK");
+}
+
+TEST(LayerNormLayerTest, NormalizesRows) {
+  LayerNormLayer ln(8);
+  common::Rng rng(7);
+  Tensor x = Tensor::Randn({3, 8}, rng, 5.0f);
+  Tensor y = ln.Forward(x);
+  // Default gain 1, bias 0: each row ~ zero mean, unit variance.
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8.0f;
+    for (int64_t c = 0; c < 8; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+    EXPECT_NEAR(var, 1.0f, 1e-3f);
+  }
+}
+
+TEST(ModuleTest, ParameterTreeCollectsHierarchically) {
+  class Composite : public Module {
+   public:
+    explicit Composite(common::Rng& rng)
+        : inner_(std::make_unique<Linear>(2, 2, rng)) {
+      own_ = RegisterParameter("own", Tensor::Zeros({3}));
+      RegisterModule("inner", inner_.get());
+    }
+    Tensor own_;
+    std::unique_ptr<Linear> inner_;
+  };
+  common::Rng rng(8);
+  Composite composite(rng);
+  EXPECT_EQ(composite.Parameters().size(), 3u);  // own + weight + bias
+  auto named = composite.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].first, "own");
+  EXPECT_EQ(named[1].first, "inner.weight");
+  EXPECT_EQ(named[2].first, "inner.bias");
+  EXPECT_EQ(composite.NumParameters(), 3 + 4 + 2);
+}
+
+TEST(ModuleTest, ZeroGradClearsWholeTree) {
+  common::Rng rng(9);
+  Linear layer(2, 2, rng);
+  Tensor x = Tensor::Randn({1, 2}, rng);
+  Sum(Mul(layer.Forward(x), layer.Forward(x))).Backward();
+  bool any_nonzero = false;
+  for (auto& p : layer.Parameters()) {
+    for (float g : p.grad()) any_nonzero = any_nonzero || g != 0.0f;
+  }
+  ASSERT_TRUE(any_nonzero);
+  layer.ZeroGrad();
+  for (auto& p : layer.Parameters()) {
+    for (float g : p.grad()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(ModuleTest, RegisteredParametersRequireGrad) {
+  common::Rng rng(10);
+  Linear layer(2, 2, rng);
+  for (auto& p : layer.Parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+}  // namespace
+}  // namespace adamove::nn

@@ -1,0 +1,85 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/nn/gradcheck.h"
+
+namespace adamove::nn {
+namespace {
+
+using ::adamove::nn::testing::ExpectGradientsMatch;
+
+TEST(InfoNceTest, MatchesHandComputation) {
+  // anchor == positive (sim 1), one orthogonal negative (sim 0).
+  Tensor anchor = Tensor::FromVector({1, 2}, {1, 0});
+  Tensor positive = Tensor::FromVector({1, 2}, {2, 0});  // same direction
+  Tensor negatives = Tensor::FromVector({1, 2}, {0, 3});
+  Tensor loss = InfoNceLoss(anchor, positive, negatives);
+  // L = -1 + log(exp(0)) = -1
+  EXPECT_NEAR(loss.item(), -1.0f, 1e-5f);
+}
+
+TEST(InfoNceTest, PaperFormExcludesPositiveFromDenominator) {
+  common::Rng rng(1);
+  Tensor anchor = Tensor::Randn({1, 4}, rng);
+  Tensor positive = Tensor::Randn({1, 4}, rng);
+  Tensor negatives = Tensor::Randn({3, 4}, rng);
+  const float paper = InfoNceLoss(anchor, positive, negatives, false).item();
+  const float textbook =
+      InfoNceLoss(anchor, positive, negatives, true).item();
+  // Adding the positive to the denominator can only increase the loss.
+  EXPECT_GT(textbook, paper);
+}
+
+TEST(InfoNceTest, LowerWhenPositiveCloserThanNegatives) {
+  Tensor anchor = Tensor::FromVector({1, 2}, {1, 0});
+  Tensor near = Tensor::FromVector({1, 2}, {1, 0.1f});
+  Tensor far = Tensor::FromVector({1, 2}, {-1, 0});
+  Tensor negatives = Tensor::FromVector({2, 2}, {0, 1, -1, 0});
+  const float good = InfoNceLoss(anchor, near, negatives).item();
+  const float bad = InfoNceLoss(anchor, far, negatives).item();
+  EXPECT_LT(good, bad);
+}
+
+TEST(InfoNceTest, MoreNegativesIncreaseLoss) {
+  common::Rng rng(2);
+  Tensor anchor = Tensor::Randn({1, 4}, rng);
+  Tensor positive = anchor.Detach();
+  Tensor one_neg = Tensor::Randn({1, 4}, rng);
+  Tensor many_neg = ConcatRows({one_neg, Tensor::Randn({4, 4}, rng)});
+  EXPECT_LT(InfoNceLoss(anchor, positive, one_neg).item(),
+            InfoNceLoss(anchor, positive, many_neg).item());
+}
+
+TEST(InfoNceTest, GradCheck) {
+  common::Rng rng(3);
+  Tensor anchor = Tensor::Randn({1, 3}, rng, 1.0f, true);
+  Tensor positive = Tensor::Randn({1, 3}, rng, 1.0f, true);
+  Tensor negatives = Tensor::Randn({2, 3}, rng, 1.0f, true);
+  ExpectGradientsMatch({anchor, positive, negatives}, [&] {
+    return InfoNceLoss(anchor, positive, negatives);
+  });
+}
+
+TEST(CrossEntropyTest, PerfectPredictionHasNearZeroLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {100.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(CrossEntropy(logits, {0}).item(), 0.0f, 1e-5f);
+}
+
+TEST(CrossEntropyTest, AveragesOverBatch) {
+  Tensor logits = Tensor::Zeros({4, 10});
+  EXPECT_NEAR(CrossEntropy(logits, {0, 1, 2, 3}).item(), std::log(10.0f),
+              1e-5f);
+}
+
+TEST(CrossEntropyTest, RejectsOutOfRangeTarget) {
+  Tensor logits = Tensor::Zeros({1, 3});
+  EXPECT_DEATH(CrossEntropy(logits, {3}), "CHECK");
+}
+
+}  // namespace
+}  // namespace adamove::nn

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/stacked.h"
+#include "tests/nn/gradcheck.h"
+
+namespace adamove::nn {
+namespace {
+
+using ::adamove::nn::testing::ExpectGradientsMatch;
+
+Tensor RandT(std::vector<int64_t> shape, uint64_t seed, float scale = 1.0f) {
+  common::Rng rng(seed);
+  return Tensor::Randn(std::move(shape), rng, scale, /*requires_grad=*/true);
+}
+
+TEST(OpsExtraForwardTest, DivMatchesElementwise) {
+  Tensor a = Tensor::FromVector({1, 3}, {6, 9, -4});
+  Tensor b = Tensor::FromVector({1, 3}, {2, 3, 4});
+  Tensor y = Div(a, b);
+  EXPECT_FLOAT_EQ(y.item(0), 3.0f);
+  EXPECT_FLOAT_EQ(y.item(1), 3.0f);
+  EXPECT_FLOAT_EQ(y.item(2), -1.0f);
+}
+
+TEST(OpsExtraForwardTest, DivByZeroIsClampedNotInf) {
+  Tensor a = Tensor::FromVector({1, 1}, {1.0f});
+  Tensor b = Tensor::FromVector({1, 1}, {0.0f});
+  Tensor y = Div(a, b);
+  EXPECT_TRUE(std::isfinite(y.item()));
+}
+
+TEST(OpsExtraForwardTest, PowAndClampAndAbsAndNeg) {
+  Tensor a = Tensor::FromVector({1, 4}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Pow(a, 2.0f).item(3), 16.0f);
+  EXPECT_FLOAT_EQ(Clamp(a, 1.5f, 3.5f).item(0), 1.5f);
+  EXPECT_FLOAT_EQ(Clamp(a, 1.5f, 3.5f).item(3), 3.5f);
+  Tensor b = Tensor::FromVector({1, 2}, {-2, 2});
+  EXPECT_FLOAT_EQ(Abs(b).item(0), 2.0f);
+  EXPECT_FLOAT_EQ(Neg(b).item(1), -2.0f);
+}
+
+TEST(OpsExtraForwardTest, RowSumAndRowMean) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = RowSum(a);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_FLOAT_EQ(s.item(0), 6.0f);
+  EXPECT_FLOAT_EQ(s.item(1), 15.0f);
+  Tensor m = RowMean(a);
+  EXPECT_FLOAT_EQ(m.item(0), 2.0f);
+  EXPECT_FLOAT_EQ(m.item(1), 5.0f);
+}
+
+TEST(OpsExtraGradTest, Div) {
+  Tensor a = RandT({2, 3}, 61);
+  // Keep divisors away from zero for a clean finite-difference check.
+  Tensor b = Tensor::FromVector({2, 3}, {1.5f, -2.0f, 2.5f, 3.0f, -1.2f, 2.2f},
+                                true);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(Mul(Div(a, b), Div(a, b))); });
+}
+
+TEST(OpsExtraGradTest, PowOnPositiveInputs) {
+  Tensor a = Tensor::FromVector({1, 4}, {0.5f, 1.0f, 2.0f, 3.0f}, true);
+  ExpectGradientsMatch({a}, [&] { return Sum(Pow(a, 3.0f)); });
+  ExpectGradientsMatch({a}, [&] { return Sum(Pow(a, 0.5f)); });
+}
+
+TEST(OpsExtraGradTest, ClampAwayFromEdges) {
+  Tensor a = Tensor::FromVector({1, 4}, {-2.0f, -0.4f, 0.4f, 2.0f}, true);
+  ExpectGradientsMatch({a},
+                       [&] { return Sum(Mul(Clamp(a, -1, 1), Clamp(a, -1, 1))); });
+}
+
+TEST(OpsExtraGradTest, AbsAwayFromZero) {
+  Tensor a = Tensor::FromVector({1, 4}, {-2.0f, -0.5f, 0.5f, 2.0f}, true);
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(Abs(a), Abs(a))); });
+}
+
+TEST(OpsExtraGradTest, RowSumRowMean) {
+  Tensor a = RandT({3, 4}, 62);
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(RowSum(a), RowSum(a))); });
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(RowMean(a), RowMean(a))); });
+}
+
+TEST(StackedEncoderTest, ChainsLayersAndStaysCausal) {
+  common::Rng rng(63);
+  std::vector<std::unique_ptr<SequenceEncoder>> layers;
+  layers.push_back(std::make_unique<LstmEncoder>(5, 8, rng));
+  layers.push_back(std::make_unique<GruEncoder>(8, 8, rng));
+  StackedEncoder stacked(std::move(layers));
+  EXPECT_EQ(stacked.num_layers(), 2u);
+  EXPECT_EQ(stacked.hidden_size(), 8);
+  Tensor x = Tensor::Randn({6, 5}, rng);
+  Tensor full = stacked.Forward(x, false);
+  EXPECT_EQ(full.rows(), 6);
+  EXPECT_EQ(full.cols(), 8);
+  // Prefix property survives stacking.
+  Tensor h = stacked.Forward(SliceRows(x, 0, 3), false);
+  for (int64_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(h.at(2, c), full.at(2, c), 1e-5f);
+  }
+}
+
+TEST(StackedEncoderTest, CollectsParametersFromAllLayers) {
+  common::Rng rng(64);
+  std::vector<std::unique_ptr<SequenceEncoder>> layers;
+  layers.push_back(std::make_unique<LstmEncoder>(4, 6, rng));
+  layers.push_back(std::make_unique<LstmEncoder>(6, 6, rng));
+  StackedEncoder stacked(std::move(layers));
+  // Each LSTM layer has w_ih, w_hh, bias.
+  EXPECT_EQ(stacked.Parameters().size(), 6u);
+  // Gradients flow to the *first* layer through the second.
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  Tensor h = stacked.Forward(x, true);
+  Sum(Mul(h, h)).Backward();
+  bool first_layer_has_grad = false;
+  auto named = stacked.NamedParameters();
+  for (auto& [name, t] : named) {
+    if (name.rfind("layer0.", 0) == 0) {
+      for (float g : t.grad()) {
+        if (g != 0.0f) first_layer_has_grad = true;
+      }
+    }
+  }
+  EXPECT_TRUE(first_layer_has_grad);
+}
+
+}  // namespace
+}  // namespace adamove::nn

@@ -1,0 +1,295 @@
+#include "nn/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+#include "tests/nn/gradcheck.h"
+
+namespace adamove::nn {
+namespace {
+
+using ::adamove::nn::testing::ExpectGradientsMatch;
+
+Tensor RandT(std::vector<int64_t> shape, uint64_t seed, float scale = 1.0f) {
+  common::Rng rng(seed);
+  return Tensor::Randn(std::move(shape), rng, scale, /*requires_grad=*/true);
+}
+
+TEST(OpsForwardTest, AddBroadcastsSingleRow) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({1, 3}, {10, 20, 30});
+  Tensor y = Add(a, b);
+  EXPECT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_EQ(y.at(1, 2), 36.0f);
+}
+
+TEST(OpsForwardTest, MatMulMatchesHandComputation) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor y = MatMul(a, b);
+  EXPECT_EQ(y.at(0, 0), 19.0f);
+  EXPECT_EQ(y.at(0, 1), 22.0f);
+  EXPECT_EQ(y.at(1, 0), 43.0f);
+  EXPECT_EQ(y.at(1, 1), 50.0f);
+}
+
+TEST(OpsForwardTest, SoftmaxRowsSumToOne) {
+  Tensor a = RandT({3, 7}, 11);
+  Tensor y = Softmax(a);
+  for (int64_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 7; ++c) {
+      sum += y.at(r, c);
+      EXPECT_GT(y.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsForwardTest, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a = Tensor::FromVector({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor y = Softmax(a);
+  EXPECT_NEAR(y.at(0, 0) + y.at(0, 1) + y.at(0, 2), 1.0f, 1e-5f);
+  EXPECT_FALSE(std::isnan(y.at(0, 0)));
+}
+
+TEST(OpsForwardTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = RandT({2, 5}, 12);
+  Tensor ls = LogSoftmax(a);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(ls.at(r, c), std::log(s.at(r, c)), 1e-5f);
+    }
+  }
+}
+
+TEST(OpsForwardTest, TransposeRoundTrips) {
+  Tensor a = RandT({3, 5}, 13);
+  Tensor y = Transpose(Transpose(a));
+  EXPECT_EQ(y.data(), a.data());
+}
+
+TEST(OpsForwardTest, ConcatAndSliceAreInverse) {
+  Tensor a = RandT({2, 3}, 14);
+  Tensor b = RandT({2, 4}, 15);
+  Tensor cat = ConcatCols({a, b});
+  EXPECT_EQ(cat.cols(), 7);
+  Tensor a2 = SliceCols(cat, 0, 3);
+  Tensor b2 = SliceCols(cat, 3, 4);
+  EXPECT_EQ(a2.data(), a.data());
+  EXPECT_EQ(b2.data(), b.data());
+}
+
+TEST(OpsForwardTest, GatherRowsPicksRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_EQ(y.at(1, 1), 2.0f);
+  EXPECT_EQ(y.at(2, 1), 6.0f);
+}
+
+TEST(OpsForwardTest, EmbeddingLookupGathers) {
+  Tensor w = Tensor::FromVector({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor y = EmbeddingLookup(w, {2, 2, 0});
+  EXPECT_EQ(y.at(0, 0), 20.0f);
+  EXPECT_EQ(y.at(1, 1), 21.0f);
+  EXPECT_EQ(y.at(2, 0), 0.0f);
+}
+
+TEST(OpsForwardTest, CosSimRowsOnKnownVectors) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 0});
+  Tensor b = Tensor::FromVector({3, 2}, {1, 0, 0, 1, -1, 0});
+  Tensor y = CosSimRows(a, b);
+  EXPECT_NEAR(y.item(0), 1.0f, 1e-6f);
+  EXPECT_NEAR(y.item(1), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.item(2), -1.0f, 1e-6f);
+}
+
+TEST(OpsForwardTest, CrossEntropyOfUniformLogitsIsLogL) {
+  Tensor logits = Tensor::Zeros({2, 8});
+  Tensor loss = CrossEntropy(logits, {0, 5});
+  EXPECT_NEAR(loss.item(), std::log(8.0f), 1e-5f);
+}
+
+TEST(OpsForwardTest, DropoutIdentityWhenNotTraining) {
+  common::Rng rng(3);
+  Tensor a = RandT({4, 4}, 16);
+  Tensor y = Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(y.data(), a.data());
+}
+
+TEST(OpsForwardTest, DropoutZeroesAndRescales) {
+  common::Rng rng(3);
+  Tensor a = Tensor::Full({1, 1000}, 1.0f);
+  Tensor y = Dropout(a, 0.5f, rng, /*training=*/true);
+  int zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);
+    }
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(OpsForwardTest, CausalAttentionIgnoresFuture) {
+  // With causal masking, row 0 of the output depends only on row 0 of V.
+  Tensor q = RandT({3, 4}, 17);
+  Tensor k = RandT({3, 4}, 18);
+  Tensor v1 = RandT({3, 4}, 19);
+  Tensor out1 = ScaledDotAttention(q, k, v1, /*causal=*/true);
+  // Change the future rows of v; row 0 must be unchanged.
+  Tensor v2 = v1.Detach();
+  v2.set(1, 0, 99.0f);
+  v2.set(2, 3, -99.0f);
+  Tensor out2 = ScaledDotAttention(q, k, v2, /*causal=*/true);
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(out1.at(0, c), out2.at(0, c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks for every differentiable op.
+// ---------------------------------------------------------------------------
+
+TEST(OpsGradTest, Add) {
+  Tensor a = RandT({3, 4}, 21), b = RandT({3, 4}, 22);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(Mul(Add(a, b), Add(a, b))); });
+}
+
+TEST(OpsGradTest, AddRowBroadcast) {
+  Tensor a = RandT({3, 4}, 23), b = RandT({1, 4}, 24);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(Mul(Add(a, b), Add(a, b))); });
+}
+
+TEST(OpsGradTest, SubRowBroadcast) {
+  Tensor a = RandT({3, 4}, 25), b = RandT({1, 4}, 26);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(Mul(Sub(a, b), Sub(a, b))); });
+}
+
+TEST(OpsGradTest, MulAndScalarOps) {
+  Tensor a = RandT({2, 3}, 27), b = RandT({2, 3}, 28);
+  ExpectGradientsMatch({a, b}, [&] {
+    return Sum(ScalarAdd(ScalarMul(Mul(a, b), 1.7f), 0.3f));
+  });
+}
+
+TEST(OpsGradTest, MatMul) {
+  Tensor a = RandT({3, 4}, 29), b = RandT({4, 5}, 30);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(Mul(MatMul(a, b), MatMul(a, b))); });
+}
+
+TEST(OpsGradTest, Transpose) {
+  Tensor a = RandT({3, 4}, 31);
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(Transpose(a), Transpose(a))); });
+}
+
+TEST(OpsGradTest, ConcatColsAndRows) {
+  Tensor a = RandT({2, 3}, 32), b = RandT({2, 2}, 33), c = RandT({1, 5}, 34);
+  ExpectGradientsMatch({a, b, c}, [&] {
+    Tensor cat = ConcatRows({ConcatCols({a, b}), c});
+    return Sum(Mul(cat, cat));
+  });
+}
+
+TEST(OpsGradTest, SliceColsAndRows) {
+  Tensor a = RandT({4, 6}, 35);
+  ExpectGradientsMatch({a}, [&] {
+    Tensor s = SliceRows(SliceCols(a, 1, 4), 1, 2);
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(OpsGradTest, GatherRows) {
+  Tensor a = RandT({4, 3}, 36);
+  ExpectGradientsMatch({a}, [&] {
+    Tensor g = GatherRows(a, {3, 0, 3, 1});
+    return Sum(Mul(g, g));
+  });
+}
+
+TEST(OpsGradTest, UnaryNonlinearities) {
+  Tensor a = RandT({2, 4}, 37);
+  ExpectGradientsMatch({a}, [&] { return Sum(Tanh(a)); });
+  ExpectGradientsMatch({a}, [&] { return Sum(Sigmoid(a)); });
+  ExpectGradientsMatch({a}, [&] { return Sum(Exp(a)); });
+}
+
+TEST(OpsGradTest, ReluAwayFromKink) {
+  Tensor a = Tensor::FromVector({1, 4}, {-2.0f, -0.5f, 0.5f, 2.0f}, true);
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(Relu(a), Relu(a))); });
+}
+
+TEST(OpsGradTest, LogAndSqrtOnPositiveInputs) {
+  Tensor a = Tensor::FromVector({1, 4}, {0.5f, 1.0f, 2.0f, 3.0f}, true);
+  ExpectGradientsMatch({a}, [&] { return Sum(Log(a)); });
+  ExpectGradientsMatch({a}, [&] { return Sum(Sqrt(a)); });
+}
+
+TEST(OpsGradTest, SumAndMean) {
+  Tensor a = RandT({3, 3}, 38);
+  ExpectGradientsMatch({a}, [&] { return Mean(Mul(a, a)); });
+}
+
+TEST(OpsGradTest, Softmax) {
+  Tensor a = RandT({2, 5}, 39);
+  Tensor w = RandT({2, 5}, 40);
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(Softmax(a), w)); });
+}
+
+TEST(OpsGradTest, LogSoftmax) {
+  Tensor a = RandT({2, 5}, 41);
+  Tensor w = RandT({2, 5}, 42);
+  ExpectGradientsMatch({a}, [&] { return Sum(Mul(LogSoftmax(a), w)); });
+}
+
+TEST(OpsGradTest, LayerNorm) {
+  Tensor a = RandT({3, 6}, 43);
+  Tensor g = RandT({1, 6}, 44);
+  Tensor b = RandT({1, 6}, 45);
+  Tensor w = RandT({3, 6}, 46);
+  ExpectGradientsMatch({a, g, b},
+                       [&] { return Sum(Mul(LayerNorm(a, g, b), w)); });
+}
+
+TEST(OpsGradTest, EmbeddingLookup) {
+  Tensor w = RandT({5, 3}, 47);
+  ExpectGradientsMatch({w}, [&] {
+    Tensor e = EmbeddingLookup(w, {0, 2, 2, 4});
+    return Sum(Mul(e, e));
+  });
+}
+
+TEST(OpsGradTest, CosSimRows) {
+  Tensor a = RandT({1, 4}, 48);
+  Tensor b = RandT({3, 4}, 49);
+  ExpectGradientsMatch({a, b}, [&] { return Sum(CosSimRows(a, b)); });
+}
+
+TEST(OpsGradTest, NllAndCrossEntropy) {
+  Tensor logits = RandT({3, 6}, 50);
+  ExpectGradientsMatch({logits},
+                       [&] { return CrossEntropy(logits, {1, 0, 5}); });
+}
+
+TEST(OpsGradTest, ScaledDotAttentionCausalAndNot) {
+  Tensor q = RandT({3, 4}, 51, 0.5f);
+  Tensor k = RandT({3, 4}, 52, 0.5f);
+  Tensor v = RandT({3, 4}, 53, 0.5f);
+  ExpectGradientsMatch({q, k, v}, [&] {
+    Tensor o = ScaledDotAttention(q, k, v, /*causal=*/false);
+    return Sum(Mul(o, o));
+  });
+  ExpectGradientsMatch({q, k, v}, [&] {
+    Tensor o = ScaledDotAttention(q, k, v, /*causal=*/true);
+    return Sum(Mul(o, o));
+  });
+}
+
+}  // namespace
+}  // namespace adamove::nn

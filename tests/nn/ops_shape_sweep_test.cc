@@ -1,0 +1,82 @@
+// Parameterized shape sweep: the core differentiable ops must pass numeric
+// gradient checks for a spread of matrix shapes, not just the hand-picked
+// ones in ops_grad_test.cc.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/nn/gradcheck.h"
+
+namespace adamove::nn {
+namespace {
+
+using ::adamove::nn::testing::ExpectGradientsMatch;
+
+using Shape = std::tuple<int, int, int>;  // n, k, m
+
+class OpsShapeSweepTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(OpsShapeSweepTest, MatMulChainGradients) {
+  auto [n, k, m] = GetParam();
+  common::Rng rng(static_cast<uint64_t>(n * 100 + k * 10 + m));
+  Tensor a = Tensor::Randn({n, k}, rng, 0.5f, true);
+  Tensor b = Tensor::Randn({k, m}, rng, 0.5f, true);
+  Tensor c = Tensor::Randn({1, m}, rng, 0.5f, true);
+  ExpectGradientsMatch({a, b, c}, [&] {
+    Tensor y = Add(MatMul(a, b), c);  // bias broadcast across n rows
+    return Sum(Mul(y, y));
+  });
+}
+
+TEST_P(OpsShapeSweepTest, SoftmaxCrossEntropyGradients) {
+  auto [n, k, m] = GetParam();
+  (void)k;
+  common::Rng rng(static_cast<uint64_t>(n * 7 + m));
+  Tensor logits = Tensor::Randn({n, m + 1}, rng, 1.0f, true);
+  std::vector<int64_t> targets;
+  for (int i = 0; i < n; ++i) targets.push_back(i % (m + 1));
+  ExpectGradientsMatch({logits}, [&] { return CrossEntropy(logits, targets); });
+}
+
+TEST_P(OpsShapeSweepTest, AttentionGradients) {
+  auto [n, k, m] = GetParam();
+  (void)m;
+  common::Rng rng(static_cast<uint64_t>(n * 13 + k));
+  Tensor q = Tensor::Randn({n, k}, rng, 0.5f, true);
+  Tensor kv = Tensor::Randn({n, k}, rng, 0.5f, true);
+  ExpectGradientsMatch({q, kv}, [&] {
+    Tensor o = ScaledDotAttention(q, kv, kv, /*causal=*/true);
+    return Sum(Mul(o, o));
+  });
+}
+
+TEST_P(OpsShapeSweepTest, SoftmaxRowsStillSumToOne) {
+  auto [n, k, m] = GetParam();
+  (void)k;
+  common::Rng rng(static_cast<uint64_t>(n + m * 31));
+  Tensor a = Tensor::Randn({n, m + 1}, rng, 3.0f);
+  Tensor y = Softmax(a);
+  for (int64_t r = 0; r < n; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c <= m; ++c) sum += y.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OpsShapeSweepTest,
+                         ::testing::Values(Shape{1, 1, 1}, Shape{1, 5, 3},
+                                           Shape{4, 1, 6}, Shape{5, 3, 1},
+                                           Shape{3, 7, 2}, Shape{8, 2, 8}),
+                         [](const ::testing::TestParamInfo<Shape>& info) {
+                           // No structured bindings here: the commas inside
+                           // [n, k, m] are not protected from the macro.
+                           return "n" + std::to_string(std::get<0>(info.param)) +
+                                  "k" + std::to_string(std::get<1>(info.param)) +
+                                  "m" + std::to_string(std::get<2>(info.param));
+                         });
+
+}  // namespace
+}  // namespace adamove::nn

@@ -1,0 +1,98 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace adamove::nn {
+namespace {
+
+// Minimizes f(w) = ||w - target||^2 and checks convergence.
+template <typename Opt>
+double MinimizeQuadratic(Opt& opt, Tensor w, const Tensor& target,
+                         int steps) {
+  double last = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    Tensor diff = Sub(w, target);
+    Tensor loss = Sum(Mul(diff, diff));
+    loss.Backward();
+    opt.Step();
+    last = loss.item();
+  }
+  return last;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  common::Rng rng(1);
+  Tensor w = Tensor::Randn({1, 4}, rng, 1.0f, true);
+  Tensor target = Tensor::FromVector({1, 4}, {1, -2, 3, -4});
+  Sgd sgd({w}, 0.05);
+  const double final_loss = MinimizeQuadratic(sgd, w, target, 200);
+  EXPECT_LT(final_loss, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  common::Rng rng(2);
+  Tensor w = Tensor::Randn({1, 4}, rng, 1.0f, true);
+  Tensor target = Tensor::FromVector({1, 4}, {1, -2, 3, -4});
+  Adam adam({w}, 0.1);
+  const double final_loss = MinimizeQuadratic(adam, w, target, 300);
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(AdamTest, FirstStepHasMagnitudeNearLr) {
+  // With bias correction, the very first Adam step is ~lr in magnitude.
+  Tensor w = Tensor::FromVector({1}, {0.0f}, true);
+  Adam adam({w}, 0.01, 0.9, 0.999, 1e-8, /*clip=*/0.0);
+  w.grad()[0] = 123.0f;
+  adam.Step();
+  EXPECT_NEAR(w.item(), -0.01f, 1e-4f);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Tensor w = Tensor::FromVector({1, 2}, {0, 0}, true);
+  w.grad()[0] = 3.0f;
+  w.grad()[1] = 4.0f;  // norm 5
+  std::vector<Tensor> params{w};
+  ClipGradNorm(params, 1.0);
+  EXPECT_NEAR(w.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(w.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::FromVector({1, 2}, {0, 0}, true);
+  w.grad()[0] = 0.3f;
+  w.grad()[1] = 0.4f;
+  std::vector<Tensor> params{w};
+  ClipGradNorm(params, 1.0);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.3f);
+  EXPECT_FLOAT_EQ(w.grad()[1], 0.4f);
+}
+
+TEST(PlateauDecayTest, DecaysOnNoImprovementAndStopsAtMinLr) {
+  Tensor w = Tensor::Zeros({1}, true);
+  Sgd opt({w}, 1e-2);
+  PlateauDecay decay(0.1, 1e-4, /*patience=*/1);
+  EXPECT_TRUE(decay.Update(0.5, opt));  // improvement
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1e-2);
+  EXPECT_TRUE(decay.Update(0.4, opt));  // plateau -> decay to 1e-3
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1e-3);
+  // Second plateau -> 1e-4 which is <= min: training should stop.
+  EXPECT_FALSE(decay.Update(0.4, opt));
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1e-4);
+}
+
+TEST(PlateauDecayTest, TracksBestAccuracy) {
+  Tensor w = Tensor::Zeros({1}, true);
+  Sgd opt({w}, 1e-2);
+  PlateauDecay decay;
+  decay.Update(0.3, opt);
+  decay.Update(0.6, opt);
+  decay.Update(0.5, opt);
+  EXPECT_DOUBLE_EQ(decay.best(), 0.6);
+}
+
+}  // namespace
+}  // namespace adamove::nn

@@ -1,0 +1,129 @@
+#include "nn/rnn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/nn/gradcheck.h"
+
+namespace adamove::nn {
+namespace {
+
+using ::adamove::nn::testing::ExpectGradientsMatch;
+
+class RnnFamilyTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<SequenceEncoder> MakeEncoder(int64_t in, int64_t hidden,
+                                               common::Rng& rng) const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<RnnEncoder>(in, hidden, rng);
+      case 1: return std::make_unique<LstmEncoder>(in, hidden, rng);
+      default: return std::make_unique<GruEncoder>(in, hidden, rng);
+    }
+  }
+};
+
+TEST_P(RnnFamilyTest, OutputShape) {
+  common::Rng rng(1);
+  auto enc = MakeEncoder(5, 7, rng);
+  Tensor x = Tensor::Randn({4, 5}, rng);
+  Tensor h = enc->Forward(x, /*training=*/false);
+  EXPECT_EQ(h.rows(), 4);
+  EXPECT_EQ(h.cols(), 7);
+  EXPECT_EQ(enc->hidden_size(), 7);
+}
+
+TEST_P(RnnFamilyTest, CausalPrefixProperty) {
+  // Row t of the full-sequence output must equal the last row of the
+  // encoding of the prefix x[0..t] — the property PTTA relies on.
+  common::Rng rng(2);
+  auto enc = MakeEncoder(4, 6, rng);
+  Tensor x = Tensor::Randn({5, 4}, rng);
+  Tensor full = enc->Forward(x, false);
+  for (int64_t t = 1; t <= 5; ++t) {
+    Tensor prefix = SliceRows(x, 0, t);
+    Tensor h = enc->Forward(prefix, false);
+    for (int64_t c = 0; c < 6; ++c) {
+      EXPECT_FLOAT_EQ(h.at(t - 1, c), full.at(t - 1, c))
+          << "t=" << t << " c=" << c;
+    }
+  }
+}
+
+TEST_P(RnnFamilyTest, DeterministicForward) {
+  common::Rng rng(3);
+  auto enc = MakeEncoder(3, 5, rng);
+  Tensor x = Tensor::Randn({6, 3}, rng);
+  Tensor h1 = enc->Forward(x, false);
+  Tensor h2 = enc->Forward(x, false);
+  EXPECT_EQ(h1.data(), h2.data());
+}
+
+TEST_P(RnnFamilyTest, GradientsFlowToAllParameters) {
+  common::Rng rng(4);
+  auto enc = MakeEncoder(3, 4, rng);
+  Tensor x = Tensor::Randn({5, 3}, rng);
+  Tensor h = enc->Forward(x, true);
+  Sum(Mul(h, h)).Backward();
+  int nonzero_params = 0;
+  for (auto& p : enc->Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        ++nonzero_params;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(nonzero_params, static_cast<int>(enc->Parameters().size()));
+}
+
+TEST_P(RnnFamilyTest, GradCheckAgainstNumeric) {
+  common::Rng rng(5);
+  auto enc = MakeEncoder(2, 3, rng);
+  Tensor x = Tensor::Randn({3, 2}, rng, 0.5f, /*requires_grad=*/true);
+  std::vector<Tensor> inputs = enc->Parameters();
+  inputs.push_back(x);
+  ExpectGradientsMatch(inputs, [&] {
+    Tensor h = enc->Forward(x, false);
+    return Sum(Mul(h, h));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, RnnFamilyTest, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0: return "Rnn";
+                             case 1: return "Lstm";
+                             default: return "Gru";
+                           }
+                         });
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+  common::Rng rng(6);
+  LstmEncoder enc(3, 4, rng);
+  auto named = enc.NamedParameters();
+  bool found = false;
+  for (auto& [name, t] : named) {
+    if (name == "bias") {
+      found = true;
+      // Gates i,f,g,o: columns [H, 2H) are the forget gate.
+      for (int64_t c = 4; c < 8; ++c) EXPECT_FLOAT_EQ(t.at(0, c), 1.0f);
+      for (int64_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(t.at(0, c), 0.0f);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LstmTest, HiddenStateStaysBounded) {
+  // tanh-gated cells keep |h| <= 1 regardless of sequence length.
+  common::Rng rng(7);
+  LstmEncoder enc(2, 3, rng);
+  Tensor x = Tensor::Randn({200, 2}, rng, 3.0f);
+  Tensor h = enc.Forward(x, false);
+  for (float v : h.data()) {
+    EXPECT_LE(std::abs(v), 1.0f + 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace adamove::nn

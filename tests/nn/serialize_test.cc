@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace adamove::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, RoundTripsNamedParameters) {
+  common::Rng rng(1);
+  Tensor a = Tensor::Randn({3, 4}, rng);
+  Tensor b = Tensor::Randn({2}, rng);
+  const std::string path = TempPath("adamove_ser_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(path, {{"a", a}, {"b", b}}));
+
+  Tensor a2 = Tensor::Zeros({3, 4});
+  Tensor b2 = Tensor::Zeros({2});
+  ASSERT_TRUE(LoadParameters(path, {{"a", a2}, {"b", b2}}));
+  EXPECT_EQ(a2.data(), a.data());
+  EXPECT_EQ(b2.data(), b.data());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailsOnMissingEntry) {
+  common::Rng rng(2);
+  Tensor a = Tensor::Randn({2, 2}, rng);
+  const std::string path = TempPath("adamove_ser_missing.bin");
+  ASSERT_TRUE(SaveParameters(path, {{"a", a}}));
+  Tensor b = Tensor::Zeros({2, 2});
+  EXPECT_FALSE(LoadParameters(path, {{"not_there", b}}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailsOnShapeMismatch) {
+  common::Rng rng(3);
+  Tensor a = Tensor::Randn({2, 2}, rng);
+  const std::string path = TempPath("adamove_ser_shape.bin");
+  ASSERT_TRUE(SaveParameters(path, {{"a", a}}));
+  Tensor wrong = Tensor::Zeros({2, 3});
+  EXPECT_FALSE(LoadParameters(path, {{"a", wrong}}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailsOnMissingFileOrBadMagic) {
+  Tensor a = Tensor::Zeros({1});
+  EXPECT_FALSE(LoadParameters("/nonexistent/path.bin", {{"a", a}}));
+  const std::string path = TempPath("adamove_ser_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadParameters(path, {{"a", a}}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModuleRoundTripPreservesForward) {
+  common::Rng rng(4);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  const std::vector<float> before = layer.Forward(x).data();
+
+  const std::string path = TempPath("adamove_ser_module.bin");
+  ASSERT_TRUE(SaveModule(path, layer));
+
+  common::Rng rng2(999);
+  Linear restored(4, 3, rng2);  // different init
+  EXPECT_NE(restored.Forward(x).data(), before);
+  ASSERT_TRUE(LoadModule(path, restored));
+  EXPECT_EQ(restored.Forward(x).data(), before);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModuleNamesAreHierarchical) {
+  common::Rng rng(5);
+  Linear layer(2, 2, rng);
+  auto named = layer.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+}
+
+}  // namespace
+}  // namespace adamove::nn

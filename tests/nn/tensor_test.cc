@@ -1,0 +1,150 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+
+namespace adamove::nn {
+namespace {
+
+TEST(TensorTest, ZerosHasRightShapeAndValues) {
+  Tensor t = Tensor::Zeros({3, 4});
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({2, 2}, 1.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 1.5f);
+  Tensor s = Tensor::Scalar(-2.0f);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.item(), -2.0f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1, 2, 3}), "CHECK");
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  common::Rng rng1(5), rng2(5), rng3(6);
+  Tensor a = Tensor::Randn({4, 4}, rng1, 1.0f);
+  Tensor b = Tensor::Randn({4, 4}, rng2, 1.0f);
+  Tensor c = Tensor::Randn({4, 4}, rng3, 1.0f);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(TensorTest, OneDTensorBehavesAsRow) {
+  Tensor t = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_EQ(t.cols(), 3);
+}
+
+TEST(TensorTest, BackwardThroughChain) {
+  Tensor x = Tensor::FromVector({1}, {3.0f}, /*requires_grad=*/true);
+  // y = (2x)^2 via mul; dy/dx = 8x = 24
+  Tensor two_x = ScalarMul(x, 2.0f);
+  Tensor y = Mul(two_x, two_x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 24.0f);
+}
+
+TEST(TensorTest, BackwardDiamondGraphAccumulates) {
+  // z = x*x + x*x: both branches flow into x; dz/dx = 4x.
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  Tensor a = Mul(x, x);
+  Tensor b = Mul(x, x);
+  Tensor z = Add(a, b);
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+}
+
+TEST(TensorTest, BackwardRequiresScalar) {
+  Tensor x = Tensor::Zeros({2, 2}, true);
+  EXPECT_DEATH(x.Backward(), "CHECK");
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}, true);
+  Mul(x, x).Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, DetachBreaksGraph) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  Tensor y = Mul(x, x).Detach();
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_EQ(y.item(), 4.0f);
+  // Using the detached value downstream must not touch x's grad.
+  Tensor z = Mul(y, y);
+  EXPECT_FALSE(z.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardDisablesTape) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  {
+    NoGradGuard guard;
+    Tensor y = Mul(x, x);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_TRUE(y.impl()->parents.empty());
+  }
+  // Tape is back on outside the guard.
+  Tensor y = Mul(x, x);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardNests) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard g1;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard g2;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TensorTest, GradientAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::FromVector({1}, {3.0f}, true);
+  Mul(x, x).Backward();
+  Mul(x, x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);  // 6 + 6
+}
+
+TEST(TensorTest, GraphNodesFreeAfterLossIsDropped) {
+  // Regression test: backward_fn must not hold a shared_ptr to its own
+  // node, or every training step leaks its whole graph.
+  Tensor x = Tensor::FromVector({1}, {2.0f}, true);
+  std::weak_ptr<TensorImpl> intermediate;
+  {
+    Tensor y = Mul(x, x);
+    intermediate = y.impl();
+    Tensor z = Mul(y, y);
+    z.Backward();
+  }
+  EXPECT_TRUE(intermediate.expired());
+}
+
+TEST(TensorTest, DeepChainBackwardDoesNotOverflowStack) {
+  // The iterative topological sort must handle graphs thousands deep.
+  Tensor x = Tensor::FromVector({1}, {1.0f}, true);
+  Tensor y = x;
+  for (int i = 0; i < 20000; ++i) y = ScalarAdd(y, 0.0f);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace adamove::nn
