@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/env.h"
@@ -88,6 +89,12 @@ void PrintBenchBanner(const std::string& bench_name, const BenchEnv& env) {
       "env: scale=%.2f epochs=%d hidden=%d "
       "(override via ADAMOVE_BENCH_SCALE / _EPOCHS / _HIDDEN)\n\n",
       env.scale, env.max_epochs, env.hidden);
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace adamove::bench

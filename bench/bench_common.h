@@ -65,6 +65,13 @@ std::vector<std::string> MetricCells(const core::Metrics& metrics);
 /// Prints the standard bench header (dataset sizes, env knobs).
 void PrintBenchBanner(const std::string& bench_name, const BenchEnv& env);
 
+/// Monotonic now() in microseconds for latency arithmetic across call
+/// sites. All bench timing must go through std::chrono::steady_clock —
+/// either common::Timer or this helper; system_clock/clock() are banned
+/// here because serving tail-latency numbers must never go backwards under
+/// NTP adjustment.
+int64_t SteadyNowUs();
+
 }  // namespace adamove::bench
 
 #endif  // ADAMOVE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,139 @@
+// Serving load test: replays the synthetic test split's check-ins against
+// serve::PredictionService with a closed-loop load generator and reports
+// throughput plus per-stage tail latency. The scaling claim under test:
+// micro-batched workers over the mutex-striped SessionStore give near-linear
+// QPS in worker count, because encoder forwards are read-only and PTTA state
+// is sharded per user.
+//
+// Extra knobs (on top of the shared ADAMOVE_BENCH_* ones):
+//   ADAMOVE_BENCH_SERVE_REQUESTS — replayed requests per run (default 2000)
+//   ADAMOVE_BENCH_SERVE_CLIENTS  — closed-loop client threads (default 8)
+//   ADAMOVE_BENCH_SERVE_QPS      — offered QPS, 0 = max speed (default 0)
+//   ADAMOVE_BENCH_SERVE_CAP      — SessionStore resident-user cap (default 0)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "core/lightmob.h"
+#include "serve/load_gen.h"
+#include "serve/prediction_service.h"
+#include "serve/session_store.h"
+
+using namespace adamove;
+
+namespace {
+
+struct RunReport {
+  double qps = 0;
+  serve::LoadGenResult load;
+  serve::ServiceStats stats;
+  size_t resident_users = 0;
+  uint64_t evictions = 0;
+};
+
+RunReport RunOnce(core::AdaptableModel& model,
+                  const std::vector<data::Sample>& stream, int workers,
+                  int max_batch, const serve::LoadGenConfig& lg,
+                  size_t resident_cap) {
+  serve::SessionStoreConfig sc;
+  sc.max_resident_users = resident_cap;
+  serve::SessionStore store(sc);
+  serve::ServiceConfig svc;
+  svc.workers = workers;
+  svc.max_batch = max_batch;
+  serve::PredictionService service(model, store, svc);
+  RunReport report;
+  report.load = serve::RunLoadGen(service, stream, lg);
+  service.Shutdown();
+  report.stats = service.Stats();
+  report.qps = report.load.qps;
+  report.resident_users = store.UserCount();
+  report.evictions = store.EvictionCount();
+  return report;
+}
+
+std::string Ms(const common::LatencyHistogram& h, double q) {
+  return common::TablePrinter::Fmt(h.QuantileUs(q) / 1000.0, 3);
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env = bench::ReadBenchEnv();
+  bench::PrintBenchBanner("bench_serving — concurrent online prediction",
+                          env);
+
+  bench::PreparedDataset prepared =
+      bench::Prepare(data::NycLikePreset(), env);
+  core::ModelConfig mc = bench::MakeModelConfig(prepared, env);
+  core::LightMob model(mc);
+  core::TrainConfig tc = bench::MakeTrainConfig(env);
+  // Latency, not accuracy, is under test — a short warm-up train suffices.
+  tc.max_epochs = std::min(tc.max_epochs, 3);
+  bench::TrainModel(model, prepared.dataset, tc);
+
+  const size_t requests = static_cast<size_t>(
+      common::EnvInt("ADAMOVE_BENCH_SERVE_REQUESTS", 2000));
+  std::vector<data::Sample> stream =
+      serve::BuildReplayStream(prepared.dataset.test, requests);
+
+  serve::LoadGenConfig lg;
+  // Offered concurrency must exceed max_batch by the worker count,
+  // otherwise the whole closed-loop load fits into one worker's batch and
+  // extra workers starve (clients block on their single in-flight request).
+  lg.clients = common::EnvInt("ADAMOVE_BENCH_SERVE_CLIENTS", 32);
+  lg.target_qps = common::EnvDouble("ADAMOVE_BENCH_SERVE_QPS", 0.0);
+  lg.max_requests = requests;
+  const size_t cap =
+      static_cast<size_t>(common::EnvInt("ADAMOVE_BENCH_SERVE_CAP", 0));
+
+  std::printf("replay: %zu requests, %d closed-loop clients, offered "
+              "qps %s\n\n",
+              requests, lg.clients,
+              lg.target_qps > 0 ? std::to_string(lg.target_qps).c_str()
+                                : "max");
+
+  common::TablePrinter table(
+      {"workers", "batch", "qps", "e2e p50 ms", "e2e p95 ms", "e2e p99 ms",
+       "queue p95 ms", "encode p95 ms", "adapt p95 ms", "mean batch",
+       "resident", "evicted"});
+  struct Config {
+    int workers;
+    int max_batch;
+  };
+  const Config configs[] = {{1, 1}, {1, 8}, {2, 8}, {4, 8}};
+  double single_qps = 0, quad_qps = 0;
+  for (const Config& c : configs) {
+    RunReport r =
+        RunOnce(model, stream, c.workers, c.max_batch, lg, cap);
+    if (c.workers == 1 && c.max_batch == 8) single_qps = r.qps;
+    if (c.workers == 4) quad_qps = r.qps;
+    table.AddRow({std::to_string(c.workers), std::to_string(c.max_batch),
+                  common::TablePrinter::Fmt(r.qps, 1),
+                  Ms(r.load.e2e_us, 0.50), Ms(r.load.e2e_us, 0.95),
+                  Ms(r.load.e2e_us, 0.99), Ms(r.stats.queue_us, 0.95),
+                  Ms(r.stats.encode_us, 0.95), Ms(r.stats.adapt_us, 0.95),
+                  common::TablePrinter::Fmt(r.stats.MeanBatchSize(), 2),
+                  std::to_string(r.resident_users),
+                  std::to_string(r.evictions)});
+  }
+  table.Print();
+  if (single_qps > 0) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("\n4-worker speedup over single worker: %.2fx "
+                "(target: >= 2x; %u core%s visible)\n",
+                quad_qps / single_qps, cores, cores == 1 ? "" : "s");
+    if (cores < 4) {
+      std::printf("note: the encode stage is CPU-bound, so the >= 2x "
+                  "target needs >= 4 cores — on this host extra workers "
+                  "can only timeslice.\n");
+    }
+  }
+  return 0;
+}

@@ -33,6 +33,7 @@ class DeepMove : public core::AdaptableModel {
 
   nn::Tensor PrefixRepresentations(const data::Sample& sample) override;
   nn::Linear& classifier() override { return *classifier_; }
+  const nn::Linear& classifier() const override { return *classifier_; }
   nn::Tensor TrainingLogits(const data::Sample& sample,
                             bool training) override;
 

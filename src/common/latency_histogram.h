@@ -1,0 +1,120 @@
+#ifndef ADAMOVE_COMMON_LATENCY_HISTOGRAM_H_
+#define ADAMOVE_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace adamove::common {
+
+/// Log-bucketed latency histogram (microsecond-valued, HdrHistogram-style):
+/// bucket k covers [kMinValueUs * kGrowth^k, kMinValueUs * kGrowth^(k+1)),
+/// so relative quantile error is bounded by the ~9 % bucket width across the
+/// whole 1 µs .. ~100 s range with a fixed 256-slot footprint.
+///
+/// Not internally synchronized: the serving workers each own one histogram
+/// per stage and the reporter Merge()s them — merging is exact because every
+/// instance shares the same bucket layout.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 256;
+  static constexpr double kMinValueUs = 1.0;
+  static constexpr double kGrowth = 1.09;
+
+  void Record(double value_us) {
+    counts_[static_cast<size_t>(BucketIndex(value_us))]++;
+    count_++;
+    sum_us_ += value_us;
+    max_us_ = std::max(max_us_, value_us);
+  }
+
+  /// Adds `other`'s samples into this histogram (exact, same layout).
+  void Merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) counts_[static_cast<size_t>(i)] +=
+        other.counts_[static_cast<size_t>(i)];
+    count_ += other.count_;
+    sum_us_ += other.sum_us_;
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+
+  /// Quantile estimate in microseconds, q in [0, 1]; linear interpolation by
+  /// rank position inside the chosen bucket. 0 when empty.
+  double QuantileUs(double q) const {
+    if (count_ == 0) return 0.0;
+    ADAMOVE_CHECK_GE(q, 0.0);
+    ADAMOVE_CHECK_LE(q, 1.0);
+    // Rank of the requested sample, 1-based, clamped into [1, count_].
+    const uint64_t rank = std::min<uint64_t>(
+        count_, std::max<uint64_t>(
+                    1, static_cast<uint64_t>(
+                           std::ceil(q * static_cast<double>(count_)))));
+    uint64_t cumulative = 0;
+    for (int k = 0; k < kNumBuckets; ++k) {
+      const uint64_t c = counts_[static_cast<size_t>(k)];
+      if (cumulative + c >= rank) {
+        const double lo = BucketLowerUs(k);
+        const double hi = BucketUpperUs(k);
+        const double within =
+            static_cast<double>(rank - cumulative) / static_cast<double>(c);
+        // Clamp to the observed max: interpolation inside the top occupied
+        // bucket must not report a latency that never happened.
+        return std::min(lo + (hi - lo) * within, max_us_);
+      }
+      cumulative += c;
+    }
+    return max_us_;  // unreachable unless counts_/count_ diverge
+  }
+
+  uint64_t Count() const { return count_; }
+  double SumUs() const { return sum_us_; }
+  double MaxUs() const { return max_us_; }
+  double MeanUs() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+
+  void Reset() {
+    counts_.fill(0);
+    count_ = 0;
+    sum_us_ = 0.0;
+    max_us_ = 0.0;
+  }
+
+  /// Bucket index of a value (exposed for tests of the boundary math).
+  static int BucketIndex(double value_us) {
+    if (!(value_us > kMinValueUs)) return 0;  // also catches NaN / negatives
+    const int k = static_cast<int>(std::log(value_us / kMinValueUs) /
+                                   std::log(kGrowth));
+    return std::min(k, kNumBuckets - 1);
+  }
+
+  static double BucketLowerUs(int k) {
+    return kMinValueUs * std::pow(kGrowth, k);
+  }
+  static double BucketUpperUs(int k) {
+    return kMinValueUs * std::pow(kGrowth, k + 1);
+  }
+
+  /// "p50=… p95=… p99=… max=…" in milliseconds — the serving report format.
+  std::string SummaryMs() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms",
+                  QuantileUs(0.50) / 1000.0, QuantileUs(0.95) / 1000.0,
+                  QuantileUs(0.99) / 1000.0, max_us_ / 1000.0);
+    return std::string(buf);
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double max_us_ = 0.0;
+};
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,98 @@
+#ifndef ADAMOVE_COMMON_THREAD_POOL_H_
+#define ADAMOVE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace adamove::common {
+
+/// Fixed-size thread pool with a single shared FIFO queue — the execution
+/// substrate of the serving subsystem. Deliberately work-stealing-free: the
+/// serving workload is a stream of near-uniform, millisecond-scale tasks
+/// (encoder forwards), so a shared queue under one mutex is both simpler and
+/// cache-friendlier than per-thread deques.
+///
+/// Exceptions thrown by a task are captured in the task's std::future and
+/// rethrown at .get(), never on the pool thread (no-exceptions policy for
+/// library code notwithstanding, user callables may throw).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    ADAMOVE_CHECK_GT(num_threads, 0);
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Joins all workers after draining the queue: every task submitted
+  /// before destruction runs to completion.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn(args...)`; the returned future yields the result (or
+  /// rethrows the task's exception).
+  template <typename F, typename... Args>
+  auto Submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(fn),
+         ... args = std::forward<Args>(args)]() mutable {
+          return fn(std::move(args)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ADAMOVE_CHECK(!stop_);  // submitting to a destroyed pool is a bug
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and fully drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_THREAD_POOL_H_

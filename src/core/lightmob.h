@@ -36,6 +36,7 @@ class LightMob : public AdaptableModel {
   // AdaptableModel:
   nn::Tensor PrefixRepresentations(const data::Sample& sample) override;
   nn::Linear& classifier() override { return *classifier_; }
+  const nn::Linear& classifier() const override { return *classifier_; }
   nn::Tensor TrainingLogits(const data::Sample& sample,
                             bool training) override;
 

@@ -51,6 +51,11 @@ class AdaptableModel : public MobilityModel {
   /// The output classifier whose weight columns θ_l the adapters replace.
   virtual nn::Linear& classifier() = 0;
 
+  /// Read-only classifier access: adapters that only *read* the frozen
+  /// columns (OnlineAdapter::Predict, the serving path) take the model by
+  /// const reference, which is what makes concurrent prediction sound.
+  virtual const nn::Linear& classifier() const = 0;
+
   /// Logits of the final prefix with the autograd tape ON — the training
   /// path used by custom objectives (e.g. distillation) that need to
   /// backpropagate through the model beyond its built-in Loss().

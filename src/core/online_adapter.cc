@@ -35,11 +35,11 @@ void OnlineAdapter::Observe(int64_t user, const std::vector<float>& pattern,
   }
 }
 
-std::vector<float> OnlineAdapter::Predict(AdaptableModel& model,
+std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
                                           int64_t user,
                                           const std::vector<float>& query,
                                           int64_t query_time) const {
-  nn::Linear& classifier = model.classifier();
+  const nn::Linear& classifier = model.classifier();
   const int64_t hidden = classifier.in_features();
   const int64_t num_loc = classifier.out_features();
   ADAMOVE_CHECK_EQ(static_cast<int64_t>(query.size()), hidden);
@@ -124,6 +124,17 @@ std::vector<float> OnlineAdapter::ObserveAndPredict(
   }
   std::vector<float> query(reps.data().end() - hidden, reps.data().end());
   return Predict(model, sample.user, query, sample.target.timestamp);
+}
+
+size_t OnlineAdapter::Forget(int64_t user) {
+  auto it = users_.find(user);
+  if (it == users_.end()) return 0;
+  size_t n = 0;
+  for (const auto& [loc, entries] : it->second.by_location) {
+    n += entries.size();
+  }
+  users_.erase(it);
+  return n;
 }
 
 size_t OnlineAdapter::PatternCount(int64_t user) const {

@@ -39,7 +39,14 @@ class OnlineAdapter {
   /// classifier columns are replaced by centroids of {θ_l} ∪ the top-M
   /// stored patterns most similar to `query` that are fresh at
   /// `query_time`.
-  std::vector<float> Predict(AdaptableModel& model, int64_t user,
+  ///
+  /// Strictly read-only: neither the stored entries nor the model are
+  /// mutated (the model is taken by const reference to enforce it), so
+  /// Predict on one OnlineAdapter instance may run concurrently with
+  /// Observe/Forget on *other* instances — the per-shard layout of
+  /// serve::SessionStore. Calls on the *same* instance still need external
+  /// synchronization against writers.
+  std::vector<float> Predict(const AdaptableModel& model, int64_t user,
                              const std::vector<float>& query,
                              int64_t query_time) const;
 
@@ -50,6 +57,14 @@ class OnlineAdapter {
 
   /// Stored patterns for a user (across locations); 0 if unknown.
   size_t PatternCount(int64_t user) const;
+
+  /// Drops the stored state of one user (no-op for unknown users) — the
+  /// eviction hook used by serve::SessionStore's LRU policy. Returns the
+  /// number of patterns dropped.
+  size_t Forget(int64_t user);
+
+  /// Distinct users with stored state.
+  size_t UserCount() const { return users_.size(); }
 
   /// Drops state for all users.
   void Reset() { users_.clear(); }

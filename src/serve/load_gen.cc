@@ -1,0 +1,91 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace adamove::serve {
+
+std::vector<data::Sample> BuildReplayStream(
+    const std::vector<data::Sample>& samples, size_t min_requests) {
+  std::vector<data::Sample> stream;
+  for (const auto& s : samples) {
+    if (!s.recent.empty()) stream.push_back(s);
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const data::Sample& a, const data::Sample& b) {
+                     return a.target.timestamp < b.target.timestamp;
+                   });
+  ADAMOVE_CHECK(!stream.empty());
+  const size_t pass = stream.size();
+  while (min_requests > 0 && stream.size() < min_requests) {
+    for (size_t i = 0; i < pass && stream.size() < min_requests; ++i) {
+      stream.push_back(stream[i]);
+    }
+  }
+  return stream;
+}
+
+LoadGenResult RunLoadGen(PredictionService& service,
+                         const std::vector<data::Sample>& stream,
+                         const LoadGenConfig& config) {
+  ADAMOVE_CHECK_GT(config.clients, 0);
+  ADAMOVE_CHECK(!stream.empty());
+  const size_t total = config.max_requests > 0
+                           ? std::min(config.max_requests, stream.size())
+                           : stream.size();
+
+  using Clock = std::chrono::steady_clock;
+  std::mutex merge_mu;
+  LoadGenResult result;
+  common::Timer wall;
+  const auto start = Clock::now();
+
+  auto client = [&](int client_index) {
+    common::LatencyHistogram local_e2e;
+    size_t local_completed = 0;
+    // Pacing: client i sends its k-th request at start + (k·clients + i)/qps
+    // — an even interleave of the global schedule across clients.
+    size_t k = 0;
+    for (size_t pos = static_cast<size_t>(client_index); pos < total;
+         pos += static_cast<size_t>(config.clients), ++k) {
+      if (config.target_qps > 0.0) {
+        const double global_index =
+            static_cast<double>(k) * config.clients + client_index;
+        const auto send_at =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(global_index /
+                                                      config.target_qps));
+        std::this_thread::sleep_until(send_at);
+      }
+      const auto submit_at = Clock::now();
+      std::future<Prediction> future = service.Submit(stream[pos]);
+      future.get();  // closed loop: at most one in-flight request per client
+      local_e2e.Record(std::chrono::duration<double, std::micro>(
+                           Clock::now() - submit_at)
+                           .count());
+      ++local_completed;
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    result.e2e_us.Merge(local_e2e);
+    result.completed += local_completed;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config.clients));
+  for (int i = 0; i < config.clients; ++i) threads.emplace_back(client, i);
+  for (auto& t : threads) t.join();
+
+  result.wall_seconds = wall.ElapsedSec();
+  result.qps = result.wall_seconds > 0.0
+                   ? static_cast<double>(result.completed) /
+                         result.wall_seconds
+                   : 0.0;
+  return result;
+}
+
+}  // namespace adamove::serve

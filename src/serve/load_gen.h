@@ -1,0 +1,52 @@
+#ifndef ADAMOVE_SERVE_LOAD_GEN_H_
+#define ADAMOVE_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "data/dataset.h"
+#include "serve/prediction_service.h"
+
+namespace adamove::serve {
+
+struct LoadGenConfig {
+  /// Offered load across all clients; 0 = closed-loop maximum speed (each
+  /// client fires its next request the moment the previous one resolves).
+  double target_qps = 0.0;
+  /// Concurrent closed-loop client threads. Client i replays stream
+  /// positions i, i + clients, i + 2·clients, … so one user's check-ins
+  /// stay in order whenever the stream is per-user ordered and clients = 1.
+  int clients = 8;
+  /// Stop after this many requests (0 = one full pass over the stream).
+  size_t max_requests = 0;
+};
+
+struct LoadGenResult {
+  size_t completed = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  /// End-to-end (submit -> future resolved) latency per request.
+  common::LatencyHistogram e2e_us;
+};
+
+/// Replays a check-in stream against a PredictionService and measures
+/// throughput + tail latency from the caller's side. Closed-loop: a client
+/// never has more than one request in flight, so offered concurrency equals
+/// `clients` and the service's queue cannot grow without bound. With
+/// target_qps > 0 each client paces itself on a steady_clock schedule
+/// (sleep-until-send), i.e. open-loop arrival times capped by closed-loop
+/// concurrency.
+LoadGenResult RunLoadGen(PredictionService& service,
+                         const std::vector<data::Sample>& stream,
+                         const LoadGenConfig& config);
+
+/// Builds the serving replay stream from a dataset split: samples ordered
+/// by target timestamp (global arrival order), repeated in whole passes
+/// until at least `min_requests` entries exist (0 = a single pass).
+std::vector<data::Sample> BuildReplayStream(
+    const std::vector<data::Sample>& samples, size_t min_requests);
+
+}  // namespace adamove::serve
+
+#endif  // ADAMOVE_SERVE_LOAD_GEN_H_

@@ -1,0 +1,173 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "nn/tensor.h"
+
+namespace adamove::serve {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+PredictionService::PredictionService(core::AdaptableModel& model,
+                                     SessionStore& store,
+                                     const ServiceConfig& config)
+    : model_(model), store_(store), config_(config) {
+  ADAMOVE_CHECK_GT(config_.workers, 0);
+  ADAMOVE_CHECK_GT(config_.max_batch, 0);
+  ADAMOVE_CHECK_GT(config_.queue_capacity, 0u);
+  worker_stats_.reserve(static_cast<size_t>(config_.workers));
+  workers_.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+std::future<Prediction> PredictionService::Submit(data::Sample sample) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  Request request;
+  request.sample = std::move(sample);
+  std::future<Prediction> result = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return stop_ || queue_.size() < config_.queue_capacity;
+    });
+    ADAMOVE_CHECK(!stop_);  // submitting after Shutdown is a bug
+    request.enqueue = Clock::now();
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return result;
+}
+
+bool PredictionService::TrySubmit(data::Sample sample,
+                                  std::future<Prediction>* out) {
+  ADAMOVE_CHECK(!sample.recent.empty());
+  Request request;
+  request.sample = std::move(sample);
+  std::future<Prediction> result = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ADAMOVE_CHECK(!stop_);
+    if (queue_.size() >= config_.queue_capacity) return false;
+    request.enqueue = Clock::now();
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  if (out != nullptr) *out = std::move(result);
+  return true;
+}
+
+void PredictionService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void PredictionService::WorkerLoop(int worker_index) {
+  WorkerStats& stats = *worker_stats_[static_cast<size_t>(worker_index)];
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      // Dynamic flush: grow the batch until max_batch requests are queued
+      // or the *oldest* request's deadline passes — whichever comes first.
+      const auto deadline =
+          queue_.front().enqueue +
+          std::chrono::microseconds(config_.max_wait_us);
+      while (static_cast<int>(queue_.size()) < config_.max_batch && !stop_) {
+        if (not_empty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+        if (queue_.empty()) break;  // another worker flushed it first
+      }
+      if (queue_.empty()) continue;
+      const size_t take = std::min(
+          queue_.size(), static_cast<size_t>(config_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    ProcessBatch(batch, stats);
+  }
+}
+
+void PredictionService::ProcessBatch(std::vector<Request>& batch,
+                                     WorkerStats& stats) {
+  const auto picked_up = Clock::now();
+  std::vector<Prediction> out(batch.size());
+
+  // Encode stage: all forward passes of the batch back-to-back (read-only
+  // on the shared model; per-request share timed individually so the
+  // histogram stays per-request).
+  std::vector<nn::Tensor> reps(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    common::Timer timer;
+    reps[i] = model_.PrefixRepresentations(batch[i].sample);
+    out[i].encode_us = timer.ElapsedMs() * 1000.0;
+    out[i].queue_us = ElapsedUs(batch[i].enqueue, picked_up);
+  }
+
+  // Adapt stage: strictly per-request — per-user knowledge-base update +
+  // adapted prediction through the sharded store.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    common::Timer timer;
+    out[i].scores = store_.ObserveAndPredictEncoded(model_, batch[i].sample,
+                                                    reps[i]);
+    out[i].adapt_us = timer.ElapsedMs() * 1000.0;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    for (const auto& p : out) {
+      stats.stats.queue_us.Record(p.queue_us);
+      stats.stats.encode_us.Record(p.encode_us);
+      stats.stats.adapt_us.Record(p.adapt_us);
+    }
+    stats.stats.completed += batch.size();
+    stats.stats.batches += 1;
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(out[i]));
+  }
+}
+
+ServiceStats PredictionService::Stats() const {
+  ServiceStats merged;
+  for (const auto& ws : worker_stats_) {
+    std::lock_guard<std::mutex> lock(ws->mu);
+    merged.queue_us.Merge(ws->stats.queue_us);
+    merged.encode_us.Merge(ws->stats.encode_us);
+    merged.adapt_us.Merge(ws->stats.adapt_us);
+    merged.completed += ws->stats.completed;
+    merged.batches += ws->stats.batches;
+  }
+  return merged;
+}
+
+}  // namespace adamove::serve

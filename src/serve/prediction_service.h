@@ -1,0 +1,128 @@
+#ifndef ADAMOVE_SERVE_PREDICTION_SERVICE_H_
+#define ADAMOVE_SERVE_PREDICTION_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "core/model.h"
+#include "data/dataset.h"
+#include "serve/session_store.h"
+
+namespace adamove::serve {
+
+struct ServiceConfig {
+  /// Serving worker threads; each forms and executes whole micro-batches.
+  int workers = 4;
+  /// Flush a micro-batch at this many requests…
+  int max_batch = 8;
+  /// …or when the oldest queued request has waited this long, whichever
+  /// comes first (the classic size-or-deadline policy).
+  int64_t max_wait_us = 1000;
+  /// Bounded admission queue; Submit blocks when full (backpressure).
+  size_t queue_capacity = 1024;
+};
+
+/// One served prediction plus its per-stage wall-clock breakdown.
+struct Prediction {
+  std::vector<float> scores;
+  double queue_us = 0;   // enqueue -> picked up by a worker
+  double encode_us = 0;  // encoder forward (share of the batched stage)
+  double adapt_us = 0;   // PTTA observe + adapted predict
+};
+
+/// Aggregated serving statistics (merged across workers).
+struct ServiceStats {
+  common::LatencyHistogram queue_us;
+  common::LatencyHistogram encode_us;
+  common::LatencyHistogram adapt_us;
+  uint64_t completed = 0;
+  uint64_t batches = 0;
+  double MeanBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// The online request path: a bounded queue feeding worker threads that
+/// flush dynamic micro-batches (on max_batch or max_wait_us). A batch runs
+/// the encoder forwards back-to-back — one cache-warm pass over the model
+/// weights instead of interleaving them with per-request adapter work —
+/// while the PTTA adjustment stays strictly per-request against the sharded
+/// SessionStore, preserving per-user state semantics.
+///
+/// Concurrency contract: the model is only ever *read* after construction
+/// (inference forwards build no autograd tape and draw no RNG — dropout is
+/// identity outside training), so any number of workers share it without
+/// synchronization. All mutable state lives in the SessionStore shards.
+class PredictionService {
+ public:
+  PredictionService(core::AdaptableModel& model, SessionStore& store,
+                    const ServiceConfig& config);
+
+  /// Drains the queue and joins workers; every submitted future resolves.
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Enqueues one request; blocks while the queue is at capacity.
+  /// sample.recent must be non-empty.
+  std::future<Prediction> Submit(data::Sample sample);
+
+  /// Non-blocking variant: false (and no enqueue) when the queue is full.
+  bool TrySubmit(data::Sample sample, std::future<Prediction>* out);
+
+  /// Stops accepting requests, drains the queue, joins workers. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  /// Per-stage latency distributions merged across workers. Safe to call
+  /// concurrently with serving (workers guard their stats with a mutex).
+  ServiceStats Stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    data::Sample sample;
+    std::promise<Prediction> promise;
+    Clock::time_point enqueue;
+  };
+
+  /// Per-worker stage histograms; merged on demand by Stats().
+  struct WorkerStats {
+    mutable std::mutex mu;
+    ServiceStats stats;
+  };
+
+  void WorkerLoop(int worker_index);
+  void ProcessBatch(std::vector<Request>& batch, WorkerStats& stats);
+
+  core::AdaptableModel& model_;
+  SessionStore& store_;
+  ServiceConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adamove::serve
+
+#endif  // ADAMOVE_SERVE_PREDICTION_SERVICE_H_

@@ -1,0 +1,113 @@
+#include "serve/session_store.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace adamove::serve {
+
+SessionStore::SessionStore(const SessionStoreConfig& config)
+    : config_(config) {
+  ADAMOVE_CHECK_GT(config.num_shards, 0);
+  if (config.max_resident_users > 0) {
+    per_shard_cap_ =
+        (config.max_resident_users +
+         static_cast<size_t>(config.num_shards) - 1) /
+        static_cast<size_t>(config.num_shards);
+  }
+  shards_.reserve(static_cast<size_t>(config.num_shards));
+  for (int i = 0; i < config.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(config.ptta, config.max_age_seconds));
+  }
+}
+
+int SessionStore::ShardOf(int64_t user) const {
+  return static_cast<int>(std::hash<int64_t>{}(user) % shards_.size());
+}
+
+void SessionStore::TouchLocked(Shard& shard, int64_t user) {
+  auto it = shard.lru_pos.find(user);
+  if (it != shard.lru_pos.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(user);
+  shard.lru_pos[user] = shard.lru.begin();
+  if (per_shard_cap_ > 0 && shard.lru.size() > per_shard_cap_) {
+    const int64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.lru_pos.erase(victim);
+    shard.adapter.Forget(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SessionStore::Observe(int64_t user, const std::vector<float>& pattern,
+                           int64_t next_location, int64_t timestamp) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  TouchLocked(shard, user);
+  shard.adapter.Observe(user, pattern, next_location, timestamp);
+}
+
+std::vector<float> SessionStore::Predict(const core::AdaptableModel& model,
+                                         int64_t user,
+                                         const std::vector<float>& query,
+                                         int64_t query_time) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  TouchLocked(shard, user);
+  return shard.adapter.Predict(model, user, query, query_time);
+}
+
+std::vector<float> SessionStore::ObserveAndPredictEncoded(
+    const core::AdaptableModel& model, const data::Sample& sample,
+    const nn::Tensor& reps) {
+  const int64_t t = reps.rows();
+  const int64_t hidden = reps.cols();
+  ADAMOVE_CHECK_EQ(static_cast<size_t>(t), sample.recent.size());
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  TouchLocked(shard, sample.user);
+  // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism test
+  // depends on bit-identical arithmetic): each prefix representation is a
+  // labeled pattern for the *next* point, the final row is the query.
+  for (int64_t k = 0; k + 1 < t; ++k) {
+    std::vector<float> pattern(reps.data().begin() + k * hidden,
+                               reps.data().begin() + (k + 1) * hidden);
+    shard.adapter.Observe(sample.user, pattern,
+                          sample.recent[static_cast<size_t>(k + 1)].location,
+                          sample.recent[static_cast<size_t>(k + 1)].timestamp);
+  }
+  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
+  return shard.adapter.Predict(model, sample.user, query,
+                               sample.target.timestamp);
+}
+
+void SessionStore::Forget(int64_t user) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.lru_pos.find(user);
+  if (it == shard.lru_pos.end()) return;
+  shard.lru.erase(it->second);
+  shard.lru_pos.erase(it);
+  shard.adapter.Forget(user);
+}
+
+size_t SessionStore::UserCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->adapter.UserCount();
+  }
+  return n;
+}
+
+size_t SessionStore::PatternCount(int64_t user) const {
+  const Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.adapter.PatternCount(user);
+}
+
+}  // namespace adamove::serve

@@ -1,0 +1,103 @@
+#ifndef ADAMOVE_SERVE_SESSION_STORE_H_
+#define ADAMOVE_SERVE_SESSION_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "core/online_adapter.h"
+
+namespace adamove::serve {
+
+struct SessionStoreConfig {
+  /// PTTA knowledge-base parameters of every per-shard adapter.
+  core::PttaConfig ptta;
+  /// Freshness window forwarded to core::OnlineAdapter.
+  int64_t max_age_seconds = 5 * 72 * 3600;
+  /// Mutex stripes; a user's state lives in shard (hash(user) % num_shards).
+  int num_shards = 16;
+  /// Resident-user cap across the whole store (0 = unbounded). Enforced
+  /// per shard as ceil(max_resident_users / num_shards) via LRU eviction,
+  /// which bounds memory at ~cap · 32 patterns · hidden floats.
+  size_t max_resident_users = 0;
+};
+
+/// Sharded per-user adapter state for the serving path. Each shard owns one
+/// core::OnlineAdapter (whose state map is keyed by user) plus an LRU list
+/// of its resident users; shard mutexes are independent, so Predict for one
+/// user runs concurrently with Observe for users on other shards — the
+/// "millions of users" scaling story is stripe parallelism plus bounded
+/// residency, not a global lock.
+class SessionStore {
+ public:
+  explicit SessionStore(const SessionStoreConfig& config);
+
+  /// Ingests one observed transition (shard-locked; touches LRU).
+  void Observe(int64_t user, const std::vector<float>& pattern,
+               int64_t next_location, int64_t timestamp);
+
+  /// Adapted scores from the user's resident knowledge base (shard-locked;
+  /// touches LRU so actively-queried users stay resident).
+  std::vector<float> Predict(const core::AdaptableModel& model, int64_t user,
+                             const std::vector<float>& query,
+                             int64_t query_time);
+
+  /// Equivalent of core::OnlineAdapter::ObserveAndPredict against the
+  /// sharded store, given pre-computed prefix representations `reps`
+  /// ({T, H}, rows aligned with sample.recent). Split out from the encoder
+  /// forward so the serving worker can time encode and adapt separately.
+  std::vector<float> ObserveAndPredictEncoded(const core::AdaptableModel& model,
+                                              const data::Sample& sample,
+                                              const nn::Tensor& reps);
+
+  /// Drops one user's state wherever it lives (no-op if absent).
+  void Forget(int64_t user);
+
+  /// Distinct resident users across all shards.
+  size_t UserCount() const;
+
+  /// Stored patterns for one user (0 if evicted/unknown).
+  size_t PatternCount(int64_t user) const;
+
+  /// Users dropped by the LRU cap so far.
+  uint64_t EvictionCount() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Shard index of a user — exposed so tests can construct colliding and
+  /// non-colliding user sets deterministically.
+  int ShardOf(int64_t user) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    core::OnlineAdapter adapter;
+    /// Most-recently-used first; back() is the eviction victim.
+    std::list<int64_t> lru;
+    std::unordered_map<int64_t, std::list<int64_t>::iterator> lru_pos;
+
+    Shard(const core::PttaConfig& ptta, int64_t max_age_seconds)
+        : adapter(ptta, max_age_seconds) {}
+  };
+
+  /// Moves `user` to the LRU front, inserting if new; evicts the back of
+  /// the list past the per-shard cap. Caller holds shard.mu.
+  void TouchLocked(Shard& shard, int64_t user);
+
+  SessionStoreConfig config_;
+  size_t per_shard_cap_ = 0;  // 0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace adamove::serve
+
+#endif  // ADAMOVE_SERVE_SESSION_STORE_H_

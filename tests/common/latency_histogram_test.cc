@@ -1,0 +1,104 @@
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace adamove::common {
+namespace {
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Everything at or below the minimum value lands in bucket 0.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.5), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::kMinValueUs), 0);
+  // The geometric midpoint of every bucket maps back to that bucket, and
+  // bucket bounds bracket it.
+  for (int k = 0; k < LatencyHistogram::kNumBuckets; k += 17) {
+    const double lo = LatencyHistogram::BucketLowerUs(k);
+    const double hi = LatencyHistogram::BucketUpperUs(k);
+    const double mid = std::sqrt(lo * hi);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(mid), k) << "bucket " << k;
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+  }
+  // Indices are monotone in the value.
+  double prev = -1;
+  for (double v = 1.0; v < 1e9; v *= 3.7) {
+    const int idx = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+  // Values beyond the top bucket clamp instead of overflowing.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e300),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.QuantileUs(0.5), 0.0);  // empty
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(static_cast<double>(i));
+  for (double v : values) h.Record(v);
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.MaxUs(), 1000.0);
+  EXPECT_NEAR(h.MeanUs(), 500.5, 1e-9);
+  // Log-bucketing guarantees ~kGrowth relative accuracy per quantile.
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = q * 1000.0;
+    const double estimate = h.QuantileUs(q);
+    EXPECT_NEAR(estimate, exact, exact * (LatencyHistogram::kGrowth - 1.0))
+        << "q=" << q;
+  }
+  // Quantiles never exceed the observed max (top-bucket interpolation is
+  // clamped), and q=1 reports exactly the max's clamp.
+  EXPECT_LE(h.QuantileUs(0.999), h.MaxUs());
+  EXPECT_DOUBLE_EQ(h.QuantileUs(1.0), 1000.0);
+}
+
+TEST(LatencyHistogramTest, QuantileInterpolatesInsideBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(50.0);  // one hot bucket
+  const int k = LatencyHistogram::BucketIndex(50.0);
+  const double lo = LatencyHistogram::BucketLowerUs(k);
+  const double hi = LatencyHistogram::BucketUpperUs(k);
+  const double q25 = h.QuantileUs(0.25);
+  const double q75 = h.QuantileUs(0.75);
+  // Interpolation positions ranks proportionally inside the bucket.
+  EXPECT_GE(q25, lo);
+  EXPECT_LE(q75, hi);
+  EXPECT_LT(q25, q75);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesRecordingEverythingInOne) {
+  LatencyHistogram a, b, combined;
+  for (int i = 1; i <= 500; ++i) {
+    a.Record(static_cast<double>(i));
+    combined.Record(static_cast<double>(i));
+  }
+  for (int i = 2000; i <= 2500; ++i) {
+    b.Record(static_cast<double>(i));
+    combined.Record(static_cast<double>(i));
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_DOUBLE_EQ(a.SumUs(), combined.SumUs());
+  EXPECT_DOUBLE_EQ(a.MaxUs(), combined.MaxUs());
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.QuantileUs(q), combined.QuantileUs(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(10.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.QuantileUs(0.5), 0.0);
+  EXPECT_EQ(h.MaxUs(), 0.0);
+}
+
+}  // namespace
+}  // namespace adamove::common

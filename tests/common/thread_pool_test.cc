@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace adamove::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.Submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, ReturnsTaskValuesThroughFutures) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ForwardsArgumentsToTask) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsViaFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit([]() -> int {
+    throw std::runtime_error("task failure");
+  });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);  // single worker: tasks queue up behind each other
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool joins only after the queue is empty
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace adamove::common

@@ -1,0 +1,158 @@
+#include "serve/session_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/lightmob.h"
+
+namespace adamove::serve {
+namespace {
+
+core::ModelConfig SmallConfig() {
+  core::ModelConfig c;
+  c.num_locations = 10;
+  c.num_users = 16;
+  c.hidden_size = 8;
+  c.location_emb_dim = 4;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 2;
+  c.lambda = 0.0;
+  return c;
+}
+
+std::vector<float> Pattern(float seed) {
+  return {seed, 1, 0, 0, 0, 0, 0, 0};
+}
+
+/// Users that collide onto / avoid a shard, found via the store's own hash.
+std::vector<int64_t> UsersOnShard(const SessionStore& store, int shard,
+                                  int count) {
+  std::vector<int64_t> users;
+  for (int64_t u = 0; static_cast<int>(users.size()) < count; ++u) {
+    if (store.ShardOf(u) == shard) users.push_back(u);
+  }
+  return users;
+}
+
+TEST(SessionStoreTest, LruEvictsLeastRecentlyTouchedUser) {
+  SessionStoreConfig config;
+  config.num_shards = 1;  // single stripe => global LRU order
+  config.max_resident_users = 2;
+  SessionStore store(config);
+
+  store.Observe(1, Pattern(1), 3, 1000);
+  store.Observe(2, Pattern(2), 3, 1001);
+  store.Observe(1, Pattern(1), 4, 1002);  // touch 1 => 2 is now the victim
+  store.Observe(3, Pattern(3), 3, 1003);  // over cap => evict 2
+
+  EXPECT_EQ(store.EvictionCount(), 1u);
+  EXPECT_EQ(store.UserCount(), 2u);
+  EXPECT_EQ(store.PatternCount(2), 0u);  // evicted via OnlineAdapter::Forget
+  EXPECT_EQ(store.PatternCount(1), 2u);
+  EXPECT_EQ(store.PatternCount(3), 1u);
+
+  store.Observe(4, Pattern(4), 3, 1004);  // evicts 1 (3 is fresher)
+  EXPECT_EQ(store.EvictionCount(), 2u);
+  EXPECT_EQ(store.PatternCount(1), 0u);
+  EXPECT_EQ(store.PatternCount(3), 1u);
+}
+
+TEST(SessionStoreTest, ForgetDropsOnlyThatUser) {
+  SessionStoreConfig config;
+  SessionStore store(config);
+  store.Observe(7, Pattern(1), 2, 10);
+  store.Observe(8, Pattern(1), 2, 10);
+  store.Forget(7);
+  EXPECT_EQ(store.PatternCount(7), 0u);
+  EXPECT_EQ(store.PatternCount(8), 1u);
+  EXPECT_EQ(store.UserCount(), 1u);
+  store.Forget(7);  // idempotent on absent users
+  EXPECT_EQ(store.UserCount(), 1u);
+}
+
+TEST(SessionStoreTest, ShardsAreIsolated) {
+  SessionStoreConfig config;
+  config.num_shards = 4;
+  config.max_resident_users = 4;  // cap of 1 per shard
+  SessionStore store(config);
+  // One user per distinct shard: per-shard caps never interact.
+  std::vector<int64_t> users;
+  for (int shard = 0; shard < 4; ++shard) {
+    users.push_back(UsersOnShard(store, shard, 1)[0]);
+  }
+  for (int64_t u : users) store.Observe(u, Pattern(1), 2, 100);
+  EXPECT_EQ(store.UserCount(), 4u);
+  EXPECT_EQ(store.EvictionCount(), 0u);
+  // A second user on shard 0 evicts only shard 0's resident.
+  const int64_t second = UsersOnShard(store, 0, 2)[1];
+  store.Observe(second, Pattern(2), 2, 101);
+  EXPECT_EQ(store.EvictionCount(), 1u);
+  EXPECT_EQ(store.PatternCount(users[0]), 0u);
+  for (size_t i = 1; i < users.size(); ++i) {
+    EXPECT_EQ(store.PatternCount(users[i]), 1u) << "shard " << i;
+  }
+}
+
+TEST(SessionStoreTest, ObserveAndPredictEncodedMatchesOnlineAdapter) {
+  core::LightMob model(SmallConfig());
+  data::Sample sample;
+  sample.user = 3;
+  int64_t t = 1333238400;
+  for (int64_t l : {1, 2, 7, 2, 7}) {
+    sample.recent.push_back({3, l, t});
+    t += 3 * data::kSecondsPerHour;
+  }
+  sample.target = {3, 7, t};
+
+  core::OnlineAdapter reference{core::PttaConfig{}};
+  std::vector<float> expected = reference.ObserveAndPredict(model, sample);
+
+  SessionStore store{SessionStoreConfig{}};
+  nn::Tensor reps = model.PrefixRepresentations(sample);
+  std::vector<float> got = store.ObserveAndPredictEncoded(model, sample, reps);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "score " << i;  // bit-identical
+  }
+  EXPECT_EQ(store.PatternCount(3), reference.PatternCount(3));
+}
+
+TEST(SessionStoreTest, ConcurrentObservePredictSmoke) {
+  core::LightMob model(SmallConfig());
+  SessionStoreConfig config;
+  config.num_shards = 8;
+  config.max_resident_users = 64;
+  SessionStore store(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      const std::vector<float> query = Pattern(static_cast<float>(tid));
+      for (int i = 0; i < kIters; ++i) {
+        // Writers and readers hit interleaved users across all shards:
+        // Predict on one user runs concurrently with Observe on others.
+        const int64_t user = (tid * kIters + i) % 32;
+        store.Observe(user, Pattern(static_cast<float>(i)), i % 10,
+                      1000 + i);
+        const std::vector<float> scores =
+            store.Predict(model, user, query, 2000 + i);
+        if (scores.size() != 10u) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(store.UserCount(), 32u);
+  size_t patterns = 0;
+  for (int64_t u = 0; u < 32; ++u) patterns += store.PatternCount(u);
+  EXPECT_GT(patterns, 0u);
+}
+
+}  // namespace
+}  // namespace adamove::serve
