@@ -1,10 +1,25 @@
 // google-benchmark microbenchmarks of the nn substrate: the primitives whose
-// cost dominates training (matmul, LSTM step, attention) and the
-// forward/backward tape overhead.
+// cost dominates training (matmul, LSTM step, attention), the
+// forward/backward tape overhead, and the parallel-kernel thread sweeps.
+//
+// Thread-sweep benchmarks take Args({size, threads}) pairs and pin the
+// shared kernel pool via common::SetKernelThreads; results are bit-identical
+// across thread counts (see tests/nn/kernels_test.cc), so the sweep measures
+// pure scheduling gain. Run with --bench_report to also write
+// BENCH_kernels.json (google-benchmark JSON) next to the binary.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.h"
 #include "common/rng.h"
+#include "core/config.h"
+#include "core/lightmob.h"
+#include "core/ptta.h"
+#include "data/point.h"
 #include "nn/attention.h"
 #include "nn/autograd_mode.h"
 #include "nn/ops.h"
@@ -16,6 +31,7 @@ using namespace adamove;
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  common::SetKernelThreads(static_cast<int>(state.range(1)));
   common::Rng rng(1);
   nn::Tensor a = nn::Tensor::Randn({n, n}, rng);
   nn::Tensor b = nn::Tensor::Randn({n, n}, rng);
@@ -24,8 +40,33 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(nn::MatMul(a, b).data().data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  common::SetKernelThreads(0);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+void BM_MatMulBackward(benchmark::State& state) {
+  // Exercises the transpose-variant kernels (dA += dC·Bᵀ, dB += Aᵀ·dC).
+  const int64_t n = state.range(0);
+  common::SetKernelThreads(static_cast<int>(state.range(1)));
+  common::Rng rng(2);
+  nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0f, /*requires_grad=*/true);
+  nn::Tensor b = nn::Tensor::Randn({n, n}, rng, 1.0f, /*requires_grad=*/true);
+  for (auto _ : state) {
+    nn::Sum(nn::MatMul(a, b)).Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n * n);
+  common::SetKernelThreads(0);
+}
+BENCHMARK(BM_MatMulBackward)->Args({128, 1})->Args({128, 2})->Args({128, 4});
 
 void BM_LstmForward(benchmark::State& state) {
   const int64_t t = state.range(0);
@@ -56,6 +97,7 @@ BENCHMARK(BM_LstmForwardBackward)->Arg(8)->Arg(32);
 
 void BM_TransformerForward(benchmark::State& state) {
   const int64_t t = state.range(0);
+  common::SetKernelThreads(static_cast<int>(state.range(1)));
   common::Rng rng(4);
   nn::TransformerSeqEncoder enc(72, 64, 2, 8, 0.1f, rng);
   nn::Tensor x = nn::Tensor::Randn({t, 72}, rng);
@@ -64,8 +106,13 @@ void BM_TransformerForward(benchmark::State& state) {
     benchmark::DoNotOptimize(enc.Forward(x, false).data().data());
   }
   state.SetItemsProcessed(state.iterations() * t);
+  common::SetKernelThreads(0);
 }
-BENCHMARK(BM_TransformerForward)->Arg(8)->Arg(32);
+BENCHMARK(BM_TransformerForward)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4});
 
 void BM_EmbeddingLookup(benchmark::State& state) {
   common::Rng rng(5);
@@ -93,6 +140,80 @@ void BM_TapeOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_TapeOverhead);
 
+// PTTA adjusted-weights hot path under the thread sweep: pattern importance
+// and pseudo-label scoring parallelize over prefixes and columns.
+void BM_PttaAdjustedWeights(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  common::SetKernelThreads(static_cast<int>(state.range(1)));
+  core::ModelConfig config;
+  config.num_locations = 500;
+  config.num_users = 50;
+  config.lambda = 0.0;
+  core::LightMob model(config);
+  common::Rng rng(7);
+  data::Sample sample;
+  sample.user = 3;
+  int64_t t = 1333238400;
+  for (int i = 0; i < length; ++i) {
+    sample.recent.push_back(
+        {sample.user, rng.UniformInt(0, config.num_locations - 1), t});
+    t += 2 * data::kSecondsPerHour;
+  }
+  sample.target = {sample.user, rng.UniformInt(0, config.num_locations - 1),
+                   t};
+  nn::Tensor reps = model.PrefixRepresentations(sample);
+  std::vector<int64_t> labels;
+  for (int i = 0; i + 1 < length; ++i) {
+    labels.push_back(sample.recent[static_cast<size_t>(i) + 1].location);
+  }
+  // Entropy importance scores every prefix against all L columns — the
+  // kernel-bound configuration.
+  core::PttaConfig ptta;
+  ptta.similarity_importance = false;
+  core::TestTimeAdapter adapter{ptta};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adapter.AdjustedWeights(reps, labels, model.classifier()).data());
+  }
+  state.SetItemsProcessed(state.iterations() * length);
+  common::SetKernelThreads(0);
+}
+BENCHMARK(BM_PttaAdjustedWeights)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--bench_report` additionally writes BENCH_kernels.json
+// (google-benchmark's JSON format) for the perf-tracking scripts, without
+// the caller having to remember the two underlying flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool report = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--bench_report") == 0) {
+      report = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (report) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -43,13 +43,23 @@ void BM_PttaAdaptPredict(benchmark::State& state) {
   core::LightMob model(BenchConfig());
   common::Rng rng(7);
   data::Sample sample = MakeSample(length, 500, rng);
-  core::TestTimeAdapter adapter{core::PttaConfig{}};
+  // Second arg selects the knowledge-base structure end to end — the
+  // use_heap plumbing from PttaConfig through TopMBuffer.
+  core::PttaConfig config;
+  config.use_heap = state.range(1) != 0;
+  core::TestTimeAdapter adapter{config};
   for (auto _ : state) {
     benchmark::DoNotOptimize(adapter.Predict(model, sample).data());
   }
   state.SetItemsProcessed(state.iterations() * length);
 }
-BENCHMARK(BM_PttaAdaptPredict)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_PttaAdaptPredict)
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({16, 0})
+    ->Args({32, 0})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
 void BM_PttaWeightUpdateOnly(benchmark::State& state) {
   // Steps 2-3 in isolation (no encoder): the pure knowledge-base cost.

@@ -1,0 +1,102 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/thread_pool.h"
+
+namespace adamove::common {
+
+namespace {
+
+// Set while a thread is executing a ParallelFor chunk; nested calls detect
+// it and run inline instead of re-entering the pool (which could otherwise
+// deadlock: a pool thread blocking on futures served by the same pool).
+thread_local bool tls_in_parallel_region = false;
+
+int DefaultThreads() {
+  int n = EnvInt("ADAMOVE_NUM_THREADS", 0);
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::max(n, 1);
+}
+
+std::mutex& PoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Guarded by PoolMutex(). `requested` <= 0 means "use the env default".
+int g_requested_threads = 0;
+// Pool of (threads - 1) workers; null while single-threaded.
+std::unique_ptr<ThreadPool> g_pool;
+bool g_pool_built = false;
+
+// Returns the shared pool (building it on first use), or nullptr when the
+// effective thread count is 1.
+ThreadPool* GetPool() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  if (!g_pool_built) {
+    const int threads =
+        g_requested_threads > 0 ? g_requested_threads : DefaultThreads();
+    if (threads > 1) {
+      g_pool = std::make_unique<ThreadPool>(threads - 1);
+    }
+    g_pool_built = true;
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int KernelThreads() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  if (g_pool_built) return g_pool ? g_pool->size() + 1 : 1;
+  return g_requested_threads > 0 ? g_requested_threads : DefaultThreads();
+}
+
+void SetKernelThreads(int n) {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  g_requested_threads = n;
+  g_pool.reset();  // joins existing workers
+  g_pool_built = false;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  ThreadPool* pool = nullptr;
+  if (!tls_in_parallel_region && range > grain) pool = GetPool();
+  if (pool == nullptr) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t max_chunks =
+      std::min<int64_t>(pool->size() + 1, (range + grain - 1) / grain);
+  const int64_t chunk = (range + max_chunks - 1) / max_chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<size_t>(max_chunks) - 1);
+  for (int64_t lo = begin + chunk; lo < end; lo += chunk) {
+    const int64_t hi = std::min(lo + chunk, end);
+    pending.push_back(pool->Submit([&fn, lo, hi] {
+      tls_in_parallel_region = true;
+      fn(lo, hi);
+      tls_in_parallel_region = false;
+    }));
+  }
+  // The caller runs the first chunk itself, then joins the rest.
+  tls_in_parallel_region = true;
+  fn(begin, std::min(begin + chunk, end));
+  tls_in_parallel_region = false;
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace adamove::common

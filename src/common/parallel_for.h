@@ -1,0 +1,46 @@
+#ifndef ADAMOVE_COMMON_PARALLEL_FOR_H_
+#define ADAMOVE_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace adamove::common {
+
+/// Deterministic data-parallel loop over the index range [begin, end).
+///
+/// The range is partitioned into contiguous chunks and `fn(lo, hi)` is
+/// invoked once per chunk, each chunk on exactly one thread. Because every
+/// index is processed by exactly one invocation, a kernel whose per-index
+/// work is self-contained (reads shared inputs, writes only outputs owned by
+/// its indices, accumulates in the same order as a serial loop) produces
+/// bit-identical results at any thread count — parallelism is scheduling,
+/// never arithmetic.
+///
+/// `grain` is the minimum number of indices per chunk; ranges at or below
+/// the grain (and all nested calls — a chunk body that itself calls
+/// ParallelFor runs its inner loop serially) execute inline on the caller.
+/// The caller always participates as a worker, so a pool of size T serves
+/// T-way parallelism with T-1 pool threads.
+///
+/// Work is executed on a process-wide lazily-initialized ThreadPool shared
+/// by every kernel call site (nn kernels, the PTTA hot path, batch scoring).
+/// Its size comes from ADAMOVE_NUM_THREADS, defaulting to
+/// std::thread::hardware_concurrency(). The serving subsystem's request
+/// workers are separate threads; they share this one compute pool, so
+/// oversubscription stays bounded regardless of how many requests are in
+/// flight.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Threads the shared kernel pool targets (pool threads + the caller).
+int KernelThreads();
+
+/// Overrides the kernel-pool size (primarily for tests and benchmarks that
+/// sweep thread counts). Joins and rebuilds the pool; must not be called
+/// concurrently with in-flight ParallelFor calls. `n <= 0` restores the
+/// ADAMOVE_NUM_THREADS / hardware_concurrency default.
+void SetKernelThreads(int n);
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_PARALLEL_FOR_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel_for.h"
 #include "core/ptta.h"
+#include "nn/kernels.h"
 #include "nn/ops.h"
 
 namespace adamove::core {
@@ -46,19 +48,23 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
   const std::vector<float>& weight = classifier.weight().data();
 
   // Start from the frozen column scores; overwrite adapted columns below.
+  // Column-parallel over the shared kernel pool: each thread owns a
+  // contiguous range of locations, accumulating each column in the same
+  // ascending-i double order as the serial loop.
   std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
-  auto column_score = [&](const float* column) {
-    double acc = 0.0;
-    for (int64_t i = 0; i < hidden; ++i) {
-      acc += static_cast<double>(query[static_cast<size_t>(i)]) *
-             column[i * num_loc];
-    }
-    return acc;
-  };
-  for (int64_t l = 0; l < num_loc; ++l) {
-    scores[static_cast<size_t>(l)] =
-        static_cast<float>(column_score(weight.data() + l));
-  }
+  common::ParallelFor(
+      0, num_loc, nn::kernels::GrainForWork(hidden),
+      [&](int64_t l0, int64_t l1) {
+        for (int64_t l = l0; l < l1; ++l) {
+          const float* column = weight.data() + l;
+          double acc = 0.0;
+          for (int64_t i = 0; i < hidden; ++i) {
+            acc += static_cast<double>(query[static_cast<size_t>(i)]) *
+                   column[i * num_loc];
+          }
+          scores[static_cast<size_t>(l)] = static_cast<float>(acc);
+        }
+      });
 
   auto it = users_.find(user);
   if (it != users_.end()) {

@@ -14,6 +14,10 @@ namespace adamove::core {
 struct AdapterStats {
   int patterns_generated = 0;   // |P| = |recent| - 1
   int columns_updated = 0;      // locations whose θ_l changed
+  /// Classifier-weight bytes written by the adaptation: Predict() touches
+  /// only the adjusted columns (columns_updated * H * 4); the materializing
+  /// AdjustedWeights() entry point copies the full {H, L} matrix.
+  int64_t weight_bytes_touched = 0;
 };
 
 /// Preference-aware Test-Time Adaptation (Algorithm 1) and its ablation
@@ -26,8 +30,11 @@ struct AdapterStats {
 ///
 /// The adapter is stateless across samples: following §III-B, only the
 /// recent trajectory of the *current* test sample is used to adjust the
-/// classifier, and the original weights are restored semantics-wise because
-/// the adjusted matrix is a local copy.
+/// classifier, and the model itself is never mutated. Predict() never
+/// materializes the adjusted {H, L} matrix — it scores against the original
+/// weights and rebuilds only the columns the knowledge base touched
+/// (bit-identical to scoring the full adjusted copy, at a fraction of the
+/// bytes; see AdapterStats::weight_bytes_touched).
 class TestTimeAdapter {
  public:
   explicit TestTimeAdapter(const PttaConfig& config) : config_(config) {}
@@ -38,10 +45,11 @@ class TestTimeAdapter {
   std::vector<float> Predict(AdaptableModel& model, const data::Sample& sample,
                              AdapterStats* stats = nullptr) const;
 
-  /// Steps 2–3 of Algorithm 1 exposed for tests: given prefix
+  /// Steps 2–3 of Algorithm 1 exposed for tests and ablations: given prefix
   /// representations `reps` ({T, H}; the last row is the test pattern
   /// h_{N_u}) and per-pattern labels for rows [0, T-2], returns the adjusted
-  /// weight matrix Θ' as a flat {H, L} row-major vector.
+  /// weight matrix Θ' as a flat {H, L} row-major vector. This entry point
+  /// materializes the full matrix; the serving path (Predict) does not.
   std::vector<float> AdjustedWeights(const nn::Tensor& reps,
                                      const std::vector<int64_t>& labels,
                                      const nn::Linear& classifier,

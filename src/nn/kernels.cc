@@ -1,0 +1,203 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel_for.h"
+
+namespace adamove::nn::kernels {
+
+namespace {
+
+// Micro-panel of C rows that share one streamed B stripe (fits registers /
+// L1 comfortably at the hidden sizes this repo uses).
+constexpr int64_t kRowTile = 8;
+// Width (in floats) of the B stripe kept hot across a row micro-panel.
+constexpr int64_t kColTile = 128;
+
+}  // namespace
+
+int64_t GrainForWork(int64_t per_item_work) {
+  constexpr int64_t kMinTaskWork = 1 << 15;
+  per_item_work = std::max<int64_t>(per_item_work, 1);
+  return std::max<int64_t>(1, kMinTaskWork / per_item_work);
+}
+
+void MatMulNN(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kRowTile) {
+      const int64_t i1 = std::min(i0 + kRowTile, r1);
+      for (int64_t j0 = 0; j0 < m; j0 += kColTile) {
+        const int64_t j1 = std::min(j0 + kColTile, m);
+        for (int64_t p = 0; p < k; ++p) {
+          const float* brow = b + p * m;
+          for (int64_t i = i0; i < i1; ++i) {
+            const float av = a[i * k + p];
+            if (av == 0.0f) continue;
+            float* crow = c + i * m;
+            for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void MatMulTN(const float* a, const float* b, float* c, int64_t k, int64_t n,
+              int64_t m) {
+  // Output rows i index the columns of A; each thread owns a contiguous
+  // range of them, streaming all k rows of A and B.
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t j0 = 0; j0 < m; j0 += kColTile) {
+      const int64_t j1 = std::min(j0 + kColTile, m);
+      for (int64_t p = 0; p < k; ++p) {
+        const float* arow = a + p * n;
+        const float* brow = b + p * m;
+        for (int64_t i = r0; i < r1; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* crow = c + i * m;
+          for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+void MatMulNT(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kRowTile) {
+      const int64_t i1 = std::min(i0 + kRowTile, r1);
+      // j outer / i inner reuses each B row across the whole micro-panel.
+      for (int64_t j = 0; j < m; ++j) {
+        const float* brow = b + j * k;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* arow = a + i * k;
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          c[i * m + j] += acc;
+        }
+      }
+    }
+  });
+}
+
+void TransposeInto(const float* a, float* out, int64_t n, int64_t m,
+                   bool accumulate) {
+  // Parallel over output rows (columns of a); each out element is written
+  // exactly once.
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t r0, int64_t r1) {
+    for (int64_t j = r0; j < r1; ++j) {
+      float* orow = out + j * n;
+      const float* acol = a + j;
+      if (accumulate) {
+        for (int64_t i = 0; i < n; ++i) orow[i] += acol[i * m];
+      } else {
+        for (int64_t i = 0; i < n; ++i) orow[i] = acol[i * m];
+      }
+    }
+  });
+}
+
+void VecMatCols(const float* x, const float* w, float* out, int64_t n,
+                int64_t m, bool skip_zero) {
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
+    for (int64_t l = c0; l < c1; ++l) {
+      float acc = 0.0f;
+      const float* col = w + l;
+      if (skip_zero) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float xv = x[i];
+          if (xv == 0.0f) continue;
+          acc += xv * col[i * m];
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) acc += x[i] * col[i * m];
+      }
+      out[l] = acc;
+    }
+  });
+}
+
+void BiasTanh(const float* x, const float* b, float* out, int64_t rows,
+              int64_t cols, bool broadcast_bias) {
+  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
+                                                       int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      const float* brow = broadcast_bias ? b : b + r * cols;
+      float* orow = out + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = std::tanh(xrow[c] + brow[c]);
+      }
+    }
+  });
+}
+
+void BiasSigmoid(const float* x, const float* b, float* out, int64_t rows,
+                 int64_t cols, bool broadcast_bias) {
+  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
+                                                       int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      const float* brow = broadcast_bias ? b : b + r * cols;
+      float* orow = out + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = 1.0f / (1.0f + std::exp(-(xrow[c] + brow[c])));
+      }
+    }
+  });
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  common::ParallelFor(0, n, GrainForWork(1), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+void MaskedSoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols,
+                       const int64_t* valid) {
+  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
+                                                           int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t v = valid[r];
+      const float* xrow = x + r * cols;
+      float* orow = out + r * cols;
+      float mx = xrow[0];
+      for (int64_t c = 1; c < v; ++c) mx = std::max(mx, xrow[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < v; ++c) {
+        const float e = std::exp(xrow[c] - mx);
+        orow[c] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < v; ++c) orow[c] *= inv;
+      for (int64_t c = v; c < cols; ++c) orow[c] = 0.0f;
+    }
+  });
+}
+
+void SoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols) {
+  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
+                                                           int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      float* orow = out + r * cols;
+      float mx = xrow[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xrow[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float e = std::exp(xrow[c] - mx);
+        orow[c] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+    }
+  });
+}
+
+}  // namespace adamove::nn::kernels

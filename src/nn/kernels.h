@@ -1,0 +1,78 @@
+#ifndef ADAMOVE_NN_KERNELS_H_
+#define ADAMOVE_NN_KERNELS_H_
+
+#include <cstdint>
+
+namespace adamove::nn::kernels {
+
+// Thread-parallel, cache-blocked compute kernels over raw row-major float
+// buffers — the arithmetic substrate beneath the autograd ops and the PTTA
+// hot path. Style follows Caffe2's kernel layer: small explicit flat loops
+// over raw pointers, parallelized with a ParallelFor over output rows (or
+// columns for the vector×matrix case) on the shared common thread pool.
+//
+// Determinism contract: parallelism is scheduling, never arithmetic. Every
+// output element is accumulated by exactly one thread, in the same order as
+// the reference serial loop (ascending inner index, identical skip-zero
+// shortcuts), so results are bit-identical to a single-threaded run at any
+// thread count. Tiling only reorders *which element* is visited next, never
+// the accumulation order *within* an element.
+
+/// C({n,m}) += A({n,k}) * B({k,m}). Per element: ascending p, skipping
+/// A(i,p) == 0 (matches the historical ikj loop bit-for-bit).
+void MatMulNN(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m);
+
+/// C({n,m}) += A({k,n})^T * B({k,m}). Per element: ascending p, skipping
+/// A(p,i) == 0.
+void MatMulTN(const float* a, const float* b, float* c, int64_t k, int64_t n,
+              int64_t m);
+
+/// C({n,m}) += A({n,k}) * B({m,k})^T. Per element: a single ascending-p dot
+/// product accumulated in a local float (no skip-zero, as historically).
+void MatMulNT(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m);
+
+/// out({m,n}) = a({n,m})^T (assignment) or += when `accumulate`.
+void TransposeInto(const float* a, float* out, int64_t n, int64_t m,
+                   bool accumulate);
+
+/// out[l] = sum_i x[i] * w[i*m + l] for l in [0, m) — a row vector times a
+/// row-major {n, m} matrix, parallelized over output columns. When
+/// `skip_zero`, terms with x[i] == 0 are skipped (the PTTA LogitsOf
+/// contract). Accumulation is a per-column float in ascending i.
+void VecMatCols(const float* x, const float* w, float* out, int64_t n,
+                int64_t m, bool skip_zero);
+
+// -- fused elementwise kernels (one pass, vectorization-friendly bodies) ----
+
+/// out[r,c] = tanh(x[r,c] + b[c])  (bias_rows == 1: row-broadcast bias)
+/// out[r,c] = tanh(x[r,c] + b[r,c]) otherwise.
+void BiasTanh(const float* x, const float* b, float* out, int64_t rows,
+              int64_t cols, bool broadcast_bias);
+
+/// Same shapes as BiasTanh with sigmoid: out = 1 / (1 + exp(-(x + b))).
+void BiasSigmoid(const float* x, const float* b, float* out, int64_t rows,
+                 int64_t cols, bool broadcast_bias);
+
+/// y[i] += alpha * x[i] for i in [0, n).
+void Axpy(int64_t n, float alpha, const float* x, float* y);
+
+/// Row-wise masked softmax: row r is a softmax over its first valid[r]
+/// entries (max-subtracted, float accumulation in ascending column order,
+/// exactly mirroring the dense Softmax loop); entries at and beyond
+/// valid[r] are written as 0. valid[r] must be in [1, cols].
+void MaskedSoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols,
+                       const int64_t* valid);
+
+/// Dense row-wise softmax (valid == cols for every row).
+void SoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols);
+
+/// Suggested ParallelFor grain for a loop whose per-index cost is roughly
+/// `per_item_work` scalar operations: chunks are sized so each task does at
+/// least ~32k operations, keeping submit overhead negligible.
+int64_t GrainForWork(int64_t per_item_work);
+
+}  // namespace adamove::nn::kernels
+
+#endif  // ADAMOVE_NN_KERNELS_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel_for.h"
 #include "nn/autograd_mode.h"
+#include "nn/kernels.h"
 
 namespace adamove::nn {
 
@@ -75,7 +77,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     out->backward_fn = [ai, bi, oi, rows, cols]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+        kernels::Axpy(static_cast<int64_t>(oi->grad.size()), 1.0f,
+                      oi->grad.data(), ai->grad.data());
       }
       if (bi->requires_grad) {
         AccumulateWithRowBroadcast(bi.get(), oi->grad, rows, cols);
@@ -160,9 +163,8 @@ Tensor ScalarMul(const Tensor& a, float s) {
     out->parents = {ai};
     out->backward_fn = [ai, oi, s]() {
       ai->EnsureGrad();
-      for (size_t i = 0; i < oi->grad.size(); ++i) {
-        ai->grad[i] += oi->grad[i] * s;
-      }
+      kernels::Axpy(static_cast<int64_t>(oi->grad.size()), s,
+                    oi->grad.data(), ai->grad.data());
     };
   }
   return Tensor(out);
@@ -216,61 +218,20 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   return Tensor(out);
 }
 
-namespace {
-
-// C({n,m}) += A({n,k}) * B({k,m}); plain ikj loop, auto-vectorizes well.
-void MatMulInto(const float* a, const float* b, float* c, int64_t n, int64_t k,
-                int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * m;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * m;
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C({n,m}) += A({k,n})^T * B({k,m})
-void MatMulTransAInto(const float* a, const float* b, float* c, int64_t k,
-                      int64_t n, int64_t m) {
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * n;
-    const float* brow = b + p * m;
-    for (int64_t i = 0; i < n; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * m;
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C({n,m}) += A({n,k}) * B({m,k})^T
-void MatMulTransBInto(const float* a, const float* b, float* c, int64_t n,
-                      int64_t k, int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * m;
-    for (int64_t j = 0; j < m; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
-}
-
-}  // namespace
-
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
   ADAMOVE_CHECK_EQ(k, b.rows());
   bool rg = AnyRequiresGrad({&a, &b});
   auto out = NewNode({n, m}, rg);
-  MatMulInto(a.data().data(), b.data().data(), out->data.data(), n, k, m);
+  if (n == 1) {
+    // Vector × matrix: a row partition has nothing to parallelize over, so
+    // split the output columns instead.
+    kernels::VecMatCols(a.data().data(), b.data().data(), out->data.data(), k,
+                        m, /*skip_zero=*/true);
+  } else {
+    kernels::MatMulNN(a.data().data(), b.data().data(), out->data.data(), n, k,
+                      m);
+  }
   if (rg) {
     auto ai = a.impl(), bi = b.impl();
     TensorImpl* oi = out.get();
@@ -279,14 +240,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       if (ai->requires_grad) {
         ai->EnsureGrad();
         // dA += dC * B^T
-        MatMulTransBInto(oi->grad.data(), bi->data.data(), ai->grad.data(), n,
-                         m, k);
+        kernels::MatMulNT(oi->grad.data(), bi->data.data(), ai->grad.data(), n,
+                          m, k);
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
         // dB += A^T * dC
-        MatMulTransAInto(ai->data.data(), oi->grad.data(), bi->grad.data(), n,
-                         k, m);
+        kernels::MatMulTN(ai->data.data(), oi->grad.data(), bi->grad.data(), n,
+                          k, m);
       }
     };
   }
@@ -297,25 +258,17 @@ Tensor Transpose(const Tensor& a) {
   const int64_t n = a.rows(), m = a.cols();
   bool rg = AnyRequiresGrad({&a});
   auto out = NewNode({m, n}, rg);
-  const auto& ad = a.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < m; ++j) {
-      out->data[static_cast<size_t>(j * n + i)] =
-          ad[static_cast<size_t>(i * m + j)];
-    }
-  }
+  kernels::TransposeInto(a.data().data(), out->data.data(), n, m,
+                         /*accumulate=*/false);
   if (rg) {
     auto ai = a.impl();
     TensorImpl* oi = out.get();
     out->parents = {ai};
     out->backward_fn = [ai, oi, n, m]() {
       ai->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < m; ++j) {
-          ai->grad[static_cast<size_t>(i * m + j)] +=
-              oi->grad[static_cast<size_t>(j * n + i)];
-        }
-      }
+      // dA += dOut^T; dOut is {m, n}.
+      kernels::TransposeInto(oi->grad.data(), ai->grad.data(), m, n,
+                             /*accumulate=*/true);
     };
   }
   return Tensor(out);
@@ -533,6 +486,59 @@ Tensor Sigmoid(const Tensor& a) {
       [](float, float y) { return y * (1.0f - y); });
 }
 
+namespace {
+
+// Shared machinery of AddTanh/AddSigmoid: out = act(a + b) with the same
+// row-broadcast rule as Add, one fused pass each way. `bwd(y)` is dact/dpre
+// expressed through the output value.
+template <typename Bwd>
+Tensor FusedAddActivation(const Tensor& a, const Tensor& b,
+                          void (*kernel)(const float*, const float*, float*,
+                                         int64_t, int64_t, bool),
+                          Bwd bwd) {
+  ADAMOVE_CHECK_EQ(a.cols(), b.cols());
+  const bool broadcast = (b.rows() == 1 && a.rows() > 1);
+  ADAMOVE_CHECK(broadcast || a.rows() == b.rows());
+  const int64_t rows = a.rows(), cols = a.cols();
+  bool rg = AnyRequiresGrad({&a, &b});
+  auto out = NewNode(a.shape(), rg);
+  kernel(a.data().data(), b.data().data(), out->data.data(), rows, cols,
+         broadcast);
+  if (rg) {
+    auto ai = a.impl(), bi = b.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, oi, rows, cols, bwd]() {
+      // d(pre-activation) = g * act'(y); identical to the grad the separate
+      // activation node would have handed the Add node.
+      std::vector<float> dpre(oi->grad.size());
+      for (size_t i = 0; i < dpre.size(); ++i) {
+        dpre[i] = oi->grad[i] * bwd(oi->data[i]);
+      }
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < dpre.size(); ++i) ai->grad[i] += dpre[i];
+      }
+      if (bi->requires_grad) {
+        AccumulateWithRowBroadcast(bi.get(), dpre, rows, cols);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace
+
+Tensor AddTanh(const Tensor& a, const Tensor& b) {
+  return FusedAddActivation(a, b, kernels::BiasTanh,
+                            [](float y) { return 1.0f - y * y; });
+}
+
+Tensor AddSigmoid(const Tensor& a, const Tensor& b) {
+  return FusedAddActivation(a, b, kernels::BiasSigmoid,
+                            [](float y) { return y * (1.0f - y); });
+}
+
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
       a, [](float x) { return x > 0.0f ? x : 0.0f; },
@@ -642,37 +648,67 @@ Tensor Softmax(const Tensor& a) {
   const int64_t rows = a.rows(), cols = a.cols();
   bool rg = AnyRequiresGrad({&a});
   auto out = NewNode(a.shape(), rg);
-  const auto& ad = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const size_t off = static_cast<size_t>(r * cols);
-    float mx = ad[off];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, ad[off + c]);
-    float denom = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(ad[off + c] - mx);
-      out->data[off + c] = e;
-      denom += e;
-    }
-    const float inv = 1.0f / denom;
-    for (int64_t c = 0; c < cols; ++c) out->data[off + c] *= inv;
-  }
+  kernels::SoftmaxRows(a.data().data(), out->data.data(), rows, cols);
   if (rg) {
     auto ai = a.impl();
     TensorImpl* oi = out.get();
     out->parents = {ai};
     out->backward_fn = [ai, oi, rows, cols]() {
       ai->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const size_t off = static_cast<size_t>(r * cols);
-        float dot = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) {
-          dot += oi->grad[off + c] * oi->data[off + c];
-        }
-        for (int64_t c = 0; c < cols; ++c) {
-          ai->grad[off + c] +=
-              oi->data[off + c] * (oi->grad[off + c] - dot);
-        }
-      }
+      common::ParallelFor(
+          0, rows, kernels::GrainForWork(2 * cols),
+          [ai, oi, cols](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              const size_t off = static_cast<size_t>(r * cols);
+              float dot = 0.0f;
+              for (int64_t c = 0; c < cols; ++c) {
+                dot += oi->grad[off + c] * oi->data[off + c];
+              }
+              for (int64_t c = 0; c < cols; ++c) {
+                ai->grad[off + c] +=
+                    oi->data[off + c] * (oi->grad[off + c] - dot);
+              }
+            }
+          });
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor CausalSoftmax(const Tensor& a) {
+  const int64_t rows = a.rows(), cols = a.cols();
+  ADAMOVE_CHECK_EQ(rows, cols);  // scores are {T, T}
+  bool rg = AnyRequiresGrad({&a});
+  auto out = NewNode(a.shape(), rg);
+  auto valid = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) (*valid)[static_cast<size_t>(r)] = r + 1;
+  kernels::MaskedSoftmaxRows(a.data().data(), out->data.data(), rows, cols,
+                             valid->data());
+  if (rg) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.get();
+    out->parents = {ai};
+    out->backward_fn = [ai, oi, rows, cols, valid]() {
+      ai->EnsureGrad();
+      common::ParallelFor(
+          0, rows, kernels::GrainForWork(2 * cols),
+          [ai, oi, cols, valid](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              const int64_t v = (*valid)[static_cast<size_t>(r)];
+              const size_t off = static_cast<size_t>(r * cols);
+              float dot = 0.0f;
+              for (int64_t c = 0; c < v; ++c) {
+                dot += oi->grad[off + c] * oi->data[off + c];
+              }
+              // Masked positions have softmax output exactly 0, so their
+              // gradient contribution is identically 0 — skip them.
+              for (int64_t c = 0; c < v; ++c) {
+                ai->grad[off + c] +=
+                    oi->data[off + c] * (oi->grad[off + c] - dot);
+              }
+            }
+          });
     };
   }
   return Tensor(out);
@@ -682,31 +718,42 @@ Tensor LogSoftmax(const Tensor& a) {
   const int64_t rows = a.rows(), cols = a.cols();
   bool rg = AnyRequiresGrad({&a});
   auto out = NewNode(a.shape(), rg);
-  const auto& ad = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const size_t off = static_cast<size_t>(r * cols);
-    float mx = ad[off];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, ad[off + c]);
-    float denom = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) denom += std::exp(ad[off + c] - mx);
-    const float lse = mx + std::log(denom);
-    for (int64_t c = 0; c < cols; ++c) out->data[off + c] = ad[off + c] - lse;
-  }
+  const float* ad = a.data().data();
+  float* od = out->data.data();
+  common::ParallelFor(
+      0, rows, kernels::GrainForWork(2 * cols),
+      [ad, od, cols](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const size_t off = static_cast<size_t>(r * cols);
+          float mx = ad[off];
+          for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, ad[off + c]);
+          float denom = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) {
+            denom += std::exp(ad[off + c] - mx);
+          }
+          const float lse = mx + std::log(denom);
+          for (int64_t c = 0; c < cols; ++c) od[off + c] = ad[off + c] - lse;
+        }
+      });
   if (rg) {
     auto ai = a.impl();
     TensorImpl* oi = out.get();
     out->parents = {ai};
     out->backward_fn = [ai, oi, rows, cols]() {
       ai->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const size_t off = static_cast<size_t>(r * cols);
-        float gsum = 0.0f;
-        for (int64_t c = 0; c < cols; ++c) gsum += oi->grad[off + c];
-        for (int64_t c = 0; c < cols; ++c) {
-          ai->grad[off + c] +=
-              oi->grad[off + c] - std::exp(oi->data[off + c]) * gsum;
-        }
-      }
+      common::ParallelFor(
+          0, rows, kernels::GrainForWork(2 * cols),
+          [ai, oi, cols](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              const size_t off = static_cast<size_t>(r * cols);
+              float gsum = 0.0f;
+              for (int64_t c = 0; c < cols; ++c) gsum += oi->grad[off + c];
+              for (int64_t c = 0; c < cols; ++c) {
+                ai->grad[off + c] +=
+                    oi->grad[off + c] - std::exp(oi->data[off + c]) * gsum;
+              }
+            }
+          });
     };
   }
   return Tensor(out);
@@ -958,12 +1005,7 @@ Tensor ScaledDotAttention(const Tensor& q, const Tensor& k, const Tensor& v,
                             1.0f / std::sqrt(static_cast<float>(dk)));
   if (causal) {
     ADAMOVE_CHECK_EQ(q.rows(), k.rows());
-    const int64_t t = q.rows();
-    Tensor mask = Tensor::Zeros({t, t});
-    for (int64_t i = 0; i < t; ++i) {
-      for (int64_t j = i + 1; j < t; ++j) mask.set(i, j, -1e9f);
-    }
-    scores = Add(scores, mask);
+    return MatMul(CausalSoftmax(scores), v);
   }
   return MatMul(Softmax(scores), v);
 }

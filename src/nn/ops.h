@@ -75,6 +75,15 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
 
 Tensor Tanh(const Tensor& a);
 Tensor Sigmoid(const Tensor& a);
+
+/// Fused tanh(a + b) — one kernel pass instead of an Add node feeding a
+/// Tanh node; same broadcast rule as Add (b with a single row is broadcast
+/// over the rows of a). Bit-identical to Tanh(Add(a, b)).
+Tensor AddTanh(const Tensor& a, const Tensor& b);
+
+/// Fused sigmoid(a + b); same contract as AddTanh.
+Tensor AddSigmoid(const Tensor& a, const Tensor& b);
+
 Tensor Relu(const Tensor& a);
 Tensor Exp(const Tensor& a);
 /// Natural log; inputs are clamped to >= 1e-12 for numeric safety.
@@ -100,6 +109,12 @@ Tensor Softmax(const Tensor& a);
 
 /// Row-wise log-softmax (numerically stable).
 Tensor LogSoftmax(const Tensor& a);
+
+/// Causally masked row-wise softmax of square scores {T, T}: row i is a
+/// softmax over columns [0, i] and exactly 0 beyond. Equivalent to (and
+/// bit-identical with) adding a -1e9 upper-triangular mask before Softmax,
+/// without materializing the mask tensor.
+Tensor CausalSoftmax(const Tensor& a);
 
 /// Row-wise LayerNorm with learned gain/bias ({1, cols} each), eps inside.
 Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,

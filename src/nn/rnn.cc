@@ -35,8 +35,9 @@ Tensor RnnEncoder::Forward(const Tensor& x, bool /*training*/) {
   std::vector<Tensor> hiddens;
   hiddens.reserve(static_cast<size_t>(t_len));
   for (int64_t t = 0; t < t_len; ++t) {
-    Tensor pre = Add(Row(xw, t), MatMul(h, w_hh_));
-    h = Tanh(pre);
+    // Fused add+tanh kernel: one pass, one tape node (bit-identical to
+    // Tanh(Add(...))).
+    h = AddTanh(Row(xw, t), MatMul(h, w_hh_));
     hiddens.push_back(h);
   }
   return ConcatRows(hiddens);
@@ -102,10 +103,10 @@ Tensor GruEncoder::Forward(const Tensor& x, bool /*training*/) {
   for (int64_t t = 0; t < t_len; ++t) {
     Tensor hw = Add(MatMul(h, w_hh_), b_hh_);  // {1, 3H}
     Tensor xt = Row(xw, t);
-    Tensor r = Sigmoid(Add(SliceCols(xt, 0, hs), SliceCols(hw, 0, hs)));
-    Tensor z = Sigmoid(Add(SliceCols(xt, hs, hs), SliceCols(hw, hs, hs)));
-    Tensor n = Tanh(
-        Add(SliceCols(xt, 2 * hs, hs), Mul(r, SliceCols(hw, 2 * hs, hs))));
+    Tensor r = AddSigmoid(SliceCols(xt, 0, hs), SliceCols(hw, 0, hs));
+    Tensor z = AddSigmoid(SliceCols(xt, hs, hs), SliceCols(hw, hs, hs));
+    Tensor n = AddTanh(SliceCols(xt, 2 * hs, hs),
+                       Mul(r, SliceCols(hw, 2 * hs, hs)));
     // h = (1 - z) * n + z * h
     Tensor one_minus_z = ScalarAdd(ScalarMul(z, -1.0f), 1.0f);
     h = Add(Mul(one_minus_z, n), Mul(z, h));

@@ -197,8 +197,10 @@ TEST_F(PttaModelTest, VariantsProduceDifferentScores) {
   PttaConfig pseudo = ptta;
   pseudo.use_true_labels = false;        // w/ pseudo-label
   const auto s_ptta = TestTimeAdapter(ptta).Predict(*model_, sample);
+  const auto s_ent = TestTimeAdapter(ent).Predict(*model_, sample);
   const auto s_pseudo = TestTimeAdapter(pseudo).Predict(*model_, sample);
   EXPECT_NE(s_ptta, s_pseudo);
+  EXPECT_NE(s_ptta, s_ent);
 }
 
 TEST_F(PttaModelTest, T3aConfigIsPseudoLabelPlusEntropy) {
@@ -206,6 +208,90 @@ TEST_F(PttaModelTest, T3aConfigIsPseudoLabelPlusEntropy) {
   EXPECT_FALSE(t3a.similarity_importance);
   EXPECT_FALSE(t3a.use_true_labels);
   EXPECT_EQ(t3a.capacity, 7);
+}
+
+TEST_F(PttaModelTest, HeapKnowledgeBaseAgreesWithLinearScan) {
+  // PttaConfig::use_heap swaps the knowledge-base maintenance structure,
+  // never its contents: predictions must agree with the linear scan.
+  data::Sample sample = MakeSample({2, 7, 3, 7, 2, 9, 2, 7, 9}, 7);
+  PttaConfig linear;  // use_heap = false
+  PttaConfig heap = linear;
+  heap.use_heap = true;
+  AdapterStats linear_stats, heap_stats;
+  const auto s_linear =
+      TestTimeAdapter(linear).Predict(*model_, sample, &linear_stats);
+  const auto s_heap =
+      TestTimeAdapter(heap).Predict(*model_, sample, &heap_stats);
+  ASSERT_EQ(s_linear.size(), s_heap.size());
+  for (size_t i = 0; i < s_linear.size(); ++i) {
+    // The kept sets are identical but their iteration order may differ, so
+    // the centroid sums can differ in the last ulp.
+    EXPECT_FLOAT_EQ(s_linear[i], s_heap[i]) << "location " << i;
+  }
+  EXPECT_EQ(linear_stats.columns_updated, heap_stats.columns_updated);
+  EXPECT_EQ(linear_stats.weight_bytes_touched,
+            heap_stats.weight_bytes_touched);
+
+  // Same agreement for the materializing entry point, with a capacity small
+  // enough that the buffers actually evict.
+  linear.capacity = heap.capacity = 2;
+  nn::Tensor reps = model_->PrefixRepresentations(sample);
+  std::vector<int64_t> labels;
+  for (size_t k = 1; k < sample.recent.size(); ++k) {
+    labels.push_back(sample.recent[k].location);
+  }
+  const auto w_linear = TestTimeAdapter(linear).AdjustedWeights(
+      reps, labels, model_->classifier(), nullptr);
+  const auto w_heap = TestTimeAdapter(heap).AdjustedWeights(
+      reps, labels, model_->classifier(), nullptr);
+  ASSERT_EQ(w_linear.size(), w_heap.size());
+  for (size_t i = 0; i < w_linear.size(); ++i) {
+    EXPECT_FLOAT_EQ(w_linear[i], w_heap[i]) << "index " << i;
+  }
+}
+
+TEST_F(PttaModelTest, SparsePredictMatchesMaterializedAdjustedWeights) {
+  // Predict() rebuilds only the adjusted columns; scoring the fully
+  // materialized Θ' must give the same result.
+  data::Sample sample = MakeSample({2, 7, 3, 7, 2, 9, 2}, 7);
+  TestTimeAdapter adapter(PttaConfig{});
+  AdapterStats predict_stats;
+  const std::vector<float> sparse =
+      adapter.Predict(*model_, sample, &predict_stats);
+
+  nn::Tensor reps = model_->PrefixRepresentations(sample);
+  std::vector<int64_t> labels;
+  for (size_t k = 1; k < sample.recent.size(); ++k) {
+    labels.push_back(sample.recent[k].location);
+  }
+  AdapterStats full_stats;
+  const std::vector<float> adjusted = adapter.AdjustedWeights(
+      reps, labels, model_->classifier(), &full_stats);
+  const int64_t hidden = reps.cols();
+  const int64_t num_loc = model_->classifier().out_features();
+  const float* h_test = reps.data().data() + (reps.rows() - 1) * hidden;
+  const auto& bias = model_->classifier().bias().data();
+  for (int64_t l = 0; l < num_loc; ++l) {
+    float acc = 0.0f;
+    for (int64_t i = 0; i < hidden; ++i) {
+      if (h_test[i] == 0.0f) continue;
+      acc += h_test[i] * adjusted[static_cast<size_t>(i * num_loc + l)];
+    }
+    EXPECT_FLOAT_EQ(sparse[static_cast<size_t>(l)],
+                    acc + bias[static_cast<size_t>(l)])
+        << "location " << l;
+  }
+
+  // The sparse path touches columns_updated * H * 4 bytes — strictly fewer
+  // than the full {H, L} copy the materializing path reports.
+  EXPECT_EQ(predict_stats.columns_updated, full_stats.columns_updated);
+  EXPECT_EQ(predict_stats.weight_bytes_touched,
+            predict_stats.columns_updated * hidden *
+                static_cast<int64_t>(sizeof(float)));
+  EXPECT_EQ(full_stats.weight_bytes_touched,
+            hidden * num_loc * static_cast<int64_t>(sizeof(float)));
+  EXPECT_LT(predict_stats.weight_bytes_touched,
+            full_stats.weight_bytes_touched);
 }
 
 TEST_F(PttaModelTest, DeterministicAcrossCalls) {

@@ -1,0 +1,371 @@
+// Determinism contract of the parallel compute kernels: results must be
+// bit-identical to a serial reference at any thread count (1, 2, 8),
+// including odd shapes and sizes that do not divide the internal tiles.
+// Runs under the `concurrency` ctest label so ADAMOVE_SANITIZE=thread
+// exercises the ParallelFor fan-out.
+
+#include "nn/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "nn/autograd_mode.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+// Runs `fn` once per swept thread count, then restores the default pool.
+template <typename Fn>
+void ForEachThreadCount(Fn fn) {
+  for (int threads : kThreadCounts) {
+    common::SetKernelThreads(threads);
+    fn(threads);
+  }
+  common::SetKernelThreads(0);
+}
+
+std::vector<float> RandomVec(size_t n, common::Rng& rng,
+                             double zero_fraction = 0.1) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    // Exact zeros exercise the skip-zero shortcuts the kernels must
+    // replicate from the historical serial loops.
+    x = rng.Uniform(0.0, 1.0) < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return v;
+}
+
+// -- serial references (the historical loops, verbatim) ----------------------
+
+void RefMatMulNN(const float* a, const float* b, float* c, int64_t n,
+                 int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void RefMatMulTN(const float* a, const float* b, float* c, int64_t k,
+                 int64_t n, int64_t m) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * n;
+    const float* brow = b + p * m;
+    for (int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void RefMatMulNT(const float* a, const float* b, float* c, int64_t n,
+                 int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// Shapes chosen so row tiles (8) and column tiles (128) never divide
+// evenly, plus degenerate vector cases.
+struct Shape {
+  int64_t n, k, m;
+};
+const Shape kShapes[] = {{1, 7, 13},   {3, 5, 2},    {17, 23, 31},
+                         {33, 129, 65}, {8, 16, 128}, {70, 67, 259}};
+
+TEST(KernelsTest, MatMulNNBitIdenticalAcrossThreadCounts) {
+  common::Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(static_cast<size_t>(s.n * s.k), rng);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.m), rng);
+    std::vector<float> expected(static_cast<size_t>(s.n * s.m), 0.0f);
+    RefMatMulNN(a.data(), b.data(), expected.data(), s.n, s.k, s.m);
+    ForEachThreadCount([&](int threads) {
+      std::vector<float> got(expected.size(), 0.0f);
+      kernels::MatMulNN(a.data(), b.data(), got.data(), s.n, s.k, s.m);
+      EXPECT_EQ(got, expected) << "threads=" << threads << " n=" << s.n
+                               << " k=" << s.k << " m=" << s.m;
+    });
+  }
+}
+
+TEST(KernelsTest, MatMulTNBitIdenticalAcrossThreadCounts) {
+  common::Rng rng(12);
+  for (const Shape& s : kShapes) {
+    // A is {k, n}: transpose-first operand.
+    const auto a = RandomVec(static_cast<size_t>(s.k * s.n), rng);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.m), rng);
+    std::vector<float> expected(static_cast<size_t>(s.n * s.m), 0.0f);
+    RefMatMulTN(a.data(), b.data(), expected.data(), s.k, s.n, s.m);
+    ForEachThreadCount([&](int threads) {
+      std::vector<float> got(expected.size(), 0.0f);
+      kernels::MatMulTN(a.data(), b.data(), got.data(), s.k, s.n, s.m);
+      EXPECT_EQ(got, expected) << "threads=" << threads << " n=" << s.n
+                               << " k=" << s.k << " m=" << s.m;
+    });
+  }
+}
+
+TEST(KernelsTest, MatMulNTBitIdenticalAcrossThreadCounts) {
+  common::Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(static_cast<size_t>(s.n * s.k), rng);
+    // B is {m, k}: transpose-second operand.
+    const auto b = RandomVec(static_cast<size_t>(s.m * s.k), rng);
+    std::vector<float> expected(static_cast<size_t>(s.n * s.m), 0.0f);
+    RefMatMulNT(a.data(), b.data(), expected.data(), s.n, s.k, s.m);
+    ForEachThreadCount([&](int threads) {
+      std::vector<float> got(expected.size(), 0.0f);
+      kernels::MatMulNT(a.data(), b.data(), got.data(), s.n, s.k, s.m);
+      EXPECT_EQ(got, expected) << "threads=" << threads << " n=" << s.n
+                               << " k=" << s.k << " m=" << s.m;
+    });
+  }
+}
+
+TEST(KernelsTest, VecMatColsMatchesPerColumnDots) {
+  common::Rng rng(14);
+  const int64_t n = 67, m = 259;
+  const auto x = RandomVec(static_cast<size_t>(n), rng, 0.2);
+  const auto w = RandomVec(static_cast<size_t>(n * m), rng);
+  for (bool skip_zero : {false, true}) {
+    std::vector<float> expected(static_cast<size_t>(m));
+    for (int64_t l = 0; l < m; ++l) {
+      float acc = 0.0f;
+      for (int64_t i = 0; i < n; ++i) {
+        if (skip_zero && x[static_cast<size_t>(i)] == 0.0f) continue;
+        acc += x[static_cast<size_t>(i)] * w[static_cast<size_t>(i * m + l)];
+      }
+      expected[static_cast<size_t>(l)] = acc;
+    }
+    ForEachThreadCount([&](int threads) {
+      std::vector<float> got(static_cast<size_t>(m), -1.0f);
+      kernels::VecMatCols(x.data(), w.data(), got.data(), n, m, skip_zero);
+      EXPECT_EQ(got, expected)
+          << "threads=" << threads << " skip_zero=" << skip_zero;
+    });
+  }
+}
+
+TEST(KernelsTest, TransposeAssignAndAccumulate) {
+  common::Rng rng(15);
+  const int64_t n = 33, m = 259;
+  const auto a = RandomVec(static_cast<size_t>(n * m), rng);
+  std::vector<float> expected(static_cast<size_t>(m * n), 0.5f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      expected[static_cast<size_t>(j * n + i)] =
+          a[static_cast<size_t>(i * m + j)];
+    }
+  }
+  std::vector<float> expected_acc(static_cast<size_t>(m * n), 0.5f);
+  for (size_t i = 0; i < expected_acc.size(); ++i) {
+    expected_acc[i] += expected[i];
+  }
+  ForEachThreadCount([&](int threads) {
+    std::vector<float> got(static_cast<size_t>(m * n), 0.5f);
+    kernels::TransposeInto(a.data(), got.data(), n, m, /*accumulate=*/false);
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+    std::vector<float> got_acc = expected;  // start from a^T, add a^T again
+    for (auto& v : got_acc) v = 0.5f;
+    kernels::TransposeInto(a.data(), got_acc.data(), n, m,
+                           /*accumulate=*/false);
+    kernels::TransposeInto(a.data(), got_acc.data(), n, m,
+                           /*accumulate=*/true);
+    for (size_t i = 0; i < got_acc.size(); ++i) {
+      EXPECT_EQ(got_acc[i], expected[i] + expected[i])
+          << "threads=" << threads << " i=" << i;
+    }
+  });
+}
+
+TEST(KernelsTest, FusedBiasActivationsMatchTwoStepReference) {
+  common::Rng rng(16);
+  const int64_t rows = 37, cols = 131;
+  const auto x = RandomVec(static_cast<size_t>(rows * cols), rng);
+  const auto bias_row = RandomVec(static_cast<size_t>(cols), rng);
+  const auto bias_full = RandomVec(static_cast<size_t>(rows * cols), rng);
+  for (bool broadcast : {true, false}) {
+    const float* b = broadcast ? bias_row.data() : bias_full.data();
+    std::vector<float> want_tanh(x.size()), want_sig(x.size());
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r * cols + c);
+        const float pre = x[i] + (broadcast ? b[c] : b[i]);
+        want_tanh[i] = std::tanh(pre);
+        want_sig[i] = 1.0f / (1.0f + std::exp(-pre));
+      }
+    }
+    ForEachThreadCount([&](int threads) {
+      std::vector<float> got(x.size());
+      kernels::BiasTanh(x.data(), b, got.data(), rows, cols, broadcast);
+      EXPECT_EQ(got, want_tanh)
+          << "threads=" << threads << " broadcast=" << broadcast;
+      kernels::BiasSigmoid(x.data(), b, got.data(), rows, cols, broadcast);
+      EXPECT_EQ(got, want_sig)
+          << "threads=" << threads << " broadcast=" << broadcast;
+    });
+  }
+}
+
+TEST(KernelsTest, AxpyBitIdenticalAcrossThreadCounts) {
+  common::Rng rng(17);
+  const int64_t n = 100003;  // prime: chunks never divide evenly
+  const auto x = RandomVec(static_cast<size_t>(n), rng);
+  const auto y0 = RandomVec(static_cast<size_t>(n), rng);
+  std::vector<float> expected = y0;
+  for (int64_t i = 0; i < n; ++i) {
+    expected[static_cast<size_t>(i)] += 0.37f * x[static_cast<size_t>(i)];
+  }
+  ForEachThreadCount([&](int threads) {
+    std::vector<float> got = y0;
+    kernels::Axpy(n, 0.37f, x.data(), got.data());
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  });
+}
+
+TEST(KernelsTest, MaskedSoftmaxMatchesDenseSoftmaxWithAdditiveMask) {
+  common::Rng rng(18);
+  const int64_t t = 41;
+  const auto x = RandomVec(static_cast<size_t>(t * t), rng, 0.0);
+  std::vector<int64_t> valid(static_cast<size_t>(t));
+  for (int64_t r = 0; r < t; ++r) valid[static_cast<size_t>(r)] = r + 1;
+  // Reference: -1e9 additive mask then the dense row softmax.
+  std::vector<float> masked = x;
+  for (int64_t r = 0; r < t; ++r) {
+    for (int64_t c = r + 1; c < t; ++c) {
+      masked[static_cast<size_t>(r * t + c)] += -1e9f;
+    }
+  }
+  std::vector<float> expected(masked.size());
+  common::SetKernelThreads(1);
+  kernels::SoftmaxRows(masked.data(), expected.data(), t, t);
+  ForEachThreadCount([&](int threads) {
+    std::vector<float> got(expected.size(), -1.0f);
+    kernels::MaskedSoftmaxRows(x.data(), got.data(), t, t, valid.data());
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  });
+}
+
+// -- op level: forward AND backward identical at every thread count ---------
+
+TEST(KernelsTest, MatMulOpForwardBackwardBitIdenticalAcrossThreadCounts) {
+  common::Rng rng(19);
+  const int64_t n = 35, k = 67, m = 131;
+  const auto av = RandomVec(static_cast<size_t>(n * k), rng);
+  const auto bv = RandomVec(static_cast<size_t>(k * m), rng);
+  std::vector<float> out1, ga1, gb1;
+  ForEachThreadCount([&](int threads) {
+    Tensor a = Tensor::FromVector({n, k}, av, /*requires_grad=*/true);
+    Tensor b = Tensor::FromVector({k, m}, bv, /*requires_grad=*/true);
+    Tensor y = MatMul(a, b);
+    Sum(Mul(y, y)).Backward();
+    if (threads == 1) {
+      out1 = y.data();
+      ga1 = a.grad();
+      gb1 = b.grad();
+    } else {
+      EXPECT_EQ(y.data(), out1) << "threads=" << threads;
+      EXPECT_EQ(a.grad(), ga1) << "threads=" << threads;
+      EXPECT_EQ(b.grad(), gb1) << "threads=" << threads;
+    }
+  });
+}
+
+TEST(KernelsTest, CausalSoftmaxOpMatchesMaskedReferenceWithGrad) {
+  common::Rng rng(20);
+  const int64_t t = 19;
+  const auto xv = RandomVec(static_cast<size_t>(t * t), rng, 0.0);
+  // Reference: materialized additive mask + dense Softmax.
+  Tensor xr = Tensor::FromVector({t, t}, xv, /*requires_grad=*/true);
+  Tensor mask = Tensor::Zeros({t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = i + 1; j < t; ++j) mask.set(i, j, -1e9f);
+  }
+  Tensor yr = Softmax(Add(xr, mask));
+  Sum(Mul(yr, yr)).Backward();
+  ForEachThreadCount([&](int threads) {
+    Tensor x = Tensor::FromVector({t, t}, xv, /*requires_grad=*/true);
+    Tensor y = CausalSoftmax(x);
+    Sum(Mul(y, y)).Backward();
+    EXPECT_EQ(y.data(), yr.data()) << "threads=" << threads;
+    ASSERT_EQ(x.grad().size(), xr.grad().size());
+    for (size_t i = 0; i < x.grad().size(); ++i) {
+      EXPECT_FLOAT_EQ(x.grad()[i], xr.grad()[i])
+          << "threads=" << threads << " i=" << i;
+    }
+  });
+}
+
+TEST(KernelsTest, FusedAddActivationOpsMatchSeparateOpsWithGrad) {
+  common::Rng rng(21);
+  const int64_t rows = 9, cols = 33;
+  const auto av = RandomVec(static_cast<size_t>(rows * cols), rng);
+  const auto bv = RandomVec(static_cast<size_t>(cols), rng);
+  Tensor ar = Tensor::FromVector({rows, cols}, av, true);
+  Tensor br = Tensor::FromVector({1, cols}, bv, true);
+  Tensor yr = Tanh(Add(ar, br));
+  Sum(Mul(yr, yr)).Backward();
+  ForEachThreadCount([&](int threads) {
+    Tensor a = Tensor::FromVector({rows, cols}, av, true);
+    Tensor b = Tensor::FromVector({1, cols}, bv, true);
+    Tensor y = AddTanh(a, b);
+    Sum(Mul(y, y)).Backward();
+    EXPECT_EQ(y.data(), yr.data()) << "threads=" << threads;
+    EXPECT_EQ(a.grad(), ar.grad()) << "threads=" << threads;
+    EXPECT_EQ(b.grad(), br.grad()) << "threads=" << threads;
+  });
+  Tensor ys = Sigmoid(Add(ar, br));
+  ForEachThreadCount([&](int threads) {
+    Tensor a = Tensor::FromVector({rows, cols}, av, true);
+    Tensor b = Tensor::FromVector({1, cols}, bv, true);
+    Tensor y = AddSigmoid(a, b);
+    EXPECT_EQ(y.data(), ys.data()) << "threads=" << threads;
+  });
+}
+
+TEST(KernelsTest, NestedParallelForRunsInline) {
+  // A chunk body that itself calls ParallelFor must not deadlock on the
+  // shared pool; the nested loop runs inline on the owning thread.
+  common::SetKernelThreads(4);
+  std::vector<int> hits(64, 0);
+  common::ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t outer = lo; outer < hi; ++outer) {
+      common::ParallelFor(0, 8, 1, [&](int64_t l2, int64_t h2) {
+        for (int64_t inner = l2; inner < h2; ++inner) {
+          hits[static_cast<size_t>(outer * 8 + inner)] += 1;
+        }
+      });
+    }
+  });
+  common::SetKernelThreads(0);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace adamove::nn
