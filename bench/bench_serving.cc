@@ -102,7 +102,7 @@ int main() {
   common::TablePrinter table(
       {"workers", "batch", "qps", "e2e p50 ms", "e2e p95 ms", "e2e p99 ms",
        "queue p95 ms", "encode p95 ms", "adapt p95 ms", "mean batch",
-       "resident", "evicted"});
+       "resident", "evicted", "degraded"});
   struct Config {
     int workers;
     int max_batch;
@@ -121,7 +121,9 @@ int main() {
                   Ms(r.stats.encode_us, 0.95), Ms(r.stats.adapt_us, 0.95),
                   common::TablePrinter::Fmt(r.stats.MeanBatchSize(), 2),
                   std::to_string(r.resident_users),
-                  std::to_string(r.evictions)});
+                  std::to_string(r.evictions),
+                  std::to_string(r.stats.degraded_requests +
+                                 r.stats.timeouts)});
   }
   table.Print();
   if (single_qps > 0) {

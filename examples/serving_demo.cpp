@@ -77,5 +77,12 @@ int main() {
               stats.queue_us.SummaryMs().c_str(),
               stats.encode_us.SummaryMs().c_str(),
               stats.adapt_us.SummaryMs().c_str());
+  // All zero unless fault points are armed (ADAMOVE_FAULTS) or deadlines /
+  // shedding are configured — the availability ledger of DESIGN.md §9.
+  std::printf("outcomes: ok=%llu degraded=%llu timeouts=%llu shed=%llu\n",
+              static_cast<unsigned long long>(stats.ok_requests()),
+              static_cast<unsigned long long>(stats.degraded_requests),
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.shed_requests));
   return 0;
 }

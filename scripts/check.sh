@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The repo's full verification ladder, in the order a reviewer should trust:
+#
+#   1. tier-1: plain build + the complete ctest suite
+#   2. TSan:   `concurrency`-labeled suites under -DADAMOVE_SANITIZE=thread
+#              (data races in the serving path / kernels / chaos suite)
+#   3. ASan:   `fault`-labeled suites under -DADAMOVE_SANITIZE=address
+#              (memory errors on the fault-injection and degradation paths)
+#
+# Usage: scripts/check.sh            # run all three stages
+#        JOBS=8 scripts/check.sh     # override build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> [1/3] tier-1: build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure
+
+echo "==> [2/3] TSan: concurrency-labeled suites"
+cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan -L concurrency --output-on-failure
+
+echo "==> [3/3] ASan: fault-labeled suites"
+cmake -B build-asan -S . -DADAMOVE_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan -L fault --output-on-failure
+
+echo "==> all checks passed"

@@ -1,0 +1,228 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace adamove::common {
+
+namespace fault_internal {
+std::atomic<bool> g_any_armed{false};
+}  // namespace fault_internal
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; good avalanche, no state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const char* s) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Deterministic fire decision for evaluation index `n` of a point:
+/// a pure function of (seed, name, n), uniform on [0, 1).
+double FireUniform(uint64_t seed, uint64_t name_hash, uint64_t n) {
+  const uint64_t u = Mix64(Mix64(seed ^ name_hash) ^ n);
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+struct PointState {
+  uint64_t name_hash = 0;
+  bool armed = false;
+  FaultSpec spec;
+  std::atomic<uint64_t> evaluations{0};
+  std::atomic<uint64_t> fired{0};
+};
+
+}  // namespace
+
+struct FaultRegistry::State {
+  mutable std::mutex mu;
+  // Pointer stability: PointState holds atomics and is referenced while the
+  // map grows under new Arm() calls.
+  std::unordered_map<std::string, std::unique_ptr<PointState>> points;
+  uint64_t seed = 1;
+  int armed_count = 0;
+};
+
+FaultRegistry::FaultRegistry() : state_(new State) {
+  const char* seed_env = std::getenv("ADAMOVE_FAULTS_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    state_->seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  const char* faults = std::getenv("ADAMOVE_FAULTS");
+  if (faults != nullptr && *faults != '\0') {
+    ConfigureFromString(faults);
+  }
+}
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();  // leaked on purpose
+  return *instance;
+}
+
+void FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto [it, inserted] =
+      state_->points.try_emplace(point, std::make_unique<PointState>());
+  PointState& ps = *it->second;
+  if (inserted) ps.name_hash = HashName(point.c_str());
+  if (!ps.armed) ++state_->armed_count;
+  ps.armed = true;
+  ps.spec = spec;
+  ps.spec.probability = std::min(1.0, std::max(0.0, spec.probability));
+  fault_internal::g_any_armed.store(state_->armed_count > 0,
+                                    std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->points.find(point);
+  if (it == state_->points.end() || !it->second->armed) return;
+  it->second->armed = false;
+  --state_->armed_count;
+  fault_internal::g_any_armed.store(state_->armed_count > 0,
+                                    std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->points.clear();
+  state_->armed_count = 0;
+  fault_internal::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ConfigureFromString(const std::string& config) {
+  bool all_ok = true;
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t end = config.find_first_of(";,", pos);
+    if (end == std::string::npos) end = config.size();
+    const std::string entry = config.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      all_ok = false;
+      continue;
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    FaultSpec spec;
+    char* cursor = nullptr;
+    spec.probability = std::strtod(value.c_str(), &cursor);
+    if (cursor == value.c_str() || spec.probability < 0.0 ||
+        spec.probability > 1.0) {
+      all_ok = false;
+      continue;
+    }
+    if (*cursor == ':') {
+      const char* delay_begin = cursor + 1;
+      spec.delay_us = std::strtoll(delay_begin, &cursor, 10);
+      if (cursor == delay_begin || spec.delay_us < 0) {
+        all_ok = false;
+        continue;
+      }
+    }
+    if (*cursor == ':') {
+      if (std::string(cursor + 1) != "noerror") {
+        all_ok = false;
+        continue;
+      }
+      spec.error = false;
+    } else if (*cursor != '\0') {
+      all_ok = false;
+      continue;
+    }
+    Arm(name, spec);
+  }
+  return all_ok;
+}
+
+void FaultRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->seed = seed;
+  for (auto& [name, ps] : state_->points) {
+    ps->evaluations.store(0, std::memory_order_relaxed);
+    ps->fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultRegistry::IsArmed(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->points.find(point);
+  return it != state_->points.end() && it->second->armed;
+}
+
+FaultPointStats FaultRegistry::StatsFor(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->points.find(point);
+  FaultPointStats stats;
+  if (it == state_->points.end()) return stats;
+  stats.evaluations = it->second->evaluations.load(std::memory_order_relaxed);
+  stats.fired = it->second->fired.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::vector<std::string> names;
+  for (const auto& [name, ps] : state_->points) {
+    if (ps->armed) names.push_back(name);
+  }
+  return names;
+}
+
+namespace {
+
+// Eagerly construct the registry at load time. The hot path only reads
+// g_any_armed, so without this touch a process that never calls the
+// programmatic API would leave ADAMOVE_FAULTS unread and env-armed points
+// silently inert.
+[[maybe_unused]] const bool g_env_initialized =
+    (FaultRegistry::Instance(), true);
+
+}  // namespace
+
+namespace fault_internal {
+
+bool EvaluateSlow(const char* point) {
+  FaultRegistry::State& state = *FaultRegistry::Instance().state_;
+  uint64_t delay_us = 0;
+  bool error = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.points.find(point);
+    if (it == state.points.end() || !it->second->armed) return false;
+    PointState& ps = *it->second;
+    const uint64_t n = ps.evaluations.fetch_add(1, std::memory_order_relaxed);
+    if (FireUniform(state.seed, ps.name_hash, n) >= ps.spec.probability) {
+      return false;
+    }
+    ps.fired.fetch_add(1, std::memory_order_relaxed);
+    delay_us = static_cast<uint64_t>(ps.spec.delay_us);
+    error = ps.spec.error;
+  }
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return error;
+}
+
+}  // namespace fault_internal
+
+}  // namespace adamove::common

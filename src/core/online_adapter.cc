@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/parallel_for.h"
 #include "core/ptta.h"
 #include "nn/kernels.h"
@@ -12,6 +13,41 @@
 namespace adamove::core {
 
 namespace {
+
+/// Frozen-classifier scores without bias: scores[l] = query · θ_l. Shared by
+/// Predict (which then overwrites adapted columns) and PredictFrozen, so the
+/// fallback path is arithmetically identical to the untouched-column path.
+std::vector<float> FrozenColumnScores(const nn::Linear& classifier,
+                                      const std::vector<float>& query) {
+  const int64_t hidden = classifier.in_features();
+  const int64_t num_loc = classifier.out_features();
+  ADAMOVE_CHECK_EQ(static_cast<int64_t>(query.size()), hidden);
+  const std::vector<float>& weight = classifier.weight().data();
+  // Column-parallel over the shared kernel pool: each thread owns a
+  // contiguous range of locations, accumulating each column in the same
+  // ascending-i double order as the serial loop.
+  std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
+  common::ParallelFor(
+      0, num_loc, nn::kernels::GrainForWork(hidden),
+      [&](int64_t l0, int64_t l1) {
+        for (int64_t l = l0; l < l1; ++l) {
+          const float* column = weight.data() + l;
+          double acc = 0.0;
+          for (int64_t i = 0; i < hidden; ++i) {
+            acc += static_cast<double>(query[static_cast<size_t>(i)]) *
+                   column[i * num_loc];
+          }
+          scores[static_cast<size_t>(l)] = static_cast<float>(acc);
+        }
+      });
+  return scores;
+}
+
+void AddBias(const nn::Linear& classifier, std::vector<float>* scores) {
+  if (!classifier.has_bias()) return;
+  const auto& bias = classifier.bias().data();
+  for (size_t l = 0; l < scores->size(); ++l) (*scores)[l] += bias[l];
+}
 
 float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
   ADAMOVE_CHECK_EQ(a.size(), b.size());
@@ -30,11 +66,22 @@ float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
 void OnlineAdapter::Observe(int64_t user, const std::vector<float>& pattern,
                             int64_t next_location, int64_t timestamp) {
   ADAMOVE_CHECK(!pattern.empty());
+  // Simulated ingestion failure: the pattern is dropped, the knowledge base
+  // stays consistent (it just never saw this transition).
+  if (common::FaultPoint("core.kb.ingest")) return;
   auto& entries = users_[user].by_location[next_location];
   entries.push_back(Entry{pattern, timestamp});
   if (entries.size() > kMaxCandidatesPerLocation) {
     entries.erase(entries.begin());  // FIFO: drop the oldest candidate
   }
+}
+
+std::vector<float> OnlineAdapter::PredictFrozen(
+    const AdaptableModel& model, const std::vector<float>& query) {
+  const nn::Linear& classifier = model.classifier();
+  std::vector<float> scores = FrozenColumnScores(classifier, query);
+  AddBias(classifier, &scores);
+  return scores;
 }
 
 std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
@@ -44,29 +91,15 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
   const nn::Linear& classifier = model.classifier();
   const int64_t hidden = classifier.in_features();
   const int64_t num_loc = classifier.out_features();
-  ADAMOVE_CHECK_EQ(static_cast<int64_t>(query.size()), hidden);
   const std::vector<float>& weight = classifier.weight().data();
 
   // Start from the frozen column scores; overwrite adapted columns below.
-  // Column-parallel over the shared kernel pool: each thread owns a
-  // contiguous range of locations, accumulating each column in the same
-  // ascending-i double order as the serial loop.
-  std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
-  common::ParallelFor(
-      0, num_loc, nn::kernels::GrainForWork(hidden),
-      [&](int64_t l0, int64_t l1) {
-        for (int64_t l = l0; l < l1; ++l) {
-          const float* column = weight.data() + l;
-          double acc = 0.0;
-          for (int64_t i = 0; i < hidden; ++i) {
-            acc += static_cast<double>(query[static_cast<size_t>(i)]) *
-                   column[i * num_loc];
-          }
-          scores[static_cast<size_t>(l)] = static_cast<float>(acc);
-        }
-      });
+  std::vector<float> scores = FrozenColumnScores(classifier, query);
 
-  auto it = users_.find(user);
+  // Simulated knowledge-base lookup failure: the per-user adjustment is
+  // skipped and the frozen scores stand — a valid base-model prediction.
+  auto it = common::FaultPoint("core.kb.lookup") ? users_.end()
+                                                 : users_.find(user);
   if (it != users_.end()) {
     for (const auto& [location, entries] : it->second.by_location) {
       // Fresh candidates ranked by similarity to the query pattern.
@@ -106,12 +139,7 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
           static_cast<float>(acc / (1.0 + static_cast<double>(keep)));
     }
   }
-  if (classifier.has_bias()) {
-    const auto& bias = classifier.bias().data();
-    for (int64_t l = 0; l < num_loc; ++l) {
-      scores[static_cast<size_t>(l)] += bias[static_cast<size_t>(l)];
-    }
-  }
+  AddBias(classifier, &scores);
   return scores;
 }
 

@@ -50,6 +50,15 @@ class OnlineAdapter {
                              const std::vector<float>& query,
                              int64_t query_time) const;
 
+  /// Unadapted scores: `query` against the model's frozen classifier columns
+  /// (plus bias) — exactly the scores Predict returns for locations the
+  /// knowledge base never touched. This is the serving path's base-model
+  /// fallback when per-user state is unavailable (fault, eviction, deadline):
+  /// a degraded prediction that still comes from the real model. Touches no
+  /// per-user state, hence static and safe without any shard lock.
+  static std::vector<float> PredictFrozen(const AdaptableModel& model,
+                                          const std::vector<float>& query);
+
   /// Convenience: encode `sample.recent` with the model, observe all of
   /// its transitions (idempotence is the caller's concern), and predict.
   std::vector<float> ObserveAndPredict(AdaptableModel& model,

@@ -1,7 +1,7 @@
 #include "data/checkin_io.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -21,33 +21,43 @@ bool SaveCheckinsCsv(const std::string& path,
   return out.good();
 }
 
+namespace {
+
+/// Parses one `user,location,timestamp` row; false on any malformed field.
+bool ParseCheckinRow(const std::string& line, Point* p) {
+  std::istringstream iss(line);
+  std::string cell;
+  char* end = nullptr;
+  if (!std::getline(iss, cell, ',')) return false;
+  p->user = std::strtoll(cell.c_str(), &end, 10);
+  if (end == cell.c_str()) return false;
+  if (!std::getline(iss, cell, ',')) return false;
+  p->location = std::strtoll(cell.c_str(), &end, 10);
+  if (end == cell.c_str()) return false;
+  if (!std::getline(iss, cell, ',')) return false;
+  p->timestamp = std::strtoll(cell.c_str(), &end, 10);
+  if (end == cell.c_str()) return false;
+  return true;
+}
+
+}  // namespace
+
 bool LoadCheckinsCsv(const std::string& path,
-                     std::vector<Trajectory>* trajectories) {
+                     std::vector<Trajectory>* trajectories,
+                     size_t* rejected_lines) {
+  if (rejected_lines != nullptr) *rejected_lines = 0;
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
   if (!std::getline(in, line)) return false;  // header
   std::map<int64_t, std::vector<Point>> by_user;
-  size_t line_no = 1;
   while (std::getline(in, line)) {
-    ++line_no;
     if (line.empty()) continue;
-    std::istringstream iss(line);
-    std::string cell;
     Point p;
-    if (!std::getline(iss, cell, ',')) return false;
-    char* end = nullptr;
-    p.user = std::strtoll(cell.c_str(), &end, 10);
-    if (end == cell.c_str()) {
-      std::fprintf(stderr, "LoadCheckinsCsv: bad user at line %zu\n", line_no);
-      return false;
+    if (!ParseCheckinRow(line, &p)) {
+      if (rejected_lines != nullptr) ++*rejected_lines;
+      continue;
     }
-    if (!std::getline(iss, cell, ',')) return false;
-    p.location = std::strtoll(cell.c_str(), &end, 10);
-    if (end == cell.c_str()) return false;
-    if (!std::getline(iss, cell, ',')) return false;
-    p.timestamp = std::strtoll(cell.c_str(), &end, 10);
-    if (end == cell.c_str()) return false;
     by_user[p.user].push_back(p);
   }
   trajectories->clear();

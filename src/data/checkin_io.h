@@ -15,9 +15,14 @@ bool SaveCheckinsCsv(const std::string& path,
 
 /// Loads check-ins from the CSV format above (a Foursquare-style dump can be
 /// converted to this 3-column form). Rows are grouped by user and sorted by
-/// time. Returns false on IO/parse error.
+/// time. Returns false only on IO failure (unopenable file / missing header
+/// line); malformed data rows — truncated fields, unparsable numbers,
+/// embedded garbage — are skipped and counted into `*rejected_lines` (when
+/// non-null) instead of failing the whole file, so a corrupted dump degrades
+/// to its parsable subset. Real-data ingestion should log the count.
 bool LoadCheckinsCsv(const std::string& path,
-                     std::vector<Trajectory>* trajectories);
+                     std::vector<Trajectory>* trajectories,
+                     size_t* rejected_lines = nullptr);
 
 }  // namespace adamove::data
 

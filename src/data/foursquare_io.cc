@@ -50,8 +50,12 @@ bool ParseFoursquareTime(const std::string& text, int64_t* unix_seconds) {
     return false;
   }
   const int m = MonthIndex(month);
+  // The year upper bound is a robustness guard, not pedantry: DaysToYear is
+  // linear in the year, so an unbounded corrupted value ("99999999") would
+  // stall ingestion for minutes instead of skipping one line.
   if (m < 0 || day < 1 || day > 31 || hour < 0 || hour > 23 || minute < 0 ||
-      minute > 59 || second < 0 || second > 60 || year < 1970) {
+      minute > 59 || second < 0 || second > 60 || year < 1970 ||
+      year > 9999) {
     return false;
   }
   const int64_t days = DaysToYear(year) + DaysToMonth(year, m) + (day - 1);

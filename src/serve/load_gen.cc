@@ -48,6 +48,9 @@ LoadGenResult RunLoadGen(PredictionService& service,
   auto client = [&](int client_index) {
     common::LatencyHistogram local_e2e;
     size_t local_completed = 0;
+    size_t local_degraded = 0;
+    size_t local_timed_out = 0;
+    size_t local_shed = 0;
     // Pacing: client i sends its k-th request at start + (k·clients + i)/qps
     // — an even interleave of the global schedule across clients.
     size_t k = 0;
@@ -64,15 +67,25 @@ LoadGenResult RunLoadGen(PredictionService& service,
       }
       const auto submit_at = Clock::now();
       std::future<Prediction> future = service.Submit(stream[pos]);
-      future.get();  // closed loop: at most one in-flight request per client
+      // Closed loop: at most one in-flight request per client.
+      const Prediction p = future.get();
+      if (p.outcome == RequestOutcome::kShed) {
+        ++local_shed;
+        continue;
+      }
       local_e2e.Record(std::chrono::duration<double, std::micro>(
                            Clock::now() - submit_at)
                            .count());
       ++local_completed;
+      if (p.outcome == RequestOutcome::kDegraded) ++local_degraded;
+      if (p.outcome == RequestOutcome::kTimedOut) ++local_timed_out;
     }
     std::lock_guard<std::mutex> lock(merge_mu);
     result.e2e_us.Merge(local_e2e);
     result.completed += local_completed;
+    result.degraded += local_degraded;
+    result.timed_out += local_timed_out;
+    result.shed += local_shed;
   };
 
   std::vector<std::thread> threads;

@@ -23,10 +23,17 @@ struct LoadGenConfig {
 };
 
 struct LoadGenResult {
+  /// Requests delivered with scores (outcome ok / degraded / timed out).
   size_t completed = 0;
+  /// Per-outcome tallies of the delivered + rejected requests; completed +
+  /// shed equals the number of submissions.
+  size_t degraded = 0;
+  size_t timed_out = 0;
+  size_t shed = 0;
   double wall_seconds = 0.0;
   double qps = 0.0;
-  /// End-to-end (submit -> future resolved) latency per request.
+  /// End-to-end (submit -> future resolved) latency per delivered request
+  /// (shed responses resolve immediately and are excluded).
   common::LatencyHistogram e2e_us;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "nn/tensor.h"
 
@@ -15,6 +16,12 @@ double ElapsedUs(std::chrono::steady_clock::time_point from,
                  std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
+
+/// Last rung of the encoder degradation ladder: after this many consecutive
+/// `serve.encode_forward` faults the worker recomputes locally anyway (the
+/// forward is a pure deterministic function, so the local path can always
+/// answer) and the request is marked degraded.
+constexpr int kMaxEncodeAttempts = 3;
 
 }  // namespace
 
@@ -42,10 +49,22 @@ std::future<Prediction> PredictionService::Submit(data::Sample sample) {
   std::future<Prediction> result = request.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return stop_ || queue_.size() < config_.queue_capacity;
-    });
-    ADAMOVE_CHECK(!stop_);  // submitting after Shutdown is a bug
+    if (config_.overflow == OverflowPolicy::kShed) {
+      ADAMOVE_CHECK(!stop_);  // submitting after Shutdown is a bug
+      if (queue_.size() >= config_.queue_capacity) {
+        lock.unlock();
+        shed_requests_.fetch_add(1, std::memory_order_relaxed);
+        Prediction shed;
+        shed.outcome = RequestOutcome::kShed;
+        request.promise.set_value(std::move(shed));
+        return result;
+      }
+    } else {
+      not_full_.wait(lock, [this] {
+        return stop_ || queue_.size() < config_.queue_capacity;
+      });
+      ADAMOVE_CHECK(!stop_);
+    }
     request.enqueue = Clock::now();
     queue_.push_back(std::move(request));
   }
@@ -62,7 +81,10 @@ bool PredictionService::TrySubmit(data::Sample sample,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ADAMOVE_CHECK(!stop_);
-    if (queue_.size() >= config_.queue_capacity) return false;
+    if (queue_.size() >= config_.queue_capacity) {
+      shed_requests_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     request.enqueue = Clock::now();
     queue_.push_back(std::move(request));
   }
@@ -122,24 +144,54 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
   const auto picked_up = Clock::now();
   std::vector<Prediction> out(batch.size());
 
+  // A flush-path fault (e.g. a corrupted batch buffer) degrades the whole
+  // batch to the base model rather than failing any request.
+  const bool batch_degraded = common::FaultPoint("serve.batch_flush");
+
   // Encode stage: all forward passes of the batch back-to-back (read-only
   // on the shared model; per-request share timed individually so the
-  // histogram stays per-request).
+  // histogram stays per-request). A faulting forward is retried up to
+  // kMaxEncodeAttempts times, then recomputed locally and marked degraded.
   std::vector<nn::Tensor> reps(batch.size());
+  std::vector<char> encode_degraded(batch.size(), 0);
   for (size_t i = 0; i < batch.size(); ++i) {
     common::Timer timer;
+    int attempt = 1;
+    while (common::FaultPoint("serve.encode_forward")) {
+      if (++attempt > kMaxEncodeAttempts) {
+        encode_degraded[i] = 1;
+        break;
+      }
+    }
     reps[i] = model_.PrefixRepresentations(batch[i].sample);
     out[i].encode_us = timer.ElapsedMs() * 1000.0;
     out[i].queue_us = ElapsedUs(batch[i].enqueue, picked_up);
   }
 
   // Adapt stage: strictly per-request — per-user knowledge-base update +
-  // adapted prediction through the sharded store.
+  // adapted prediction through the sharded store, unless this request's
+  // deadline already expired or the batch degraded, in which case the
+  // base-model fallback answers immediately.
+  const auto deadline_budget = std::chrono::microseconds(config_.deadline_us);
   for (size_t i = 0; i < batch.size(); ++i) {
     common::Timer timer;
-    out[i].scores = store_.ObserveAndPredictEncoded(model_, batch[i].sample,
-                                                    reps[i]);
-    out[i].adapt_us = timer.ElapsedMs() * 1000.0;
+    Prediction& p = out[i];
+    const bool deadline_missed =
+        config_.deadline_us > 0 &&
+        Clock::now() > batch[i].enqueue + deadline_budget;
+    if (deadline_missed || batch_degraded) {
+      p.scores = store_.PredictFrozen(model_, reps[i]);
+      p.outcome = deadline_missed ? RequestOutcome::kTimedOut
+                                  : RequestOutcome::kDegraded;
+    } else {
+      AdaptStatus status = AdaptStatus::kAdapted;
+      p.scores = store_.ObserveAndPredictEncoded(model_, batch[i].sample,
+                                                 reps[i], &status);
+      p.outcome = status == AdaptStatus::kAdapted && encode_degraded[i] == 0
+                      ? RequestOutcome::kOk
+                      : RequestOutcome::kDegraded;
+    }
+    p.adapt_us = timer.ElapsedMs() * 1000.0;
   }
 
   {
@@ -148,6 +200,11 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
       stats.stats.queue_us.Record(p.queue_us);
       stats.stats.encode_us.Record(p.encode_us);
       stats.stats.adapt_us.Record(p.adapt_us);
+      if (p.outcome == RequestOutcome::kDegraded) {
+        stats.stats.degraded_requests += 1;
+      } else if (p.outcome == RequestOutcome::kTimedOut) {
+        stats.stats.timeouts += 1;
+      }
     }
     stats.stats.completed += batch.size();
     stats.stats.batches += 1;
@@ -166,7 +223,10 @@ ServiceStats PredictionService::Stats() const {
     merged.adapt_us.Merge(ws->stats.adapt_us);
     merged.completed += ws->stats.completed;
     merged.batches += ws->stats.batches;
+    merged.degraded_requests += ws->stats.degraded_requests;
+    merged.timeouts += ws->stats.timeouts;
   }
+  merged.shed_requests = shed_requests_.load(std::memory_order_relaxed);
   return merged;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ADAMOVE_SERVE_PREDICTION_SERVICE_H_
 #define ADAMOVE_SERVE_PREDICTION_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -18,6 +19,33 @@
 
 namespace adamove::serve {
 
+/// What the service does when a request arrives and the admission queue is
+/// already at capacity.
+enum class OverflowPolicy {
+  /// Submit blocks until space frees up (backpressure onto the caller).
+  kBlock,
+  /// Submit resolves the request immediately as shed (no scores) — the
+  /// load-shedding posture for callers that prefer fast failure to queueing.
+  kShed,
+};
+
+/// How one request was ultimately answered. Every submitted request ends in
+/// exactly one of these states; ServiceStats accounts for all of them.
+enum class RequestOutcome {
+  /// Fully adapted prediction from fresh per-user state.
+  kOk,
+  /// A valid real-model prediction produced through a degradation path
+  /// (base-model fallback or stale knowledge base) because something on the
+  /// adapted path faulted.
+  kDegraded,
+  /// The per-request deadline expired before adaptation could run; the
+  /// base-model fallback was served instead (scores are still valid).
+  kTimedOut,
+  /// Rejected at admission (queue full under OverflowPolicy::kShed, or a
+  /// TrySubmit that returned false). No scores.
+  kShed,
+};
+
 struct ServiceConfig {
   /// Serving worker threads; each forms and executes whole micro-batches.
   int workers = 4;
@@ -26,25 +54,46 @@ struct ServiceConfig {
   /// …or when the oldest queued request has waited this long, whichever
   /// comes first (the classic size-or-deadline policy).
   int64_t max_wait_us = 1000;
-  /// Bounded admission queue; Submit blocks when full (backpressure).
+  /// Bounded admission queue; `overflow` picks what happens at capacity.
   size_t queue_capacity = 1024;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Per-request deadline measured from enqueue (0 = none). A request whose
+  /// deadline has passed when its adapt stage would start skips adaptation
+  /// and is served the base-model fallback as kTimedOut.
+  int64_t deadline_us = 0;
 };
 
 /// One served prediction plus its per-stage wall-clock breakdown.
 struct Prediction {
-  std::vector<float> scores;
+  std::vector<float> scores;  // empty iff outcome == kShed
+  RequestOutcome outcome = RequestOutcome::kOk;
   double queue_us = 0;   // enqueue -> picked up by a worker
   double encode_us = 0;  // encoder forward (share of the batched stage)
   double adapt_us = 0;   // PTTA observe + adapted predict
 };
 
-/// Aggregated serving statistics (merged across workers).
+/// Aggregated serving statistics (merged across workers). The availability
+/// ledger balances: every submitted request is either delivered with scores
+/// (`completed` = ok + degraded_requests + timeouts) or shed.
 struct ServiceStats {
   common::LatencyHistogram queue_us;
   common::LatencyHistogram encode_us;
   common::LatencyHistogram adapt_us;
+  /// Requests delivered with valid scores (any non-shed outcome).
   uint64_t completed = 0;
   uint64_t batches = 0;
+  /// Delivered through a degradation path (RequestOutcome::kDegraded).
+  uint64_t degraded_requests = 0;
+  /// Delivered past their deadline via the fallback (kTimedOut).
+  uint64_t timeouts = 0;
+  /// Rejected at admission (kShed) — never received scores.
+  uint64_t shed_requests = 0;
+  /// Fully adapted, on-time responses.
+  uint64_t ok_requests() const {
+    return completed - degraded_requests - timeouts;
+  }
+  /// Every request the service has accounted for, in any state.
+  uint64_t accounted() const { return completed + shed_requests; }
   double MeanBatchSize() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(completed) /
@@ -58,6 +107,17 @@ struct ServiceStats {
 /// weights instead of interleaving them with per-request adapter work —
 /// while the PTTA adjustment stays strictly per-request against the sharded
 /// SessionStore, preserving per-user state semantics.
+///
+/// Failure semantics (DESIGN.md §9): the service never crashes on an armed
+/// fault and never fabricates scores. Faults on the adapted path (session
+/// lookup, pattern generation, batch flush) degrade the affected requests
+/// to the base model's frozen logits; encoder faults are retried a bounded
+/// number of times before the local deterministic recompute; deadline
+/// overruns skip adaptation and serve the fallback as kTimedOut; queue
+/// overflow sheds or blocks per OverflowPolicy. Every request lands in
+/// exactly one RequestOutcome and ServiceStats balances: submitted =
+/// completed + shed. With no fault points armed the instrumented path is
+/// bit-identical to the pre-fault-layer service.
 ///
 /// Concurrency contract: the model is only ever *read* after construction
 /// (inference forwards build no autograd tape and draw no RNG — dropout is
@@ -74,11 +134,13 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
-  /// Enqueues one request; blocks while the queue is at capacity.
+  /// Enqueues one request. At capacity, blocks (OverflowPolicy::kBlock) or
+  /// resolves the returned future immediately as kShed (kShed policy).
   /// sample.recent must be non-empty.
   std::future<Prediction> Submit(data::Sample sample);
 
-  /// Non-blocking variant: false (and no enqueue) when the queue is full.
+  /// Non-blocking variant: false (and no enqueue) when the queue is full;
+  /// the rejection is counted in ServiceStats::shed_requests.
   bool TrySubmit(data::Sample sample, std::future<Prediction>* out);
 
   /// Stops accepting requests, drains the queue, joins workers. Idempotent;
@@ -118,6 +180,9 @@ class PredictionService {
   std::condition_variable not_full_;
   std::deque<Request> queue_;
   bool stop_ = false;
+
+  /// Admission-side rejections (kShed); workers never touch this.
+  std::atomic<uint64_t> shed_requests_{0};
 
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::vector<std::thread> workers_;

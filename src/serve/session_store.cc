@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace adamove::serve {
 
@@ -61,24 +62,45 @@ std::vector<float> SessionStore::Predict(const core::AdaptableModel& model,
   return shard.adapter.Predict(model, user, query, query_time);
 }
 
+std::vector<float> SessionStore::PredictFrozen(
+    const core::AdaptableModel& model, const nn::Tensor& reps) const {
+  const int64_t hidden = reps.cols();
+  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
+  return core::OnlineAdapter::PredictFrozen(model, query);
+}
+
 std::vector<float> SessionStore::ObserveAndPredictEncoded(
     const core::AdaptableModel& model, const data::Sample& sample,
-    const nn::Tensor& reps) {
+    const nn::Tensor& reps, AdaptStatus* status) {
   const int64_t t = reps.rows();
   const int64_t hidden = reps.cols();
   ADAMOVE_CHECK_EQ(static_cast<size_t>(t), sample.recent.size());
+  if (status != nullptr) *status = AdaptStatus::kAdapted;
+  // Simulated session-state loss (cache miss, shard failover): no per-user
+  // state is touched; the base model still answers.
+  if (common::FaultPoint("serve.session_lookup")) {
+    if (status != nullptr) *status = AdaptStatus::kStateUnavailable;
+    return PredictFrozen(model, reps);
+  }
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
   std::lock_guard<std::mutex> lock(shard.mu);
   TouchLocked(shard, sample.user);
   // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism test
   // depends on bit-identical arithmetic): each prefix representation is a
   // labeled pattern for the *next* point, the final row is the query.
-  for (int64_t k = 0; k + 1 < t; ++k) {
-    std::vector<float> pattern(reps.data().begin() + k * hidden,
-                               reps.data().begin() + (k + 1) * hidden);
-    shard.adapter.Observe(sample.user, pattern,
-                          sample.recent[static_cast<size_t>(k + 1)].location,
-                          sample.recent[static_cast<size_t>(k + 1)].timestamp);
+  // A `serve.ptta_generate` fault skips ingestion of this request's
+  // transitions — the prediction below then answers from stale state.
+  if (!common::FaultPoint("serve.ptta_generate")) {
+    for (int64_t k = 0; k + 1 < t; ++k) {
+      std::vector<float> pattern(reps.data().begin() + k * hidden,
+                                 reps.data().begin() + (k + 1) * hidden);
+      shard.adapter.Observe(
+          sample.user, pattern,
+          sample.recent[static_cast<size_t>(k + 1)].location,
+          sample.recent[static_cast<size_t>(k + 1)].timestamp);
+    }
+  } else if (status != nullptr) {
+    *status = AdaptStatus::kStaleState;
   }
   std::vector<float> query(reps.data().end() - hidden, reps.data().end());
   return shard.adapter.Predict(model, sample.user, query,

@@ -28,6 +28,20 @@ struct SessionStoreConfig {
   size_t max_resident_users = 0;
 };
 
+/// How one adapted prediction was actually produced — the degradation
+/// outcome the serving layer turns into per-request accounting.
+enum class AdaptStatus {
+  /// Normal path: patterns ingested, prediction from the user's fresh state.
+  kAdapted,
+  /// Session-store lookup faulted (simulated state loss): no per-user state
+  /// was read or written; the scores are the base model's frozen logits.
+  kStateUnavailable,
+  /// PTTA pattern generation faulted: this request's transitions were not
+  /// ingested; the prediction still used the user's *existing* (stale)
+  /// knowledge base.
+  kStaleState,
+};
+
 /// Sharded per-user adapter state for the serving path. Each shard owns one
 /// core::OnlineAdapter (whose state map is keyed by user) plus an LRU list
 /// of its resident users; shard mutexes are independent, so Predict for one
@@ -52,9 +66,21 @@ class SessionStore {
   /// sharded store, given pre-computed prefix representations `reps`
   /// ({T, H}, rows aligned with sample.recent). Split out from the encoder
   /// forward so the serving worker can time encode and adapt separately.
+  ///
+  /// Never fails: under an armed `serve.session_lookup` /
+  /// `serve.ptta_generate` fault the call degrades (see AdaptStatus) but
+  /// still returns real-model scores. `status`, when non-null, reports which
+  /// path produced them; with no faults armed it is always kAdapted and the
+  /// scores are bit-identical to the pre-fault-layer implementation.
   std::vector<float> ObserveAndPredictEncoded(const core::AdaptableModel& model,
                                               const data::Sample& sample,
-                                              const nn::Tensor& reps);
+                                              const nn::Tensor& reps,
+                                              AdaptStatus* status = nullptr);
+
+  /// The base-model fallback: frozen-classifier scores for the final row of
+  /// `reps` (the query pattern). Reads no per-user state and takes no lock.
+  std::vector<float> PredictFrozen(const core::AdaptableModel& model,
+                                   const nn::Tensor& reps) const;
 
   /// Drops one user's state wherever it lives (no-op if absent).
   void Forget(int64_t user);

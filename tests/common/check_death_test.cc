@@ -1,0 +1,57 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace adamove::common {
+namespace {
+
+/// The CHECK macros are the repo's only invariant-enforcement mechanism (no
+/// exceptions), so their abort behaviour is itself contract: a violated
+/// invariant must terminate the process with a diagnosable message, and a
+/// satisfied one must be a no-op with exactly one evaluation per operand.
+
+TEST(CheckDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(ADAMOVE_CHECK(false), "CHECK failed: false");
+  EXPECT_DEATH(ADAMOVE_CHECK(1 + 1 == 3), "CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckPassesOnTrueCondition) {
+  ADAMOVE_CHECK(true);
+  ADAMOVE_CHECK(2 > 1);
+}
+
+TEST(CheckDeathTest, BinaryChecksAbortWithBothOperands) {
+  // The failure message must carry the observed values — that is what makes
+  // a production abort diagnosable from the log line alone.
+  EXPECT_DEATH(ADAMOVE_CHECK_EQ(3, 4), "CHECK failed: 3 == 4 \\(3 vs 4\\)");
+  EXPECT_DEATH(ADAMOVE_CHECK_NE(5, 5), "5 vs 5");
+  EXPECT_DEATH(ADAMOVE_CHECK_LT(2, 2), "2 vs 2");
+  EXPECT_DEATH(ADAMOVE_CHECK_LE(3, 2), "3 vs 2");
+  EXPECT_DEATH(ADAMOVE_CHECK_GT(1, 2), "1 vs 2");
+  EXPECT_DEATH(ADAMOVE_CHECK_GE(-1, 0), "-1 vs 0");
+}
+
+TEST(CheckDeathTest, BinaryChecksPassOnSatisfiedRelations) {
+  ADAMOVE_CHECK_EQ(4, 4);
+  ADAMOVE_CHECK_NE(4, 5);
+  ADAMOVE_CHECK_LT(1, 2);
+  ADAMOVE_CHECK_LE(2, 2);
+  ADAMOVE_CHECK_GT(3, 2);
+  ADAMOVE_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, OperandsAreEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto bump = [&calls] { return ++calls; };
+  ADAMOVE_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+  ADAMOVE_CHECK(bump() == 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CheckDeathTest, MessageIncludesSourceLocation) {
+  EXPECT_DEATH(ADAMOVE_CHECK(false), "ADAMOVE FATAL.*check_death_test");
+}
+
+}  // namespace
+}  // namespace adamove::common

@@ -1,0 +1,135 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace adamove::common {
+namespace {
+
+/// Every test starts and ends with a clean registry — the registry is
+/// process-global and the suite runs in one binary.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Instance().DisarmAll();
+    FaultRegistry::Instance().SetSeed(1);
+  }
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledRegistryNeverFires) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(FaultPoint("some.point"));
+  }
+  // Probing an unarmed point records nothing.
+  EXPECT_EQ(FaultRegistry::Instance().StatsFor("some.point").evaluations, 0u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremesAreDeterministic) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  reg.Arm("always", FaultSpec{1.0, 0, true});
+  reg.Arm("never", FaultSpec{0.0, 0, true});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(FaultPoint("always"));
+    EXPECT_FALSE(FaultPoint("never"));
+  }
+  EXPECT_EQ(reg.StatsFor("always").fired, 200u);
+  EXPECT_EQ(reg.StatsFor("never").fired, 0u);
+  EXPECT_EQ(reg.StatsFor("never").evaluations, 200u);
+}
+
+TEST_F(FaultInjectionTest, DecisionSequenceIsSeedDeterministic) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  reg.SetSeed(42);
+  reg.Arm("p", FaultSpec{0.3, 0, true});
+  std::vector<bool> first;
+  for (int i = 0; i < 300; ++i) first.push_back(FaultPoint("p"));
+  // Reseeding resets the per-point evaluation index: same seed, same walk.
+  reg.SetSeed(42);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(FaultPoint("p"), first[static_cast<size_t>(i)]) << "eval " << i;
+  }
+  // A different seed produces a different walk.
+  reg.SetSeed(43);
+  bool any_diff = false;
+  for (int i = 0; i < 300; ++i) {
+    if (FaultPoint("p") != first[static_cast<size_t>(i)]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(FaultInjectionTest, FireRateTracksProbability) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  reg.Arm("tenth", FaultSpec{0.1, 0, true});
+  int fired = 0;
+  for (int i = 0; i < 5000; ++i) fired += FaultPoint("tenth") ? 1 : 0;
+  EXPECT_GT(fired, 5000 * 0.05);
+  EXPECT_LT(fired, 5000 * 0.2);
+  EXPECT_EQ(reg.StatsFor("tenth").fired, static_cast<uint64_t>(fired));
+  EXPECT_EQ(reg.StatsFor("tenth").evaluations, 5000u);
+}
+
+TEST_F(FaultInjectionTest, PointsAreIndependent) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  reg.Arm("a", FaultSpec{1.0, 0, true});
+  reg.Arm("b", FaultSpec{0.0, 0, true});
+  EXPECT_TRUE(FaultPoint("a"));
+  EXPECT_FALSE(FaultPoint("b"));
+  reg.Disarm("a");
+  EXPECT_FALSE(FaultPoint("a"));  // disarmed point never fires
+  EXPECT_TRUE(reg.IsArmed("b"));
+  EXPECT_FALSE(reg.IsArmed("a"));
+}
+
+TEST_F(FaultInjectionTest, DelayOnlyFaultSleepsButReportsNoError) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  reg.Arm("slow", FaultSpec{1.0, 3000, /*error=*/false});
+  Timer timer;
+  EXPECT_FALSE(FaultPoint("slow"));
+  EXPECT_GE(timer.ElapsedMs(), 2.0);  // ~3 ms injected, scheduler slack
+  EXPECT_EQ(reg.StatsFor("slow").fired, 1u);
+}
+
+TEST_F(FaultInjectionTest, ConfigStringArmsPoints) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  EXPECT_TRUE(reg.ConfigureFromString(
+      "serve.session_lookup=0.25;serve.encode_forward=1:500:noerror"));
+  EXPECT_TRUE(reg.IsArmed("serve.session_lookup"));
+  EXPECT_TRUE(reg.IsArmed("serve.encode_forward"));
+  EXPECT_EQ(reg.ArmedPoints().size(), 2u);
+  // The noerror point delays but reports success.
+  EXPECT_FALSE(FaultPoint("serve.encode_forward"));
+  EXPECT_EQ(reg.StatsFor("serve.encode_forward").fired, 1u);
+}
+
+TEST_F(FaultInjectionTest, MalformedConfigEntriesAreRejected) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  EXPECT_FALSE(reg.ConfigureFromString("=0.5"));           // empty name
+  EXPECT_FALSE(reg.ConfigureFromString("p"));              // no value
+  EXPECT_FALSE(reg.ConfigureFromString("p=garbage"));      // bad probability
+  EXPECT_FALSE(reg.ConfigureFromString("p=1.5"));          // out of range
+  EXPECT_FALSE(reg.ConfigureFromString("p=0.5:-3"));       // negative delay
+  EXPECT_FALSE(reg.ConfigureFromString("p=0.5:10:bogus"));  // bad mode
+  EXPECT_TRUE(reg.ArmedPoints().empty());
+  // Valid entries before/after a malformed one still arm.
+  EXPECT_FALSE(reg.ConfigureFromString("ok=0.5;bad;ok2=0.1"));
+  EXPECT_TRUE(reg.IsArmed("ok"));
+  EXPECT_TRUE(reg.IsArmed("ok2"));
+}
+
+TEST_F(FaultInjectionTest, DisarmAllClearsEverything) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  reg.Arm("x", FaultSpec{1.0, 0, true});
+  EXPECT_TRUE(FaultPoint("x"));
+  reg.DisarmAll();
+  EXPECT_FALSE(FaultPoint("x"));
+  EXPECT_EQ(reg.StatsFor("x").evaluations, 0u);  // counters dropped
+  EXPECT_TRUE(reg.ArmedPoints().empty());
+}
+
+}  // namespace
+}  // namespace adamove::common

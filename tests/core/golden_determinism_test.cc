@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "core/adamove.h"
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+
+namespace adamove::core {
+namespace {
+
+/// End-to-end golden determinism: a fully seeded train -> adapt -> evaluate
+/// run must produce Rec@K / MRR values that are (a) bit-identical between
+/// ADAMOVE_NUM_THREADS=1 and 8 — the repo-wide "parallelism is scheduling,
+/// never arithmetic" contract, end to end — and (b) equal to the checked-in
+/// golden file, so any unintended numeric drift (refactor, compiler flag,
+/// fault-layer residue) fails CI instead of silently shifting results.
+///
+/// Regenerate the golden after an *intended* numeric change with
+///   ADAMOVE_UPDATE_GOLDEN=1 ./build/tests/adamove_golden_determinism_test
+
+#ifndef ADAMOVE_GOLDEN_DIR
+#error "build must define ADAMOVE_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+struct GoldenMetrics {
+  double frozen_rec1, frozen_rec5, frozen_rec10, frozen_mrr;
+  double tta_rec1, tta_rec5, tta_rec10, tta_mrr;
+  int64_t count;
+};
+
+GoldenMetrics RunPipeline() {
+  data::SyntheticConfig sc;
+  sc.num_users = 12;
+  sc.num_locations = 40;
+  sc.num_days = 80;
+  sc.checkins_per_day = 3.0;
+  sc.shift_time_frac = 0.65;
+  sc.shift_user_frac = 0.9;
+  sc.shift_anchor_frac = 0.8;
+  sc.seed = 99;
+  data::SyntheticResult world = data::GenerateSynthetic(sc);
+  data::PreprocessConfig pc;
+  pc.min_users_per_location = 2;
+  data::PreprocessedData pre = data::Preprocess(world.trajectories, pc);
+  data::SplitConfig split;
+  split.eval_samples.context_sessions = 5;
+  const data::Dataset dataset = data::MakeDataset(pre, split);
+
+  ModelConfig mc;
+  mc.num_locations = dataset.num_locations;
+  mc.num_users = dataset.num_users;
+  mc.hidden_size = 16;
+  mc.location_emb_dim = 8;
+  mc.time_emb_dim = 4;
+  mc.user_emb_dim = 4;
+  mc.lambda = 0.5;
+  AdaMove model(mc);
+  TrainConfig tc;
+  tc.max_epochs = 3;
+  tc.max_val_samples = 100;
+  model.Train(dataset, tc);
+
+  const EvalResult frozen = model.EvaluateFrozen(dataset.test);
+  const EvalResult tta = model.EvaluateTta(dataset.test);
+  return GoldenMetrics{frozen.metrics.rec1,  frozen.metrics.rec5,
+                       frozen.metrics.rec10, frozen.metrics.mrr,
+                       tta.metrics.rec1,     tta.metrics.rec5,
+                       tta.metrics.rec10,    tta.metrics.mrr,
+                       tta.metrics.count};
+}
+
+/// %.17g: enough digits that a double survives the text round-trip exactly,
+/// so "equal to golden" really means bit-equal.
+std::string Format(const GoldenMetrics& m) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "frozen_rec1 %.17g\nfrozen_rec5 %.17g\nfrozen_rec10 %.17g\n"
+                "frozen_mrr %.17g\ntta_rec1 %.17g\ntta_rec5 %.17g\n"
+                "tta_rec10 %.17g\ntta_mrr %.17g\ncount %lld\n",
+                m.frozen_rec1, m.frozen_rec5, m.frozen_rec10, m.frozen_mrr,
+                m.tta_rec1, m.tta_rec5, m.tta_rec10, m.tta_mrr,
+                static_cast<long long>(m.count));
+  return buf;
+}
+
+TEST(GoldenDeterminismTest, PipelineIsThreadInvariantAndMatchesGolden) {
+  common::SetKernelThreads(1);
+  const GoldenMetrics single = RunPipeline();
+  common::SetKernelThreads(8);
+  const GoldenMetrics multi = RunPipeline();
+  common::SetKernelThreads(0);  // restore the environment default
+
+  // (a) Thread invariance, bit-for-bit (EXPECT_EQ on doubles, no tolerance).
+  EXPECT_EQ(single.frozen_rec1, multi.frozen_rec1);
+  EXPECT_EQ(single.frozen_rec5, multi.frozen_rec5);
+  EXPECT_EQ(single.frozen_rec10, multi.frozen_rec10);
+  EXPECT_EQ(single.frozen_mrr, multi.frozen_mrr);
+  EXPECT_EQ(single.tta_rec1, multi.tta_rec1);
+  EXPECT_EQ(single.tta_rec5, multi.tta_rec5);
+  EXPECT_EQ(single.tta_rec10, multi.tta_rec10);
+  EXPECT_EQ(single.tta_mrr, multi.tta_mrr);
+  EXPECT_EQ(single.count, multi.count);
+
+  // Sanity: the run trained a real model and adaptation did something.
+  EXPECT_GT(single.count, 0);
+  EXPECT_GT(single.frozen_rec10, 0.0);
+
+  // (b) Pin against the checked-in golden file.
+  const std::string golden_path =
+      std::string(ADAMOVE_GOLDEN_DIR) + "/e2e_metrics.txt";
+  const std::string actual = Format(single);
+  if (std::getenv("ADAMOVE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " — run with ADAMOVE_UPDATE_GOLDEN=1 once";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "metrics drifted from the golden pin; if the numeric change is "
+         "intended, regenerate with ADAMOVE_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace adamove::core

@@ -53,15 +53,22 @@ TEST(CheckinIoTest, FailsOnMissingFile) {
   EXPECT_FALSE(LoadCheckinsCsv("/nonexistent/file.csv", &loaded));
 }
 
-TEST(CheckinIoTest, FailsOnGarbageRow) {
+TEST(CheckinIoTest, SkipsAndCountsGarbageRows) {
   const std::string path = TempPath("adamove_io_garbage.csv");
   {
     std::ofstream out(path);
     out << "user,location,timestamp\n";
-    out << "not_a_number,2,3\n";
+    out << "not_a_number,2,3\n";   // bad user
+    out << "1,2,3\n";              // fine
+    out << "1,2\n";                // truncated
+    out << "1,nan,3\n";            // bad location
   }
   std::vector<Trajectory> loaded;
-  EXPECT_FALSE(LoadCheckinsCsv(path, &loaded));
+  size_t rejected = 0;
+  ASSERT_TRUE(LoadCheckinsCsv(path, &loaded, &rejected));
+  EXPECT_EQ(rejected, 3u);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].points.size(), 1u);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/checkin_io.h"
+#include "data/foursquare_io.h"
+
+namespace adamove::data {
+namespace {
+
+/// Seeded byte-level fuzz of the two ingestion formats. The property under
+/// test is the loaders' tolerance contract: arbitrary corruption of data
+/// lines (truncation, random bytes including NUL, NaN/inf tokens, separator
+/// damage) must never crash or fail the load — every damaged line is either
+/// parsed or counted as rejected, and the surviving subset round-trips.
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+constexpr const char* kBadTokens[] = {"nan",  "inf", "-inf", "NaN",
+                                      "1e99", "",    "  ",   "-"};
+
+/// Applies one random byte-level mutation. Never introduces '\n' so one
+/// written line stays one read line (keeps the accounting invariant exact).
+std::string Mutate(const std::string& line, char separator,
+                   common::Rng& rng) {
+  std::string out = line;
+  const int op = static_cast<int>(rng.UniformInt(0, 4));
+  auto random_byte = [&rng]() -> char {
+    char b = static_cast<char>(rng.UniformInt(0, 255));
+    return b == '\n' ? '\0' : b;  // embedded NULs are part of the menu
+  };
+  switch (op) {
+    case 0:  // truncate
+      out.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(out.size()))));
+      break;
+    case 1:  // replace one byte
+      if (!out.empty()) {
+        out[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(out.size()) - 1))] = random_byte();
+      }
+      break;
+    case 2:  // insert one byte
+      out.insert(out.begin() + rng.UniformInt(
+                                   0, static_cast<int64_t>(out.size())),
+                 random_byte());
+      break;
+    case 3:  // delete one byte
+      if (!out.empty()) {
+        out.erase(out.begin() + rng.UniformInt(
+                                    0, static_cast<int64_t>(out.size()) - 1));
+      }
+      break;
+    case 4: {  // replace one separated field with a hostile token
+      std::vector<std::string> fields;
+      std::string cell;
+      size_t start = 0;
+      for (size_t i = 0; i <= out.size(); ++i) {
+        if (i == out.size() || out[i] == separator) {
+          fields.push_back(out.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+      const size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(fields.size()) - 1));
+      fields[victim] = kBadTokens[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(kBadTokens)) - 1)];
+      out.clear();
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out += separator;
+        out += fields[i];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+size_t PointCount(const std::vector<Trajectory>& trajectories) {
+  size_t n = 0;
+  for (const auto& tr : trajectories) n += tr.points.size();
+  return n;
+}
+
+/// user -> multiset of (location, timestamp); the order-independent content
+/// of a loaded dataset.
+std::map<int64_t, std::multiset<std::pair<int64_t, int64_t>>> Contents(
+    const std::vector<Trajectory>& trajectories) {
+  std::map<int64_t, std::multiset<std::pair<int64_t, int64_t>>> m;
+  for (const auto& tr : trajectories) {
+    for (const auto& p : tr.points) {
+      m[tr.user].insert({p.location, p.timestamp});
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> ValidCsvLines() {
+  std::vector<std::string> lines;
+  for (int u = 0; u < 5; ++u) {
+    for (int s = 0; s < 8; ++s) {
+      lines.push_back(std::to_string(u) + "," + std::to_string((u + s) % 12) +
+                      "," + std::to_string(1333238400 + s * 3600));
+    }
+  }
+  return lines;
+}
+
+TEST(IoFuzzTest, CheckinCsvSurvivesByteLevelCorruption) {
+  common::Rng rng(20250805);
+  const std::vector<std::string> base = ValidCsvLines();
+  const std::string path = TempPath("adamove_fuzz_checkin.csv");
+  const std::string rt_path = TempPath("adamove_fuzz_checkin_rt.csv");
+
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<std::string> lines = base;
+    // Corrupt a random subset (at least one line per trial).
+    const int hits = static_cast<int>(rng.UniformInt(1, 10));
+    for (int h = 0; h < hits; ++h) {
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+      lines[i] = Mutate(lines[i], ',', rng);
+    }
+    size_t nonempty = 0;
+    {
+      std::ofstream out(path, std::ios::binary);
+      out << "user,location,timestamp\n";
+      for (const auto& l : lines) {
+        if (!l.empty()) ++nonempty;
+        out << l << '\n';
+      }
+    }
+
+    std::vector<Trajectory> loaded;
+    size_t rejected = 0;
+    // Property 1: corruption of data rows never fails the load.
+    ASSERT_TRUE(LoadCheckinsCsv(path, &loaded, &rejected)) << "trial " << trial;
+    // Property 2: every non-empty line is accounted for — parsed or rejected.
+    ASSERT_EQ(PointCount(loaded) + rejected, nonempty) << "trial " << trial;
+
+    // Property 3: loading is deterministic.
+    std::vector<Trajectory> again;
+    size_t rejected_again = 0;
+    ASSERT_TRUE(LoadCheckinsCsv(path, &again, &rejected_again));
+    ASSERT_EQ(rejected_again, rejected);
+    ASSERT_TRUE(Contents(again) == Contents(loaded));
+
+    // Property 4: the surviving subset round-trips through save/load.
+    ASSERT_TRUE(SaveCheckinsCsv(rt_path, loaded));
+    std::vector<Trajectory> round;
+    size_t rt_rejected = 0;
+    ASSERT_TRUE(LoadCheckinsCsv(rt_path, &round, &rt_rejected));
+    ASSERT_EQ(rt_rejected, 0u) << "trial " << trial;
+    ASSERT_TRUE(Contents(round) == Contents(loaded)) << "trial " << trial;
+  }
+  std::remove(path.c_str());
+  std::remove(rt_path.c_str());
+}
+
+std::vector<std::string> ValidTsvLines() {
+  static const char* kVenues[] = {"4b5b9e7ff964a520900a29e3",
+                                  "4a43c0aef964a520c6a61fe3",
+                                  "4c5ef77bfff99c74eda954d3"};
+  static const char* kTimes[] = {"Tue Apr 03 18:00:09 +0000 2012",
+                                 "Wed Apr 04 06:22:01 +0000 2012",
+                                 "Fri Jun 15 23:59:59 +0000 2012"};
+  std::vector<std::string> lines;
+  for (int u = 0; u < 4; ++u) {
+    for (int s = 0; s < 6; ++s) {
+      std::string line = std::to_string(470 + u);
+      line += '\t';
+      line += kVenues[(u + s) % 3];
+      line += "\t4bf58dd8d48988d127951735\tArts & Crafts Store\t";
+      line += "40.719810375488535\t-74.00258103213994\t-240\t";
+      line += kTimes[s % 3];
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(IoFuzzTest, FoursquareTsvSurvivesByteLevelCorruption) {
+  common::Rng rng(4041);
+  const std::vector<std::string> base = ValidTsvLines();
+  const std::string path = TempPath("adamove_fuzz_foursquare.txt");
+
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<std::string> lines = base;
+    const int hits = static_cast<int>(rng.UniformInt(1, 8));
+    for (int h = 0; h < hits; ++h) {
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+      lines[i] = Mutate(lines[i], '\t', rng);
+    }
+    size_t nonempty = 0;
+    {
+      std::ofstream out(path, std::ios::binary);
+      for (const auto& l : lines) {
+        if (!l.empty()) ++nonempty;
+        out << l << '\n';
+      }
+    }
+
+    FoursquareLoadResult result;
+    ASSERT_TRUE(LoadFoursquareTsv(path, &result)) << "trial " << trial;
+    ASSERT_EQ(PointCount(result.trajectories) + result.skipped_lines, nonempty)
+        << "trial " << trial;
+    // Every surviving point references a venue the id table actually holds.
+    const int64_t venues =
+        static_cast<int64_t>(result.location_to_venue.size());
+    for (const auto& tr : result.trajectories) {
+      for (const auto& p : tr.points) {
+        ASSERT_GE(p.location, 0);
+        ASSERT_LT(p.location, venues);
+      }
+    }
+
+    FoursquareLoadResult again;
+    ASSERT_TRUE(LoadFoursquareTsv(path, &again));
+    ASSERT_EQ(again.skipped_lines, result.skipped_lines);
+    ASSERT_TRUE(Contents(again.trajectories) ==
+                Contents(result.trajectories));
+  }
+  std::remove(path.c_str());
+}
+
+/// Unfuzzed sanity anchor: with zero corruption both loaders take every line
+/// (guards against the fuzz passing vacuously because the base data itself
+/// was partially rejected).
+TEST(IoFuzzTest, BaselinesFullyParse) {
+  {
+    const std::string path = TempPath("adamove_fuzz_base.csv");
+    std::ofstream out(path);
+    out << "user,location,timestamp\n";
+    for (const auto& l : ValidCsvLines()) out << l << '\n';
+    out.close();
+    std::vector<Trajectory> loaded;
+    size_t rejected = 0;
+    ASSERT_TRUE(LoadCheckinsCsv(path, &loaded, &rejected));
+    EXPECT_EQ(rejected, 0u);
+    EXPECT_EQ(PointCount(loaded), ValidCsvLines().size());
+    std::remove(path.c_str());
+  }
+  {
+    const std::string path = TempPath("adamove_fuzz_base.txt");
+    std::ofstream out(path);
+    for (const auto& l : ValidTsvLines()) out << l << '\n';
+    out.close();
+    FoursquareLoadResult result;
+    ASSERT_TRUE(LoadFoursquareTsv(path, &result));
+    EXPECT_EQ(result.skipped_lines, 0u);
+    EXPECT_EQ(PointCount(result.trajectories), ValidTsvLines().size());
+    EXPECT_EQ(result.location_to_venue.size(), 3u);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace adamove::data

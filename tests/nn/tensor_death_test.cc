@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace adamove::nn {
+namespace {
+
+/// Shape and bounds violations are programmer errors and must abort (the
+/// no-exceptions policy: a silent out-of-range read in the serving path is
+/// worse than a crash). These tests pin the abort behaviour of the Tensor
+/// API surface that core/ and serve/ lean on.
+
+TEST(TensorDeathTest, FromVectorRejectsSizeMismatch) {
+  EXPECT_DEATH(Tensor::FromVector({2, 3}, {1, 2, 3, 4}), "CHECK");
+  EXPECT_DEATH(Tensor::FromVector({2}, {1, 2, 3}), "CHECK");
+}
+
+TEST(TensorDeathTest, FromVectorAcceptsMatchingSize) {
+  const Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorDeathTest, AtRejectsOutOfRangeIndices) {
+  const Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_DEATH(t.at(2, 0), "CHECK");   // row past the end
+  EXPECT_DEATH(t.at(0, 3), "CHECK");   // col past the end
+  EXPECT_DEATH(t.at(-1, 0), "CHECK");  // negative row
+  EXPECT_DEATH(t.at(0, -1), "CHECK");  // negative col
+}
+
+TEST(TensorDeathTest, SetRejectsOutOfRangeIndices) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(t.set(2, 0, 1.0f), "CHECK");
+  EXPECT_DEATH(t.set(0, 2, 1.0f), "CHECK");
+  t.set(1, 1, 9.0f);  // in range: fine
+  EXPECT_EQ(t.at(1, 1), 9.0f);
+}
+
+TEST(TensorDeathTest, MatMulRejectsInnerDimensionMismatch) {
+  const Tensor a = Tensor::Zeros({2, 3});
+  const Tensor b = Tensor::Zeros({4, 2});  // inner dims 3 vs 4
+  EXPECT_DEATH(MatMul(a, b), "CHECK");
+}
+
+TEST(TensorDeathTest, MatMulAcceptsCompatibleShapes) {
+  const Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::Zeros({3, 4});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 4);
+}
+
+TEST(TensorDeathTest, SliceRejectsOutOfRangeWindows) {
+  const Tensor t = Tensor::Zeros({3, 4});
+  EXPECT_DEATH(SliceRows(t, 2, 2), "CHECK");  // 2+2 > 3 rows
+  EXPECT_DEATH(SliceCols(t, 4, 1), "CHECK");  // start past the end
+  EXPECT_DEATH(Row(t, 3), "CHECK");
+}
+
+}  // namespace
+}  // namespace adamove::nn

@@ -154,5 +154,59 @@ TEST(SessionStoreTest, ConcurrentObservePredictSmoke) {
   EXPECT_GT(patterns, 0u);
 }
 
+/// Regression: Forget racing LRU eviction under a resident-user cap. Both
+/// paths mutate the same shard's lru/lru_pos/adapter triple; a historical
+/// failure mode is Forget erasing a user whose LRU iterator an in-flight
+/// eviction still holds (iterator invalidation => UB only TSan/ASan see).
+/// The test drives both paths hard on one shard, then asserts the store is
+/// still internally consistent and drainable to empty.
+TEST(SessionStoreTest, ConcurrentForgetRacesEvictionUnderCap) {
+  SessionStoreConfig config;
+  config.num_shards = 2;
+  config.max_resident_users = 8;  // cap of 4 per shard => constant eviction
+  SessionStore store(config);
+  const std::vector<int64_t> users = UsersOnShard(store, 0, 16);
+
+  constexpr int kObservers = 4;
+  constexpr int kForgetters = 4;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kObservers; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kIters; ++i) {
+        // Rotating user order per thread: every user is repeatedly inserted,
+        // touched to the LRU front, and pushed out by later arrivals.
+        const int64_t user = users[static_cast<size_t>((tid + i) % 16)];
+        store.Observe(user, Pattern(static_cast<float>(i)), i % 10, 1000 + i);
+      }
+    });
+  }
+  for (int tid = 0; tid < kForgetters; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kIters; ++i) {
+        // Forget the very users the observers are cycling, including ones
+        // currently being evicted or not resident at all.
+        store.Forget(users[static_cast<size_t>((tid * 3 + i) % 16)]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Consistency after the storm: residency respects the cap, and every
+  // resident user still has coherent state (PatternCount answers).
+  EXPECT_LE(store.UserCount(), 8u);
+  size_t resident = 0;
+  for (int64_t u : users) {
+    if (store.PatternCount(u) > 0) ++resident;
+  }
+  EXPECT_LE(resident, store.UserCount());
+
+  // Drain: forgetting everyone leaves a genuinely empty store — no orphaned
+  // LRU entries keep phantom users alive.
+  for (int64_t u : users) store.Forget(u);
+  EXPECT_EQ(store.UserCount(), 0u);
+  for (int64_t u : users) EXPECT_EQ(store.PatternCount(u), 0u);
+}
+
 }  // namespace
 }  // namespace adamove::serve
