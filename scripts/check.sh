@@ -1,32 +1,58 @@
 #!/usr/bin/env bash
 # The repo's full verification ladder, in the order a reviewer should trust:
 #
-#   1. tier-1: plain build + the complete ctest suite
+#   1. tier-1: plain build (-Werror) + the complete ctest suite
 #   2. TSan:   `concurrency`-labeled suites under -DADAMOVE_SANITIZE=thread
 #              (data races in the serving path / kernels / chaos suite)
-#   3. ASan:   `fault`-labeled suites under -DADAMOVE_SANITIZE=address
-#              (memory errors on the fault-injection and degradation paths)
+#   3. ASan+UBSan: `fault`-labeled suites under -DADAMOVE_SANITIZE=address
+#              (memory errors on the fault-injection and degradation paths),
+#              then `nn` + `fault` labels under -DADAMOVE_SANITIZE=undefined
+#              with -fno-sanitize-recover=all (any UB aborts the test)
+#   4. static: scripts/lint.sh (custom grep lints + clang-tidy), then the
+#              thread-safety analysis build (-DADAMOVE_ANALYZE=ON under
+#              clang++, -Werror=thread-safety) including the negative-compile
+#              cases in tests/common/annotations_compile_fail/. Skipped with
+#              a notice when clang++ is not installed — the annotations are
+#              Clang-only; the lint pass still gates.
 #
-# Usage: scripts/check.sh            # run all three stages
+# Usage: scripts/check.sh            # run all four stages
 #        JOBS=8 scripts/check.sh     # override build parallelism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "==> [1/3] tier-1: build + full test suite"
-cmake -B build -S . >/dev/null
+echo "==> [1/4] tier-1: build (-Werror) + full test suite"
+cmake -B build -S . -DADAMOVE_WERROR=ON >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure
 
-echo "==> [2/3] TSan: concurrency-labeled suites"
+echo "==> [2/4] TSan: concurrency-labeled suites"
 cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 ctest --test-dir build-tsan -L concurrency --output-on-failure
 
-echo "==> [3/3] ASan: fault-labeled suites"
+echo "==> [3/4] ASan: fault-labeled suites"
 cmake -B build-asan -S . -DADAMOVE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan -L fault --output-on-failure
+
+echo "==> [3/4] UBSan: nn + fault labels (-fno-sanitize-recover=all)"
+cmake -B build-ubsan -S . -DADAMOVE_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "${JOBS}"
+ctest --test-dir build-ubsan -L 'nn|fault' --output-on-failure
+
+echo "==> [4/4] static analysis: lint + thread-safety contracts"
+scripts/lint.sh
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-analyze -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DADAMOVE_ANALYZE=ON -DADAMOVE_WERROR=ON >/dev/null
+  cmake --build build-analyze -j "${JOBS}"
+  ctest --test-dir build-analyze -R annotations_compile_fail \
+    --output-on-failure
+else
+  echo "    clang++ not installed — thread-safety analysis build skipped"
+  echo "    (annotations are checked only by Clang; lint pass above gates)"
+fi
 
 echo "==> all checks passed"

@@ -1,0 +1,80 @@
+#ifndef ADAMOVE_COMMON_ANNOTATIONS_H_
+#define ADAMOVE_COMMON_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis attributes, wrapped so every locked
+/// subsystem can state its concurrency contract in the type system and the
+/// compiler proves it on each build — including the interleavings no test
+/// reaches. On compilers without the attributes (GCC, MSVC) every macro
+/// expands to nothing, so annotated code is portable; the contracts are
+/// *checked* only by the `ADAMOVE_ANALYZE=ON` Clang build, which promotes
+/// violations to errors via -Werror=thread-safety.
+///
+/// Conventions (see DESIGN.md §10):
+///  * a shared field is declared `T x ADAMOVE_GUARDED_BY(mu_);`
+///  * a private helper that assumes the lock is held is named `*Locked()`
+///    and declared with `ADAMOVE_REQUIRES(mu_)`
+///  * a public method that must NOT be called with the lock held (e.g. it
+///    acquires it itself) is declared with `ADAMOVE_EXCLUDES(mu_)`
+///  * locks are only ever held through `common::MutexLock` (a scoped
+///    capability), never via manual Lock/Unlock pairs in application code.
+#if defined(__clang__) && (!defined(SWIG))
+#define ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex). The string names
+/// the capability kind in diagnostics ("mutex", "role", ...).
+#define ADAMOVE_CAPABILITY(x) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define ADAMOVE_SCOPED_CAPABILITY \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define ADAMOVE_GUARDED_BY(x) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define ADAMOVE_PT_GUARDED_BY(x) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them). Attribute arguments may name sibling fields or even
+/// members of the function's own parameters (`shard.mu`).
+#define ADAMOVE_REQUIRES(...) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ADAMOVE_ACQUIRE(...) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability acquired earlier.
+#define ADAMOVE_RELEASE(...) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `result`.
+#define ADAMOVE_TRY_ACQUIRE(result, ...) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (re-entry / deadlock guard).
+#define ADAMOVE_EXCLUDES(...) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the capability that
+/// guards its result (accessor pattern).
+#define ADAMOVE_RETURN_CAPABILITY(x) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Runtime assertion that the capability is held; teaches the analysis a
+/// fact it cannot prove (used sparingly, e.g. in callbacks).
+#define ADAMOVE_ASSERT_CAPABILITY(x) \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry a
+/// comment explaining why the contract cannot be expressed.
+#define ADAMOVE_NO_THREAD_SAFETY_ANALYSIS \
+  ADAMOVE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // ADAMOVE_COMMON_ANNOTATIONS_H_

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace adamove::common {
 
@@ -51,17 +54,20 @@ struct PointState {
 }  // namespace
 
 struct FaultRegistry::State {
-  mutable std::mutex mu;
+  mutable Mutex mu;
   // Pointer stability: PointState holds atomics and is referenced while the
   // map grows under new Arm() calls.
-  std::unordered_map<std::string, std::unique_ptr<PointState>> points;
-  uint64_t seed = 1;
-  int armed_count = 0;
+  std::unordered_map<std::string, std::unique_ptr<PointState>> points
+      ADAMOVE_GUARDED_BY(mu);
+  uint64_t seed ADAMOVE_GUARDED_BY(mu) = 1;
+  int armed_count ADAMOVE_GUARDED_BY(mu) = 0;
 };
 
-FaultRegistry::FaultRegistry() : state_(new State) {
+FaultRegistry::FaultRegistry()
+    : state_(new State) {  // NOLINT: intentionally leaked, outlives statics
   const char* seed_env = std::getenv("ADAMOVE_FAULTS_SEED");
   if (seed_env != nullptr && *seed_env != '\0') {
+    MutexLock lock(state_->mu);
     state_->seed = std::strtoull(seed_env, nullptr, 10);
   }
   const char* faults = std::getenv("ADAMOVE_FAULTS");
@@ -71,12 +77,13 @@ FaultRegistry::FaultRegistry() : state_(new State) {
 }
 
 FaultRegistry& FaultRegistry::Instance() {
-  static FaultRegistry* instance = new FaultRegistry();  // leaked on purpose
+  static FaultRegistry* instance =
+      new FaultRegistry();  // NOLINT: leaked on purpose
   return *instance;
 }
 
 void FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   auto [it, inserted] =
       state_->points.try_emplace(point, std::make_unique<PointState>());
   PointState& ps = *it->second;
@@ -90,7 +97,7 @@ void FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   auto it = state_->points.find(point);
   if (it == state_->points.end() || !it->second->armed) return;
   it->second->armed = false;
@@ -100,7 +107,7 @@ void FaultRegistry::Disarm(const std::string& point) {
 }
 
 void FaultRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->points.clear();
   state_->armed_count = 0;
   fault_internal::g_any_armed.store(false, std::memory_order_relaxed);
@@ -139,7 +146,7 @@ bool FaultRegistry::ConfigureFromString(const std::string& config) {
       }
     }
     if (*cursor == ':') {
-      if (std::string(cursor + 1) != "noerror") {
+      if (std::strcmp(cursor + 1, "noerror") != 0) {
         all_ok = false;
         continue;
       }
@@ -154,7 +161,7 @@ bool FaultRegistry::ConfigureFromString(const std::string& config) {
 }
 
 void FaultRegistry::SetSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->seed = seed;
   for (auto& [name, ps] : state_->points) {
     ps->evaluations.store(0, std::memory_order_relaxed);
@@ -163,13 +170,13 @@ void FaultRegistry::SetSeed(uint64_t seed) {
 }
 
 bool FaultRegistry::IsArmed(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   auto it = state_->points.find(point);
   return it != state_->points.end() && it->second->armed;
 }
 
 FaultPointStats FaultRegistry::StatsFor(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   auto it = state_->points.find(point);
   FaultPointStats stats;
   if (it == state_->points.end()) return stats;
@@ -179,7 +186,7 @@ FaultPointStats FaultRegistry::StatsFor(const std::string& point) const {
 }
 
 std::vector<std::string> FaultRegistry::ArmedPoints() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   std::vector<std::string> names;
   for (const auto& [name, ps] : state_->points) {
     if (ps->armed) names.push_back(name);
@@ -205,7 +212,7 @@ bool EvaluateSlow(const char* point) {
   uint64_t delay_us = 0;
   bool error = false;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     auto it = state.points.find(point);
     if (it == state.points.end() || !it->second->armed) return false;
     PointState& ps = *it->second;

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace adamove::common {
@@ -27,21 +28,22 @@ int DefaultThreads() {
   return std::max(n, 1);
 }
 
-std::mutex& PoolMutex() {
-  static std::mutex mu;
-  return mu;
-}
+// Constant-initialized (std::mutex's ctor is constexpr), so it is usable
+// from any static initialization order.
+Mutex g_pool_mu;
 
-// Guarded by PoolMutex(). `requested` <= 0 means "use the env default".
-int g_requested_threads = 0;
+// `requested` <= 0 means "use the env default".
+int g_requested_threads ADAMOVE_GUARDED_BY(g_pool_mu) = 0;
 // Pool of (threads - 1) workers; null while single-threaded.
-std::unique_ptr<ThreadPool> g_pool;
-bool g_pool_built = false;
+std::unique_ptr<ThreadPool> g_pool ADAMOVE_GUARDED_BY(g_pool_mu);
+bool g_pool_built ADAMOVE_GUARDED_BY(g_pool_mu) = false;
 
 // Returns the shared pool (building it on first use), or nullptr when the
-// effective thread count is 1.
+// effective thread count is 1. The returned pool is used outside the lock:
+// SetKernelThreads documents that it must not race in-flight ParallelFor
+// calls, so the pointer stays valid for the duration of a loop.
 ThreadPool* GetPool() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  MutexLock lock(g_pool_mu);
   if (!g_pool_built) {
     const int threads =
         g_requested_threads > 0 ? g_requested_threads : DefaultThreads();
@@ -56,13 +58,13 @@ ThreadPool* GetPool() {
 }  // namespace
 
 int KernelThreads() {
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  MutexLock lock(g_pool_mu);
   if (g_pool_built) return g_pool ? g_pool->size() + 1 : 1;
   return g_requested_threads > 0 ? g_requested_threads : DefaultThreads();
 }
 
 void SetKernelThreads(int n) {
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  MutexLock lock(g_pool_mu);
   g_requested_threads = n;
   g_pool.reset();  // joins existing workers
   g_pool_built = false;

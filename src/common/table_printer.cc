@@ -33,25 +33,27 @@ std::string TablePrinter::ToString() const {
       if (row[c].size() > widths[c]) widths[c] = row[c].size();
     }
   }
-  std::ostringstream oss;
+  // Built by string appends (block padding, not per-char stream inserts).
+  std::string result;
   auto emit_row = [&](const std::vector<std::string>& row) {
-    oss << "|";
+    result += '|';
     for (size_t c = 0; c < row.size(); ++c) {
-      oss << ' ' << row[c];
-      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) oss << ' ';
-      oss << " |";
+      result += ' ';
+      result += row[c];
+      result.append(widths[c] - row[c].size(), ' ');
+      result += " |";
     }
-    oss << '\n';
+    result += '\n';
   };
   emit_row(header_);
-  oss << "|";
+  result += '|';
   for (size_t c = 0; c < header_.size(); ++c) {
-    for (size_t i = 0; i < widths[c] + 2; ++i) oss << '-';
-    oss << '|';
+    result.append(widths[c] + 2, '-');
+    result += '|';
   }
-  oss << '\n';
+  result += '\n';
   for (const auto& row : rows_) emit_row(row);
-  return oss.str();
+  return result;
 }
 
 void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }

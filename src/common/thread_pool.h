@@ -1,17 +1,17 @@
 #ifndef ADAMOVE_COMMON_THREAD_POOL_H_
 #define ADAMOVE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace adamove::common {
 
@@ -20,6 +20,10 @@ namespace adamove::common {
 /// serving workload is a stream of near-uniform, millisecond-scale tasks
 /// (encoder forwards), so a shared queue under one mutex is both simpler and
 /// cache-friendlier than per-thread deques.
+///
+/// Concurrency contract (checked under ADAMOVE_ANALYZE=ON): `queue_` and
+/// `stop_` are guarded by `mu_`; workers block on `cv_`. Submit may be
+/// called from any thread, including pool threads.
 ///
 /// Exceptions thrown by a task are captured in the task's std::future and
 /// rethrown at .get(), never on the pool thread (no-exceptions policy for
@@ -38,10 +42,10 @@ class ThreadPool {
   /// before destruction runs to completion.
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& t : threads_) t.join();
   }
 
@@ -61,11 +65,11 @@ class ThreadPool {
         });
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ADAMOVE_CHECK(!stop_);  // submitting to a destroyed pool is a bug
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return result;
   }
 
@@ -76,8 +80,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stop_ set and fully drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -86,10 +90,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ ADAMOVE_GUARDED_BY(mu_);
+  bool stop_ ADAMOVE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -101,9 +101,13 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
   auto it = common::FaultPoint("core.kb.lookup") ? users_.end()
                                                  : users_.find(user);
   if (it != users_.end()) {
+    // Scratch buffers hoisted out of the per-location loop: one allocation
+    // per Predict instead of one per adapted location.
+    std::vector<double> centroid(static_cast<size_t>(hidden));
+    std::vector<std::pair<float, const Entry*>> fresh;
     for (const auto& [location, entries] : it->second.by_location) {
       // Fresh candidates ranked by similarity to the query pattern.
-      std::vector<std::pair<float, const Entry*>> fresh;
+      fresh.clear();
       for (const auto& entry : entries) {
         if (max_age_seconds_ > 0 &&
             query_time - entry.timestamp > max_age_seconds_) {
@@ -119,7 +123,6 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
                           return a.first > b.first;
                         });
       // θ'_l = mean({θ_l} ∪ kept patterns); score = query · θ'_l.
-      std::vector<double> centroid(static_cast<size_t>(hidden));
       for (int64_t i = 0; i < hidden; ++i) {
         centroid[static_cast<size_t>(i)] =
             weight[static_cast<size_t>(i * num_loc + location)];

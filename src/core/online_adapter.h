@@ -23,6 +23,16 @@ namespace adamove::core {
 ///    `max_patterns_per_location` stored candidates (bounded memory);
 ///  * entries older than `max_age_seconds` relative to the query are
 ///    dropped — the analogue of the sliding recent-trajectory window.
+///
+/// Concurrency contract: OnlineAdapter is *thread-compatible*, never
+/// thread-safe — it holds no lock of its own, by design: in the serving
+/// layer each serve::SessionStore shard owns one adapter and declares it
+/// `ADAMOVE_GUARDED_BY(shard mutex)` (common/annotations.h), so every
+/// access is proven to hold the shard lock at compile time under
+/// ADAMOVE_ANALYZE=ON. An internal mutex here would be redundant
+/// double-locking at exactly the same granularity. Standalone users get
+/// the same contract by wrapping the adapter in a common::Mutex-guarded
+/// owner.
 class OnlineAdapter {
  public:
   OnlineAdapter(const PttaConfig& config, int64_t max_age_seconds =

@@ -4,7 +4,6 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <sstream>
 
 namespace adamove::data {
 
@@ -24,19 +23,26 @@ bool SaveCheckinsCsv(const std::string& path,
 namespace {
 
 /// Parses one `user,location,timestamp` row; false on any malformed field.
+/// Walks the row in place — no istringstream and no per-field substring
+/// copies. strtoll cannot scan past a field's separator (',' is not a
+/// digit), and comma positions are found on the std::string (so embedded
+/// NUL bytes in a damaged row split fields exactly as the previous
+/// getline-per-field parser did — the IO fuzz suite pins this).
 bool ParseCheckinRow(const std::string& line, Point* p) {
-  std::istringstream iss(line);
-  std::string cell;
-  char* end = nullptr;
-  if (!std::getline(iss, cell, ',')) return false;
-  p->user = std::strtoll(cell.c_str(), &end, 10);
-  if (end == cell.c_str()) return false;
-  if (!std::getline(iss, cell, ',')) return false;
-  p->location = std::strtoll(cell.c_str(), &end, 10);
-  if (end == cell.c_str()) return false;
-  if (!std::getline(iss, cell, ',')) return false;
-  p->timestamp = std::strtoll(cell.c_str(), &end, 10);
-  if (end == cell.c_str()) return false;
+  int64_t* const fields[3] = {&p->user, &p->location, &p->timestamp};
+  size_t pos = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (pos > line.size()) return false;
+    const char* begin = line.c_str() + pos;
+    char* end = nullptr;
+    *fields[i] = std::strtoll(begin, &end, 10);
+    if (end == begin) return false;
+    if (i < 2) {
+      const size_t comma = line.find(',', pos);
+      if (comma == std::string::npos) return false;
+      pos = comma + 1;
+    }
+  }
   return true;
 }
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 
 namespace adamove::serve {
@@ -40,7 +40,7 @@ LoadGenResult RunLoadGen(PredictionService& service,
                            : stream.size();
 
   using Clock = std::chrono::steady_clock;
-  std::mutex merge_mu;
+  common::Mutex merge_mu;
   LoadGenResult result;
   common::Timer wall;
   const auto start = Clock::now();
@@ -80,7 +80,7 @@ LoadGenResult RunLoadGen(PredictionService& service,
       if (p.outcome == RequestOutcome::kDegraded) ++local_degraded;
       if (p.outcome == RequestOutcome::kTimedOut) ++local_timed_out;
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
+    common::MutexLock lock(merge_mu);
     result.e2e_us.Merge(local_e2e);
     result.completed += local_completed;
     result.degraded += local_degraded;

@@ -47,28 +47,31 @@ std::future<Prediction> PredictionService::Submit(data::Sample sample) {
   Request request;
   request.sample = std::move(sample);
   std::future<Prediction> result = request.promise.get_future();
+  bool shed = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (config_.overflow == OverflowPolicy::kShed) {
       ADAMOVE_CHECK(!stop_);  // submitting after Shutdown is a bug
-      if (queue_.size() >= config_.queue_capacity) {
-        lock.unlock();
-        shed_requests_.fetch_add(1, std::memory_order_relaxed);
-        Prediction shed;
-        shed.outcome = RequestOutcome::kShed;
-        request.promise.set_value(std::move(shed));
-        return result;
-      }
+      shed = queue_.size() >= config_.queue_capacity;
     } else {
-      not_full_.wait(lock, [this] {
-        return stop_ || queue_.size() < config_.queue_capacity;
-      });
+      while (!stop_ && queue_.size() >= config_.queue_capacity) {
+        not_full_.Wait(mu_);
+      }
       ADAMOVE_CHECK(!stop_);
     }
-    request.enqueue = Clock::now();
-    queue_.push_back(std::move(request));
+    if (!shed) {
+      request.enqueue = Clock::now();
+      queue_.push_back(std::move(request));
+    }
   }
-  not_empty_.notify_one();
+  if (shed) {
+    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    Prediction rejected;
+    rejected.outcome = RequestOutcome::kShed;
+    request.promise.set_value(std::move(rejected));
+    return result;
+  }
+  not_empty_.NotifyOne();
   return result;
 }
 
@@ -79,7 +82,7 @@ bool PredictionService::TrySubmit(data::Sample sample,
   request.sample = std::move(sample);
   std::future<Prediction> result = request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     ADAMOVE_CHECK(!stop_);
     if (queue_.size() >= config_.queue_capacity) {
       shed_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -88,19 +91,19 @@ bool PredictionService::TrySubmit(data::Sample sample,
     request.enqueue = Clock::now();
     queue_.push_back(std::move(request));
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   if (out != nullptr) *out = std::move(result);
   return true;
 }
 
 void PredictionService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (stop_ && workers_.empty()) return;
     stop_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
 }
@@ -110,8 +113,8 @@ void PredictionService::WorkerLoop(int worker_index) {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      common::MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) not_empty_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and fully drained
       // Dynamic flush: grow the batch until max_batch requests are queued
       // or the *oldest* request's deadline passes — whichever comes first.
@@ -119,8 +122,7 @@ void PredictionService::WorkerLoop(int worker_index) {
           queue_.front().enqueue +
           std::chrono::microseconds(config_.max_wait_us);
       while (static_cast<int>(queue_.size()) < config_.max_batch && !stop_) {
-        if (not_empty_.wait_until(lock, deadline) ==
-            std::cv_status::timeout) {
+        if (not_empty_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
           break;
         }
         if (queue_.empty()) break;  // another worker flushed it first
@@ -134,7 +136,7 @@ void PredictionService::WorkerLoop(int worker_index) {
         queue_.pop_front();
       }
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     ProcessBatch(batch, stats);
   }
 }
@@ -195,7 +197,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats.mu);
+    common::MutexLock lock(stats.mu);
     for (const auto& p : out) {
       stats.stats.queue_us.Record(p.queue_us);
       stats.stats.encode_us.Record(p.encode_us);
@@ -217,7 +219,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
 ServiceStats PredictionService::Stats() const {
   ServiceStats merged;
   for (const auto& ws : worker_stats_) {
-    std::lock_guard<std::mutex> lock(ws->mu);
+    common::MutexLock lock(ws->mu);
     merged.queue_us.Merge(ws->stats.queue_us);
     merged.encode_us.Merge(ws->stats.encode_us);
     merged.adapt_us.Merge(ws->stats.adapt_us);

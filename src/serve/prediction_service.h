@@ -3,16 +3,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/latency_histogram.h"
+#include "common/mutex.h"
 #include "core/model.h"
 #include "data/dataset.h"
 #include "serve/session_store.h"
@@ -164,8 +164,8 @@ class PredictionService {
 
   /// Per-worker stage histograms; merged on demand by Stats().
   struct WorkerStats {
-    mutable std::mutex mu;
-    ServiceStats stats;
+    mutable common::Mutex mu;
+    ServiceStats stats ADAMOVE_GUARDED_BY(mu);
   };
 
   void WorkerLoop(int worker_index);
@@ -175,11 +175,11 @@ class PredictionService {
   SessionStore& store_;
   ServiceConfig config_;
 
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Request> queue_;
-  bool stop_ = false;
+  common::Mutex mu_;
+  common::CondVar not_empty_;
+  common::CondVar not_full_;
+  std::deque<Request> queue_ ADAMOVE_GUARDED_BY(mu_);
+  bool stop_ ADAMOVE_GUARDED_BY(mu_) = false;
 
   /// Admission-side rejections (kShed); workers never touch this.
   std::atomic<uint64_t> shed_requests_{0};

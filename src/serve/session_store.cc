@@ -47,7 +47,7 @@ void SessionStore::TouchLocked(Shard& shard, int64_t user) {
 void SessionStore::Observe(int64_t user, const std::vector<float>& pattern,
                            int64_t next_location, int64_t timestamp) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   TouchLocked(shard, user);
   shard.adapter.Observe(user, pattern, next_location, timestamp);
 }
@@ -57,7 +57,7 @@ std::vector<float> SessionStore::Predict(const core::AdaptableModel& model,
                                          const std::vector<float>& query,
                                          int64_t query_time) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   TouchLocked(shard, user);
   return shard.adapter.Predict(model, user, query, query_time);
 }
@@ -83,7 +83,7 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
     return PredictFrozen(model, reps);
   }
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   TouchLocked(shard, sample.user);
   // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism test
   // depends on bit-identical arithmetic): each prefix representation is a
@@ -109,7 +109,7 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
 
 void SessionStore::Forget(int64_t user) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.lru_pos.find(user);
   if (it == shard.lru_pos.end()) return;
   shard.lru.erase(it->second);
@@ -120,7 +120,7 @@ void SessionStore::Forget(int64_t user) {
 size_t SessionStore::UserCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(shard->mu);
     n += shard->adapter.UserCount();
   }
   return n;
@@ -128,7 +128,7 @@ size_t SessionStore::UserCount() const {
 
 size_t SessionStore::PatternCount(int64_t user) const {
   const Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   return shard.adapter.PatternCount(user);
 }
 

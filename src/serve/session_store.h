@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "core/config.h"
 #include "core/model.h"
 #include "core/online_adapter.h"
@@ -103,20 +104,25 @@ class SessionStore {
   int ShardOf(int64_t user) const;
 
  private:
+  /// One mutex stripe. The adapter (thread-compatible by design — see
+  /// core::OnlineAdapter's contract) and the LRU bookkeeping are guarded by
+  /// the shard mutex; the annotations make "touched shard state without
+  /// shard.mu" a compile error under ADAMOVE_ANALYZE=ON.
   struct Shard {
-    mutable std::mutex mu;
-    core::OnlineAdapter adapter;
+    mutable common::Mutex mu;
+    core::OnlineAdapter adapter ADAMOVE_GUARDED_BY(mu);
     /// Most-recently-used first; back() is the eviction victim.
-    std::list<int64_t> lru;
-    std::unordered_map<int64_t, std::list<int64_t>::iterator> lru_pos;
+    std::list<int64_t> lru ADAMOVE_GUARDED_BY(mu);
+    std::unordered_map<int64_t, std::list<int64_t>::iterator> lru_pos
+        ADAMOVE_GUARDED_BY(mu);
 
     Shard(const core::PttaConfig& ptta, int64_t max_age_seconds)
         : adapter(ptta, max_age_seconds) {}
   };
 
   /// Moves `user` to the LRU front, inserting if new; evicts the back of
-  /// the list past the per-shard cap. Caller holds shard.mu.
-  void TouchLocked(Shard& shard, int64_t user);
+  /// the list past the per-shard cap.
+  void TouchLocked(Shard& shard, int64_t user) ADAMOVE_REQUIRES(shard.mu);
 
   SessionStoreConfig config_;
   size_t per_shard_cap_ = 0;  // 0 = unbounded

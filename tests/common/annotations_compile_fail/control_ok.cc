@@ -1,0 +1,30 @@
+// Positive control: the same shapes as the negative cases, correctly
+// locked. Must COMPILE under -Werror=thread-safety, proving the negative
+// cases fail because of the analysis and not a broken include path or
+// compiler setup.
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() ADAMOVE_EXCLUDES(mu_) {
+    adamove::common::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+ private:
+  void IncrementLocked() ADAMOVE_REQUIRES(mu_) { ++value_; }
+
+  adamove::common::Mutex mu_;
+  int value_ ADAMOVE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Negative-compile case: writes an ADAMOVE_GUARDED_BY field without holding
+// its mutex. Valid C++ — the build must be failed by the thread-safety
+// analysis (-Werror=thread-safety), not by the language.
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG under analysis: touches value_ with mu_ not held.
+  void Increment() { ++value_; }
+
+ private:
+  adamove::common::Mutex mu_;
+  int value_ ADAMOVE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

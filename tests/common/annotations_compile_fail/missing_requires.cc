@@ -1,0 +1,26 @@
+// Negative-compile case: calls an ADAMOVE_REQUIRES(mu_) helper without
+// holding the lock. Valid C++ — must be rejected by -Werror=thread-safety.
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Store {
+ public:
+  // BUG under analysis: CompactLocked requires mu_, which is not held.
+  void Rebalance() { CompactLocked(); }
+
+ private:
+  void CompactLocked() ADAMOVE_REQUIRES(mu_) { ++epoch_; }
+
+  adamove::common::Mutex mu_;
+  int epoch_ ADAMOVE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.Rebalance();
+  return 0;
+}

@@ -107,7 +107,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(t0, 0.0);
   // Busy-wait a tiny amount.
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.ElapsedMs(), t0);
   timer.Reset();
   EXPECT_LT(timer.ElapsedMs(), 1000.0);

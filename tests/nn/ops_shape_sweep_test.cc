@@ -73,9 +73,13 @@ INSTANTIATE_TEST_SUITE_P(Shapes, OpsShapeSweepTest,
                          [](const ::testing::TestParamInfo<Shape>& info) {
                            // No structured bindings here: the commas inside
                            // [n, k, m] are not protected from the macro.
-                           return "n" + std::to_string(std::get<0>(info.param)) +
-                                  "k" + std::to_string(std::get<1>(info.param)) +
-                                  "m" + std::to_string(std::get<2>(info.param));
+                           std::string name = "n";
+                           name += std::to_string(std::get<0>(info.param));
+                           name += 'k';
+                           name += std::to_string(std::get<1>(info.param));
+                           name += 'm';
+                           name += std::to_string(std::get<2>(info.param));
+                           return name;
                          });
 
 }  // namespace
