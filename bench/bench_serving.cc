@@ -10,9 +10,23 @@
 //   ADAMOVE_BENCH_SERVE_CLIENTS  — closed-loop client threads (default 8)
 //   ADAMOVE_BENCH_SERVE_QPS      — offered QPS, 0 = max speed (default 0)
 //   ADAMOVE_BENCH_SERVE_CAP      — SessionStore resident-user cap (default 0)
+//
+// Flags:
+//   --snapshot_every_n=N — additionally run the durability pass: snapshot
+//       the SessionStore every N completed requests while traffic is live,
+//       then cold-start a fresh service from the durable artifact and
+//       measure restore-to-first-ok-prediction time.
+//   --bench_report       — write BENCH_serving_durability.json next to the
+//       binary (implies the durability pass with N = 500 if no
+//       --snapshot_every_n was given).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,9 +76,162 @@ std::string Ms(const common::LatencyHistogram& h, double q) {
   return common::TablePrinter::Fmt(h.QuantileUs(q) / 1000.0, 3);
 }
 
+/// Outcome of the durability pass: snapshot latency under live traffic plus
+/// the recovery-side numbers a restart budget is built from.
+struct DurabilityReport {
+  size_t every_n = 0;
+  common::LatencyHistogram snapshot_us;  // per-commit wall time, live traffic
+  serve::SnapshotStats last;             // accounting of the final artifact
+  serve::SnapshotStats restored;         // what the warm start brought back
+  double restore_wall_ms = 0;   // WarmStartAsync begin -> restore complete
+  double first_ok_ms = 0;       // WarmStartAsync begin -> first kOk scores
+  size_t probes_before_ok = 0;  // degraded (frozen-model) answers before it
+  uint64_t warm_start_fallbacks = 0;
+};
+
+/// Phase 1: replay the stream with a snapshotter committing the store every
+/// `every_n` completed requests (the durable artifact is the final commit).
+/// Phase 2: warm-start a fresh service from that artifact while probing it
+/// with live requests, timing how long until the first fully adapted (kOk)
+/// prediction comes back.
+DurabilityReport RunDurability(core::AdaptableModel& model,
+                               const std::vector<data::Sample>& stream,
+                               const serve::LoadGenConfig& lg,
+                               size_t resident_cap, size_t every_n,
+                               const std::string& path) {
+  DurabilityReport rep;
+  rep.every_n = every_n;
+  {
+    serve::SessionStoreConfig sc;
+    sc.max_resident_users = resident_cap;
+    serve::SessionStore store(sc);
+    serve::ServiceConfig svc;
+    svc.workers = 2;
+    svc.max_batch = 8;
+    serve::PredictionService service(model, store, svc);
+    std::atomic<bool> load_done{false};
+    std::thread load([&] {
+      serve::RunLoadGen(service, stream, lg);
+      load_done.store(true, std::memory_order_release);
+    });
+    // The snapshotter rides alongside live traffic: Snapshot locks one
+    // shard at a time, so serving never globally stalls — the per-commit
+    // latency measured here is the cost a production checkpointer pays.
+    uint64_t next = every_n;
+    while (!load_done.load(std::memory_order_acquire)) {
+      if (service.Stats().completed >= next) {
+        const int64_t t0 = bench::SteadyNowUs();
+        serve::SnapshotStats s;
+        if (store.Snapshot(path, &s)) {
+          rep.snapshot_us.Record(
+              static_cast<double>(bench::SteadyNowUs() - t0));
+          rep.last = s;
+        }
+        next += every_n;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    load.join();
+    service.Shutdown();
+    // Final commit after the run drains: the artifact the restart recovers.
+    const int64_t t0 = bench::SteadyNowUs();
+    serve::SnapshotStats s;
+    if (store.Snapshot(path, &s)) {
+      rep.snapshot_us.Record(static_cast<double>(bench::SteadyNowUs() - t0));
+      rep.last = s;
+    }
+  }
+  {
+    serve::SessionStoreConfig sc;
+    sc.max_resident_users = resident_cap;
+    serve::SessionStore store(sc);
+    serve::ServiceConfig svc;
+    svc.workers = 2;
+    svc.max_batch = 8;
+    serve::PredictionService service(model, store, svc);
+    const int64_t t0 = bench::SteadyNowUs();
+    service.WarmStartAsync(path);
+    // A watcher times the restore itself; the main thread probes the
+    // serving path. Not-yet-restored users come back kDegraded (frozen
+    // base model), so the first kOk marks real recovered-state serving.
+    std::thread watcher([&] {
+      service.WaitWarmStart(&rep.restored);
+      rep.restore_wall_ms =
+          static_cast<double>(bench::SteadyNowUs() - t0) / 1000.0;
+    });
+    for (size_t i = 0;; ++i) {
+      std::future<serve::Prediction> fut =
+          service.Submit(stream[i % stream.size()]);
+      if (fut.get().outcome == serve::RequestOutcome::kOk) {
+        rep.first_ok_ms =
+            static_cast<double>(bench::SteadyNowUs() - t0) / 1000.0;
+        rep.probes_before_ok = i;
+        break;
+      }
+    }
+    watcher.join();
+    service.Shutdown();
+    rep.warm_start_fallbacks = service.Stats().warm_start_fallbacks;
+  }
+  std::remove(path.c_str());
+  return rep;
+}
+
+void WriteDurabilityJson(const char* json_path, const DurabilityReport& r) {
+  std::FILE* f = std::fopen(json_path, "w");  // NOLINT(durable-io): bench
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serving_durability\",\n");
+  std::fprintf(f, "  \"snapshot_every_n\": %zu,\n", r.every_n);
+  std::fprintf(f, "  \"snapshots\": %llu,\n",
+               static_cast<unsigned long long>(r.snapshot_us.Count()));
+  std::fprintf(f, "  \"snapshot_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+               "\"max\": %.3f},\n",
+               r.snapshot_us.QuantileUs(0.50) / 1000.0,
+               r.snapshot_us.QuantileUs(0.95) / 1000.0,
+               r.snapshot_us.MaxUs() / 1000.0);
+  std::fprintf(f, "  \"snapshot_users\": %zu,\n", r.last.users);
+  std::fprintf(f, "  \"snapshot_patterns\": %zu,\n", r.last.patterns);
+  std::fprintf(f, "  \"snapshot_bytes\": %llu,\n",
+               static_cast<unsigned long long>(r.last.bytes));
+  std::fprintf(f, "  \"restore_wall_ms\": %.3f,\n", r.restore_wall_ms);
+  std::fprintf(f, "  \"restore_to_first_ok_ms\": %.3f,\n", r.first_ok_ms);
+  std::fprintf(f, "  \"degraded_probes_before_first_ok\": %zu,\n",
+               r.probes_before_ok);
+  std::fprintf(f, "  \"warm_start_fallbacks\": %llu,\n",
+               static_cast<unsigned long long>(r.warm_start_fallbacks));
+  std::fprintf(f, "  \"restored_users\": %zu,\n", r.restored.users);
+  std::fprintf(f, "  \"restored_patterns\": %zu\n", r.restored.patterns);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool report = false;
+  size_t snapshot_every_n = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench_report") == 0) {
+      report = true;
+    } else if (std::strncmp(argv[i], "--snapshot_every_n=", 19) == 0) {
+      snapshot_every_n =
+          static_cast<size_t>(std::strtoull(argv[i] + 19, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (expected --bench_report or "
+                   "--snapshot_every_n=N)\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+  if (report && snapshot_every_n == 0) snapshot_every_n = 500;
+
   bench::BenchEnv env = bench::ReadBenchEnv();
   bench::PrintBenchBanner("bench_serving — concurrent online prediction",
                           env);
@@ -135,6 +302,38 @@ int main() {
       std::printf("note: the encode stage is CPU-bound, so the >= 2x "
                   "target needs >= 4 cores — on this host extra workers "
                   "can only timeslice.\n");
+    }
+  }
+
+  if (snapshot_every_n > 0) {
+    const std::string snap_path =
+        (std::filesystem::temp_directory_path() / "adamove_bench_serving.snap")
+            .string();
+    std::printf("\ndurability: snapshot every %zu completed requests, then "
+                "warm-start restore\n",
+                snapshot_every_n);
+    DurabilityReport dur = RunDurability(model, stream, lg, cap,
+                                         snapshot_every_n, snap_path);
+    common::TablePrinter dtable(
+        {"snapshots", "snap p50 ms", "snap p95 ms", "snap max ms", "users",
+         "patterns", "bytes", "restore ms", "first-ok ms", "frozen probes"});
+    dtable.AddRow({std::to_string(dur.snapshot_us.Count()),
+                   Ms(dur.snapshot_us, 0.50), Ms(dur.snapshot_us, 0.95),
+                   common::TablePrinter::Fmt(dur.snapshot_us.MaxUs() / 1000.0,
+                                             3),
+                   std::to_string(dur.last.users),
+                   std::to_string(dur.last.patterns),
+                   std::to_string(dur.last.bytes),
+                   common::TablePrinter::Fmt(dur.restore_wall_ms, 3),
+                   common::TablePrinter::Fmt(dur.first_ok_ms, 3),
+                   std::to_string(dur.probes_before_ok)});
+    dtable.Print();
+    std::printf("restore recovered %zu users / %zu patterns; %llu requests "
+                "served frozen during the warm start\n",
+                dur.restored.users, dur.restored.patterns,
+                static_cast<unsigned long long>(dur.warm_start_fallbacks));
+    if (report) {
+      WriteDurabilityJson("BENCH_serving_durability.json", dur);
     }
   }
   return 0;

@@ -2,18 +2,21 @@
 # The repo's full verification ladder, in the order a reviewer should trust:
 #
 #   1. tier-1: plain build (-Werror) + the complete ctest suite
-#   2. TSan:   `concurrency`-labeled suites under -DADAMOVE_SANITIZE=thread
-#              (data races in the serving path / kernels / chaos suite)
-#   3. ASan+UBSan: `fault`-labeled suites under -DADAMOVE_SANITIZE=address
-#              (memory errors on the fault-injection and degradation paths),
-#              then `nn` + `fault` labels under -DADAMOVE_SANITIZE=undefined
-#              with -fno-sanitize-recover=all (any UB aborts the test)
+#   2. TSan:   `concurrency` + `persist` labels under -DADAMOVE_SANITIZE=
+#              thread (data races in the serving path / kernels / chaos
+#              suite, and snapshot/restore racing live traffic)
+#   3. ASan+UBSan: `fault` + `persist` labels under -DADAMOVE_SANITIZE=
+#              address (memory errors on the fault-injection, degradation
+#              and checkpoint-parsing paths), then `nn` + `fault` + `persist`
+#              under -DADAMOVE_SANITIZE=undefined with
+#              -fno-sanitize-recover=all (any UB aborts the test)
 #   4. static: scripts/lint.sh (custom grep lints + clang-tidy), then the
 #              thread-safety analysis build (-DADAMOVE_ANALYZE=ON under
 #              clang++, -Werror=thread-safety) including the negative-compile
-#              cases in tests/common/annotations_compile_fail/. Skipped with
-#              a notice when clang++ is not installed — the annotations are
-#              Clang-only; the lint pass still gates.
+#              cases in tests/common/annotations_compile_fail/ and the
+#              `persist` suites (the snapshot path is lock-annotation-heavy).
+#              Skipped with a notice when clang++ is not installed — the
+#              annotations are Clang-only; the lint pass still gates.
 #
 # Usage: scripts/check.sh            # run all four stages
 #        JOBS=8 scripts/check.sh     # override build parallelism
@@ -27,20 +30,20 @@ cmake -B build -S . -DADAMOVE_WERROR=ON >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure
 
-echo "==> [2/4] TSan: concurrency-labeled suites"
+echo "==> [2/4] TSan: concurrency + persist labeled suites"
 cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L concurrency --output-on-failure
+ctest --test-dir build-tsan -L 'concurrency|persist' --output-on-failure
 
-echo "==> [3/4] ASan: fault-labeled suites"
+echo "==> [3/4] ASan: fault + persist labeled suites"
 cmake -B build-asan -S . -DADAMOVE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L fault --output-on-failure
+ctest --test-dir build-asan -L 'fault|persist' --output-on-failure
 
-echo "==> [3/4] UBSan: nn + fault labels (-fno-sanitize-recover=all)"
+echo "==> [3/4] UBSan: nn + fault + persist labels (-fno-sanitize-recover=all)"
 cmake -B build-ubsan -S . -DADAMOVE_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "${JOBS}"
-ctest --test-dir build-ubsan -L 'nn|fault' --output-on-failure
+ctest --test-dir build-ubsan -L 'nn|fault|persist' --output-on-failure
 
 echo "==> [4/4] static analysis: lint + thread-safety contracts"
 scripts/lint.sh
@@ -50,6 +53,7 @@ if command -v clang++ >/dev/null 2>&1; then
   cmake --build build-analyze -j "${JOBS}"
   ctest --test-dir build-analyze -R annotations_compile_fail \
     --output-on-failure
+  ctest --test-dir build-analyze -L persist --output-on-failure
 else
   echo "    clang++ not installed — thread-safety analysis build skipped"
   echo "    (annotations are checked only by Clang; lint pass above gates)"

@@ -19,6 +19,14 @@
 #                      intentional leaks (fault registry) carry NOLINT.
 #        rand          rand()/srand(): unseeded global state breaks the
 #                      repo-wide determinism contract; use common/rng.h.
+#        raw-write     std::ofstream / fopen write paths in src/ outside
+#                      common/durable_io and data/. Anything that persists
+#                      state the process must survive losing has to go
+#                      through WriteFileAtomic + framing (DESIGN.md §11) —
+#                      a raw write is exactly the torn-file bug the durable
+#                      layer exists to prevent. data/ is exempt (exports of
+#                      derivable artifacts), as is anything else carrying a
+#                      NOLINT with a stated reason.
 #        todo-label    TODO without an owner label `TODO(name):` rots.
 #
 #   2. clang-tidy (.clang-tidy profile: bugprone-*, performance-*,
@@ -59,6 +67,13 @@ run_lint raw-mutex \
   "${SRC_NO_MUTEX[@]}"
 run_lint naked-new '\bnew +[A-Za-z_][A-Za-z0-9_:<>]*' src
 run_lint rand '\b(s)?rand\(' src
+
+# Durable-write discipline: only common/durable_io may open files for
+# writing in src/ (data/ exports derivable artifacts and is exempt).
+mapfile -t SRC_NO_DURABLE < <(find src -name '*.cc' -o -name '*.h' |
+  grep -vE '^src/(common/durable_io\.(h|cc)|data/)')
+run_lint raw-write 'std::ofstream|\b(std::)?fopen *\(' \
+  "${SRC_NO_DURABLE[@]}"
 # todo-label needs a negative lookahead; grep -P is not portable, so
 # emulate it with two passes instead of run_lint.
 todo_hits=$(grep -rnE '\bTODO\b' src 2>/dev/null |

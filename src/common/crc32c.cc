@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace adamove::common {
+
+namespace {
+
+/// Slice-by-4 tables, built once at first use. Table 0 is the classic
+/// byte-at-a-time table for the reflected polynomial; tables 1-3 fold four
+/// input bytes per step, which is plenty for the frame sizes we checksum
+/// (the snapshot hot path is dominated by the fsync, not the CRC).
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78U;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1U) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFU];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFU];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFU];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables* tables = new Tables();  // NOLINT: leaked on purpose
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n) {
+  const Tables& tables = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFFU] ^ tables.t[2][(crc >> 8) & 0xFFU] ^
+          tables.t[1][(crc >> 16) & 0xFFU] ^ tables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFFU];
+  }
+  return ~crc;
+}
+
+}  // namespace adamove::common

@@ -1,0 +1,40 @@
+#ifndef ADAMOVE_COMMON_CRC32C_H_
+#define ADAMOVE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adamove::common {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum used by every on-disk frame in this repository (durable_io
+/// framed files, checkpoint v2 tensors, serving snapshots). Chosen over the
+/// zlib CRC-32 because its error-detection properties are strictly better
+/// for the short frames we write and it is the de-facto storage checksum
+/// (iSCSI, ext4, LevelDB/RocksDB).
+///
+/// `Crc32c(data, n)` computes the checksum of one buffer;
+/// `ExtendCrc32c(crc, data, n)` continues a running checksum so a frame can
+/// be checksummed in pieces without concatenating. Both are pure functions
+/// of the bytes — no global state, safe from any thread.
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return ExtendCrc32c(0, data, n);
+}
+
+/// Masked form (the LevelDB trick): storing the CRC of data that itself
+/// contains CRCs makes accidental collisions more likely, so stored
+/// checksums are rotated and offset. Verification unmasks before comparing.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8U;
+}
+
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8U;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_CRC32C_H_

@@ -1,0 +1,248 @@
+#include "common/durable_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+
+namespace adamove::common {
+
+namespace {
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Largest frame the parser will accept. On-disk lengths beyond this are
+/// treated as corruption even when the file happens to be that large — no
+/// legitimate writer produces gigabyte frames (the biggest real frame is a
+/// classifier weight matrix, a few MB).
+constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Loop until all of `bytes` is written (write(2) may be short).
+bool WriteAll(int fd, std::string_view bytes) {
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, making the rename
+/// itself durable. Failure is ignored: some filesystems reject directory
+/// fsync, and the file data is already synced.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFFU);
+  b[1] = static_cast<char>((v >> 8) & 0xFFU);
+  b[2] = static_cast<char>((v >> 16) & 0xFFU);
+  b[3] = static_cast<char>((v >> 24) & 0xFFU);
+  out->append(b, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFULL));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void AppendF32Array(std::string* out, const float* data, size_t n) {
+  out->append(reinterpret_cast<const char*>(data), n * sizeof(float));
+}
+
+bool WireReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  const auto* b =
+      reinterpret_cast<const unsigned char*>(bytes_.data() + pos_);
+  *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+       (static_cast<uint32_t>(b[2]) << 16) |
+       (static_cast<uint32_t>(b[3]) << 24);
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint32_t lo = 0, hi = 0;
+  ReadU32(&lo);
+  ReadU32(&hi);
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool WireReader::ReadBytes(size_t n, std::string_view* out) {
+  if (remaining() < n) return false;
+  *out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::ReadF32Array(size_t n, std::vector<float>* out) {
+  if (n > remaining() / sizeof(float)) return false;
+  out->resize(n);
+  std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return true;
+}
+
+std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+IoResult WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string temp = TempPathFor(path);
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoResult::Fail(Errno("open", temp));
+
+  // Injected write failure (full disk, IO error): the temp file is removed
+  // and the previous durable version of `path` is untouched.
+  if (FaultPoint("io.snapshot_write") || !WriteAll(fd, bytes)) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return IoResult::Fail(Errno("write", temp));
+  }
+  // A commit is only claimed durable after the data reaches stable storage;
+  // renaming an unsynced temp could survive a crash with torn contents, so
+  // a failed (or injected) fsync aborts the whole commit.
+  if (FaultPoint("io.snapshot_fsync") || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return IoResult::Fail(Errno("fsync", temp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    return IoResult::Fail(Errno("close", temp));
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return IoResult::Fail(Errno("rename", path));
+  }
+  SyncParentDir(path);
+  return IoResult::Ok();
+}
+
+IoResult ReadFileAll(const std::string& path, std::string* out) {
+  out->clear();
+  if (FaultPoint("io.snapshot_read")) {
+    return IoResult::Fail("read '" + path + "': injected io.snapshot_read");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoResult::Fail(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoResult::Fail(Errno("stat", path));
+  }
+  out->reserve(static_cast<size_t>(st.st_size));
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoResult::Fail(Errno("read", path));
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return IoResult::Ok();
+}
+
+FramedFileWriter::FramedFileWriter(uint32_t magic) {
+  AppendU32(&buffer_, magic);
+}
+
+void FramedFileWriter::AddFrame(std::string_view payload) {
+  AppendU32(&buffer_, static_cast<uint32_t>(payload.size()));
+  AppendU32(&buffer_, MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  buffer_.append(payload.data(), payload.size());
+  ++frame_count_;
+}
+
+IoResult FramedFileWriter::Commit(const std::string& path) const {
+  return WriteFileAtomic(path, buffer_);
+}
+
+IoResult ParseFramedBytes(std::string_view bytes, uint32_t expected_magic,
+                          FramedRead* out) {
+  out->frames.clear();
+  out->torn_tail = false;
+  WireReader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.ReadU32(&magic)) {
+    return IoResult::Fail("framed file shorter than its magic");
+  }
+  if (magic != expected_magic) {
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "%08X", magic);
+    return IoResult::Fail("bad magic (found 0x" + std::string(hex) + ")");
+  }
+  while (!reader.AtEnd()) {
+    const size_t frame_index = out->frames.size();
+    // Fewer bytes than a frame header: the writer (or the filesystem) was
+    // cut off mid-append — a clean torn tail, not corruption.
+    if (reader.remaining() < 8) {
+      out->torn_tail = true;
+      return IoResult::Ok();
+    }
+    uint32_t length = 0, masked_crc = 0;
+    reader.ReadU32(&length);
+    reader.ReadU32(&masked_crc);
+    if (length > kMaxFrameBytes) {
+      return IoResult::Fail("frame " + std::to_string(frame_index) +
+                            ": length " + std::to_string(length) +
+                            " exceeds the frame cap");
+    }
+    if (length > reader.remaining()) {
+      out->torn_tail = true;  // payload cut off mid-write
+      return IoResult::Ok();
+    }
+    std::string_view payload;
+    reader.ReadBytes(length, &payload);
+    const uint32_t crc = Crc32c(payload.data(), payload.size());
+    if (MaskCrc32c(crc) != masked_crc) {
+      return IoResult::Fail("frame " + std::to_string(frame_index) +
+                            ": crc32c mismatch");
+    }
+    out->frames.emplace_back(payload);
+  }
+  return IoResult::Ok();
+}
+
+IoResult ReadFramedFile(const std::string& path, uint32_t expected_magic,
+                        FramedRead* out) {
+  std::string bytes;
+  IoResult read = ReadFileAll(path, &bytes);
+  if (!read) return read;
+  IoResult parsed = ParseFramedBytes(bytes, expected_magic, out);
+  if (!parsed) {
+    parsed.error = "'" + path + "': " + parsed.error;
+  }
+  return parsed;
+}
+
+}  // namespace adamove::common

@@ -1,0 +1,132 @@
+#ifndef ADAMOVE_COMMON_DURABLE_IO_H_
+#define ADAMOVE_COMMON_DURABLE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adamove::common {
+
+/// Outcome of a persistence operation. The no-exceptions analogue of a
+/// status: `ok` plus a human-readable error naming what went wrong (file,
+/// frame index, offending field). Truthy iff ok, so call sites read
+/// `if (!result) ...`.
+struct IoResult {
+  bool ok = true;
+  std::string error;
+
+  static IoResult Ok() { return IoResult{}; }
+  static IoResult Fail(std::string message) {
+    return IoResult{false, std::move(message)};
+  }
+  explicit operator bool() const { return ok; }
+};
+
+// ---------------------------------------------------------------------------
+// Wire helpers: little-endian primitives over an in-memory byte string.
+// Writers append to a std::string; WireReader is the only sanctioned way to
+// parse untrusted checkpoint/snapshot bytes — every Read* is bounds-checked
+// against the buffer, so a corrupt length field can never drive an
+// allocation or a read past the end.
+// ---------------------------------------------------------------------------
+
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+/// Raw IEEE-754 float payload (host byte order; this repository's on-disk
+/// formats, like v1 before them, target little-endian hosts).
+void AppendF32Array(std::string* out, const float* data, size_t n);
+
+/// Bounds-checked cursor over untrusted bytes. Every Read* returns false —
+/// consuming nothing — when fewer bytes remain than requested.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  /// A view into the buffer (no copy); valid while the buffer lives.
+  bool ReadBytes(size_t n, std::string_view* out);
+  /// Reads `n` floats. The bounds check precedes the allocation, so a
+  /// hostile count cannot trigger an unbounded resize.
+  bool ReadF32Array(size_t n, std::vector<float>* out);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Durable atomic file replacement: write-to-temp, fsync, rename, fsync the
+// parent directory. A reader never observes a half-written file — the
+// destination either holds the complete previous version or the complete
+// new one. This is the ONLY sanctioned way to write persistent state
+// outside data/ (enforced by the raw-file-write rule in scripts/lint.sh).
+//
+// Fault points (armed via common::FaultRegistry, DESIGN.md §11):
+//   io.snapshot_write  the payload write fails — temp removed, target intact
+//   io.snapshot_fsync  the pre-rename fsync fails — temp removed, target
+//                      intact (an unsynced rename could survive a crash with
+//                      torn contents, so a failed fsync aborts the commit)
+//   io.snapshot_read   the read side fails — caller takes its fallback
+// ---------------------------------------------------------------------------
+
+/// The deterministic temp path `WriteFileAtomic` stages through — exposed so
+/// crash tests can plant stale temp files and assert they are ignored.
+std::string TempPathFor(const std::string& path);
+
+IoResult WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file (allocation bounded by the actual on-disk size).
+IoResult ReadFileAll(const std::string& path, std::string* out);
+
+// ---------------------------------------------------------------------------
+// Framed record layer: file := magic u32, then frames of
+//   u32 payload_length | u32 masked crc32c(payload) | payload bytes.
+// The parser distinguishes three outcomes:
+//   * every frame complete and CRC-clean  -> ok, torn_tail = false
+//   * trailing partial frame (truncation) -> ok, torn_tail = true, frames
+//     holds the complete verified prefix — crash-consistent recovery
+//   * anything else (bad magic, CRC mismatch, oversized length) -> error
+//     naming the frame; `frames` still holds the verified prefix so the
+//     caller can salvage what was durable before the damage.
+// ---------------------------------------------------------------------------
+
+struct FramedRead {
+  std::vector<std::string> frames;
+  bool torn_tail = false;
+};
+
+/// Accumulates frames in memory, then commits them durably in one atomic
+/// replace. Nothing touches the filesystem until Commit.
+class FramedFileWriter {
+ public:
+  explicit FramedFileWriter(uint32_t magic);
+
+  void AddFrame(std::string_view payload);
+  size_t frame_count() const { return frame_count_; }
+  /// Exact file size a Commit would write.
+  uint64_t byte_size() const { return buffer_.size(); }
+
+  IoResult Commit(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+  size_t frame_count_ = 0;
+};
+
+IoResult ParseFramedBytes(std::string_view bytes, uint32_t expected_magic,
+                          FramedRead* out);
+
+IoResult ReadFramedFile(const std::string& path, uint32_t expected_magic,
+                        FramedRead* out);
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_DURABLE_IO_H_

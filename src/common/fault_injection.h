@@ -63,6 +63,12 @@ bool EvaluateSlow(const char* point);
 ///   serve.ptta_generate   pattern generation skipped — stale-KB prediction
 ///   serve.encode_forward  encoder forward fails — bounded retry
 ///   serve.batch_flush     whole batch degrades to the base model
+///   io.snapshot_write     durable_io payload write fails — commit aborted,
+///                         previous durable file intact
+///   io.snapshot_fsync     pre-rename fsync fails — commit aborted, previous
+///                         durable file intact
+///   io.snapshot_read      checkpoint/snapshot read fails — caller degrades
+///                         (warm start serves the frozen base model)
 class FaultRegistry {
  public:
   /// The process-wide registry (parses ADAMOVE_FAULTS on first call).

@@ -45,4 +45,12 @@ bool AdaMove::Load(const std::string& path) {
   return nn::LoadModule(path, *model_);
 }
 
+common::IoResult AdaMove::SaveStatus(const std::string& path) const {
+  return nn::SaveModuleStatus(path, *model_);
+}
+
+common::IoResult AdaMove::LoadStatus(const std::string& path) {
+  return nn::LoadModuleStatus(path, *model_);
+}
+
 }  // namespace adamove::core

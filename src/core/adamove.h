@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable_io.h"
 #include "core/config.h"
 #include "core/evaluator.h"
 #include "core/lightmob.h"
@@ -42,9 +43,15 @@ class AdaMove {
   /// Frozen-model evaluation (the "w/o PTTA" ablation).
   EvalResult EvaluateFrozen(const std::vector<data::Sample>& samples) const;
 
-  /// Saves / loads the trained LightMob weights.
+  /// Saves / loads the trained LightMob weights. Save writes the v2
+  /// checksummed checkpoint format through durable_io's atomic commit; Load
+  /// sniffs the format and also accepts legacy v1 files read-only
+  /// (DESIGN.md §11). The status variants surface the structured error
+  /// (offending entry, corrupt field) instead of a bare bool.
   bool Save(const std::string& path) const;
   bool Load(const std::string& path);
+  common::IoResult SaveStatus(const std::string& path) const;
+  common::IoResult LoadStatus(const std::string& path);
 
   LightMob& model() { return *model_; }
   const TestTimeAdapter& adapter() const { return adapter_; }

@@ -163,6 +163,123 @@ std::vector<float> OnlineAdapter::ObserveAndPredict(
   return Predict(model, sample.user, query, sample.target.timestamp);
 }
 
+std::vector<int64_t> OnlineAdapter::Users() const {
+  std::vector<int64_t> users;
+  users.reserve(users_.size());
+  for (const auto& [user, state] : users_) users.push_back(user);
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+OnlineAdapter::UserSnapshot OnlineAdapter::ExportUser(int64_t user) const {
+  UserSnapshot snap;
+  snap.user = user;
+  auto it = users_.find(user);
+  if (it == users_.end()) return snap;
+  snap.locations.reserve(it->second.by_location.size());
+  for (const auto& [location, entries] : it->second.by_location) {
+    snap.locations.emplace_back(location, entries);
+  }
+  std::sort(snap.locations.begin(), snap.locations.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+void OnlineAdapter::Adopt(UserSnapshot&& snap) {
+  UserState state;
+  for (auto& [location, entries] : snap.locations) {
+    if (entries.empty()) continue;
+    if (entries.size() > kMaxCandidatesPerLocation) {
+      // Same FIFO policy as Observe: the newest candidates win.
+      entries.erase(entries.begin(),
+                    entries.end() - kMaxCandidatesPerLocation);
+    }
+    state.by_location[location] = std::move(entries);
+  }
+  if (state.by_location.empty()) {
+    users_.erase(snap.user);  // adopting an empty snapshot == Forget
+    return;
+  }
+  users_[snap.user] = std::move(state);
+}
+
+void OnlineAdapter::EncodeUser(const UserSnapshot& snap, std::string* out) {
+  common::AppendU64(out, static_cast<uint64_t>(snap.user));
+  common::AppendU32(out, static_cast<uint32_t>(snap.locations.size()));
+  for (const auto& [location, entries] : snap.locations) {
+    common::AppendU64(out, static_cast<uint64_t>(location));
+    common::AppendU32(out, static_cast<uint32_t>(entries.size()));
+    for (const Entry& entry : entries) {
+      common::AppendU64(out, static_cast<uint64_t>(entry.timestamp));
+      common::AppendU32(out, static_cast<uint32_t>(entry.pattern.size()));
+      common::AppendF32Array(out, entry.pattern.data(), entry.pattern.size());
+    }
+  }
+}
+
+common::IoResult OnlineAdapter::DecodeUser(std::string_view bytes,
+                                           UserSnapshot* out) {
+  out->locations.clear();
+  common::WireReader reader(bytes);
+  uint64_t user = 0;
+  if (!reader.ReadU64(&user)) {
+    return common::IoResult::Fail("user frame: truncated user id");
+  }
+  out->user = static_cast<int64_t>(user);
+  uint32_t location_count = 0;
+  if (!reader.ReadU32(&location_count)) {
+    return common::IoResult::Fail("user frame: truncated location count");
+  }
+  // A location record is at least id + entry count (12 bytes): a count
+  // beyond remaining/12 is provably corrupt — reject before reserving.
+  if (location_count > reader.remaining() / 12) {
+    return common::IoResult::Fail(
+        "user frame: location count " + std::to_string(location_count) +
+        " larger than the frame could hold");
+  }
+  out->locations.reserve(location_count);
+  for (uint32_t l = 0; l < location_count; ++l) {
+    uint64_t location = 0;
+    uint32_t entry_count = 0;
+    if (!reader.ReadU64(&location) || !reader.ReadU32(&entry_count)) {
+      return common::IoResult::Fail("user frame: truncated location record");
+    }
+    if (entry_count > reader.remaining() / 12) {
+      return common::IoResult::Fail(
+          "user frame: entry count " + std::to_string(entry_count) +
+          " larger than the frame could hold");
+    }
+    std::vector<Entry> entries;
+    entries.reserve(entry_count);
+    for (uint32_t e = 0; e < entry_count; ++e) {
+      Entry entry;
+      uint64_t timestamp = 0;
+      uint32_t pattern_len = 0;
+      if (!reader.ReadU64(&timestamp) || !reader.ReadU32(&pattern_len)) {
+        return common::IoResult::Fail("user frame: truncated entry header");
+      }
+      // A zero-length pattern would violate Observe's invariant and abort
+      // downstream similarity math — reject it here, structurally.
+      if (pattern_len == 0) {
+        return common::IoResult::Fail("user frame: zero-length pattern");
+      }
+      if (!reader.ReadF32Array(pattern_len, &entry.pattern)) {
+        return common::IoResult::Fail(
+            "user frame: pattern length " + std::to_string(pattern_len) +
+            " larger than the remaining frame");
+      }
+      entry.timestamp = static_cast<int64_t>(timestamp);
+      entries.push_back(std::move(entry));
+    }
+    out->locations.emplace_back(static_cast<int64_t>(location),
+                                std::move(entries));
+  }
+  if (!reader.AtEnd()) {
+    return common::IoResult::Fail("user frame: trailing bytes");
+  }
+  return common::IoResult::Ok();
+}
+
 size_t OnlineAdapter::Forget(int64_t user) {
   auto it = users_.find(user);
   if (it == users_.end()) return 0;

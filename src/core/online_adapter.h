@@ -2,9 +2,13 @@
 #define ADAMOVE_CORE_ONLINE_ADAPTER_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/durable_io.h"
 #include "core/config.h"
 #include "core/model.h"
 
@@ -35,6 +39,23 @@ namespace adamove::core {
 /// owner.
 class OnlineAdapter {
  public:
+  /// One stored candidate: the trajectory pattern plus the timestamp it was
+  /// observed at (freshness ages out against this). Public because it is
+  /// also the unit persisted by snapshots.
+  struct Entry {
+    std::vector<float> pattern;
+    int64_t timestamp = 0;
+  };
+
+  /// The complete stored state of one user, in the deterministic order the
+  /// snapshot wire format uses (locations ascending, entries in FIFO
+  /// arrival order) — so identical adapter state encodes to identical
+  /// bytes, which is what lets the durability tests pin snapshots golden.
+  struct UserSnapshot {
+    int64_t user = 0;
+    std::vector<std::pair<int64_t, std::vector<Entry>>> locations;
+  };
+
   OnlineAdapter(const PttaConfig& config, int64_t max_age_seconds =
                                               5 * 72 * 3600 /* ~c=5 windows */)
       : config_(config), max_age_seconds_(max_age_seconds) {}
@@ -85,14 +106,37 @@ class OnlineAdapter {
   /// Distinct users with stored state.
   size_t UserCount() const { return users_.size(); }
 
+  /// Whether `user` has any stored state — the warm-start gate's probe.
+  bool HasUser(int64_t user) const { return users_.count(user) > 0; }
+
+  /// All users with stored state, ascending — the deterministic snapshot
+  /// iteration order.
+  std::vector<int64_t> Users() const;
+
+  /// Deep copy of one user's stored state (empty snapshot for unknown
+  /// users), locations ascending.
+  UserSnapshot ExportUser(int64_t user) const;
+
+  /// Installs `snap` as the user's complete state, replacing whatever was
+  /// stored. Enforces the per-location candidate cap (keeping the newest
+  /// entries, matching Observe's FIFO policy), so even a hostile snapshot
+  /// cannot inflate memory past the normal bound.
+  void Adopt(UserSnapshot&& snap);
+
+  /// Snapshot wire format (DESIGN.md §11): user id, then per location the
+  /// id and its candidate entries. Encode/Decode are pure byte functions —
+  /// no adapter state — so the serving layer can decode a frame before
+  /// deciding which shard lock to take. Decode is strictly bounds-checked:
+  /// corrupt counts/lengths fail with a structured error naming the field,
+  /// never an allocation or out-of-range read.
+  static void EncodeUser(const UserSnapshot& snap, std::string* out);
+  static common::IoResult DecodeUser(std::string_view bytes,
+                                     UserSnapshot* out);
+
   /// Drops state for all users.
   void Reset() { users_.clear(); }
 
  private:
-  struct Entry {
-    std::vector<float> pattern;
-    int64_t timestamp = 0;
-  };
   struct UserState {
     // location -> stored candidate patterns (bounded FIFO).
     std::unordered_map<int64_t, std::vector<Entry>> by_location;

@@ -2,100 +2,275 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <map>
+#include <string_view>
 
 namespace adamove::nn {
 
 namespace {
 
-constexpr uint32_t kMagic = 0xADA30001;
+using common::IoResult;
+using common::WireReader;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+/// Hostile-input bounds (DESIGN.md §11): every size field read from disk is
+/// validated against these caps — and against the bytes actually present —
+/// before it drives an allocation or a loop.
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxRank = 8;
+constexpr int64_t kMaxTensorElems = int64_t{1} << 31;
+
+struct ParsedEntry {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+};
+using EntryMap = std::map<std::string, ParsedEntry>;
+
+std::string EntryLabel(size_t index, const std::string& name) {
+  std::string label = "entry " + std::to_string(index);
+  if (!name.empty()) label += " ('" + name + "')";
+  return label;
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
+/// Parses one tensor record — the shared wire layout of a v1 stream and a
+/// v2 frame payload: name_len | name | rank | dims | floats. On success the
+/// entry is added to `out`; on failure the error names the offending field.
+IoResult ParseTensorRecord(WireReader& reader, size_t index, EntryMap* out) {
+  uint32_t name_len = 0;
+  if (!reader.ReadU32(&name_len)) {
+    return IoResult::Fail(EntryLabel(index, "") + ": truncated name length");
+  }
+  if (name_len == 0) {
+    return IoResult::Fail(EntryLabel(index, "") + ": zero-length name");
+  }
+  if (name_len > kMaxNameLen || name_len > reader.remaining()) {
+    return IoResult::Fail(EntryLabel(index, "") + ": name length " +
+                          std::to_string(name_len) + " out of bounds");
+  }
+  std::string_view name_bytes;
+  reader.ReadBytes(name_len, &name_bytes);
+  const std::string name(name_bytes);
+  uint32_t rank = 0;
+  if (!reader.ReadU32(&rank)) {
+    return IoResult::Fail(EntryLabel(index, name) + ": truncated rank");
+  }
+  if (rank > kMaxRank) {
+    return IoResult::Fail(EntryLabel(index, name) + ": rank " +
+                          std::to_string(rank) + " exceeds the cap of " +
+                          std::to_string(kMaxRank));
+  }
+  ParsedEntry entry;
+  entry.shape.reserve(rank);
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    uint32_t dim = 0;
+    if (!reader.ReadU32(&dim)) {
+      return IoResult::Fail(EntryLabel(index, name) + ": truncated shape");
+    }
+    entry.shape.push_back(static_cast<int64_t>(dim));
+    numel *= static_cast<int64_t>(dim);
+    if (numel > kMaxTensorElems) {
+      return IoResult::Fail(EntryLabel(index, name) +
+                            ": element count overflows the tensor cap");
+    }
+  }
+  // The bounds check inside ReadF32Array is what makes a corrupt count or
+  // dim field harmless: the allocation never exceeds the bytes present.
+  if (!reader.ReadF32Array(static_cast<size_t>(numel), &entry.data)) {
+    return IoResult::Fail(EntryLabel(index, name) +
+                          ": shape larger than the remaining file");
+  }
+  if (!out->emplace(name, std::move(entry)).second) {
+    return IoResult::Fail(EntryLabel(index, name) + ": duplicate entry");
+  }
+  return IoResult::Ok();
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
-  WriteU32(out, static_cast<uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+/// Hardened parser for the legacy v1 dump: magic | count | records.
+IoResult ParseV1(std::string_view bytes, EntryMap* out) {
+  WireReader reader(bytes);
+  uint32_t magic = 0, count = 0;
+  reader.ReadU32(&magic);  // caller sniffed it; cannot fail here
+  if (!reader.ReadU32(&count)) {
+    return IoResult::Fail("v1: truncated entry count");
+  }
+  // A record is at least name_len + rank (8 bytes), so a count beyond
+  // remaining/8 is provably corrupt — reject before any allocation, which
+  // fixes the historical unbounded-allocation on a corrupt count field.
+  if (count > reader.remaining() / 8) {
+    return IoResult::Fail("v1: entry count " + std::to_string(count) +
+                          " larger than the file could hold");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    IoResult entry = ParseTensorRecord(reader, i, out);
+    if (!entry) {
+      entry.error = "v1 " + entry.error;
+      return entry;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return IoResult::Fail("v1: " + std::to_string(reader.remaining()) +
+                          " trailing bytes after the last entry");
+  }
+  return IoResult::Ok();
 }
 
-bool ReadString(std::ifstream& in, std::string* s) {
-  uint32_t n = 0;
-  if (!ReadU32(in, &n)) return false;
-  s->resize(n);
-  in.read(s->data(), static_cast<std::streamsize>(n));
-  return in.good();
+/// Parser for the v2 framed format: header frame {version, count}, then one
+/// frame per tensor. Frames already passed the CRC check in durable_io.
+IoResult ParseV2(std::string_view bytes, EntryMap* out) {
+  common::FramedRead framed;
+  IoResult parsed =
+      common::ParseFramedBytes(bytes, kCheckpointMagicV2, &framed);
+  if (!parsed) return parsed;
+  if (framed.torn_tail) {
+    return IoResult::Fail("v2: torn tail after frame " +
+                          std::to_string(framed.frames.size()) +
+                          " (incomplete checkpoint)");
+  }
+  if (framed.frames.empty()) {
+    return IoResult::Fail("v2: missing header frame");
+  }
+  WireReader header(framed.frames[0]);
+  uint32_t version = 0, count = 0;
+  if (!header.ReadU32(&version) || !header.ReadU32(&count) ||
+      !header.AtEnd()) {
+    return IoResult::Fail("v2: malformed header frame");
+  }
+  if (version != 2) {
+    return IoResult::Fail("v2: unsupported version " +
+                          std::to_string(version));
+  }
+  if (framed.frames.size() != static_cast<size_t>(count) + 1) {
+    return IoResult::Fail(
+        "v2: header declares " + std::to_string(count) + " tensors but " +
+        std::to_string(framed.frames.size() - 1) + " frames follow");
+  }
+  for (size_t i = 1; i < framed.frames.size(); ++i) {
+    WireReader record(framed.frames[i]);
+    IoResult entry = ParseTensorRecord(record, i - 1, out);
+    if (entry.ok && !record.AtEnd()) {
+      entry = IoResult::Fail(EntryLabel(i - 1, "") +
+                             ": trailing bytes inside the tensor frame");
+    }
+    if (!entry.ok) {
+      entry.error = "v2 " + entry.error;
+      return entry;
+    }
+  }
+  return IoResult::Ok();
+}
+
+/// All-or-nothing application: every requested parameter is verified
+/// (present, shape match) before any tensor is written, so a failed load
+/// can never leave a half-loaded model.
+IoResult ApplyEntries(
+    const EntryMap& entries,
+    const std::vector<std::pair<std::string, Tensor>>& named_params) {
+  for (const auto& [name, t] : named_params) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      return IoResult::Fail("missing entry '" + name + "'");
+    }
+    if (it->second.shape != t.shape()) {
+      return IoResult::Fail("shape mismatch for '" + name + "'");
+    }
+  }
+  for (const auto& [name, t] : named_params) {
+    const_cast<Tensor&>(t).data() = entries.at(name).data;
+  }
+  return IoResult::Ok();
+}
+
+void AppendTensorRecord(const std::string& name, const Tensor& t,
+                        std::string* out) {
+  common::AppendU32(out, static_cast<uint32_t>(name.size()));
+  out->append(name);
+  common::AppendU32(out, static_cast<uint32_t>(t.shape().size()));
+  for (int64_t d : t.shape()) {
+    common::AppendU32(out, static_cast<uint32_t>(d));
+  }
+  common::AppendF32Array(out, t.data().data(), t.data().size());
 }
 
 }  // namespace
 
+common::IoResult SaveParametersStatus(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params) {
+  common::FramedFileWriter writer(kCheckpointMagicV2);
+  std::string header;
+  common::AppendU32(&header, 2);  // format version
+  common::AppendU32(&header, static_cast<uint32_t>(named_params.size()));
+  writer.AddFrame(header);
+  std::string record;
+  for (const auto& [name, t] : named_params) {
+    record.clear();
+    AppendTensorRecord(name, t, &record);
+    writer.AddFrame(record);
+  }
+  return writer.Commit(path);
+}
+
+common::IoResult LoadParametersStatus(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params) {
+  std::string bytes;
+  IoResult read = common::ReadFileAll(path, &bytes);
+  if (!read) return read;
+  WireReader sniff(bytes);
+  uint32_t magic = 0;
+  if (!sniff.ReadU32(&magic)) {
+    return IoResult::Fail("'" + path + "': shorter than a checkpoint magic");
+  }
+  EntryMap entries;
+  IoResult parsed;
+  if (magic == kCheckpointMagicV1) {
+    parsed = ParseV1(bytes, &entries);
+  } else if (magic == kCheckpointMagicV2) {
+    parsed = ParseV2(bytes, &entries);
+  } else {
+    parsed = IoResult::Fail("unrecognized checkpoint magic");
+  }
+  if (!parsed) {
+    parsed.error = "'" + path + "': " + parsed.error;
+    return parsed;
+  }
+  IoResult applied = ApplyEntries(entries, named_params);
+  if (!applied) {
+    applied.error = "'" + path + "': " + applied.error;
+  }
+  return applied;
+}
+
+common::IoResult SaveParametersV1(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params) {
+  std::string bytes;
+  common::AppendU32(&bytes, kCheckpointMagicV1);
+  common::AppendU32(&bytes, static_cast<uint32_t>(named_params.size()));
+  for (const auto& [name, t] : named_params) {
+    AppendTensorRecord(name, t, &bytes);
+  }
+  return common::WriteFileAtomic(path, bytes);
+}
+
 bool SaveParameters(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& named_params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  WriteU32(out, kMagic);
-  WriteU32(out, static_cast<uint32_t>(named_params.size()));
-  for (const auto& [name, t] : named_params) {
-    WriteString(out, name);
-    WriteU32(out, static_cast<uint32_t>(t.shape().size()));
-    for (int64_t d : t.shape()) WriteU32(out, static_cast<uint32_t>(d));
-    out.write(reinterpret_cast<const char*>(t.data().data()),
-              static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  const common::IoResult result = SaveParametersStatus(path, named_params);
+  if (!result) {
+    std::fprintf(stderr, "SaveParameters: %s\n", result.error.c_str());
   }
-  return out.good();
+  return result.ok;
 }
 
 bool LoadParameters(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& named_params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  uint32_t magic = 0, count = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic) return false;
-  if (!ReadU32(in, &count)) return false;
-  std::map<std::string, std::pair<std::vector<int64_t>, std::vector<float>>>
-      entries;
-  for (uint32_t i = 0; i < count; ++i) {
-    std::string name;
-    if (!ReadString(in, &name)) return false;
-    uint32_t rank = 0;
-    if (!ReadU32(in, &rank)) return false;
-    std::vector<int64_t> shape(rank);
-    int64_t numel = 1;
-    for (uint32_t d = 0; d < rank; ++d) {
-      uint32_t dim = 0;
-      if (!ReadU32(in, &dim)) return false;
-      shape[d] = static_cast<int64_t>(dim);
-      numel *= shape[d];
-    }
-    std::vector<float> data(static_cast<size_t>(numel));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in.good()) return false;
-    entries[name] = {std::move(shape), std::move(data)};
+  const common::IoResult result = LoadParametersStatus(path, named_params);
+  if (!result) {
+    std::fprintf(stderr, "LoadParameters: %s\n", result.error.c_str());
   }
-  for (const auto& [name, t] : named_params) {
-    auto it = entries.find(name);
-    if (it == entries.end()) {
-      std::fprintf(stderr, "LoadParameters: missing entry '%s'\n",
-                   name.c_str());
-      return false;
-    }
-    if (it->second.first != t.shape()) {
-      std::fprintf(stderr, "LoadParameters: shape mismatch for '%s'\n",
-                   name.c_str());
-      return false;
-    }
-    const_cast<Tensor&>(t).data() = it->second.second;
-  }
-  return true;
+  return result.ok;
 }
 
 bool SaveModule(const std::string& path, const Module& module) {
@@ -104,6 +279,16 @@ bool SaveModule(const std::string& path, const Module& module) {
 
 bool LoadModule(const std::string& path, const Module& module) {
   return LoadParameters(path, module.NamedParameters());
+}
+
+common::IoResult SaveModuleStatus(const std::string& path,
+                                  const Module& module) {
+  return SaveParametersStatus(path, module.NamedParameters());
+}
+
+common::IoResult LoadModuleStatus(const std::string& path,
+                                  const Module& module) {
+  return LoadParametersStatus(path, module.NamedParameters());
 }
 
 }  // namespace adamove::nn

@@ -5,20 +5,52 @@
 #include <utility>
 #include <vector>
 
+#include "common/durable_io.h"
 #include "nn/module.h"
 #include "nn/tensor.h"
 
 namespace adamove::nn {
 
-/// Writes named parameters to a simple binary checkpoint (magic, count,
-/// then per-entry name / shape / float payload). Returns false on IO error.
-bool SaveParameters(
+/// Checkpoint formats (DESIGN.md §11). v2 is the only format written today:
+/// a durable_io framed file (magic, then length+CRC frames) whose first
+/// frame is a header {version, tensor count} and every following frame is
+/// one tensor {name, shape, float payload}. Torn writes are impossible on
+/// the write side (atomic replace) and detected on the read side (CRC +
+/// torn-tail scan). v1 — the legacy unchecksummed dump — is still loaded,
+/// read-only, through a hardened bounds-checked parser.
+inline constexpr uint32_t kCheckpointMagicV1 = 0xADA30001;
+inline constexpr uint32_t kCheckpointMagicV2 = 0xADA30002;
+
+/// Writes named parameters as a v2 checkpoint via durable_io's atomic
+/// commit: the destination either keeps its previous content or holds the
+/// complete new checkpoint — never a torn mix.
+common::IoResult SaveParametersStatus(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& named_params);
 
 /// Loads a checkpoint into an existing parameter list: every entry in
-/// `named_params` must be present in the file with a matching shape.
-/// Returns false on IO error, missing entry, or shape mismatch.
+/// `named_params` must be present in the file with a matching shape. The
+/// format is sniffed from the leading magic (v2 framed, or legacy v1).
+/// All reads are strictly bounds-checked — corrupt count/length/shape
+/// fields fail with an error naming the offending entry instead of driving
+/// allocations. No tensor is mutated unless the whole file parses and
+/// every entry matches: a failed load never leaves a half-loaded model.
+common::IoResult LoadParametersStatus(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params);
+
+/// Legacy v1 writer, kept only so migration tests can produce v1 files and
+/// prove the v1 -> load -> v2 save path preserves the model bit-for-bit.
+/// Production code writes v2 (SaveParametersStatus).
+common::IoResult SaveParametersV1(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params);
+
+/// Bool-returning wrappers (log the structured error to stderr) — the
+/// original API surface, preserved for existing call sites.
+bool SaveParameters(
+    const std::string& path,
+    const std::vector<std::pair<std::string, Tensor>>& named_params);
 bool LoadParameters(
     const std::string& path,
     const std::vector<std::pair<std::string, Tensor>>& named_params);
@@ -26,6 +58,10 @@ bool LoadParameters(
 /// Convenience wrappers over Module::NamedParameters().
 bool SaveModule(const std::string& path, const Module& module);
 bool LoadModule(const std::string& path, const Module& module);
+common::IoResult SaveModuleStatus(const std::string& path,
+                                  const Module& module);
+common::IoResult LoadModuleStatus(const std::string& path,
+                                  const Module& module);
 
 }  // namespace adamove::nn
 

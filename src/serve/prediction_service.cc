@@ -97,6 +97,7 @@ bool PredictionService::TrySubmit(data::Sample sample,
 }
 
 void PredictionService::Shutdown() {
+  if (warm_thread_.joinable()) warm_thread_.join();
   {
     common::MutexLock lock(mu_);
     if (stop_ && workers_.empty()) return;
@@ -106,6 +107,29 @@ void PredictionService::Shutdown() {
   not_full_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
+}
+
+void PredictionService::WarmStartAsync(const std::string& path) {
+  ADAMOVE_CHECK(!warm_thread_.joinable());  // one warm start at a time
+  store_.BeginWarmStart();
+  warm_thread_ = std::thread([this, path] {
+    SnapshotStats stats;
+    common::IoResult result = store_.Restore(path, &stats);
+    // Gate down only after the restore finished (or failed): requests for
+    // not-yet-restored users must keep falling back until the last frame
+    // has been adopted, or fresh state could race the snapshot's.
+    store_.EndWarmStart();
+    common::MutexLock lock(warm_mu_);
+    warm_result_ = std::move(result);
+    warm_stats_ = stats;
+  });
+}
+
+common::IoResult PredictionService::WaitWarmStart(SnapshotStats* stats) {
+  if (warm_thread_.joinable()) warm_thread_.join();
+  common::MutexLock lock(warm_mu_);
+  if (stats != nullptr) *stats = warm_stats_;
+  return warm_result_;
 }
 
 void PredictionService::WorkerLoop(int worker_index) {
@@ -175,6 +199,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
   // deadline already expired or the batch degraded, in which case the
   // base-model fallback answers immediately.
   const auto deadline_budget = std::chrono::microseconds(config_.deadline_us);
+  std::vector<char> warm_fallback(batch.size(), 0);
   for (size_t i = 0; i < batch.size(); ++i) {
     common::Timer timer;
     Prediction& p = out[i];
@@ -192,18 +217,21 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
       p.outcome = status == AdaptStatus::kAdapted && encode_degraded[i] == 0
                       ? RequestOutcome::kOk
                       : RequestOutcome::kDegraded;
+      if (status == AdaptStatus::kWarmStartPending) warm_fallback[i] = 1;
     }
     p.adapt_us = timer.ElapsedMs() * 1000.0;
   }
 
   {
     common::MutexLock lock(stats.mu);
-    for (const auto& p : out) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      const Prediction& p = out[i];
       stats.stats.queue_us.Record(p.queue_us);
       stats.stats.encode_us.Record(p.encode_us);
       stats.stats.adapt_us.Record(p.adapt_us);
       if (p.outcome == RequestOutcome::kDegraded) {
         stats.stats.degraded_requests += 1;
+        if (warm_fallback[i] != 0) stats.stats.warm_start_fallbacks += 1;
       } else if (p.outcome == RequestOutcome::kTimedOut) {
         stats.stats.timeouts += 1;
       }
@@ -226,6 +254,7 @@ ServiceStats PredictionService::Stats() const {
     merged.completed += ws->stats.completed;
     merged.batches += ws->stats.batches;
     merged.degraded_requests += ws->stats.degraded_requests;
+    merged.warm_start_fallbacks += ws->stats.warm_start_fallbacks;
     merged.timeouts += ws->stats.timeouts;
   }
   merged.shed_requests = shed_requests_.load(std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -84,6 +85,10 @@ struct ServiceStats {
   uint64_t batches = 0;
   /// Delivered through a degradation path (RequestOutcome::kDegraded).
   uint64_t degraded_requests = 0;
+  /// Subset of degraded_requests: answered by the frozen base model because
+  /// a warm start was in flight and the user's durable state had not been
+  /// restored yet (AdaptStatus::kWarmStartPending).
+  uint64_t warm_start_fallbacks = 0;
   /// Delivered past their deadline via the fallback (kTimedOut).
   uint64_t timeouts = 0;
   /// Rejected at admission (kShed) — never received scores.
@@ -143,9 +148,24 @@ class PredictionService {
   /// the rejection is counted in ServiceStats::shed_requests.
   bool TrySubmit(data::Sample sample, std::future<Prediction>* out);
 
-  /// Stops accepting requests, drains the queue, joins workers. Idempotent;
-  /// also run by the destructor.
+  /// Stops accepting requests, drains the queue, joins workers (including
+  /// an in-flight warm-start restore). Idempotent; also run by the
+  /// destructor.
   void Shutdown();
+
+  /// Begins restoring serving state from a snapshot at `path` in a
+  /// background thread while the service keeps answering: users whose
+  /// frames have already landed get the adapted path, everyone else is
+  /// served the frozen base model as kDegraded (counted in
+  /// warm_start_fallbacks) until their state arrives — the degradation
+  /// ladder's warm-start rung (DESIGN.md §11). At most one warm start may
+  /// be in flight.
+  void WarmStartAsync(const std::string& path);
+
+  /// Blocks until the warm start launched by WarmStartAsync finishes and
+  /// returns its IoResult (restore accounting via `stats`). Ok with no
+  /// warm start in flight.
+  common::IoResult WaitWarmStart(SnapshotStats* stats = nullptr);
 
   /// Per-stage latency distributions merged across workers. Safe to call
   /// concurrently with serving (workers guard their stats with a mutex).
@@ -186,6 +206,12 @@ class PredictionService {
 
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::vector<std::thread> workers_;
+
+  /// Warm-start restore thread plus its outcome (read by WaitWarmStart).
+  std::thread warm_thread_;
+  mutable common::Mutex warm_mu_;
+  common::IoResult warm_result_ ADAMOVE_GUARDED_BY(warm_mu_);
+  SnapshotStats warm_stats_ ADAMOVE_GUARDED_BY(warm_mu_);
 };
 
 }  // namespace adamove::serve

@@ -1,6 +1,8 @@
 #include "serve/session_store.h"
 
 #include <functional>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
@@ -82,6 +84,23 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
     if (status != nullptr) *status = AdaptStatus::kStateUnavailable;
     return PredictFrozen(model, reps);
   }
+  // Warm-start gate: while a Restore is in flight, a user whose durable
+  // state has not landed yet is served the frozen base model and writes
+  // nothing — growing fresh state here would be clobbered by the user's
+  // snapshot frame. Users already restored fall through to the normal
+  // adapted path (progressive recovery).
+  if (warming_.load(std::memory_order_acquire)) {
+    Shard& gate_shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
+    bool resident;
+    {
+      common::MutexLock lock(gate_shard.mu);
+      resident = gate_shard.adapter.HasUser(sample.user);
+    }
+    if (!resident) {
+      if (status != nullptr) *status = AdaptStatus::kWarmStartPending;
+      return PredictFrozen(model, reps);
+    }
+  }
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
   common::MutexLock lock(shard.mu);
   TouchLocked(shard, sample.user);
@@ -130,6 +149,154 @@ size_t SessionStore::PatternCount(int64_t user) const {
   const Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
   common::MutexLock lock(shard.mu);
   return shard.adapter.PatternCount(user);
+}
+
+common::IoResult SessionStore::Snapshot(const std::string& path,
+                                        SnapshotStats* stats) const {
+  // Export one shard at a time under its own mutex: serving on every other
+  // shard proceeds untouched, and each user frame is a state the shard
+  // really held at some instant of this pass (crash-consistent per user).
+  std::vector<std::string> frames;
+  size_t users = 0;
+  size_t patterns = 0;
+  uint32_t pattern_dim = 0;
+  for (const auto& shard : shards_) {
+    std::vector<core::OnlineAdapter::UserSnapshot> exported;
+    {
+      common::MutexLock lock(shard->mu);
+      for (int64_t user : shard->adapter.Users()) {
+        exported.push_back(shard->adapter.ExportUser(user));
+      }
+    }
+    // Encode outside the lock — byte work doesn't need the shard.
+    for (const auto& snap : exported) {
+      if (snap.locations.empty()) continue;
+      std::string frame;
+      core::OnlineAdapter::EncodeUser(snap, &frame);
+      frames.push_back(std::move(frame));
+      ++users;
+      for (const auto& [location, entries] : snap.locations) {
+        patterns += entries.size();
+        if (pattern_dim == 0 && !entries.empty()) {
+          pattern_dim =
+              static_cast<uint32_t>(entries.front().pattern.size());
+        }
+      }
+    }
+  }
+  common::FramedFileWriter writer(kSnapshotMagic);
+  std::string header;
+  common::AppendU32(&header, 1);  // snapshot format version
+  common::AppendU32(&header, pattern_dim);
+  common::AppendU64(&header, static_cast<uint64_t>(users));
+  writer.AddFrame(header);
+  for (const std::string& frame : frames) writer.AddFrame(frame);
+  if (stats != nullptr) {
+    stats->users = users;
+    stats->patterns = patterns;
+    stats->bytes = writer.byte_size();
+    stats->torn_tail = false;
+  }
+  return writer.Commit(path);
+}
+
+common::IoResult SessionStore::Restore(const std::string& path,
+                                       SnapshotStats* stats) {
+  common::FramedRead framed;
+  common::IoResult read =
+      common::ReadFramedFile(path, kSnapshotMagic, &framed);
+  // On a CRC/decode error mid-file the verified prefix in framed.frames is
+  // still imported below — recovery salvages every intact user — and the
+  // structured error is returned so the caller knows the file was cut short
+  // by corruption rather than a torn tail.
+  if (framed.frames.empty()) {
+    if (stats != nullptr) *stats = SnapshotStats{};
+    if (!read) return read;
+    return common::IoResult::Fail(path + ": snapshot has no header frame");
+  }
+  common::WireReader header(framed.frames[0]);
+  uint32_t version = 0;
+  uint32_t pattern_dim = 0;
+  uint64_t declared_users = 0;
+  if (!header.ReadU32(&version) || !header.ReadU32(&pattern_dim) ||
+      !header.ReadU64(&declared_users) || !header.AtEnd()) {
+    if (stats != nullptr) *stats = SnapshotStats{};
+    return common::IoResult::Fail(path + ": malformed snapshot header");
+  }
+  if (version != 1) {
+    if (stats != nullptr) *stats = SnapshotStats{};
+    return common::IoResult::Fail(
+        path + ": unsupported snapshot version " + std::to_string(version));
+  }
+  size_t users = 0;
+  size_t patterns = 0;
+  uint64_t bytes = 0;
+  for (size_t f = 1; f < framed.frames.size(); ++f) {
+    core::OnlineAdapter::UserSnapshot snap;
+    const common::IoResult decoded =
+        core::OnlineAdapter::DecodeUser(framed.frames[f], &snap);
+    if (!decoded) {
+      if (stats != nullptr) {
+        stats->users = users;
+        stats->patterns = patterns;
+        stats->bytes = bytes;
+        stats->torn_tail = framed.torn_tail;
+      }
+      return common::IoResult::Fail(path + ": frame " + std::to_string(f) +
+                                    ": " + decoded.error);
+    }
+    // Every pattern must match the header's dimension: a mixed-dim user
+    // would abort in the cosine kernel at query time, so reject it at the
+    // door instead (prior imports stand — each user is all-or-nothing).
+    size_t user_patterns = 0;
+    bool dim_ok = true;
+    for (const auto& [location, entries] : snap.locations) {
+      for (const auto& entry : entries) {
+        if (entry.pattern.size() != pattern_dim) dim_ok = false;
+        ++user_patterns;
+      }
+    }
+    if (!dim_ok) {
+      if (stats != nullptr) {
+        stats->users = users;
+        stats->patterns = patterns;
+        stats->bytes = bytes;
+        stats->torn_tail = framed.torn_tail;
+      }
+      return common::IoResult::Fail(
+          path + ": frame " + std::to_string(f) + ": user " +
+          std::to_string(snap.user) + " has a pattern whose dimension " +
+          "does not match the snapshot header");
+    }
+    if (snap.locations.empty()) continue;  // nothing to install
+    const int64_t user = snap.user;
+    bytes += framed.frames[f].size();
+    patterns += user_patterns;
+    ++users;
+    // Lock only this user's shard: restore runs frame by frame while the
+    // other shards keep serving. TouchLocked keeps the residency cap honest
+    // even when the snapshot holds more users than the cap allows.
+    Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+    common::MutexLock lock(shard.mu);
+    TouchLocked(shard, user);
+    shard.adapter.Adopt(std::move(snap));
+  }
+  if (stats != nullptr) {
+    stats->users = users;
+    stats->patterns = patterns;
+    stats->bytes = bytes;
+    stats->torn_tail = framed.torn_tail;
+  }
+  // Only a file that read back clean end-to-end owes us the declared user
+  // count; a torn or corrupt file already reports its own condition.
+  if (read && !framed.torn_tail &&
+      framed.frames.size() - 1 != declared_users) {
+    return common::IoResult::Fail(
+        path + ": header declares " + std::to_string(declared_users) +
+        " users but the file holds " +
+        std::to_string(framed.frames.size() - 1) + " user frames");
+  }
+  return read;
 }
 
 }  // namespace adamove::serve

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/durable_io.h"
 #include "common/mutex.h"
 #include "core/config.h"
 #include "core/model.h"
@@ -41,6 +42,29 @@ enum class AdaptStatus {
   /// ingested; the prediction still used the user's *existing* (stale)
   /// knowledge base.
   kStaleState,
+  /// Warm start in progress and this user's durable state has not been
+  /// restored yet: the base model answered, and no fresh state was created
+  /// (a fresh knowledge base would be clobbered — or worse, merged — when
+  /// the user's snapshot frame arrives).
+  kWarmStartPending,
+};
+
+/// On-disk serving snapshots: a durable_io framed file (DESIGN.md §11).
+/// Frame 0 is a header {format version, pattern dim, user count}; every
+/// further frame is one user's knowledge base in OnlineAdapter's
+/// deterministic wire encoding.
+inline constexpr uint32_t kSnapshotMagic = 0xADA50001;
+
+/// Accounting of one Snapshot or Restore pass.
+struct SnapshotStats {
+  size_t users = 0;
+  size_t patterns = 0;
+  /// Snapshot: exact file size written. Restore: bytes of user payload
+  /// decoded.
+  uint64_t bytes = 0;
+  /// Restore only: the file ended mid-frame (crash-truncated); everything
+  /// before the tear was imported.
+  bool torn_tail = false;
 };
 
 /// Sharded per-user adapter state for the serving path. Each shard owns one
@@ -86,6 +110,40 @@ class SessionStore {
   /// Drops one user's state wherever it lives (no-op if absent).
   void Forget(int64_t user);
 
+  /// Persists every resident user's knowledge base to `path` via
+  /// durable_io's atomic commit. Shards are exported one at a time under
+  /// their own mutex — serving on other shards never stalls, and the file
+  /// is crash-consistent per shard (each user frame is a state that shard
+  /// actually held at some instant during the pass). Subject to the
+  /// io.snapshot_write / io.snapshot_fsync fault points: a failed commit
+  /// leaves the previous durable snapshot untouched.
+  common::IoResult Snapshot(const std::string& path,
+                            SnapshotStats* stats = nullptr) const;
+
+  /// Restores user state from a snapshot, frame by frame, locking only the
+  /// target user's shard per frame — safe to run concurrently with serving
+  /// (the warm-start gate keeps not-yet-restored users off the adapted
+  /// path). Each restored user replaces any in-memory state and touches the
+  /// LRU, so the residency cap holds during restore too. A torn tail
+  /// imports the verified prefix and reports ok (stats->torn_tail); CRC or
+  /// decode corruption imports the verified prefix and returns the
+  /// structured error — never UB, never a half-imported user.
+  common::IoResult Restore(const std::string& path,
+                           SnapshotStats* stats = nullptr);
+
+  /// Warm-start gate. While active, ObserveAndPredictEncoded serves users
+  /// without resident state the frozen base model (AdaptStatus::
+  /// kWarmStartPending) instead of growing fresh state that an in-flight
+  /// Restore would clobber. Users whose frames have landed get the adapted
+  /// path immediately — recovery is progressive, not all-or-nothing.
+  void BeginWarmStart() {
+    warming_.store(true, std::memory_order_release);
+  }
+  void EndWarmStart() { warming_.store(false, std::memory_order_release); }
+  bool warm_starting() const {
+    return warming_.load(std::memory_order_acquire);
+  }
+
   /// Distinct resident users across all shards.
   size_t UserCount() const;
 
@@ -128,6 +186,9 @@ class SessionStore {
   size_t per_shard_cap_ = 0;  // 0 = unbounded
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> evictions_{0};
+  /// Warm-start gate (see BeginWarmStart); read on the hot path with one
+  /// relaxed-ish atomic load, so normal serving pays nothing for it.
+  std::atomic<bool> warming_{false};
 };
 
 }  // namespace adamove::serve

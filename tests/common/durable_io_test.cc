@@ -1,0 +1,243 @@
+#include "common/durable_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+
+namespace adamove::common {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class DurableIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+
+  static void ArmAlways(const char* point) {
+    FaultSpec spec;
+    spec.probability = 1.0;
+    FaultRegistry::Instance().Arm(point, spec);
+  }
+};
+
+TEST_F(DurableIoTest, Crc32cMatchesKnownVectors) {
+  // RFC 3720 test vectors for CRC-32C (Castagnoli).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+}
+
+TEST_F(DurableIoTest, Crc32cExtendIsIncremental) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  // Same bytes fed at arbitrary split points must agree with one pass.
+  for (size_t cut : {size_t{1}, size_t{7}, data.size() - 1}) {
+    uint32_t crc = ExtendCrc32c(0, data.data(), cut);
+    crc = ExtendCrc32c(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, whole) << "cut " << cut;
+    EXPECT_NE(Crc32c(data.data(), cut), whole) << "cut " << cut;
+  }
+}
+
+TEST_F(DurableIoTest, MaskUnmaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);  // stored form differs from raw CRC
+  }
+}
+
+TEST_F(DurableIoTest, WireRoundTripAndBoundsChecks) {
+  std::string bytes;
+  AppendU32(&bytes, 0xDEADBEEFu);
+  AppendU64(&bytes, 0x0123456789ABCDEFull);
+  const float floats[3] = {1.5f, -2.25f, 0.0f};
+  AppendF32Array(&bytes, floats, 3);
+
+  WireReader reader(bytes);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::vector<float> back;
+  ASSERT_TRUE(reader.ReadU32(&u32));
+  ASSERT_TRUE(reader.ReadU64(&u64));
+  ASSERT_TRUE(reader.ReadF32Array(3, &back));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(back, std::vector<float>({1.5f, -2.25f, 0.0f}));
+  EXPECT_TRUE(reader.AtEnd());
+
+  // Past the end: every Read* refuses and consumes nothing.
+  EXPECT_FALSE(reader.ReadU32(&u32));
+  WireReader short_reader(std::string_view(bytes).substr(0, 3));
+  EXPECT_FALSE(short_reader.ReadU32(&u32));
+  EXPECT_EQ(short_reader.position(), 0u);
+  // Hostile count: the check precedes the allocation.
+  WireReader hostile(bytes);
+  std::vector<float> sink;
+  EXPECT_FALSE(hostile.ReadF32Array(1u << 29, &sink));
+}
+
+TEST_F(DurableIoTest, WriteFileAtomicRoundTripsAndLeavesNoTemp) {
+  const std::string path = TempPath("adamove_durable_atomic.bin");
+  const std::string payload = "hello\0durable world";
+  ASSERT_TRUE(WriteFileAtomic(path, payload));
+  std::string back;
+  ASSERT_TRUE(ReadFileAll(path, &back));
+  EXPECT_EQ(back, payload);
+  EXPECT_FALSE(std::filesystem::exists(TempPathFor(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableIoTest, ReadFileAllFailsOnMissingFile) {
+  std::string out;
+  IoResult r = ReadFileAll(TempPath("adamove_durable_nonexistent.bin"), &out);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("adamove_durable_nonexistent"), std::string::npos);
+}
+
+TEST_F(DurableIoTest, FramedRoundTrip) {
+  constexpr uint32_t kMagic = 0xABCD1234;
+  FramedFileWriter writer(kMagic);
+  writer.AddFrame("first");
+  writer.AddFrame("");  // empty frames are legal
+  writer.AddFrame(std::string(1000, 'x'));
+  EXPECT_EQ(writer.frame_count(), 3u);
+  const std::string path = TempPath("adamove_durable_framed.bin");
+  ASSERT_TRUE(writer.Commit(path));
+  EXPECT_EQ(std::filesystem::file_size(path), writer.byte_size());
+
+  FramedRead back;
+  ASSERT_TRUE(ReadFramedFile(path, kMagic, &back));
+  EXPECT_FALSE(back.torn_tail);
+  ASSERT_EQ(back.frames.size(), 3u);
+  EXPECT_EQ(back.frames[0], "first");
+  EXPECT_EQ(back.frames[1], "");
+  EXPECT_EQ(back.frames[2], std::string(1000, 'x'));
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableIoTest, FramedRejectsWrongMagic) {
+  FramedFileWriter writer(0x11111111);
+  writer.AddFrame("payload");
+  const std::string path = TempPath("adamove_durable_magic.bin");
+  ASSERT_TRUE(writer.Commit(path));
+  FramedRead back;
+  IoResult r = ReadFramedFile(path, 0x22222222, &back);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableIoTest, TornTailYieldsVerifiedPrefix) {
+  constexpr uint32_t kMagic = 0xABCD1234;
+  FramedFileWriter writer(kMagic);
+  writer.AddFrame("frame zero");
+  writer.AddFrame("frame one");
+  const std::string path = TempPath("adamove_durable_torn.bin");
+  ASSERT_TRUE(writer.Commit(path));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileAll(path, &bytes));
+  std::remove(path.c_str());
+
+  // Every proper prefix must parse as ok — never an error, never a frame
+  // that wasn't fully written. This is exactly the state space a crash
+  // between write() and fsync() can leave behind. Cuts landing precisely on
+  // a frame boundary look like a clean (shorter) file; all others are a
+  // detected torn tail.
+  const size_t frame0_end = 4 + 8 + std::string("frame zero").size();
+  for (size_t cut = 4; cut < bytes.size(); ++cut) {
+    FramedRead partial;
+    IoResult r = ParseFramedBytes(
+        std::string_view(bytes).substr(0, cut), kMagic, &partial);
+    ASSERT_TRUE(r) << "cut " << cut << ": " << r.error;
+    const bool on_boundary = cut == 4 || cut == frame0_end;
+    EXPECT_EQ(partial.torn_tail, !on_boundary) << "cut " << cut;
+    // The verified prefix only ever holds complete, intact frames.
+    EXPECT_EQ(partial.frames.size(), cut >= frame0_end ? 1u : 0u)
+        << "cut " << cut;
+    if (!partial.frames.empty()) {
+      EXPECT_EQ(partial.frames[0], "frame zero");
+    }
+  }
+}
+
+TEST_F(DurableIoTest, CrcMismatchNamesFrameAndKeepsPrefix) {
+  constexpr uint32_t kMagic = 0xABCD1234;
+  FramedFileWriter writer(kMagic);
+  writer.AddFrame("frame zero");
+  writer.AddFrame("frame one");
+  const std::string path = TempPath("adamove_durable_flip.bin");
+  ASSERT_TRUE(writer.Commit(path));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileAll(path, &bytes));
+  std::remove(path.c_str());
+
+  // Flip one payload bit in the second frame: magic(4) + frame0 header(8) +
+  // payload(10) + frame1 header(8) puts frame 1's payload at offset 30.
+  bytes[30] = static_cast<char>(bytes[30] ^ 0x01);
+  FramedRead damaged;
+  IoResult r = ParseFramedBytes(bytes, kMagic, &damaged);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("crc32c"), std::string::npos);
+  EXPECT_NE(r.error.find("frame 1"), std::string::npos);
+  // The intact frame before the damage is still delivered for salvage.
+  ASSERT_EQ(damaged.frames.size(), 1u);
+  EXPECT_EQ(damaged.frames[0], "frame zero");
+}
+
+TEST_F(DurableIoTest, OversizedLengthFieldIsRejectedNotAllocated) {
+  std::string bytes;
+  AppendU32(&bytes, 0xABCD1234u);   // magic
+  AppendU32(&bytes, 0x7FFFFFFFu);   // hostile 2 GiB length
+  AppendU32(&bytes, 0u);            // bogus crc
+  FramedRead out;
+  IoResult r = ParseFramedBytes(bytes, 0xABCD1234u, &out);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("frame cap"), std::string::npos);
+}
+
+TEST_F(DurableIoTest, WriteFaultLeavesPreviousFileIntact) {
+  const std::string path = TempPath("adamove_durable_wfault.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "generation one"));
+
+  for (const char* point : {"io.snapshot_write", "io.snapshot_fsync"}) {
+    ArmAlways(point);
+    IoResult r = WriteFileAtomic(path, "generation two");
+    FaultRegistry::Instance().DisarmAll();
+    EXPECT_FALSE(r) << point;
+    EXPECT_NE(r.error.find(".tmp"), std::string::npos) << r.error;
+    // The previous durable generation survives the failed commit, and the
+    // aborted temp file is cleaned up.
+    std::string back;
+    ASSERT_TRUE(ReadFileAll(path, &back)) << point;
+    EXPECT_EQ(back, "generation one") << point;
+    EXPECT_FALSE(std::filesystem::exists(TempPathFor(path))) << point;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableIoTest, ReadFaultFailsCleanly) {
+  const std::string path = TempPath("adamove_durable_rfault.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "payload"));
+  ArmAlways("io.snapshot_read");
+  std::string out;
+  IoResult r = ReadFileAll(path, &out);
+  FaultRegistry::Instance().DisarmAll();
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("io.snapshot_read"), std::string::npos);
+  // Undamaged on disk: the fault models a transient read failure.
+  ASSERT_TRUE(ReadFileAll(path, &out));
+  EXPECT_EQ(out, "payload");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adamove::common

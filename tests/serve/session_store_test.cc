@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -206,6 +209,75 @@ TEST(SessionStoreTest, ConcurrentForgetRacesEvictionUnderCap) {
   for (int64_t u : users) store.Forget(u);
   EXPECT_EQ(store.UserCount(), 0u);
   for (int64_t u : users) EXPECT_EQ(store.PatternCount(u), 0u);
+}
+
+/// Regression: Forget racing an in-flight Restore while the LRU cap evicts.
+/// Restore installs users frame by frame under the shard mutex and touches
+/// the LRU, so three writers now contend for the same shard state: the
+/// restorer (TouchLocked + Adopt), observers (TouchLocked + Observe +
+/// eviction), and forgetters. The hazards are the same iterator-invalidation
+/// family as the Forget/eviction race, plus Adopt resurrecting a user a
+/// concurrent Forget just dropped — afterwards the store must still be
+/// internally consistent and drainable.
+TEST(SessionStoreTest, ConcurrentForgetRacesRestoreUnderCap) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "adamove_store_restore_race.bin")
+          .string();
+  // Snapshot 16 users' state from an unbounded donor store.
+  SessionStoreConfig donor_config;
+  donor_config.num_shards = 2;
+  SessionStore donor(donor_config);
+  std::vector<int64_t> users = UsersOnShard(donor, 0, 16);
+  for (int64_t u : users) {
+    for (int s = 0; s < 4; ++s) {
+      donor.Observe(u, Pattern(static_cast<float>(s)), s % 10, 1000 + s);
+    }
+  }
+  ASSERT_TRUE(donor.Snapshot(path));
+
+  SessionStoreConfig config;
+  config.num_shards = 2;
+  config.max_resident_users = 8;  // cap of 4 per shard => constant eviction
+  SessionStore store(config);
+  // Same hash => same shard layout: every snapshot user lands on shard 0 of
+  // `store` too, maximising contention with the observers/forgetters.
+  constexpr int kObservers = 3;
+  constexpr int kForgetters = 3;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    // The restorer: repeatedly re-imports the snapshot while the other
+    // threads churn — each pass installs users the forgetters are dropping.
+    for (int pass = 0; pass < 6; ++pass) {
+      SnapshotStats stats;
+      ASSERT_TRUE(store.Restore(path, &stats));
+      ASSERT_EQ(stats.users, 16u);
+    }
+  });
+  for (int tid = 0; tid < kObservers; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kIters; ++i) {
+        const int64_t user = users[static_cast<size_t>((tid + i) % 16)];
+        store.Observe(user, Pattern(static_cast<float>(i)), i % 10, 2000 + i);
+      }
+    });
+  }
+  for (int tid = 0; tid < kForgetters; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kIters; ++i) {
+        store.Forget(users[static_cast<size_t>((tid * 5 + i) % 16)]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Consistency after the storm: the cap held throughout, every resident
+  // user answers PatternCount, and the store drains to genuinely empty.
+  EXPECT_LE(store.UserCount(), 8u);
+  for (int64_t u : users) store.Forget(u);
+  EXPECT_EQ(store.UserCount(), 0u);
+  for (int64_t u : users) EXPECT_EQ(store.PatternCount(u), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
