@@ -1,5 +1,7 @@
 #include "bench/bench_common.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 
@@ -95,6 +97,20 @@ int64_t SteadyNowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+uint64_t CurrentRssBytes() {
+  // statm field 2 is resident pages; multiply by the page size. Bench-only
+  // diagnostics, so a parse failure degrades to 0 instead of erroring.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");  // NOLINT(durable-io)
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0, resident_pages = 0;
+  const int matched =
+      std::fscanf(f, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return static_cast<uint64_t>(resident_pages) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
 }
 
 }  // namespace adamove::bench

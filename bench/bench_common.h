@@ -72,6 +72,12 @@ void PrintBenchBanner(const std::string& bench_name, const BenchEnv& env);
 /// NTP adjustment.
 int64_t SteadyNowUs();
 
+/// Resident-set size of this process in bytes (Linux: /proc/self/statm),
+/// 0 when unavailable. Serving and capacity benches report it next to the
+/// latency columns so a throughput win never hides a memory regression
+/// (BENCH_serving.json / BENCH_capacity.json).
+uint64_t CurrentRssBytes();
+
 }  // namespace adamove::bench
 
 #endif  // ADAMOVE_BENCH_BENCH_COMMON_H_

@@ -44,11 +44,16 @@ using namespace adamove;
 namespace {
 
 struct RunReport {
+  int workers = 0;
+  int max_batch = 0;
   double qps = 0;
   serve::LoadGenResult load;
   serve::ServiceStats stats;
   size_t resident_users = 0;
   uint64_t evictions = 0;
+  /// Process RSS right after the run drains — latency wins must not hide
+  /// a memory regression.
+  uint64_t rss_bytes = 0;
 };
 
 RunReport RunOnce(core::AdaptableModel& model,
@@ -63,12 +68,15 @@ RunReport RunOnce(core::AdaptableModel& model,
   svc.max_batch = max_batch;
   serve::PredictionService service(model, store, svc);
   RunReport report;
+  report.workers = workers;
+  report.max_batch = max_batch;
   report.load = serve::RunLoadGen(service, stream, lg);
   service.Shutdown();
   report.stats = service.Stats();
   report.qps = report.load.qps;
   report.resident_users = store.UserCount();
   report.evictions = store.EvictionCount();
+  report.rss_bytes = bench::CurrentRssBytes();
   return report;
 }
 
@@ -178,6 +186,39 @@ DurabilityReport RunDurability(core::AdaptableModel& model,
   return rep;
 }
 
+/// The serving baseline artifact (BENCH_serving.json): one entry per
+/// worker/batch config with throughput, end-to-end tails, and process RSS.
+void WriteServingJson(const char* json_path, size_t requests,
+                      const std::vector<RunReport>& reports) {
+  std::FILE* f = std::fopen(json_path, "w");  // NOLINT(durable-io): bench
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"requests\": %zu,\n", requests);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const RunReport& r = reports[i];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"batch\": %d, \"qps\": %.1f, "
+                 "\"e2e_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}, "
+                 "\"degraded\": %llu, \"rss_mb\": %.1f}%s\n",
+                 r.workers, r.max_batch, r.qps,
+                 r.load.e2e_us.QuantileUs(0.50) / 1000.0,
+                 r.load.e2e_us.QuantileUs(0.95) / 1000.0,
+                 r.load.e2e_us.QuantileUs(0.99) / 1000.0,
+                 static_cast<unsigned long long>(r.stats.degraded_requests +
+                                                 r.stats.timeouts),
+                 static_cast<double>(r.rss_bytes) / (1024.0 * 1024.0),
+                 i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+}
+
 void WriteDurabilityJson(const char* json_path, const DurabilityReport& r) {
   std::FILE* f = std::fopen(json_path, "w");  // NOLINT(durable-io): bench
   if (f == nullptr) {
@@ -269,13 +310,14 @@ int main(int argc, char** argv) {
   common::TablePrinter table(
       {"workers", "batch", "qps", "e2e p50 ms", "e2e p95 ms", "e2e p99 ms",
        "queue p95 ms", "encode p95 ms", "adapt p95 ms", "mean batch",
-       "resident", "evicted", "degraded"});
+       "resident", "evicted", "degraded", "rss MB"});
   struct Config {
     int workers;
     int max_batch;
   };
   const Config configs[] = {{1, 1}, {1, 8}, {2, 8}, {4, 8}};
   double single_qps = 0, quad_qps = 0;
+  std::vector<RunReport> reports;
   for (const Config& c : configs) {
     RunReport r =
         RunOnce(model, stream, c.workers, c.max_batch, lg, cap);
@@ -290,9 +332,14 @@ int main(int argc, char** argv) {
                   std::to_string(r.resident_users),
                   std::to_string(r.evictions),
                   std::to_string(r.stats.degraded_requests +
-                                 r.stats.timeouts)});
+                                 r.stats.timeouts),
+                  common::TablePrinter::Fmt(
+                      static_cast<double>(r.rss_bytes) / (1024.0 * 1024.0),
+                      1)});
+    reports.push_back(std::move(r));
   }
   table.Print();
+  if (report) WriteServingJson("BENCH_serving.json", requests, reports);
   if (single_qps > 0) {
     const unsigned cores = std::thread::hardware_concurrency();
     std::printf("\n4-worker speedup over single worker: %.2fx "

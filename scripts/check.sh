@@ -2,12 +2,14 @@
 # The repo's full verification ladder, in the order a reviewer should trust:
 #
 #   1. tier-1: plain build (-Werror) + the complete ctest suite
-#   2. TSan:   `concurrency` + `persist` labels under -DADAMOVE_SANITIZE=
-#              thread (data races in the serving path / kernels / chaos
-#              suite, and snapshot/restore racing live traffic)
-#   3. ASan+UBSan: `fault` + `persist` labels under -DADAMOVE_SANITIZE=
-#              address (memory errors on the fault-injection, degradation
-#              and checkpoint-parsing paths), then `nn` + `fault` + `persist`
+#   2. TSan:   `concurrency` + `persist` + `shard` labels under
+#              -DADAMOVE_SANITIZE=thread (data races in the serving path /
+#              kernels / chaos suite, snapshot/restore racing live traffic,
+#              and rebalance-while-serving in the shard subsystem)
+#   3. ASan+UBSan: `fault` + `persist` + `shard` labels under
+#              -DADAMOVE_SANITIZE=address (memory errors on the
+#              fault-injection, degradation, checkpoint-parsing and compact
+#              codec paths), then `nn` + `fault` + `persist` + `shard`
 #              under -DADAMOVE_SANITIZE=undefined with
 #              -fno-sanitize-recover=all (any UB aborts the test)
 #   4. static: scripts/lint.sh (custom grep lints + clang-tidy), then the
@@ -30,20 +32,20 @@ cmake -B build -S . -DADAMOVE_WERROR=ON >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure
 
-echo "==> [2/4] TSan: concurrency + persist labeled suites"
+echo "==> [2/4] TSan: concurrency + persist + shard labeled suites"
 cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L 'concurrency|persist' --output-on-failure
+ctest --test-dir build-tsan -L 'concurrency|persist|shard' --output-on-failure
 
-echo "==> [3/4] ASan: fault + persist labeled suites"
+echo "==> [3/4] ASan: fault + persist + shard labeled suites"
 cmake -B build-asan -S . -DADAMOVE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L 'fault|persist' --output-on-failure
+ctest --test-dir build-asan -L 'fault|persist|shard' --output-on-failure
 
-echo "==> [3/4] UBSan: nn + fault + persist labels (-fno-sanitize-recover=all)"
+echo "==> [3/4] UBSan: nn + fault + persist + shard labels (-fno-sanitize-recover=all)"
 cmake -B build-ubsan -S . -DADAMOVE_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "${JOBS}"
-ctest --test-dir build-ubsan -L 'nn|fault|persist' --output-on-failure
+ctest --test-dir build-ubsan -L 'nn|fault|persist|shard' --output-on-failure
 
 echo "==> [4/4] static analysis: lint + thread-safety contracts"
 scripts/lint.sh
@@ -53,7 +55,7 @@ if command -v clang++ >/dev/null 2>&1; then
   cmake --build build-analyze -j "${JOBS}"
   ctest --test-dir build-analyze -R annotations_compile_fail \
     --output-on-failure
-  ctest --test-dir build-analyze -L persist --output-on-failure
+  ctest --test-dir build-analyze -L 'persist|shard' --output-on-failure
 else
   echo "    clang++ not installed — thread-safety analysis build skipped"
   echo "    (annotations are checked only by Clang; lint pass above gates)"

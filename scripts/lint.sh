@@ -27,6 +27,14 @@
 #                      layer exists to prevent. data/ is exempt (exports of
 #                      derivable artifacts), as is anything else carrying a
 #                      NOLINT with a stated reason.
+#        session-store-construction
+#                      direct SessionStore construction in src/ outside
+#                      src/shard. Production session state must be owned by
+#                      a shard group (shard::ShardedService wires the cold
+#                      tier, canonical ingest and per-group stats); a bare
+#                      store silently opts out of capacity management
+#                      (DESIGN.md §12). Tests and bench/ stay exempt — the
+#                      unsharded path is still a legitimate harness subject.
 #        todo-label    TODO without an owner label `TODO(name):` rots.
 #
 #   2. clang-tidy (.clang-tidy profile: bugprone-*, performance-*,
@@ -74,6 +82,13 @@ mapfile -t SRC_NO_DURABLE < <(find src -name '*.cc' -o -name '*.h' |
   grep -vE '^src/(common/durable_io\.(h|cc)|data/)')
 run_lint raw-write 'std::ofstream|\b(std::)?fopen *\(' \
   "${SRC_NO_DURABLE[@]}"
+# SessionStore ownership discipline: only the shard subsystem may construct
+# stores in src/ (the class's own files are excluded along with src/shard).
+mapfile -t SRC_NO_SHARD < <(find src -name '*.cc' -o -name '*.h' |
+  grep -vE '^src/(shard/|serve/session_store\.(h|cc))')
+run_lint session-store-construction \
+  '\bSessionStore[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]|make_unique<[^>]*SessionStore' \
+  "${SRC_NO_SHARD[@]}"
 # todo-label needs a negative lookahead; grep -P is not portable, so
 # emulate it with two passes instead of run_lint.
 todo_hits=$(grep -rnE '\bTODO\b' src 2>/dev/null |

@@ -1,0 +1,94 @@
+#ifndef ADAMOVE_COMMON_ARENA_H_
+#define ADAMOVE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace adamove::common {
+
+/// Slab allocator for byte blobs of mixed sizes — the storage engine of the
+/// shard subsystem's compact per-user state (DESIGN.md §12).
+///
+/// Why not plain heap vectors: a million resident users means a million
+/// small allocations whose malloc headers, size-bin slack and free-list
+/// churn both inflate RSS and fragment it; eviction then returns memory to
+/// the allocator, not to the OS, at unpredictable cost. The arena instead
+/// carves fixed-size slots out of large slabs, one free list per size
+/// class:
+///
+///   * Allocate = pop a free slot (or bump the newest slab)    — O(1)
+///   * Free     = push the slot back onto its class free list  — O(1)
+///   * fragmentation is bounded by the geometric class rounding (<= ~33%
+///     internal waste) plus at most one partially-filled slab per class —
+///     there is no external fragmentation to compact, ever.
+///
+/// Blobs larger than the biggest class (rare: a user whose knowledge base
+/// is near the per-location cap everywhere) fall back to individually
+/// heap-owned blocks, tracked so stats stay exact.
+///
+/// Thread-compatibility: like core::OnlineAdapter, the arena holds no lock
+/// of its own; each shard::CompactStore stripe owns one arena and guards it
+/// with the stripe mutex (ADAMOVE_GUARDED_BY), so locking happens exactly
+/// once per operation at the stripe granularity.
+class SlabArena {
+ public:
+  /// A leased blob. `data` stays valid until Free (slabs are never
+  /// relocated); `cls` is internal bookkeeping callers must hand back
+  /// unchanged.
+  struct Block {
+    char* data = nullptr;
+    uint32_t size = 0;  // requested bytes (<= slot size of the class)
+    int32_t cls = -1;   // size-class index; -1 = oversize heap block
+  };
+
+  struct Stats {
+    uint64_t used_bytes = 0;      // sum of live Block::size
+    uint64_t reserved_bytes = 0;  // slab + oversize bytes held from the OS
+    uint64_t live_blocks = 0;
+    uint64_t allocations = 0;
+    uint64_t frees = 0;
+    uint64_t oversize_blocks = 0;
+  };
+
+  /// `slab_bytes` is the granule requested from the heap per slab; each
+  /// size class fills one slab before asking for the next.
+  explicit SlabArena(size_t slab_bytes = 64 * 1024);
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Leases a block of at least `n` bytes (n > 0).
+  Block Allocate(size_t n);
+
+  /// Returns a block to its free list (O(1)). `block` must have come from
+  /// this arena and not have been freed already.
+  void Free(const Block& block);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Slot size a request of `n` bytes rounds up to (oversize requests
+  /// return n unchanged) — exposed so capacity planning and tests can
+  /// reason about internal waste.
+  size_t SlotSizeFor(size_t n) const;
+
+ private:
+  struct SizeClass {
+    size_t slot_bytes = 0;
+    std::vector<std::unique_ptr<char[]>> slabs;
+    std::vector<char*> free_list;
+    size_t bump_offset = 0;  // within the newest slab
+  };
+
+  size_t slab_bytes_;
+  std::vector<SizeClass> classes_;
+  /// Oversize blocks, keyed by address (exact ownership; O(1) expected).
+  std::unordered_map<const char*, std::unique_ptr<char[]>> oversize_;
+  Stats stats_;
+};
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_ARENA_H_

@@ -74,6 +74,50 @@ void AppendF32Array(std::string* out, const float* data, size_t n) {
   out->append(reinterpret_cast<const char*>(data), n * sizeof(float));
 }
 
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendZigzag(std::string* out, int64_t v) {
+  AppendVarint(out, (static_cast<uint64_t>(v) << 1) ^
+                        static_cast<uint64_t>(v >> 63));
+}
+
+bool WireReader::ReadVarint(uint64_t* v) {
+  uint64_t value = 0;
+  const size_t start = pos_;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= bytes_.size()) {
+      pos_ = start;  // truncated: consume nothing
+      return false;
+    }
+    const auto byte = static_cast<unsigned char>(bytes_[pos_++]);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject a 10th byte carrying bits beyond 64 (over-long encoding).
+      if (shift == 63 && byte > 1) {
+        pos_ = start;
+        return false;
+      }
+      *v = value;
+      return true;
+    }
+  }
+  pos_ = start;  // continuation bit never cleared within 10 bytes
+  return false;
+}
+
+bool WireReader::ReadZigzag(int64_t* v) {
+  uint64_t u = 0;
+  if (!ReadVarint(&u)) return false;
+  *v = static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  return true;
+}
+
 bool WireReader::ReadU32(uint32_t* v) {
   if (remaining() < 4) return false;
   const auto* b =

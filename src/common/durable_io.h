@@ -38,6 +38,12 @@ void AppendU64(std::string* out, uint64_t v);
 /// Raw IEEE-754 float payload (host byte order; this repository's on-disk
 /// formats, like v1 before them, target little-endian hosts).
 void AppendF32Array(std::string* out, const float* data, size_t n);
+/// LEB128 varint (7 bits per byte, high bit = continuation): the compact
+/// integer encoding the shard subsystem's per-user state rides on.
+void AppendVarint(std::string* out, uint64_t v);
+/// Zigzag-mapped varint for signed values (small magnitudes of either sign
+/// stay short — location/timestamp deltas).
+void AppendZigzag(std::string* out, int64_t v);
 
 /// Bounds-checked cursor over untrusted bytes. Every Read* returns false —
 /// consuming nothing — when fewer bytes remain than requested.
@@ -47,6 +53,11 @@ class WireReader {
 
   bool ReadU32(uint32_t* v);
   bool ReadU64(uint64_t* v);
+  /// LEB128 varint; false on truncation or an over-long encoding (> 10
+  /// bytes would overflow uint64 — treated as corruption, nothing consumed).
+  bool ReadVarint(uint64_t* v);
+  /// Zigzag-mapped varint (see AppendZigzag).
+  bool ReadZigzag(int64_t* v);
   /// A view into the buffer (no copy); valid while the buffer lives.
   bool ReadBytes(size_t n, std::string_view* out);
   /// Reads `n` floats. The bounds check precedes the allocation, so a

@@ -87,11 +87,13 @@ std::vector<float> OnlineAdapter::PredictFrozen(
 std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
                                           int64_t user,
                                           const std::vector<float>& query,
-                                          int64_t query_time) const {
+                                          int64_t query_time,
+                                          AdapterStats* stats) const {
   const nn::Linear& classifier = model.classifier();
   const int64_t hidden = classifier.in_features();
   const int64_t num_loc = classifier.out_features();
   const std::vector<float>& weight = classifier.weight().data();
+  int columns_updated = 0;
 
   // Start from the frozen column scores; overwrite adapted columns below.
   std::vector<float> scores = FrozenColumnScores(classifier, query);
@@ -140,9 +142,17 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
       }
       scores[static_cast<size_t>(location)] =
           static_cast<float>(acc / (1.0 + static_cast<double>(keep)));
+      ++columns_updated;
     }
   }
   AddBias(classifier, &scores);
+  if (stats != nullptr) {
+    stats->columns_updated = columns_updated;
+    stats->weight_bytes_touched = static_cast<int64_t>(columns_updated) *
+                                  hidden *
+                                  static_cast<int64_t>(sizeof(float));
+    stats->resident_bytes = static_cast<int64_t>(ResidentBytes(user));
+  }
   return scores;
 }
 
@@ -289,6 +299,33 @@ size_t OnlineAdapter::Forget(int64_t user) {
   }
   users_.erase(it);
   return n;
+}
+
+size_t OnlineAdapter::StateBytes(const UserState& state) {
+  // Fixed per-node overhead standing in for the hash node header plus its
+  // bucket slot — a deterministic proxy, not malloc truth, so the number is
+  // reproducible across allocators and runs.
+  constexpr size_t kMapNodeOverhead = 32;
+  size_t bytes = sizeof(UserState) + kMapNodeOverhead;
+  for (const auto& [location, entries] : state.by_location) {
+    bytes += kMapNodeOverhead + sizeof(location) + sizeof(entries);
+    bytes += entries.capacity() * sizeof(Entry);
+    for (const Entry& entry : entries) {
+      bytes += entry.pattern.capacity() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+size_t OnlineAdapter::ResidentBytes(int64_t user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? 0 : StateBytes(it->second);
+}
+
+size_t OnlineAdapter::ResidentBytes() const {
+  size_t bytes = 0;
+  for (const auto& [user, state] : users_) bytes += StateBytes(state);
+  return bytes;
 }
 
 size_t OnlineAdapter::PatternCount(int64_t user) const {

@@ -14,6 +14,8 @@
 
 namespace adamove::core {
 
+struct AdapterStats;  // core/ptta.h
+
 /// Streaming variant of PTTA for the real-time deployment §III-B sketches:
 /// instead of rebuilding the knowledge base from scratch for every query,
 /// the adapter keeps a *persistent per-user knowledge base* that absorbs
@@ -77,9 +79,14 @@ class OnlineAdapter {
   /// Observe/Forget on *other* instances — the per-shard layout of
   /// serve::SessionStore. Calls on the *same* instance still need external
   /// synchronization against writers.
+  ///
+  /// `stats`, when non-null, reports capacity diagnostics for this call:
+  /// columns_updated / weight_bytes_touched as in TestTimeAdapter, plus
+  /// resident_bytes = this user's dense knowledge-base footprint.
   std::vector<float> Predict(const AdaptableModel& model, int64_t user,
                              const std::vector<float>& query,
-                             int64_t query_time) const;
+                             int64_t query_time,
+                             AdapterStats* stats = nullptr) const;
 
   /// Unadapted scores: `query` against the model's frozen classifier columns
   /// (plus bias) — exactly the scores Predict returns for locations the
@@ -97,6 +104,16 @@ class OnlineAdapter {
 
   /// Stored patterns for a user (across locations); 0 if unknown.
   size_t PatternCount(int64_t user) const;
+
+  /// Heap-byte estimate of one user's resident state (0 if unknown):
+  /// pattern payloads plus container payloads and fixed per-node overheads.
+  /// Deterministic accounting rather than malloc truth — close enough to
+  /// compare the dense representation against the shard subsystem's compact
+  /// tier (AdapterStats::resident_bytes, BENCH_capacity.json).
+  size_t ResidentBytes(int64_t user) const;
+
+  /// ResidentBytes summed over every resident user.
+  size_t ResidentBytes() const;
 
   /// Drops the stored state of one user (no-op for unknown users) — the
   /// eviction hook used by serve::SessionStore's LRU policy. Returns the
@@ -141,6 +158,9 @@ class OnlineAdapter {
     // location -> stored candidate patterns (bounded FIFO).
     std::unordered_map<int64_t, std::vector<Entry>> by_location;
   };
+
+  /// The ResidentBytes accounting for one user's state.
+  static size_t StateBytes(const UserState& state);
 
   /// Per-location candidate cap (FIFO); the top-M by similarity are chosen
   /// from these at query time.

@@ -18,6 +18,13 @@ struct AdapterStats {
   /// only the adjusted columns (columns_updated * H * 4); the materializing
   /// AdjustedWeights() entry point copies the full {H, L} matrix.
   int64_t weight_bytes_touched = 0;
+  /// Resident per-user state behind the call: the streaming OnlineAdapter
+  /// fills it with the queried user's knowledge-base footprint
+  /// (OnlineAdapter::ResidentBytes) — the dense-representation number the
+  /// shard subsystem's compact tier is measured against (DESIGN.md §12).
+  /// The stateless per-sample TestTimeAdapter keeps nothing resident and
+  /// leaves it 0.
+  int64_t resident_bytes = 0;
 };
 
 /// Preference-aware Test-Time Adaptation (Algorithm 1) and its ablation

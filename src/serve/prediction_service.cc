@@ -43,9 +43,19 @@ PredictionService::PredictionService(core::AdaptableModel& model,
 PredictionService::~PredictionService() { Shutdown(); }
 
 std::future<Prediction> PredictionService::Submit(data::Sample sample) {
+  return SubmitInternal(std::move(sample), /*frozen_only=*/false);
+}
+
+std::future<Prediction> PredictionService::SubmitFrozen(data::Sample sample) {
+  return SubmitInternal(std::move(sample), /*frozen_only=*/true);
+}
+
+std::future<Prediction> PredictionService::SubmitInternal(data::Sample sample,
+                                                          bool frozen_only) {
   ADAMOVE_CHECK(!sample.recent.empty());
   Request request;
   request.sample = std::move(sample);
+  request.frozen_only = frozen_only;
   std::future<Prediction> result = request.promise.get_future();
   bool shed = false;
   {
@@ -206,7 +216,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
     const bool deadline_missed =
         config_.deadline_us > 0 &&
         Clock::now() > batch[i].enqueue + deadline_budget;
-    if (deadline_missed || batch_degraded) {
+    if (deadline_missed || batch_degraded || batch[i].frozen_only) {
       p.scores = store_.PredictFrozen(model_, reps[i]);
       p.outcome = deadline_missed ? RequestOutcome::kTimedOut
                                   : RequestOutcome::kDegraded;

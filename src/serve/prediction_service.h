@@ -148,6 +148,15 @@ class PredictionService {
   /// the rejection is counted in ServiceStats::shed_requests.
   bool TrySubmit(data::Sample sample, std::future<Prediction>* out);
 
+  /// Frozen-only admission: the request flows through the normal queue and
+  /// encode stage, but the adapt stage is skipped — the frozen base model
+  /// answers and the request is accounted kDegraded. No per-user state is
+  /// read or written, which is the property the shard layer leans on: a
+  /// user whose state is mid-migration (or a mis-routed request under the
+  /// `serve.router_lookup` fault) gets a valid real-model answer without
+  /// forking state on the wrong shard group (DESIGN.md §12).
+  std::future<Prediction> SubmitFrozen(data::Sample sample);
+
   /// Stops accepting requests, drains the queue, joins workers (including
   /// an in-flight warm-start restore). Idempotent; also run by the
   /// destructor.
@@ -180,7 +189,12 @@ class PredictionService {
     data::Sample sample;
     std::promise<Prediction> promise;
     Clock::time_point enqueue;
+    /// SubmitFrozen admission: skip the adapt stage, answer frozen.
+    bool frozen_only = false;
   };
+
+  std::future<Prediction> SubmitInternal(data::Sample sample,
+                                         bool frozen_only);
 
   /// Per-worker stage histograms; merged on demand by Stats().
   struct WorkerStats {

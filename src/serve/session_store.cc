@@ -1,11 +1,13 @@
 #include "serve/session_store.h"
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/qfloat.h"
 
 namespace adamove::serve {
 
@@ -41,16 +43,50 @@ void SessionStore::TouchLocked(Shard& shard, int64_t user) {
     const int64_t victim = shard.lru.back();
     shard.lru.pop_back();
     shard.lru_pos.erase(victim);
+    // With a cold tier the victim is dehydrated, not lost: its complete
+    // state moves to the compact representation and comes back via
+    // EnsureResidentLocked on the next touch.
+    if (config_.cold_tier != nullptr) {
+      config_.cold_tier->Accept(shard.adapter.ExportUser(victim));
+      dehydrations_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard.adapter.Forget(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+bool SessionStore::EnsureResidentLocked(Shard& shard, int64_t user) {
+  if (config_.cold_tier == nullptr) return true;
+  if (shard.adapter.HasUser(user)) return true;
+  // Simulated hydration failure (cold-tier read error): probed before the
+  // tier is touched, so nothing moves and nothing is lost — the request
+  // degrades to the frozen path and the user's compact state stays intact
+  // for the next attempt.
+  if (common::FaultPoint("core.state_hydrate")) return false;
+  core::OnlineAdapter::UserSnapshot snap;
+  if (config_.cold_tier->Take(user, &snap)) {
+    shard.adapter.Adopt(std::move(snap));
+    hydrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 void SessionStore::Observe(int64_t user, const std::vector<float>& pattern,
                            int64_t next_location, int64_t timestamp) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
   common::MutexLock lock(shard.mu);
+  // A blocked hydration must not mutate state; ingesting into a fresh
+  // knowledge base here would fork the user's history against the compact
+  // copy, so the observation is dropped (the degradation the chaos tests
+  // pin is "stale or frozen, never forked").
+  if (!EnsureResidentLocked(shard, user)) return;
   TouchLocked(shard, user);
+  if (config_.canonicalize_patterns) {
+    std::vector<float> canonical(pattern);
+    common::QfloatCanonicalize(&canonical);
+    shard.adapter.Observe(user, canonical, next_location, timestamp);
+    return;
+  }
   shard.adapter.Observe(user, pattern, next_location, timestamp);
 }
 
@@ -60,7 +96,9 @@ std::vector<float> SessionStore::Predict(const core::AdaptableModel& model,
                                          int64_t query_time) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
   common::MutexLock lock(shard.mu);
-  TouchLocked(shard, user);
+  // Blocked hydration: no LRU touch, no tier change — the adapter simply
+  // has no state for the user and answers with frozen-equivalent scores.
+  if (EnsureResidentLocked(shard, user)) TouchLocked(shard, user);
   return shard.adapter.Predict(model, user, query, query_time);
 }
 
@@ -103,6 +141,13 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
   }
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
   common::MutexLock lock(shard.mu);
+  // Cold-tier hydration failure: same degraded outcome as a session-lookup
+  // fault — the base model answers, and by the hydrate contract no state
+  // (hot, cold, or LRU) has been touched.
+  if (!EnsureResidentLocked(shard, sample.user)) {
+    if (status != nullptr) *status = AdaptStatus::kStateUnavailable;
+    return PredictFrozen(model, reps);
+  }
   TouchLocked(shard, sample.user);
   // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism test
   // depends on bit-identical arithmetic): each prefix representation is a
@@ -113,6 +158,12 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
     for (int64_t k = 0; k + 1 < t; ++k) {
       std::vector<float> pattern(reps.data().begin() + k * hidden,
                                  reps.data().begin() + (k + 1) * hidden);
+      // Canonical ingest projects the stored pattern onto the q8 grid (the
+      // query below stays untouched — it is never stored), making every
+      // later dehydrate→rehydrate cycle of this entry bit-exact.
+      if (config_.canonicalize_patterns) {
+        common::QfloatCanonicalize(&pattern);
+      }
       shard.adapter.Observe(
           sample.user, pattern,
           sample.recent[static_cast<size_t>(k + 1)].location,
@@ -129,11 +180,78 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
 void SessionStore::Forget(int64_t user) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
   common::MutexLock lock(shard.mu);
+  // The cold tier may hold a dehydrated copy even when the hot tier does
+  // not — drop both so "forget" really means gone.
+  if (config_.cold_tier != nullptr) {
+    core::OnlineAdapter::UserSnapshot discard;
+    config_.cold_tier->Take(user, &discard);
+  }
   auto it = shard.lru_pos.find(user);
   if (it == shard.lru_pos.end()) return;
   shard.lru.erase(it->second);
   shard.lru_pos.erase(it);
   shard.adapter.Forget(user);
+}
+
+bool SessionStore::ExtractUser(int64_t user,
+                               core::OnlineAdapter::UserSnapshot* out) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+  common::MutexLock lock(shard.mu);
+  if (shard.adapter.HasUser(user)) {
+    *out = shard.adapter.ExportUser(user);
+    auto it = shard.lru_pos.find(user);
+    if (it != shard.lru_pos.end()) {
+      shard.lru.erase(it->second);
+      shard.lru_pos.erase(it);
+    }
+    shard.adapter.Forget(user);
+    return true;
+  }
+  return config_.cold_tier != nullptr && config_.cold_tier->Take(user, out);
+}
+
+void SessionStore::InjectUser(core::OnlineAdapter::UserSnapshot&& snap) {
+  if (snap.locations.empty()) return;
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(snap.user))];
+  common::MutexLock lock(shard.mu);
+  TouchLocked(shard, snap.user);
+  shard.adapter.Adopt(std::move(snap));
+}
+
+bool SessionStore::EvictToCold(int64_t user) {
+  if (config_.cold_tier == nullptr) return false;
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(user))];
+  common::MutexLock lock(shard.mu);
+  if (!shard.adapter.HasUser(user)) return false;
+  config_.cold_tier->Accept(shard.adapter.ExportUser(user));
+  dehydrations_.fetch_add(1, std::memory_order_relaxed);
+  auto it = shard.lru_pos.find(user);
+  if (it != shard.lru_pos.end()) {
+    shard.lru.erase(it->second);
+    shard.lru_pos.erase(it);
+  }
+  shard.adapter.Forget(user);
+  return true;
+}
+
+std::vector<int64_t> SessionStore::ResidentUsers() const {
+  std::vector<int64_t> users;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mu);
+    const std::vector<int64_t> shard_users = shard->adapter.Users();
+    users.insert(users.end(), shard_users.begin(), shard_users.end());
+  }
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+size_t SessionStore::ResidentBytes() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mu);
+    bytes += shard->adapter.ResidentBytes();
+  }
+  return bytes;
 }
 
 size_t SessionStore::UserCount() const {

@@ -17,6 +17,29 @@
 
 namespace adamove::serve {
 
+/// Second storage tier behind a SessionStore: evicted users are dehydrated
+/// into it instead of dropped, and users absent from the hot tier are
+/// hydrated back out of it on first touch. Implemented by the shard
+/// subsystem's CompactStore (arena-backed compact blobs — DESIGN.md §12);
+/// the interface lives here so serve/ does not depend on shard/.
+///
+/// Concurrency contract: both calls are invoked while the *caller's* shard
+/// mutex is held, so an implementation must use only its own locks and must
+/// never call back into the SessionStore (lock order: shard mutex, then
+/// cold-tier internals — acyclic by construction).
+class ColdTier {
+ public:
+  virtual ~ColdTier() = default;
+
+  /// Removes `user`'s dehydrated state and returns it via `out`; false when
+  /// the tier holds nothing for the user (out untouched).
+  virtual bool Take(int64_t user, core::OnlineAdapter::UserSnapshot* out) = 0;
+
+  /// Accepts a user's complete exported state (replacing any previous
+  /// dehydrated state for that user).
+  virtual void Accept(core::OnlineAdapter::UserSnapshot&& snap) = 0;
+};
+
 struct SessionStoreConfig {
   /// PTTA knowledge-base parameters of every per-shard adapter.
   core::PttaConfig ptta;
@@ -28,6 +51,17 @@ struct SessionStoreConfig {
   /// per shard as ceil(max_resident_users / num_shards) via LRU eviction,
   /// which bounds memory at ~cap · 32 patterns · hidden floats.
   size_t max_resident_users = 0;
+  /// Optional second tier (not owned; must outlive the store). When set,
+  /// LRU eviction dehydrates the victim into it and a miss on the adapted
+  /// path hydrates from it, so the cap bounds the *hot* footprint without
+  /// forgetting anyone. Null = today's drop-on-evict behaviour.
+  ColdTier* cold_tier = nullptr;
+  /// Projects every ingested pattern onto the q8 power-of-two grid
+  /// (common/qfloat.h) before it enters the knowledge base. With this on,
+  /// dehydrating a user compresses patterns ~4x losslessly — the canonical
+  /// floats round-trip bit-identically through the compact tier. Off (the
+  /// default) keeps the legacy bit-exact ingest path.
+  bool canonicalize_patterns = false;
 };
 
 /// How one adapted prediction was actually produced — the degradation
@@ -107,8 +141,31 @@ class SessionStore {
   std::vector<float> PredictFrozen(const core::AdaptableModel& model,
                                    const nn::Tensor& reps) const;
 
-  /// Drops one user's state wherever it lives (no-op if absent).
+  /// Drops one user's state wherever it lives — hot tier and cold tier
+  /// (no-op if absent from both).
   void Forget(int64_t user);
+
+  /// Removes `user`'s complete state from the store — hot tier first, then
+  /// the cold tier — returning it via `out`. False when the user is unknown
+  /// to both tiers (out untouched). The extraction primitive behind shard
+  /// rebalancing: the moved state is re-installed elsewhere via InjectUser.
+  bool ExtractUser(int64_t user, core::OnlineAdapter::UserSnapshot* out);
+
+  /// Installs a complete user state into the hot tier (replacing any
+  /// previous state, touching the LRU). Empty snapshots are dropped.
+  void InjectUser(core::OnlineAdapter::UserSnapshot&& snap);
+
+  /// Force-dehydrates one resident user into the cold tier, exactly as LRU
+  /// eviction would. False when no cold tier is configured or the user is
+  /// not hot-resident. Exposed for the capacity bench and tests.
+  bool EvictToCold(int64_t user);
+
+  /// All hot-resident users across shards, ascending.
+  std::vector<int64_t> ResidentUsers() const;
+
+  /// Dense footprint of all hot-resident state, summed over shards
+  /// (core::OnlineAdapter::ResidentBytes accounting).
+  size_t ResidentBytes() const;
 
   /// Persists every resident user's knowledge base to `path` via
   /// durable_io's atomic commit. Shards are exported one at a time under
@@ -150,9 +207,18 @@ class SessionStore {
   /// Stored patterns for one user (0 if evicted/unknown).
   size_t PatternCount(int64_t user) const;
 
-  /// Users dropped by the LRU cap so far.
+  /// Users dropped by the LRU cap so far (dehydrated, not lost, when a cold
+  /// tier is configured).
   uint64_t EvictionCount() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Users dehydrated into / rehydrated out of the cold tier so far.
+  uint64_t DehydrationCount() const {
+    return dehydrations_.load(std::memory_order_relaxed);
+  }
+  uint64_t HydrationCount() const {
+    return hydrations_.load(std::memory_order_relaxed);
   }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -179,13 +245,27 @@ class SessionStore {
   };
 
   /// Moves `user` to the LRU front, inserting if new; evicts the back of
-  /// the list past the per-shard cap.
+  /// the list past the per-shard cap (dehydrating the victim into the cold
+  /// tier when one is configured).
   void TouchLocked(Shard& shard, int64_t user) ADAMOVE_REQUIRES(shard.mu);
+
+  /// Hydrates `user` from the cold tier when the hot tier misses. Returns
+  /// false only when an armed `core.state_hydrate` fault blocked the
+  /// hydration attempt — by contract the caller must then degrade without
+  /// mutating any state (no LRU touch, no ingest, no tier change). The
+  /// fault is probed *before* the tier is read, so a failed hydration
+  /// leaves both tiers exactly as they were — conservatively, even a
+  /// fresh-user miss degrades while the fault is armed, since telling the
+  /// two apart would itself require reading the tier.
+  bool EnsureResidentLocked(Shard& shard, int64_t user)
+      ADAMOVE_REQUIRES(shard.mu);
 
   SessionStoreConfig config_;
   size_t per_shard_cap_ = 0;  // 0 = unbounded
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dehydrations_{0};
+  std::atomic<uint64_t> hydrations_{0};
   /// Warm-start gate (see BeginWarmStart); read on the hot path with one
   /// relaxed-ish atomic load, so normal serving pays nothing for it.
   std::atomic<bool> warming_{false};

@@ -1,0 +1,205 @@
+#include "shard/compact_state.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/qfloat.h"
+
+namespace adamove::shard {
+
+namespace {
+
+using core::OnlineAdapter;
+
+constexpr uint8_t kModeRawF32 = 0;
+constexpr uint8_t kModeQ8 = 1;
+
+/// Dimension cap mirroring the durable layer's frame-size discipline: no
+/// legitimate encoder hidden state is near this, so a larger on-wire value
+/// is corruption, rejected before any allocation.
+constexpr uint64_t kMaxPatternDim = 1u << 20;
+
+/// True iff (block) decodes back to exactly `x` — the losslessness gate for
+/// q8 storage.
+bool Q8RoundTripsExactly(const std::vector<float>& x,
+                         const common::QfloatBlock& block) {
+  const float scale = std::ldexp(1.0f, block.exponent);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (static_cast<float>(block.q[i]) * scale != x[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
+                       const CompactOptions& options, std::string* out,
+                       CompactEncodeStats* stats) {
+  uint64_t dim = 0;
+  for (const auto& [location, entries] : snap.locations) {
+    if (!entries.empty()) {
+      dim = entries.front().pattern.size();
+      break;
+    }
+  }
+  common::AppendZigzag(out, snap.user);
+  common::AppendVarint(out, dim);
+  common::AppendVarint(out, snap.locations.size());
+  int64_t prev_location = 0;
+  common::QfloatBlock block;
+  for (const auto& [location, entries] : snap.locations) {
+    common::AppendZigzag(out, location - prev_location);
+    prev_location = location;
+    common::AppendVarint(out, entries.size());
+    int64_t prev_timestamp = 0;
+    for (const OnlineAdapter::Entry& entry : entries) {
+      common::AppendZigzag(out, entry.timestamp - prev_timestamp);
+      prev_timestamp = entry.timestamp;
+      bool quantized = false;
+      if (options.quantize &&
+          common::QfloatEncodable(entry.pattern.data(),
+                                  entry.pattern.size())) {
+        common::QfloatEncode(entry.pattern.data(), entry.pattern.size(),
+                             &block);
+        if (Q8RoundTripsExactly(entry.pattern, block)) {
+          out->push_back(static_cast<char>(kModeQ8));
+          common::AppendZigzag(out, block.exponent);
+          out->append(reinterpret_cast<const char*>(block.q.data()),
+                      block.q.size());
+          quantized = true;
+        }
+      }
+      if (!quantized) {
+        out->push_back(static_cast<char>(kModeRawF32));
+        common::AppendF32Array(out, entry.pattern.data(),
+                               entry.pattern.size());
+      }
+      if (stats != nullptr) {
+        stats->patterns += 1;
+        if (!quantized) stats->raw_patterns += 1;
+      }
+    }
+    if (stats != nullptr) stats->locations += 1;
+  }
+}
+
+common::IoResult DecodeCompactUser(std::string_view bytes,
+                                   OnlineAdapter::UserSnapshot* out) {
+  out->locations.clear();
+  common::WireReader reader(bytes);
+  if (!reader.ReadZigzag(&out->user)) {
+    return common::IoResult::Fail("compact user: truncated user id");
+  }
+  uint64_t dim = 0;
+  if (!reader.ReadVarint(&dim)) {
+    return common::IoResult::Fail("compact user: truncated pattern dim");
+  }
+  if (dim > kMaxPatternDim) {
+    return common::IoResult::Fail("compact user: pattern dim " +
+                                  std::to_string(dim) + " exceeds the cap");
+  }
+  uint64_t location_count = 0;
+  if (!reader.ReadVarint(&location_count)) {
+    return common::IoResult::Fail("compact user: truncated location count");
+  }
+  // A location record is at least 3 bytes (delta, count, one entry byte);
+  // a count beyond remaining/3 is provably corrupt — reject pre-reserve.
+  if (location_count > reader.remaining() / 3 + 1) {
+    return common::IoResult::Fail(
+        "compact user: location count " + std::to_string(location_count) +
+        " larger than the blob could hold");
+  }
+  if (location_count > 0 && dim == 0) {
+    return common::IoResult::Fail("compact user: zero pattern dim with " +
+                                  std::to_string(location_count) +
+                                  " locations");
+  }
+  out->locations.reserve(location_count);
+  int64_t prev_location = 0;
+  for (uint64_t l = 0; l < location_count; ++l) {
+    int64_t delta = 0;
+    uint64_t entry_count = 0;
+    if (!reader.ReadZigzag(&delta) || !reader.ReadVarint(&entry_count)) {
+      return common::IoResult::Fail("compact user: truncated location record");
+    }
+    const int64_t location = prev_location + delta;
+    // Strictly ascending ids are the encoder's invariant; a violation would
+    // silently merge locations on Adopt, so reject it structurally.
+    if (l > 0 && location <= prev_location) {
+      return common::IoResult::Fail(
+          "compact user: location ids not strictly ascending");
+    }
+    prev_location = location;
+    if (entry_count == 0) {
+      return common::IoResult::Fail("compact user: empty location record");
+    }
+    // An entry is at least timestamp + mode + 1 payload byte.
+    if (entry_count > reader.remaining() / 3 + 1) {
+      return common::IoResult::Fail(
+          "compact user: entry count " + std::to_string(entry_count) +
+          " larger than the blob could hold");
+    }
+    std::vector<OnlineAdapter::Entry> entries;
+    entries.reserve(entry_count);
+    int64_t prev_timestamp = 0;
+    for (uint64_t e = 0; e < entry_count; ++e) {
+      OnlineAdapter::Entry entry;
+      int64_t ts_delta = 0;
+      std::string_view mode_byte;
+      if (!reader.ReadZigzag(&ts_delta) || !reader.ReadBytes(1, &mode_byte)) {
+        return common::IoResult::Fail("compact user: truncated entry header");
+      }
+      entry.timestamp = prev_timestamp + ts_delta;
+      prev_timestamp = entry.timestamp;
+      const auto mode = static_cast<uint8_t>(mode_byte[0]);
+      if (mode == kModeRawF32) {
+        if (!reader.ReadF32Array(dim, &entry.pattern)) {
+          return common::IoResult::Fail(
+              "compact user: raw pattern larger than the remaining blob");
+        }
+      } else if (mode == kModeQ8) {
+        int64_t exponent = 0;
+        std::string_view q_bytes;
+        if (!reader.ReadZigzag(&exponent) || !reader.ReadBytes(dim, &q_bytes)) {
+          return common::IoResult::Fail(
+              "compact user: q8 pattern larger than the remaining blob");
+        }
+        // Float exponents live in a narrow band; anything else is corrupt
+        // (and would push ldexp into inf/0, breaking the exactness
+        // contract).
+        if (exponent < -160 || exponent > 140) {
+          return common::IoResult::Fail("compact user: q8 exponent " +
+                                        std::to_string(exponent) +
+                                        " out of range");
+        }
+        const float scale =
+            std::ldexp(1.0f, static_cast<int>(exponent));
+        entry.pattern.resize(dim);
+        for (uint64_t i = 0; i < dim; ++i) {
+          entry.pattern[i] =
+              static_cast<float>(static_cast<int8_t>(q_bytes[i])) * scale;
+        }
+      } else {
+        return common::IoResult::Fail("compact user: unknown pattern mode " +
+                                      std::to_string(mode));
+      }
+      entries.push_back(std::move(entry));
+    }
+    out->locations.emplace_back(location, std::move(entries));
+  }
+  if (!reader.AtEnd()) {
+    return common::IoResult::Fail("compact user: trailing bytes");
+  }
+  return common::IoResult::Ok();
+}
+
+common::IoResult PeekCompactUser(std::string_view bytes, int64_t* user) {
+  common::WireReader reader(bytes);
+  if (!reader.ReadZigzag(user)) {
+    return common::IoResult::Fail("compact user: truncated user id");
+  }
+  return common::IoResult::Ok();
+}
+
+}  // namespace adamove::shard

@@ -1,0 +1,68 @@
+#ifndef ADAMOVE_SHARD_COMPACT_STATE_H_
+#define ADAMOVE_SHARD_COMPACT_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/durable_io.h"
+#include "core/online_adapter.h"
+
+namespace adamove::shard {
+
+/// Compact wire encoding of one user's knowledge base (DESIGN.md §12) — the
+/// dehydrated form cold users occupy between serving bursts. Layout (all
+/// integers varint/zigzag over common::durable_io):
+///
+///   zigzag  user id
+///   varint  pattern dimension D (0 only for a user with no entries)
+///   varint  location count
+///   per location (ids strictly ascending, delta-encoded):
+///     zigzag  location delta vs previous location
+///     varint  entry count (>= 1)
+///     per entry (FIFO order, timestamps delta-encoded within the location):
+///       zigzag  timestamp delta vs previous entry
+///       u8      mode: 0 = raw f32 (4·D bytes), 1 = q8 (zigzag exponent
+///               followed by D int8 bytes — common/qfloat.h)
+///
+/// Encode is *unconditionally lossless*: a pattern is stored as q8 only
+/// when the quantized form decodes back to bit-identical floats (always
+/// true for patterns the serving layer canonicalized at ingest — see
+/// serve::SessionStoreConfig::canonicalize_patterns); anything else keeps
+/// raw f32. Dehydrate -> rehydrate round trips are therefore bit-identical
+/// by construction, and Predict over rehydrated state matches Predict over
+/// the live state bit for bit (pinned by tests/shard/compact_state_test).
+///
+/// Decode is strictly bounds-checked in the DecodeUser tradition: hostile
+/// counts, non-ascending locations, dimension mismatches and trailing bytes
+/// all fail with a structured error naming the field — never an allocation
+/// blow-up or an out-of-range read.
+struct CompactEncodeStats {
+  size_t locations = 0;
+  size_t patterns = 0;
+  /// Patterns that did not survive exact quantization and stayed raw f32.
+  size_t raw_patterns = 0;
+};
+
+struct CompactOptions {
+  /// Try q8 storage for each pattern (falling back per pattern when the
+  /// round trip would not be exact). Off = always raw f32.
+  bool quantize = true;
+};
+
+/// Serializes `snap` (locations must be ascending — ExportUser's order).
+void EncodeCompactUser(const core::OnlineAdapter::UserSnapshot& snap,
+                       const CompactOptions& options, std::string* out,
+                       CompactEncodeStats* stats = nullptr);
+
+/// Parses a compact blob back into a snapshot (locations ascending).
+common::IoResult DecodeCompactUser(std::string_view bytes,
+                                   core::OnlineAdapter::UserSnapshot* out);
+
+/// Reads only the leading user id of a compact blob — what the router needs
+/// to place a frame without decoding the patterns.
+common::IoResult PeekCompactUser(std::string_view bytes, int64_t* user);
+
+}  // namespace adamove::shard
+
+#endif  // ADAMOVE_SHARD_COMPACT_STATE_H_

@@ -1,0 +1,309 @@
+#include "shard/sharded_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/fault_injection.h"
+
+namespace adamove::shard {
+
+int DefaultNumShards() { return common::EnvInt("ADAMOVE_NUM_SHARDS", 2); }
+
+ShardedService::ShardedService(core::AdaptableModel& model,
+                               const ShardedServiceConfig& config)
+    : model_(model), config_(config) {
+  ADAMOVE_CHECK_GT(config_.num_shards, 0);
+  common::MutexLock lock(mu_);
+  auto router = std::make_shared<UserRouter>(config_.router);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    const int shard_id = next_shard_id_++;
+    groups_.push_back(MakeGroup(shard_id));
+    router->AddShard(shard_id);
+  }
+  router_ = std::move(router);
+}
+
+ShardedService::~ShardedService() { Shutdown(); }
+
+std::unique_ptr<ShardedService::Group> ShardedService::MakeGroup(
+    int shard_id) {
+  auto group = std::make_unique<Group>();
+  group->shard_id = shard_id;
+  serve::SessionStoreConfig store_config = config_.store;
+  if (config_.cold_tier) {
+    group->cold = std::make_unique<CompactStore>(config_.compact);
+    store_config.cold_tier = group->cold.get();
+    // Canonical ingest makes every stored pattern exactly quantizable, so
+    // dehydrate→rehydrate cycles through the q8 compact form are
+    // bit-identical (compact_state.h).
+    store_config.canonicalize_patterns = config_.compact.options.quantize;
+  }
+  group->store = std::make_unique<serve::SessionStore>(store_config);
+  group->service = std::make_unique<serve::PredictionService>(
+      model_, *group->store, config_.service);
+  return group;
+}
+
+ShardedService::Group* ShardedService::LiveGroupLocked(int shard_id) const {
+  for (const auto& group : groups_) {
+    if (group->shard_id == shard_id && !group->draining) return group.get();
+  }
+  return nullptr;
+}
+
+std::future<serve::Prediction> ShardedService::Submit(data::Sample sample) {
+  common::MutexLock lock(mu_);
+  ADAMOVE_CHECK(!shutdown_);
+  Group* group = nullptr;
+  bool frozen_only = false;
+  // Simulated routing failure (stale ring read, mis-route): the request is
+  // admitted to a deterministic fallback group frozen-only — valid
+  // base-model scores, kDegraded, and crucially no state is created on a
+  // group that may not own the user.
+  if (common::FaultPoint("serve.router_lookup")) {
+    for (const auto& g : groups_) {
+      if (!g->draining) {
+        group = g.get();
+        break;
+      }
+    }
+    frozen_only = true;
+    router_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    group = LiveGroupLocked(router_->ShardFor(sample.user));
+    // A user mid-migration is served frozen-only until its state lands on
+    // the new owner (rebalance protocol step 2).
+    frozen_only = in_transit_.count(sample.user) > 0;
+  }
+  ADAMOVE_CHECK(group != nullptr);
+  group->submitted += 1;
+  // Admission happens under the admin mutex (so it is ordered against ring
+  // swaps); batch formation and execution run in the group's own workers.
+  return frozen_only ? group->service->SubmitFrozen(std::move(sample))
+                     : group->service->Submit(std::move(sample));
+}
+
+std::vector<int64_t> ShardedService::OwnedUsers(const Group& group) {
+  std::vector<int64_t> users = group.store->ResidentUsers();
+  if (group.cold != nullptr) {
+    const std::vector<int64_t> cold_users = group.cold->Users();
+    users.insert(users.end(), cold_users.begin(), cold_users.end());
+  }
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+void ShardedService::WaitDrained(const Group& group,
+                                 uint64_t submitted_barrier) {
+  // accounted() is monotone and counts every admitted request exactly once
+  // (the availability ledger), so reaching the barrier proves every
+  // pre-swap request of this group has fully resolved.
+  while (group.service->Stats().accounted() < submitted_barrier) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void ShardedService::MigrateUsers(const std::vector<int64_t>& users,
+                                  Group& source) {
+  for (int64_t user : users) {
+    core::OnlineAdapter::UserSnapshot snap;
+    if (source.store->ExtractUser(user, &snap)) {
+      Group* target = nullptr;
+      {
+        common::MutexLock lock(mu_);
+        target = LiveGroupLocked(router_->ShardFor(user));
+      }
+      ADAMOVE_CHECK(target != nullptr);
+      target->store->InjectUser(std::move(snap));
+      migrated_users_.fetch_add(1, std::memory_order_relaxed);
+    }
+    common::MutexLock lock(mu_);
+    in_transit_.erase(user);
+  }
+}
+
+int ShardedService::AddShard() {
+  int shard_id = 0;
+  std::vector<std::pair<Group*, uint64_t>> sources;  // group, drain barrier
+  std::vector<std::vector<int64_t>> moved;           // aligned with sources
+  {
+    common::MutexLock lock(mu_);
+    ADAMOVE_CHECK(!shutdown_);
+    shard_id = next_shard_id_++;
+    groups_.push_back(MakeGroup(shard_id));
+    auto next = std::make_shared<UserRouter>(*router_);
+    next->AddShard(shard_id);
+    // Users the new ring hands to the new shard (~K/N of them — the
+    // consistent-hash movement bound) go in transit before the swap, so no
+    // post-swap request can touch their state mid-move.
+    for (const auto& group : groups_) {
+      if (group->draining || group->shard_id == shard_id) continue;
+      std::vector<int64_t> from_group;
+      for (int64_t user : OwnedUsers(*group)) {
+        if (next->ShardFor(user) != shard_id) continue;
+        from_group.push_back(user);
+        in_transit_.insert(user);
+      }
+      if (!from_group.empty()) {
+        sources.emplace_back(group.get(), group->submitted);
+        moved.push_back(std::move(from_group));
+      }
+    }
+    router_ = std::move(next);
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    WaitDrained(*sources[i].first, sources[i].second);
+    MigrateUsers(moved[i], *sources[i].first);
+  }
+  return shard_id;
+}
+
+bool ShardedService::RemoveShard(int shard_id) {
+  Group* source = nullptr;
+  uint64_t barrier = 0;
+  std::vector<int64_t> moved;
+  {
+    common::MutexLock lock(mu_);
+    ADAMOVE_CHECK(!shutdown_);
+    source = LiveGroupLocked(shard_id);
+    if (source == nullptr) return false;
+    size_t live = 0;
+    for (const auto& group : groups_) {
+      if (!group->draining) ++live;
+    }
+    if (live <= 1) return false;  // routing needs at least one shard
+    source->draining = true;
+    auto next = std::make_shared<UserRouter>(*router_);
+    next->RemoveShard(shard_id);
+    moved = OwnedUsers(*source);
+    for (int64_t user : moved) in_transit_.insert(user);
+    router_ = std::move(next);
+    barrier = source->submitted;
+  }
+  // The swap already unroutes the group; once its pre-swap requests have
+  // accounted, every user moves to its new owner. The drained group's
+  // service keeps running (empty) until Shutdown so admission-time pointers
+  // never dangle.
+  WaitDrained(*source, barrier);
+  MigrateUsers(moved, *source);
+  return true;
+}
+
+std::vector<int> ShardedService::Shards() const {
+  common::MutexLock lock(mu_);
+  return router_->Shards();
+}
+
+int ShardedService::ShardFor(int64_t user) const {
+  common::MutexLock lock(mu_);
+  return router_->ShardFor(user);
+}
+
+size_t ShardedService::InTransitCount() const {
+  common::MutexLock lock(mu_);
+  return in_transit_.size();
+}
+
+std::vector<ShardedService::GroupStats> ShardedService::Stats() const {
+  std::vector<GroupStats> all;
+  common::MutexLock lock(mu_);
+  all.reserve(groups_.size());
+  for (const auto& group : groups_) {
+    GroupStats s;
+    s.shard_id = group->shard_id;
+    s.draining = group->draining;
+    s.service = group->service->Stats();
+    s.hot_users = group->store->UserCount();
+    s.hot_bytes = group->store->ResidentBytes();
+    s.hydrations = group->store->HydrationCount();
+    s.dehydrations = group->store->DehydrationCount();
+    if (group->cold != nullptr) {
+      const CompactStore::Stats cold = group->cold->GetStats();
+      s.cold_users = cold.users;
+      s.cold_blob_bytes = cold.blob_bytes;
+      s.cold_reserved_bytes = cold.arena.reserved_bytes;
+    }
+    all.push_back(std::move(s));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const GroupStats& a, const GroupStats& b) {
+                     if (a.draining != b.draining) return !a.draining;
+                     return a.shard_id < b.shard_id;
+                   });
+  return all;
+}
+
+core::AdapterStats ShardedService::CapacityStats() const {
+  core::AdapterStats stats;
+  for (const GroupStats& s : Stats()) {
+    if (s.draining) continue;
+    stats.resident_bytes += static_cast<int64_t>(s.hot_bytes) +
+                            static_cast<int64_t>(s.cold_blob_bytes);
+  }
+  return stats;
+}
+
+common::IoResult ShardedService::Snapshot(const std::string& prefix) const {
+  // Collect the live groups under the lock, run the (slow, fault-prone)
+  // file commits outside it — group objects outlive Shutdown only, and
+  // Snapshot racing Shutdown is excluded by the caller contract.
+  std::vector<Group*> live;
+  {
+    common::MutexLock lock(mu_);
+    for (const auto& group : groups_) {
+      if (!group->draining) live.push_back(group.get());
+    }
+  }
+  for (Group* group : live) {
+    const std::string base =
+        prefix + ".shard" + std::to_string(group->shard_id);
+    common::IoResult hot = group->store->Snapshot(base + ".hot");
+    if (!hot) return hot;
+    if (group->cold != nullptr) {
+      common::IoResult cold = group->cold->Save(base + ".cold");
+      if (!cold) return cold;
+    }
+  }
+  return common::IoResult::Ok();
+}
+
+common::IoResult ShardedService::Restore(const std::string& prefix) {
+  std::vector<Group*> live;
+  {
+    common::MutexLock lock(mu_);
+    for (const auto& group : groups_) {
+      if (!group->draining) live.push_back(group.get());
+    }
+  }
+  for (Group* group : live) {
+    const std::string base =
+        prefix + ".shard" + std::to_string(group->shard_id);
+    common::IoResult hot = group->store->Restore(base + ".hot");
+    if (!hot) return hot;
+    if (group->cold != nullptr) {
+      common::IoResult cold = group->cold->Load(base + ".cold");
+      if (!cold) return cold;
+    }
+  }
+  return common::IoResult::Ok();
+}
+
+void ShardedService::Shutdown() {
+  std::vector<Group*> all;
+  {
+    common::MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (const auto& group : groups_) all.push_back(group.get());
+  }
+  // Outside the lock: Shutdown drains each group's queue (admission is
+  // already closed by the shutdown_ flag above).
+  for (Group* group : all) group->service->Shutdown();
+}
+
+}  // namespace adamove::shard

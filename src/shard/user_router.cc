@@ -1,0 +1,92 @@
+#include "shard/user_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace adamove::shard {
+
+namespace {
+
+/// splitmix64 finalizer — the same fixed bijective mixer the fault registry
+/// uses for deterministic decisions. Never std::hash: its result is
+/// implementation-defined, which would silently break cross-process
+/// placement determinism.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Ring position of one (shard, replica) virtual node. Domain-separated
+/// from user hashes by a fixed salt so a user id can never collide with a
+/// vnode by construction of the inputs alone.
+uint64_t VnodePosition(int shard_id, int replica) {
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(shard_id))
+                        << 32) |
+                       static_cast<uint32_t>(replica);
+  return Mix(key ^ 0x5348415244414441ULL);  // "SHARDADA"
+}
+
+}  // namespace
+
+UserRouter::UserRouter(const RouterConfig& config) : config_(config) {
+  ADAMOVE_CHECK_GT(config_.virtual_nodes, 0);
+}
+
+uint64_t UserRouter::HashUser(int64_t user) {
+  return Mix(static_cast<uint64_t>(user) ^ 0x5553455241444121ULL);  // "USERADA!"
+}
+
+void UserRouter::AddShard(int shard_id) {
+  ADAMOVE_CHECK(!HasShard(shard_id));
+  shard_ids_.insert(
+      std::upper_bound(shard_ids_.begin(), shard_ids_.end(), shard_id),
+      shard_id);
+  RebuildRing();
+}
+
+void UserRouter::RemoveShard(int shard_id) {
+  auto it = std::lower_bound(shard_ids_.begin(), shard_ids_.end(), shard_id);
+  ADAMOVE_CHECK(it != shard_ids_.end() && *it == shard_id);
+  shard_ids_.erase(it);
+  RebuildRing();
+}
+
+bool UserRouter::HasShard(int shard_id) const {
+  return std::binary_search(shard_ids_.begin(), shard_ids_.end(), shard_id);
+}
+
+void UserRouter::RebuildRing() {
+  // Rebuilding from scratch (rather than patching) keeps the ring a pure
+  // function of the shard set — the determinism property the tests pin.
+  ring_.clear();
+  ring_.reserve(shard_ids_.size() *
+                static_cast<size_t>(config_.virtual_nodes));
+  for (int shard_id : shard_ids_) {
+    for (int replica = 0; replica < config_.virtual_nodes; ++replica) {
+      ring_.emplace_back(VnodePosition(shard_id, replica), shard_id);
+    }
+  }
+  // Sort by position; break position ties by shard id so even a 64-bit
+  // collision between vnodes of different shards resolves identically
+  // everywhere.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int UserRouter::ShardFor(int64_t user) const {
+  ADAMOVE_CHECK(!ring_.empty());
+  const uint64_t position = HashUser(user);
+  // First vnode clockwise of (strictly after) the user's position; the ring
+  // wraps to its first point.
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), position,
+      [](uint64_t p, const std::pair<uint64_t, int>& node) {
+        return p < node.first;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace adamove::shard

@@ -1,0 +1,75 @@
+#ifndef ADAMOVE_SHARD_USER_ROUTER_H_
+#define ADAMOVE_SHARD_USER_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adamove::shard {
+
+struct RouterConfig {
+  /// Virtual nodes per shard on the hash ring. More vnodes smooth the load
+  /// split (relative imbalance ~ 1/sqrt(vnodes)) at the cost of a larger
+  /// ring to binary-search; 64 keeps worst-shard load within a few percent
+  /// of fair for the shard counts we run.
+  int virtual_nodes = 64;
+};
+
+/// Consistent-hash placement of users onto shard ids (DESIGN.md §12).
+///
+/// Each shard contributes `virtual_nodes` points to a ring of 64-bit hash
+/// positions; a user is owned by the first shard point clockwise of the
+/// user's own hash. Two properties the shard subsystem leans on, both
+/// pinned by tests/shard/user_router_test:
+///
+///   * Deterministic placement: all hashing is a fixed splitmix64-style
+///     finalizer over (shard id, replica) and user id — never std::hash —
+///     so a ring built from the same shard set places every user
+///     identically in every process, across restarts and machines. Routing
+///     state needs no persistence at all.
+///   * Bounded movement: adding (removing) one shard to (from) a ring of N
+///     moves only the users whose arc the new points capture — in
+///     expectation K/N of K users — instead of rehashing nearly everything
+///     the way `hash(user) % N` does.
+///
+/// The router is a plain value type with no internal locking. The shard
+/// layer treats a built router as immutable and swaps a fresh copy in under
+/// its admin mutex on topology changes (copy-on-write), so lookups never
+/// race mutations.
+class UserRouter {
+ public:
+  explicit UserRouter(const RouterConfig& config = {});
+
+  /// Adds a shard's virtual nodes to the ring. Aborts if already present.
+  void AddShard(int shard_id);
+
+  /// Removes a shard from the ring. Aborts if absent.
+  void RemoveShard(int shard_id);
+
+  bool HasShard(int shard_id) const;
+
+  /// Owning shard of `user`. Aborts on an empty ring — routing with no
+  /// shards is a topology bug, not a request-time condition.
+  int ShardFor(int64_t user) const;
+
+  /// Shard ids on the ring, ascending.
+  std::vector<int> Shards() const { return shard_ids_; }
+
+  size_t NumShards() const { return shard_ids_.size(); }
+
+  /// The ring position of a user — exposed so tests can reason about arcs.
+  static uint64_t HashUser(int64_t user);
+
+ private:
+  void RebuildRing();
+
+  RouterConfig config_;
+  std::vector<int> shard_ids_;  // ascending
+  /// (ring position, shard id), sorted — the binary-searched ring.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace adamove::shard
+
+#endif  // ADAMOVE_SHARD_USER_ROUTER_H_

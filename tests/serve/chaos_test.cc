@@ -1,16 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <future>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/qfloat.h"
+#include "common/rng.h"
 #include "core/lightmob.h"
 #include "core/online_adapter.h"
 #include "serve/load_gen.h"
 #include "serve/prediction_service.h"
 #include "serve/session_store.h"
+#include "shard/compact_store.h"
+#include "shard/sharded_service.h"
 
 namespace adamove::serve {
 namespace {
@@ -319,6 +324,166 @@ TEST_F(ChaosTest, ShedPolicyRejectsOverflowAndAccountsForIt) {
   EXPECT_EQ(stats.shed_requests, shed);
   EXPECT_EQ(stats.completed, delivered);
   EXPECT_EQ(stats.accounted(), stream.size());
+}
+
+/// `core.state_hydrate` at 100%: rehydration from the cold tier is blocked,
+/// so cold users get the frozen base model (bit-identical to PredictFrozen)
+/// and — the invariant that keeps the fault recoverable — NEITHER tier is
+/// mutated: no fresh hot state that would fork the cold blob, no cold Take
+/// that would lose it. Once the fault clears, the original adapted state
+/// hydrates and serves.
+///
+/// Note this point (and serve.router_lookup below) is deliberately NOT in
+/// kAllFaultPoints: it only evaluates when a cold tier is configured, which
+/// the plain-SessionStore chaos runs above never do.
+TEST_F(ChaosTest, StateHydrateFaultServesFrozenAndMutatesNeitherTier) {
+  core::LightMob model(SmallConfig());
+  common::Rng rng(11);
+  shard::CompactStore cold;
+  SessionStoreConfig store_config;
+  store_config.num_shards = 2;
+  store_config.max_resident_users = 2;
+  store_config.cold_tier = &cold;
+  store_config.canonicalize_patterns = true;
+  SessionStore store(store_config);
+
+  // Populate 6 users; the 2-user cap pushes most of them cold.
+  int64_t t = 1333238400;
+  for (int64_t user = 0; user < 6; ++user) {
+    for (int i = 0; i < 6; ++i) {
+      std::vector<float> pattern(8);
+      for (float& x : pattern) {
+        x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+      }
+      store.Observe(user, pattern, (user + i) % 12, t);
+      t += 600;
+    }
+  }
+  ASSERT_GT(cold.GetStats().users, 0u);
+  const auto cold_before = cold.GetStats();
+  const std::vector<int64_t> hot_before = store.ResidentUsers();
+  // A user that is currently cold (guaranteed: 6 users, at most 4 hot).
+  int64_t cold_user = -1;
+  for (int64_t user = 0; user < 6; ++user) {
+    if (!std::count(hot_before.begin(), hot_before.end(), user)) {
+      cold_user = user;
+      break;
+    }
+  }
+  ASSERT_GE(cold_user, 0);
+
+  FaultRegistry::Instance().Arm("core.state_hydrate", FaultSpec{1.0, 0, true});
+
+  std::vector<float> query(8);
+  for (float& x : query) x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  const std::vector<float> frozen =
+      core::OnlineAdapter::PredictFrozen(model, query);
+  const std::vector<float> got = store.Predict(model, cold_user, query, t);
+  ASSERT_EQ(got.size(), frozen.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], frozen[i]) << "score " << i;
+  }
+  // Blocked Observe drops the observation rather than forking fresh state.
+  store.Observe(cold_user, query, 0, t);
+
+  // Neither tier moved: the blob is still cold and byte-for-byte intact,
+  // and the hot tier holds exactly the users it held before.
+  EXPECT_EQ(cold.GetStats().users, cold_before.users);
+  EXPECT_EQ(cold.GetStats().blob_bytes, cold_before.blob_bytes);
+  EXPECT_EQ(cold.GetStats().takes, cold_before.takes);
+  EXPECT_EQ(store.ResidentUsers(), hot_before);
+
+  // The serving path accounts it as a degradation, scores still valid.
+  ServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.max_batch = 1;
+  PredictionService service(model, store, service_config);
+  const std::vector<data::Sample> stream = MakeStream(6, 2);
+  size_t degraded = 0;
+  for (const auto& sample : stream) {
+    const Prediction p = service.Submit(sample).get();
+    ASSERT_EQ(p.scores.size(), 12u);
+    EXPECT_TRUE(AllFinite(p.scores));
+    if (p.outcome == RequestOutcome::kDegraded) ++degraded;
+  }
+  service.Shutdown();
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(service.Stats().accounted(), stream.size());
+  EXPECT_GT(FaultRegistry::Instance().StatsFor("core.state_hydrate").fired,
+            0u);
+
+  // Recovery: fault cleared, the cold user hydrates with its state intact.
+  FaultRegistry::Instance().DisarmAll();
+  const uint64_t takes_before = cold.GetStats().takes;
+  (void)store.Predict(model, cold_user, query, t);
+  EXPECT_GT(cold.GetStats().takes, takes_before);
+  EXPECT_GT(store.PatternCount(cold_user), 0u);
+}
+
+/// `serve.router_lookup` at 100%: placement fails for every request, so the
+/// sharded layer admits each one to a live fallback group frozen-only. The
+/// ladder holds: never a crash, every request kDegraded with valid frozen
+/// scores, exact accounting, and zero per-user state created on groups the
+/// ring never chose.
+TEST_F(ChaosTest, RouterLookupFaultFallsBackFrozenWithExactAccounting) {
+  core::LightMob model(SmallConfig());
+  shard::ShardedServiceConfig config;
+  config.num_shards = 2;
+  config.service.workers = 2;
+  config.service.max_batch = 4;
+  shard::ShardedService sharded(model, config);
+
+  FaultRegistry::Instance().Arm("serve.router_lookup",
+                                FaultSpec{1.0, 0, true});
+  const std::vector<data::Sample> stream = MakeStream(6, 4);
+  std::vector<std::future<Prediction>> futures;
+  for (const auto& sample : stream) futures.push_back(sharded.Submit(sample));
+  for (auto& f : futures) {
+    const Prediction p = f.get();
+    EXPECT_EQ(p.outcome, RequestOutcome::kDegraded);
+    ASSERT_EQ(p.scores.size(), 12u);
+    EXPECT_TRUE(AllFinite(p.scores));
+  }
+  EXPECT_EQ(sharded.RouterFallbacks(), stream.size());
+  uint64_t accounted = 0;
+  uint64_t degraded = 0;
+  size_t users = 0;
+  for (const auto& group : sharded.Stats()) {
+    accounted += group.service.accounted();
+    degraded += group.service.degraded_requests;
+    users += group.hot_users + group.cold_users;
+  }
+  EXPECT_EQ(accounted, stream.size());
+  EXPECT_EQ(degraded, stream.size());
+  EXPECT_EQ(users, 0u);  // frozen-only admission writes no state, ever
+  sharded.Shutdown();
+
+  // Partial outage: at 30% the service mixes adapted and fallback service,
+  // survives, and the ledger still balances exactly.
+  FaultRegistry::Instance().DisarmAll();
+  FaultRegistry::Instance().SetSeed(7);
+  FaultRegistry::Instance().Arm("serve.router_lookup",
+                                FaultSpec{0.3, 0, true});
+  shard::ShardedService partial(model, config);
+  std::vector<std::future<Prediction>> mixed;
+  for (const auto& sample : stream) mixed.push_back(partial.Submit(sample));
+  for (auto& f : mixed) {
+    const Prediction p = f.get();
+    ASSERT_EQ(p.scores.size(), 12u);
+    EXPECT_TRUE(AllFinite(p.scores));
+  }
+  uint64_t partial_accounted = 0;
+  uint64_t partial_degraded = 0;
+  for (const auto& group : partial.Stats()) {
+    partial_accounted += group.service.accounted();
+    partial_degraded += group.service.degraded_requests;
+  }
+  EXPECT_EQ(partial_accounted, stream.size());
+  EXPECT_GT(partial.RouterFallbacks(), 0u);
+  EXPECT_LT(partial.RouterFallbacks(), stream.size());
+  // With no other fault armed, router fallbacks are the only degradations.
+  EXPECT_EQ(partial_degraded, partial.RouterFallbacks());
+  partial.Shutdown();
 }
 
 }  // namespace

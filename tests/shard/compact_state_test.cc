@@ -1,0 +1,449 @@
+#include "shard/compact_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/durable_io.h"
+#include "common/qfloat.h"
+#include "common/rng.h"
+#include "core/lightmob.h"
+#include "core/online_adapter.h"
+#include "core/ptta.h"
+
+namespace adamove::shard {
+namespace {
+
+using core::OnlineAdapter;
+
+core::ModelConfig SmallConfig() {
+  core::ModelConfig c;
+  c.num_locations = 12;
+  c.num_users = 8;
+  c.hidden_size = 8;
+  c.location_emb_dim = 4;
+  c.time_emb_dim = 4;
+  c.user_emb_dim = 2;
+  c.lambda = 0.0;
+  return c;
+}
+
+std::vector<float> RandomPattern(common::Rng& rng, size_t dim) {
+  std::vector<float> p(dim);
+  for (float& x : p) x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  return p;
+}
+
+// ---- qfloat codec ---------------------------------------------------------
+
+TEST(QfloatTest, CanonicalVectorsRoundTripBitIdentically) {
+  common::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> x = RandomPattern(rng, 16);
+    common::QfloatCanonicalize(&x);
+    common::QfloatBlock block;
+    common::QfloatEncode(x.data(), x.size(), &block);
+    std::vector<float> decoded;
+    common::QfloatDecode(block, &decoded);
+    ASSERT_EQ(decoded.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      // Bit-identical, not just close: the whole compact-tier contract.
+      ASSERT_EQ(decoded[i], x[i]) << "trial " << trial << " elem " << i;
+    }
+  }
+}
+
+TEST(QfloatTest, CanonicalizeIsIdempotent) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<float> x = RandomPattern(rng, 8);
+    common::QfloatCanonicalize(&x);
+    std::vector<float> once = x;
+    common::QfloatCanonicalize(&x);
+    EXPECT_EQ(x, once);
+  }
+}
+
+TEST(QfloatTest, QuantizationErrorIsBoundedByHalfStep) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<float> x = RandomPattern(rng, 8);
+    std::vector<float> canonical = x;
+    common::QfloatCanonicalize(&canonical);
+    float max_abs = 0.0f;
+    for (float v : x) max_abs = std::max(max_abs, std::fabs(v));
+    // Max element lands in q ∈ [64, 128), so one quantization step is at
+    // most max/64; round-to-nearest (plus the 127 clamp on the maximum
+    // itself) keeps every element within one step.
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_LE(std::fabs(canonical[i] - x[i]), max_abs / 64.0f + 1e-9f);
+    }
+  }
+}
+
+TEST(QfloatTest, HandlesSubnormalAndZeroVectors) {
+  std::vector<float> zeros(4, 0.0f);
+  common::QfloatCanonicalize(&zeros);
+  for (float v : zeros) EXPECT_EQ(v, 0.0f);
+
+  // Subnormal magnitudes: the inverse scale exceeds float range (the
+  // double-precision path inside the encoder); must stay finite and
+  // idempotent, not overflow into UB.
+  std::vector<float> tiny = {1e-40f, -3e-41f, 0.0f, 2e-40f};
+  common::QfloatCanonicalize(&tiny);
+  std::vector<float> again = tiny;
+  common::QfloatCanonicalize(&again);
+  EXPECT_EQ(tiny, again);
+  for (float v : tiny) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(QfloatTest, NonFiniteVectorsAreNotEncodable) {
+  std::vector<float> with_nan = {1.0f, std::nanf(""), 2.0f};
+  EXPECT_FALSE(common::QfloatEncodable(with_nan.data(), with_nan.size()));
+  std::vector<float> with_inf = {1.0f, INFINITY};
+  EXPECT_FALSE(common::QfloatEncodable(with_inf.data(), with_inf.size()));
+  EXPECT_FALSE(common::QfloatEncodable(nullptr, 0));
+  // Canonicalize must leave them untouched.
+  std::vector<float> copy = with_nan;
+  common::QfloatCanonicalize(&copy);
+  EXPECT_EQ(copy[0], with_nan[0]);
+  EXPECT_EQ(copy[2], with_nan[2]);
+}
+
+// ---- varint/zigzag wire primitives ---------------------------------------
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,      1,        127,        128,
+                             16383,  16384,    (1ULL << 32) - 1,
+                             1ULL << 32,       ~0ULL};
+  for (uint64_t v : values) {
+    std::string buf;
+    common::AppendVarint(&buf, v);
+    common::WireReader reader(buf);
+    uint64_t back = 0;
+    ASSERT_TRUE(reader.ReadVarint(&back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(VarintTest, ZigzagRoundTripsSignedValues) {
+  const int64_t values[] = {0, -1, 1, -64, 63, -65, 1000000, -1000000,
+                            INT64_MAX, INT64_MIN};
+  for (int64_t v : values) {
+    std::string buf;
+    common::AppendZigzag(&buf, v);
+    common::WireReader reader(buf);
+    int64_t back = 0;
+    ASSERT_TRUE(reader.ReadZigzag(&back)) << v;
+    EXPECT_EQ(back, v);
+  }
+  // Small magnitudes stay small on the wire — the point of zigzag.
+  std::string small;
+  common::AppendZigzag(&small, -3);
+  EXPECT_EQ(small.size(), 1u);
+}
+
+TEST(VarintTest, RejectsTruncationAndOverlongEncodings) {
+  std::string buf;
+  common::AppendVarint(&buf, 1ULL << 50);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    common::WireReader reader(std::string_view(buf).substr(0, cut));
+    uint64_t v = 0;
+    EXPECT_FALSE(reader.ReadVarint(&v)) << "cut " << cut;
+    EXPECT_EQ(reader.remaining(), cut);  // consumed nothing
+  }
+  // Ten bytes whose continuation bit never clears.
+  std::string runaway(10, static_cast<char>(0x80));
+  common::WireReader r1(runaway);
+  uint64_t v = 0;
+  EXPECT_FALSE(r1.ReadVarint(&v));
+  // A 10th byte carrying bits beyond 2^64 is an over-long encoding.
+  std::string overlong(9, static_cast<char>(0x80));
+  overlong.push_back(0x02);
+  common::WireReader r2(overlong);
+  EXPECT_FALSE(r2.ReadVarint(&v));
+}
+
+// ---- slab arena -----------------------------------------------------------
+
+TEST(SlabArenaTest, AllocatesFreesAndReusesSlots) {
+  common::SlabArena arena(4096);
+  common::SlabArena::Block a = arena.Allocate(100);
+  common::SlabArena::Block b = arena.Allocate(100);
+  ASSERT_NE(a.data, nullptr);
+  ASSERT_NE(b.data, nullptr);
+  EXPECT_NE(a.data, b.data);
+  EXPECT_EQ(arena.stats().live_blocks, 2u);
+  EXPECT_EQ(arena.stats().used_bytes, 200u);
+
+  arena.Free(a);
+  EXPECT_EQ(arena.stats().live_blocks, 1u);
+  // Same class, freed slot available: O(1) reuse of the same address.
+  common::SlabArena::Block c = arena.Allocate(90);
+  EXPECT_EQ(c.data, a.data);
+  arena.Free(b);
+  arena.Free(c);
+  EXPECT_EQ(arena.stats().live_blocks, 0u);
+  EXPECT_EQ(arena.stats().used_bytes, 0u);
+  // Slabs stay reserved for reuse — eviction cost never includes munmap.
+  EXPECT_GT(arena.stats().reserved_bytes, 0u);
+}
+
+TEST(SlabArenaTest, OversizeBlocksAreExactAndReclaimed) {
+  common::SlabArena arena(1024);
+  const size_t big = 10 * 1024;
+  EXPECT_EQ(arena.SlotSizeFor(big), big);  // exact, no class rounding
+  common::SlabArena::Block block = arena.Allocate(big);
+  EXPECT_EQ(block.cls, -1);
+  EXPECT_EQ(arena.stats().oversize_blocks, 1u);
+  const uint64_t reserved = arena.stats().reserved_bytes;
+  arena.Free(block);
+  EXPECT_EQ(arena.stats().oversize_blocks, 0u);
+  // Oversize memory really goes back (unlike slab slots).
+  EXPECT_EQ(arena.stats().reserved_bytes, reserved - big);
+}
+
+TEST(SlabArenaTest, GeometricClassesBoundInternalWaste) {
+  common::SlabArena arena(64 * 1024);
+  for (size_t n : {1u, 32u, 33u, 100u, 1000u, 5000u, 60000u}) {
+    const size_t slot = arena.SlotSizeFor(n);
+    EXPECT_GE(slot, n);
+    // x1.5 classes: a slot is never more than ~1.5x the request (plus the
+    // 32-byte floor for tiny blobs).
+    EXPECT_LE(slot, std::max<size_t>(32, n + n / 2));
+  }
+}
+
+// ---- compact user codec ---------------------------------------------------
+
+OnlineAdapter::UserSnapshot CanonicalSnapshot(int64_t user, int locations,
+                                              int entries_per_location,
+                                              size_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  OnlineAdapter::UserSnapshot snap;
+  snap.user = user;
+  int64_t loc = 3;
+  for (int l = 0; l < locations; ++l) {
+    std::vector<OnlineAdapter::Entry> entries;
+    int64_t t = 1333238400;
+    for (int e = 0; e < entries_per_location; ++e) {
+      OnlineAdapter::Entry entry;
+      entry.pattern = RandomPattern(rng, dim);
+      common::QfloatCanonicalize(&entry.pattern);
+      entry.timestamp = t;
+      t += 3600;
+      entries.push_back(std::move(entry));
+    }
+    snap.locations.emplace_back(loc, std::move(entries));
+    loc += 1 + static_cast<int64_t>(rng.Uniform() * 5);
+  }
+  return snap;
+}
+
+bool SnapshotsBitIdentical(const OnlineAdapter::UserSnapshot& a,
+                           const OnlineAdapter::UserSnapshot& b) {
+  if (a.user != b.user || a.locations.size() != b.locations.size()) {
+    return false;
+  }
+  for (size_t l = 0; l < a.locations.size(); ++l) {
+    if (a.locations[l].first != b.locations[l].first) return false;
+    const auto& ea = a.locations[l].second;
+    const auto& eb = b.locations[l].second;
+    if (ea.size() != eb.size()) return false;
+    for (size_t e = 0; e < ea.size(); ++e) {
+      if (ea[e].timestamp != eb[e].timestamp) return false;
+      if (ea[e].pattern != eb[e].pattern) return false;  // exact float ==
+    }
+  }
+  return true;
+}
+
+TEST(CompactStateTest, CanonicalStateRoundTripsBitIdentically) {
+  const OnlineAdapter::UserSnapshot snap =
+      CanonicalSnapshot(-42, 6, 8, 16, 11);
+  std::string encoded;
+  CompactEncodeStats stats;
+  EncodeCompactUser(snap, CompactOptions{}, &encoded, &stats);
+  EXPECT_EQ(stats.locations, 6u);
+  EXPECT_EQ(stats.patterns, 48u);
+  // Canonical patterns always survive exact quantization.
+  EXPECT_EQ(stats.raw_patterns, 0u);
+
+  OnlineAdapter::UserSnapshot back;
+  ASSERT_TRUE(static_cast<bool>(DecodeCompactUser(encoded, &back)))
+      << DecodeCompactUser(encoded, &back).error;
+  EXPECT_TRUE(SnapshotsBitIdentical(snap, back));
+
+  int64_t user = 0;
+  ASSERT_TRUE(static_cast<bool>(PeekCompactUser(encoded, &user)));
+  EXPECT_EQ(user, -42);
+}
+
+TEST(CompactStateTest, NonCanonicalPatternsFallBackToLosslessRaw) {
+  common::Rng rng(23);
+  OnlineAdapter::UserSnapshot snap;
+  snap.user = 7;
+  std::vector<OnlineAdapter::Entry> entries;
+  OnlineAdapter::Entry entry;
+  entry.pattern = RandomPattern(rng, 16);  // NOT canonicalized
+  entry.pattern[0] = 0.1f;                 // inexact in any 2^e grid
+  entry.timestamp = 1000;
+  entries.push_back(entry);
+  snap.locations.emplace_back(5, std::move(entries));
+
+  std::string encoded;
+  CompactEncodeStats stats;
+  EncodeCompactUser(snap, CompactOptions{}, &encoded, &stats);
+  EXPECT_EQ(stats.raw_patterns, 1u);  // q8 refused: would not be exact
+
+  OnlineAdapter::UserSnapshot back;
+  ASSERT_TRUE(static_cast<bool>(DecodeCompactUser(encoded, &back)));
+  EXPECT_TRUE(SnapshotsBitIdentical(snap, back));
+}
+
+TEST(CompactStateTest, CompactBlobIsAtLeastFourTimesSmallerThanResident) {
+  const size_t dim = 64;  // hidden sizes the serving models actually use
+  OnlineAdapter::UserSnapshot snap = CanonicalSnapshot(1, 8, 16, dim, 3);
+  std::string compact;
+  EncodeCompactUser(snap, CompactOptions{}, &compact);
+  // The wire form is ~4x denser than the raw f32 wire encoding (1 byte per
+  // element instead of 4, against small per-entry overheads)…
+  std::string dense_wire;
+  OnlineAdapter::EncodeUser(snap, &dense_wire);
+  EXPECT_GE(static_cast<double>(dense_wire.size()),
+            3.5 * static_cast<double>(compact.size()))
+      << "wire " << dense_wire.size() << " vs compact " << compact.size();
+  // …and the acceptance ratio — compact payload vs the *resident* dense
+  // OnlineAdapter representation the user would otherwise occupy (pattern
+  // payloads plus container overheads) — clears 4x with room to spare.
+  core::OnlineAdapter adapter{core::PttaConfig{}};
+  adapter.Adopt(std::move(snap));
+  EXPECT_GE(static_cast<double>(adapter.ResidentBytes(1)),
+            4.0 * static_cast<double>(compact.size()))
+      << "resident " << adapter.ResidentBytes(1) << " vs compact "
+      << compact.size();
+}
+
+TEST(CompactStateTest, DecodeRejectsCorruptBlobsStructurally) {
+  const OnlineAdapter::UserSnapshot snap = CanonicalSnapshot(9, 3, 4, 8, 7);
+  std::string encoded;
+  EncodeCompactUser(snap, CompactOptions{}, &encoded);
+
+  OnlineAdapter::UserSnapshot out;
+  // Every truncation point fails cleanly (never an allocation blow-up).
+  for (size_t cut = 0; cut + 1 < encoded.size(); cut += 3) {
+    const common::IoResult r =
+        DecodeCompactUser(std::string_view(encoded).substr(0, cut), &out);
+    EXPECT_FALSE(static_cast<bool>(r)) << "cut " << cut;
+  }
+  // Trailing garbage is corruption, not slack.
+  std::string padded = encoded + "x";
+  EXPECT_FALSE(static_cast<bool>(DecodeCompactUser(padded, &out)));
+  // Every single-byte flip either decodes to *something* valid or fails
+  // with a structured error — it must never crash. (ASan/UBSan runs of
+  // this test are the real assertion.)
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string flipped = encoded;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x5A);
+    (void)DecodeCompactUser(flipped, &out);
+  }
+}
+
+TEST(CompactStateTest, DecodeRejectsHostileCounts) {
+  // Hand-built blob: user 1, dim 8, location count 2^40.
+  std::string blob;
+  common::AppendZigzag(&blob, 1);
+  common::AppendVarint(&blob, 8);
+  common::AppendVarint(&blob, 1ULL << 40);
+  OnlineAdapter::UserSnapshot out;
+  const common::IoResult r = DecodeCompactUser(blob, &out);
+  ASSERT_FALSE(static_cast<bool>(r));
+  EXPECT_NE(r.error.find("location count"), std::string::npos) << r.error;
+
+  // Non-ascending locations (silent state merge if admitted).
+  std::string blob2;
+  common::AppendZigzag(&blob2, 1);
+  common::AppendVarint(&blob2, 1);  // dim 1
+  common::AppendVarint(&blob2, 2);  // two locations
+  common::AppendZigzag(&blob2, 5);  // location 5
+  common::AppendVarint(&blob2, 1);
+  common::AppendZigzag(&blob2, 0);      // ts
+  blob2.push_back(0);                   // raw mode
+  common::AppendF32Array(&blob2, std::vector<float>{1.0f}.data(), 1);
+  common::AppendZigzag(&blob2, -2);  // location 3 < 5
+  common::AppendVarint(&blob2, 1);
+  common::AppendZigzag(&blob2, 0);
+  blob2.push_back(0);
+  common::AppendF32Array(&blob2, std::vector<float>{1.0f}.data(), 1);
+  const common::IoResult r2 = DecodeCompactUser(blob2, &out);
+  ASSERT_FALSE(static_cast<bool>(r2));
+  EXPECT_NE(r2.error.find("ascending"), std::string::npos) << r2.error;
+}
+
+// ---- the pinned acceptance property: dehydrate → rehydrate → Predict -----
+
+TEST(CompactStateTest, RehydratedAdapterPredictsBitIdentically) {
+  core::LightMob model(SmallConfig());
+  const size_t hidden = 8;
+  common::Rng rng(31);
+
+  // Live adapter with canonical ingest (exactly what the shard serving
+  // path does — serve::SessionStoreConfig::canonicalize_patterns).
+  core::OnlineAdapter live{core::PttaConfig{}};
+  const int64_t user = 4;
+  int64_t t = 1333238400;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<float> pattern = RandomPattern(rng, hidden);
+    common::QfloatCanonicalize(&pattern);
+    live.Observe(user, pattern, i % 12, t);
+    t += 3600;
+  }
+
+  // Dehydrate through the compact codec, rehydrate into a fresh adapter.
+  std::string blob;
+  CompactEncodeStats stats;
+  EncodeCompactUser(live.ExportUser(user), CompactOptions{}, &blob, &stats);
+  EXPECT_EQ(stats.raw_patterns, 0u);  // fully quantized
+  OnlineAdapter::UserSnapshot back;
+  ASSERT_TRUE(static_cast<bool>(DecodeCompactUser(blob, &back)));
+  core::OnlineAdapter rehydrated{core::PttaConfig{}};
+  rehydrated.Adopt(std::move(back));
+
+  // Predict must be bit-identical for arbitrary (non-canonical) queries.
+  for (int q = 0; q < 20; ++q) {
+    const std::vector<float> query = RandomPattern(rng, hidden);
+    const std::vector<float> a = live.Predict(model, user, query, t);
+    const std::vector<float> b = rehydrated.Predict(model, user, query, t);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "query " << q << " score " << i;
+    }
+  }
+}
+
+TEST(CompactStateTest, PredictStatsReportResidentBytes) {
+  core::LightMob model(SmallConfig());
+  common::Rng rng(13);
+  core::OnlineAdapter adapter{core::PttaConfig{}};
+  EXPECT_EQ(adapter.ResidentBytes(), 0u);
+  int64_t t = 1333238400;
+  for (int i = 0; i < 20; ++i) {
+    adapter.Observe(3, RandomPattern(rng, 8), i % 5, t);
+    t += 3600;
+  }
+  EXPECT_GT(adapter.ResidentBytes(3), 0u);
+  EXPECT_EQ(adapter.ResidentBytes(), adapter.ResidentBytes(3));
+  core::AdapterStats stats;
+  (void)adapter.Predict(model, 3, RandomPattern(rng, 8), t, &stats);
+  EXPECT_EQ(stats.resident_bytes,
+            static_cast<int64_t>(adapter.ResidentBytes(3)));
+  EXPECT_GT(stats.columns_updated, 0);
+}
+
+}  // namespace
+}  // namespace adamove::shard
