@@ -71,6 +71,7 @@ void AppendU64(std::string* out, uint64_t v) {
 }
 
 void AppendF32Array(std::string* out, const float* data, size_t n) {
+  if (n == 0) return;  // data may be null for an empty array
   out->append(reinterpret_cast<const char*>(data), n * sizeof(float));
 }
 
@@ -148,7 +149,9 @@ bool WireReader::ReadBytes(size_t n, std::string_view* out) {
 bool WireReader::ReadF32Array(size_t n, std::vector<float>* out) {
   if (n > remaining() / sizeof(float)) return false;
   out->resize(n);
-  std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(float));
+  if (n != 0) {  // out->data() may be null when empty
+    std::memcpy(out->data(), bytes_.data() + pos_, n * sizeof(float));
+  }
   pos_ += n * sizeof(float);
   return true;
 }

@@ -42,20 +42,26 @@ PredictionService::PredictionService(core::AdaptableModel& model,
 
 PredictionService::~PredictionService() { Shutdown(); }
 
-std::future<Prediction> PredictionService::Submit(data::Sample sample) {
-  return SubmitInternal(std::move(sample), /*frozen_only=*/false);
+std::future<Prediction> PredictionService::Submit(
+    data::Sample sample, std::function<void()> on_complete) {
+  return SubmitInternal(std::move(sample), /*frozen_only=*/false,
+                        std::move(on_complete));
 }
 
-std::future<Prediction> PredictionService::SubmitFrozen(data::Sample sample) {
-  return SubmitInternal(std::move(sample), /*frozen_only=*/true);
+std::future<Prediction> PredictionService::SubmitFrozen(
+    data::Sample sample, std::function<void()> on_complete) {
+  return SubmitInternal(std::move(sample), /*frozen_only=*/true,
+                        std::move(on_complete));
 }
 
-std::future<Prediction> PredictionService::SubmitInternal(data::Sample sample,
-                                                          bool frozen_only) {
+std::future<Prediction> PredictionService::SubmitInternal(
+    data::Sample sample, bool frozen_only,
+    std::function<void()> on_complete) {
   ADAMOVE_CHECK(!sample.recent.empty());
   Request request;
   request.sample = std::move(sample);
   request.frozen_only = frozen_only;
+  request.on_complete = std::move(on_complete);
   std::future<Prediction> result = request.promise.get_future();
   bool shed = false;
   {
@@ -79,6 +85,7 @@ std::future<Prediction> PredictionService::SubmitInternal(data::Sample sample,
     Prediction rejected;
     rejected.outcome = RequestOutcome::kShed;
     request.promise.set_value(std::move(rejected));
+    if (request.on_complete) request.on_complete();
     return result;
   }
   not_empty_.NotifyOne();
@@ -251,6 +258,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(std::move(out[i]));
+    if (batch[i].on_complete) batch[i].on_complete();
   }
 }
 

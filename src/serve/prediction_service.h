@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -141,8 +142,13 @@ class PredictionService {
 
   /// Enqueues one request. At capacity, blocks (OverflowPolicy::kBlock) or
   /// resolves the returned future immediately as kShed (kShed policy).
-  /// sample.recent must be non-empty.
-  std::future<Prediction> Submit(data::Sample sample);
+  /// sample.recent must be non-empty. `on_complete`, when set, runs exactly
+  /// once after the request has been accounted and its promise fulfilled —
+  /// in the worker for served requests, in the caller for shed ones. The
+  /// shard layer hangs its drain barrier off this hook (every per-request
+  /// state effect has happened by the time it fires).
+  std::future<Prediction> Submit(data::Sample sample,
+                                 std::function<void()> on_complete = nullptr);
 
   /// Non-blocking variant: false (and no enqueue) when the queue is full;
   /// the rejection is counted in ServiceStats::shed_requests.
@@ -154,8 +160,10 @@ class PredictionService {
   /// read or written, which is the property the shard layer leans on: a
   /// user whose state is mid-migration (or a mis-routed request under the
   /// `serve.router_lookup` fault) gets a valid real-model answer without
-  /// forking state on the wrong shard group (DESIGN.md §12).
-  std::future<Prediction> SubmitFrozen(data::Sample sample);
+  /// forking state on the wrong shard group (DESIGN.md §12). `on_complete`
+  /// as in Submit.
+  std::future<Prediction> SubmitFrozen(
+      data::Sample sample, std::function<void()> on_complete = nullptr);
 
   /// Stops accepting requests, drains the queue, joins workers (including
   /// an in-flight warm-start restore). Idempotent; also run by the
@@ -191,10 +199,13 @@ class PredictionService {
     Clock::time_point enqueue;
     /// SubmitFrozen admission: skip the adapt stage, answer frozen.
     bool frozen_only = false;
+    /// Fired exactly once, after the promise is fulfilled (may be empty).
+    std::function<void()> on_complete;
   };
 
   std::future<Prediction> SubmitInternal(data::Sample sample,
-                                         bool frozen_only);
+                                         bool frozen_only,
+                                         std::function<void()> on_complete);
 
   /// Per-worker stage histograms; merged on demand by Stats().
   struct WorkerStats {

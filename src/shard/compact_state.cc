@@ -14,6 +14,9 @@ using core::OnlineAdapter;
 
 constexpr uint8_t kModeRawF32 = 0;
 constexpr uint8_t kModeQ8 = 1;
+/// Raw f32 with an explicit per-entry length, for entries whose pattern
+/// size differs from the header dimension (the store accepts any size).
+constexpr uint8_t kModeRawVar = 2;
 
 /// Dimension cap mirroring the durable layer's frame-size discipline: no
 /// legitimate encoder hidden state is near this, so a larger on-wire value
@@ -56,12 +59,14 @@ void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
     for (const OnlineAdapter::Entry& entry : entries) {
       common::AppendZigzag(out, entry.timestamp - prev_timestamp);
       prev_timestamp = entry.timestamp;
+      const size_t size = entry.pattern.size();
       bool quantized = false;
-      if (options.quantize &&
-          common::QfloatEncodable(entry.pattern.data(),
-                                  entry.pattern.size())) {
-        common::QfloatEncode(entry.pattern.data(), entry.pattern.size(),
-                             &block);
+      // q8 payloads are implicitly `dim` bytes, so only uniform-size
+      // entries qualify; off-dimension entries fall through to the
+      // explicit-length raw mode and the blob stays decodable.
+      if (options.quantize && size == dim &&
+          common::QfloatEncodable(entry.pattern.data(), size)) {
+        common::QfloatEncode(entry.pattern.data(), size, &block);
         if (Q8RoundTripsExactly(entry.pattern, block)) {
           out->push_back(static_cast<char>(kModeQ8));
           common::AppendZigzag(out, block.exponent);
@@ -71,9 +76,13 @@ void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
         }
       }
       if (!quantized) {
-        out->push_back(static_cast<char>(kModeRawF32));
-        common::AppendF32Array(out, entry.pattern.data(),
-                               entry.pattern.size());
+        if (size == dim) {
+          out->push_back(static_cast<char>(kModeRawF32));
+        } else {
+          out->push_back(static_cast<char>(kModeRawVar));
+          common::AppendVarint(out, size);
+        }
+        common::AppendF32Array(out, entry.pattern.data(), size);
       }
       if (stats != nullptr) {
         stats->patterns += 1;
@@ -110,11 +119,9 @@ common::IoResult DecodeCompactUser(std::string_view bytes,
         "compact user: location count " + std::to_string(location_count) +
         " larger than the blob could hold");
   }
-  if (location_count > 0 && dim == 0) {
-    return common::IoResult::Fail("compact user: zero pattern dim with " +
-                                  std::to_string(location_count) +
-                                  " locations");
-  }
+  // dim may legitimately be 0 (the first entry's pattern is empty — the
+  // store accepts patterns of any size); entries of other sizes carry
+  // their own length via kModeRawVar.
   out->locations.reserve(location_count);
   int64_t prev_location = 0;
   for (uint64_t l = 0; l < location_count; ++l) {
@@ -134,8 +141,8 @@ common::IoResult DecodeCompactUser(std::string_view bytes,
     if (entry_count == 0) {
       return common::IoResult::Fail("compact user: empty location record");
     }
-    // An entry is at least timestamp + mode + 1 payload byte.
-    if (entry_count > reader.remaining() / 3 + 1) {
+    // An entry is at least timestamp + mode (payload may be empty).
+    if (entry_count > reader.remaining() / 2 + 1) {
       return common::IoResult::Fail(
           "compact user: entry count " + std::to_string(entry_count) +
           " larger than the blob could hold");
@@ -179,6 +186,21 @@ common::IoResult DecodeCompactUser(std::string_view bytes,
         for (uint64_t i = 0; i < dim; ++i) {
           entry.pattern[i] =
               static_cast<float>(static_cast<int8_t>(q_bytes[i])) * scale;
+        }
+      } else if (mode == kModeRawVar) {
+        uint64_t size = 0;
+        if (!reader.ReadVarint(&size)) {
+          return common::IoResult::Fail(
+              "compact user: truncated pattern length");
+        }
+        if (size > kMaxPatternDim) {
+          return common::IoResult::Fail("compact user: pattern length " +
+                                        std::to_string(size) +
+                                        " exceeds the cap");
+        }
+        if (!reader.ReadF32Array(size, &entry.pattern)) {
+          return common::IoResult::Fail(
+              "compact user: raw pattern larger than the remaining blob");
         }
       } else {
         return common::IoResult::Fail("compact user: unknown pattern mode " +

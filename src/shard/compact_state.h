@@ -15,7 +15,8 @@ namespace adamove::shard {
 /// integers varint/zigzag over common::durable_io):
 ///
 ///   zigzag  user id
-///   varint  pattern dimension D (0 only for a user with no entries)
+///   varint  pattern dimension D (the first entry's size; other entries
+///           may differ — they use mode 2 below)
 ///   varint  location count
 ///   per location (ids strictly ascending, delta-encoded):
 ///     zigzag  location delta vs previous location
@@ -23,14 +24,18 @@ namespace adamove::shard {
 ///     per entry (FIFO order, timestamps delta-encoded within the location):
 ///       zigzag  timestamp delta vs previous entry
 ///       u8      mode: 0 = raw f32 (4·D bytes), 1 = q8 (zigzag exponent
-///               followed by D int8 bytes — common/qfloat.h)
+///               followed by D int8 bytes — common/qfloat.h), 2 = raw f32
+///               with an explicit varint length (entries whose size != D)
 ///
-/// Encode is *unconditionally lossless*: a pattern is stored as q8 only
-/// when the quantized form decodes back to bit-identical floats (always
-/// true for patterns the serving layer canonicalized at ingest — see
+/// Encode is *unconditionally lossless and unconditionally decodable*: a
+/// pattern is stored as q8 only when it has the header dimension and the
+/// quantized form decodes back to bit-identical floats (always true for
+/// patterns the serving layer canonicalized at ingest — see
 /// serve::SessionStoreConfig::canonicalize_patterns); anything else keeps
-/// raw f32. Dehydrate -> rehydrate round trips are therefore bit-identical
-/// by construction, and Predict over rehydrated state matches Predict over
+/// raw f32, with a per-entry length when sizes are heterogeneous (the
+/// store accepts patterns of any size, so one user may mix dimensions).
+/// Dehydrate -> rehydrate round trips are therefore bit-identical by
+/// construction, and Predict over rehydrated state matches Predict over
 /// the live state bit for bit (pinned by tests/shard/compact_state_test).
 ///
 /// Decode is strictly bounds-checked in the DecodeUser tradition: hostile

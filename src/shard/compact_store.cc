@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
@@ -148,6 +149,7 @@ common::IoResult CompactStore::Load(const std::string& path,
   size_t users = 0;
   size_t patterns = 0;
   uint64_t bytes = 0;
+  std::unordered_set<int64_t> seen;
   for (size_t f = 1; f < framed.frames.size(); ++f) {
     // Full decode validation before the bytes are admitted: Take later
     // CHECKs decodability, so nothing unvalidated may enter the arena.
@@ -163,6 +165,20 @@ common::IoResult CompactStore::Load(const std::string& path,
       }
       return common::IoResult::Fail(path + ": frame " + std::to_string(f) +
                                     ": " + decoded.error);
+    }
+    // Save writes each user exactly once, so a repeated id is corruption —
+    // and silently overwriting would make stats->users overcount what the
+    // store actually holds.
+    if (!seen.insert(snap.user).second) {
+      if (stats != nullptr) {
+        stats->users = users;
+        stats->patterns = patterns;
+        stats->bytes = bytes;
+        stats->torn_tail = framed.torn_tail;
+      }
+      return common::IoResult::Fail(path + ": frame " + std::to_string(f) +
+                                    ": duplicate user " +
+                                    std::to_string(snap.user));
     }
     size_t user_patterns = 0;
     for (const auto& [location, entries] : snap.locations) {

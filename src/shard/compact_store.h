@@ -77,9 +77,10 @@ class CompactStore : public serve::ColdTier {
                         serve::SnapshotStats* stats = nullptr) const;
 
   /// Loads blobs from a compact-store file, validating every frame through
-  /// the full decoder before admitting its bytes (a corrupt frame aborts
-  /// with a structured error; the verified prefix stands, and a torn tail
-  /// reports ok with stats->torn_tail). Loaded users replace same-id blobs.
+  /// the full decoder before admitting its bytes (a corrupt or
+  /// duplicate-user frame aborts with a structured error; the verified
+  /// prefix stands, and a torn tail reports ok with stats->torn_tail).
+  /// Loaded users replace same-id blobs already in the store.
   common::IoResult Load(const std::string& path,
                         serve::SnapshotStats* stats = nullptr);
 

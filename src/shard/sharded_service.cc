@@ -56,35 +56,63 @@ ShardedService::Group* ShardedService::LiveGroupLocked(int shard_id) const {
 }
 
 std::future<serve::Prediction> ShardedService::Submit(data::Sample sample) {
-  common::MutexLock lock(mu_);
-  ADAMOVE_CHECK(!shutdown_);
   Group* group = nullptr;
   bool frozen_only = false;
-  // Simulated routing failure (stale ring read, mis-route): the request is
-  // admitted to a deterministic fallback group frozen-only — valid
-  // base-model scores, kDegraded, and crucially no state is created on a
-  // group that may not own the user.
-  if (common::FaultPoint("serve.router_lookup")) {
-    for (const auto& g : groups_) {
-      if (!g->draining) {
-        group = g.get();
-        break;
+  uint64_t gen = 0;
+  {
+    common::MutexLock lock(mu_);
+    ADAMOVE_CHECK(!shutdown_);
+    // Simulated routing failure (stale ring read, mis-route): the request
+    // is admitted to a deterministic fallback group frozen-only — valid
+    // base-model scores, kDegraded, and crucially no state is created on a
+    // group that may not own the user.
+    if (common::FaultPoint("serve.router_lookup")) {
+      for (const auto& g : groups_) {
+        if (!g->draining) {
+          group = g.get();
+          break;
+        }
       }
+      frozen_only = true;
+      router_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      group = LiveGroupLocked(router_->ShardFor(sample.user));
+      // A user mid-rebalance is served frozen-only until its state lands
+      // on the new owner (protocol step 2). Comparing rings — rather than
+      // consulting the in-transit set — also freezes users whose first
+      // request was in flight at the swap and who therefore could not be
+      // marked.
+      frozen_only = prev_router_ != nullptr &&
+                    prev_router_->ShardFor(sample.user) !=
+                        router_->ShardFor(sample.user);
     }
-    frozen_only = true;
-    router_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    group = LiveGroupLocked(router_->ShardFor(sample.user));
-    // A user mid-migration is served frozen-only until its state lands on
-    // the new owner (rebalance protocol step 2).
-    frozen_only = in_transit_.count(sample.user) > 0;
+    ADAMOVE_CHECK(group != nullptr);
+    gen = ring_gen_;
+    {
+      common::MutexLock inflight_lock(group->inflight_mu);
+      group->inflight[gen] += 1;
+    }
+    admitting_.fetch_add(1);
   }
-  ADAMOVE_CHECK(group != nullptr);
-  group->submitted += 1;
-  // Admission happens under the admin mutex (so it is ordered against ring
-  // swaps); batch formation and execution run in the group's own workers.
-  return frozen_only ? group->service->SubmitFrozen(std::move(sample))
-                     : group->service->Submit(std::move(sample));
+  // The enqueue happens outside mu_ (it may block on a full queue under
+  // OverflowPolicy::kBlock, and must not stall other groups' admissions or
+  // admin operations). The group outlives admission and its in-flight
+  // entry is already recorded, so the drain barrier covers this request
+  // even though the enqueue itself races the ring swap.
+  auto on_complete = [group, gen] {
+    common::MutexLock lock(group->inflight_mu);
+    const auto it = group->inflight.find(gen);
+    ADAMOVE_CHECK(it != group->inflight.end());
+    ADAMOVE_CHECK_GT(it->second, 0u);
+    if (--it->second == 0) group->inflight.erase(it);
+  };
+  std::future<serve::Prediction> result =
+      frozen_only ? group->service->SubmitFrozen(std::move(sample),
+                                                 std::move(on_complete))
+                  : group->service->Submit(std::move(sample),
+                                           std::move(on_complete));
+  admitting_.fetch_sub(1);
+  return result;
 }
 
 std::vector<int64_t> ShardedService::OwnedUsers(const Group& group) {
@@ -98,27 +126,42 @@ std::vector<int64_t> ShardedService::OwnedUsers(const Group& group) {
   return users;
 }
 
-void ShardedService::WaitDrained(const Group& group,
-                                 uint64_t submitted_barrier) {
-  // accounted() is monotone and counts every admitted request exactly once
-  // (the availability ledger), so reaching the barrier proves every
-  // pre-swap request of this group has fully resolved.
-  while (group.service->Stats().accounted() < submitted_barrier) {
+void ShardedService::WaitDrained(const Group& group, uint64_t gen_barrier) {
+  // Per-generation in-flight counts, not the aggregate accounted() ledger:
+  // the source group keeps admitting (and completing, out of order) new
+  // requests after the swap, so only a barrier that identifies pre-swap
+  // admissions proves they have all resolved. The map's oldest generation
+  // must itself move past the barrier.
+  for (;;) {
+    {
+      common::MutexLock lock(group.inflight_mu);
+      const auto oldest = group.inflight.begin();
+      if (oldest == group.inflight.end() || oldest->first > gen_barrier) {
+        return;
+      }
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
 
-void ShardedService::MigrateUsers(const std::vector<int64_t>& users,
-                                  Group& source) {
-  for (int64_t user : users) {
+void ShardedService::MigrateMisplaced(Group& source) {
+  // The moved set is re-derived after the drain from what the group owns
+  // *now*: a pre-swap request that was the first ever for its user created
+  // state the swap-time scan could not see, and it must move too or a later
+  // rebalance would re-inject it over a fresher copy.
+  for (int64_t user : OwnedUsers(source)) {
+    Group* target = nullptr;
+    {
+      common::MutexLock lock(mu_);
+      const int target_id = router_->ShardFor(user);
+      if (!source.draining && target_id == source.shard_id) continue;
+      target = LiveGroupLocked(target_id);
+    }
+    // admin_mu_ is held by our caller, so no concurrent topology change can
+    // mark `target` draining between the lookup and the inject.
+    ADAMOVE_CHECK(target != nullptr);
     core::OnlineAdapter::UserSnapshot snap;
     if (source.store->ExtractUser(user, &snap)) {
-      Group* target = nullptr;
-      {
-        common::MutexLock lock(mu_);
-        target = LiveGroupLocked(router_->ShardFor(user));
-      }
-      ADAMOVE_CHECK(target != nullptr);
       target->store->InjectUser(std::move(snap));
       migrated_users_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -128,9 +171,12 @@ void ShardedService::MigrateUsers(const std::vector<int64_t>& users,
 }
 
 int ShardedService::AddShard() {
+  // One topology change at a time, held across swap→drain→migrate: the
+  // target a migration injects into can never be concurrently drained.
+  common::MutexLock admin_lock(admin_mu_);
   int shard_id = 0;
-  std::vector<std::pair<Group*, uint64_t>> sources;  // group, drain barrier
-  std::vector<std::vector<int64_t>> moved;           // aligned with sources
+  uint64_t barrier = 0;
+  std::vector<Group*> sources;
   {
     common::MutexLock lock(mu_);
     ADAMOVE_CHECK(!shutdown_);
@@ -138,35 +184,35 @@ int ShardedService::AddShard() {
     groups_.push_back(MakeGroup(shard_id));
     auto next = std::make_shared<UserRouter>(*router_);
     next->AddShard(shard_id);
-    // Users the new ring hands to the new shard (~K/N of them — the
-    // consistent-hash movement bound) go in transit before the swap, so no
-    // post-swap request can touch their state mid-move.
+    // Known users the new ring hands to the new shard (~K/N of them — the
+    // consistent-hash movement bound) go in transit before the swap. Every
+    // pre-existing live group is a drain source: state for users the scan
+    // could not see (first request still in flight) may surface on any of
+    // them, and MigrateMisplaced re-derives the moved set after the drain.
     for (const auto& group : groups_) {
       if (group->draining || group->shard_id == shard_id) continue;
-      std::vector<int64_t> from_group;
       for (int64_t user : OwnedUsers(*group)) {
-        if (next->ShardFor(user) != shard_id) continue;
-        from_group.push_back(user);
-        in_transit_.insert(user);
+        if (next->ShardFor(user) == shard_id) in_transit_.insert(user);
       }
-      if (!from_group.empty()) {
-        sources.emplace_back(group.get(), group->submitted);
-        moved.push_back(std::move(from_group));
-      }
+      sources.push_back(group.get());
     }
+    prev_router_ = router_;
     router_ = std::move(next);
+    barrier = ring_gen_++;  // pre-swap admissions carry gen <= barrier
   }
-  for (size_t i = 0; i < sources.size(); ++i) {
-    WaitDrained(*sources[i].first, sources[i].second);
-    MigrateUsers(moved[i], *sources[i].first);
+  for (Group* source : sources) {
+    WaitDrained(*source, barrier);
+    MigrateMisplaced(*source);
   }
+  common::MutexLock lock(mu_);
+  prev_router_.reset();
   return shard_id;
 }
 
 bool ShardedService::RemoveShard(int shard_id) {
+  common::MutexLock admin_lock(admin_mu_);  // see AddShard
   Group* source = nullptr;
   uint64_t barrier = 0;
-  std::vector<int64_t> moved;
   {
     common::MutexLock lock(mu_);
     ADAMOVE_CHECK(!shutdown_);
@@ -180,17 +226,19 @@ bool ShardedService::RemoveShard(int shard_id) {
     source->draining = true;
     auto next = std::make_shared<UserRouter>(*router_);
     next->RemoveShard(shard_id);
-    moved = OwnedUsers(*source);
-    for (int64_t user : moved) in_transit_.insert(user);
+    for (int64_t user : OwnedUsers(*source)) in_transit_.insert(user);
+    prev_router_ = router_;
     router_ = std::move(next);
-    barrier = source->submitted;
+    barrier = ring_gen_++;
   }
   // The swap already unroutes the group; once its pre-swap requests have
-  // accounted, every user moves to its new owner. The drained group's
-  // service keeps running (empty) until Shutdown so admission-time pointers
-  // never dangle.
+  // completed, every user it still holds moves to its new owner. The
+  // drained group's service keeps running (empty) until Shutdown so
+  // admission-time pointers never dangle.
   WaitDrained(*source, barrier);
-  MigrateUsers(moved, *source);
+  MigrateMisplaced(*source);
+  common::MutexLock lock(mu_);
+  prev_router_.reset();
   return true;
 }
 
@@ -300,6 +348,11 @@ void ShardedService::Shutdown() {
     if (shutdown_) return;
     shutdown_ = true;
     for (const auto& group : groups_) all.push_back(group.get());
+  }
+  // Admissions that passed the shutdown_ check under mu_ may still be
+  // enqueuing outside the lock; let them land before the services stop.
+  while (admitting_.load() != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   // Outside the lock: Shutdown drains each group's queue (admission is
   // already closed by the shutdown_ flag above).

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -50,18 +51,37 @@ struct ShardedServiceConfig {
 /// set of users (~K/N) through an explicit migration protocol.
 ///
 /// Rebalance protocol (pinned by tests/shard/sharded_service_test):
-///   1. under the admin mutex: build the next ring, mark every user whose
-///      placement changes as in-transit, swap the ring;
-///   2. requests admitted from now on route by the new ring; in-transit
-///      users are served frozen-only (kDegraded — valid base-model scores,
-///      no state writes on the wrong group);
-///   3. wait until the source group has accounted every request admitted
-///      before the swap (its workers drain independently);
-///   4. move each user's complete state (hot or cold) to its new group and
-///      clear the in-transit mark — the user resumes the adapted path.
+///   1. under the routing mutex: build the next ring, mark every known user
+///      whose placement changes as in-transit, swap the ring and bump the
+///      ring generation;
+///   2. requests admitted from now on route by the new ring; any user whose
+///      placement differs between the old and new rings is served
+///      frozen-only (kDegraded — valid base-model scores, no state writes
+///      on the wrong group). The old-vs-new comparison, not the in-transit
+///      set, is the freeze predicate, so it also covers users the swap-time
+///      scan could not see because their first-ever request was still in
+///      flight;
+///   3. wait until every request admitted to the source group under a
+///      pre-swap ring generation has completed. Each group keeps in-flight
+///      counts keyed by admission generation, decremented by a per-request
+///      completion hook — the barrier is per-generation, so out-of-order
+///      completions of post-swap requests can never satisfy it on behalf of
+///      a pre-swap request still in flight;
+///   4. re-derive the moved set from what the source group owns *now*
+///      (state created by late pre-swap requests included), move each
+///      user's complete state (hot or cold) to its new group and clear the
+///      in-transit marks — the users resume the adapted path.
 /// Requests in flight across the swap therefore resolve to exactly kOk
 /// (admitted before the swap, state still on the source) or kDegraded
 /// (admitted after, frozen-only) — never a crash, never forked state.
+///
+/// Topology changes are serialized: AddShard/RemoveShard hold a dedicated
+/// admin mutex across the whole swap→drain→migrate sequence, so a
+/// migration's target group can never be concurrently marked draining.
+/// Admission itself never blocks under a lock — Submit resolves routing
+/// under the routing mutex but performs the (potentially blocking,
+/// OverflowPolicy::kBlock) enqueue after releasing it, keeping one full
+/// group from stalling admissions to the others.
 ///
 /// Removed groups are drained (their PredictionService keeps running with
 /// nothing routed to it) and destroyed only at Shutdown, so a raw Group
@@ -98,12 +118,13 @@ class ShardedService {
   std::future<serve::Prediction> Submit(data::Sample sample);
 
   /// Adds a shard group, migrating the users the new ring assigns to it.
-  /// Returns the new shard id.
+  /// Returns the new shard id. Topology changes are serialized against
+  /// each other (safe to call from any thread, including while serving).
   int AddShard();
 
   /// Drains and removes a shard group, migrating all of its users to their
   /// new owners. False (and no change) for an unknown/draining id or when
-  /// it is the last live shard.
+  /// it is the last live shard. Serialized like AddShard.
   bool RemoveShard(int shard_id);
 
   /// Live (non-draining) shard ids, ascending.
@@ -150,13 +171,16 @@ class ShardedService {
  private:
   struct Group {
     int shard_id = 0;
-    /// Mutated only under the admin mutex (the group object itself lives
+    /// Mutated only under the routing mutex (the group object itself lives
     /// until Shutdown, so pointers to it never dangle).
     bool draining = false;
-    /// Requests admitted to this group so far; the drain barrier compares
-    /// it against the service's accounted() ledger. Written under the
-    /// admin mutex.
-    uint64_t submitted = 0;
+    /// In-flight requests keyed by the ring generation they were admitted
+    /// under. Incremented at admission (inflight_mu nests inside mu_),
+    /// decremented by the per-request completion hook; an entry is erased
+    /// when its count reaches zero, so begin() is the oldest generation
+    /// still in flight — exactly what WaitDrained polls.
+    mutable common::Mutex inflight_mu;
+    std::map<uint64_t, uint64_t> inflight ADAMOVE_GUARDED_BY(inflight_mu);
     std::unique_ptr<CompactStore> cold;
     std::unique_ptr<serve::SessionStore> store;
     std::unique_ptr<serve::PredictionService> service;
@@ -166,24 +190,40 @@ class ShardedService {
   Group* LiveGroupLocked(int shard_id) const ADAMOVE_REQUIRES(mu_);
   /// All users a group owns, hot and cold, ascending and deduplicated.
   static std::vector<int64_t> OwnedUsers(const Group& group);
-  /// Blocks until `group`'s service has accounted every request admitted
-  /// before `submitted_barrier` (see the rebalance protocol above).
-  static void WaitDrained(const Group& group, uint64_t submitted_barrier);
-  /// Moves each user's state to its current ring owner and clears its
-  /// in-transit mark. Call without the admin mutex held.
-  void MigrateUsers(const std::vector<int64_t>& users, Group& source);
+  /// Blocks until no request admitted to `group` under a generation
+  /// <= `gen_barrier` is still in flight (rebalance protocol step 3).
+  static void WaitDrained(const Group& group, uint64_t gen_barrier);
+  /// Moves every user the (drained) group owns but the current ring places
+  /// elsewhere to its owner, clearing in-transit marks as state lands.
+  /// Call with admin_mu_ held but not mu_.
+  void MigrateMisplaced(Group& source);
 
   core::AdaptableModel& model_;
   ShardedServiceConfig config_;
 
+  /// Serializes AddShard/RemoveShard end to end. Lock order:
+  /// admin_mu_ -> mu_ -> Group::inflight_mu (each optional, never inverted).
+  common::Mutex admin_mu_;
+
   mutable common::Mutex mu_;
   /// Copy-on-write ring: swapped whole under mu_, never mutated in place.
   std::shared_ptr<const UserRouter> router_ ADAMOVE_GUARDED_BY(mu_);
+  /// The pre-swap ring, non-null only while a rebalance is migrating: a
+  /// user the two rings place differently is served frozen-only (protocol
+  /// step 2).
+  std::shared_ptr<const UserRouter> prev_router_ ADAMOVE_GUARDED_BY(mu_);
+  /// Bumped at every ring swap; admissions are tagged with the generation
+  /// they observed.
+  uint64_t ring_gen_ ADAMOVE_GUARDED_BY(mu_) = 0;
   /// All groups ever created (draining ones included — see class comment).
   std::vector<std::unique_ptr<Group>> groups_ ADAMOVE_GUARDED_BY(mu_);
   std::unordered_set<int64_t> in_transit_ ADAMOVE_GUARDED_BY(mu_);
   int next_shard_id_ ADAMOVE_GUARDED_BY(mu_) = 0;
   bool shutdown_ ADAMOVE_GUARDED_BY(mu_) = false;
+
+  /// Admissions past the shutdown_ check whose enqueue (outside mu_) has
+  /// not landed yet; Shutdown waits for zero before stopping the services.
+  std::atomic<size_t> admitting_{0};
 
   std::atomic<uint64_t> migrated_users_{0};
   std::atomic<uint64_t> router_fallbacks_{0};

@@ -329,6 +329,44 @@ TEST(CompactStateTest, CompactBlobIsAtLeastFourTimesSmallerThanResident) {
       << compact.size();
 }
 
+TEST(CompactStateTest, HeterogeneousPatternSizesRoundTripBitIdentically) {
+  // SessionStore::Observe accepts patterns of any size, so one user's
+  // snapshot may mix dimensions (including empty). The codec must stay
+  // lossless *and decodable* — a blob that cannot decode would abort the
+  // process at the next hydration (CompactStore::Take CHECKs).
+  common::Rng rng(41);
+  OnlineAdapter::UserSnapshot snap;
+  snap.user = 13;
+  int64_t loc = 2;
+  for (size_t dim : {8u, 3u, 0u, 16u}) {
+    std::vector<OnlineAdapter::Entry> entries;
+    OnlineAdapter::Entry wide;
+    wide.pattern = RandomPattern(rng, dim);
+    wide.timestamp = 1000 + loc;
+    entries.push_back(std::move(wide));
+    OnlineAdapter::Entry narrow;  // second size within the same location
+    narrow.pattern = RandomPattern(rng, dim / 2);
+    narrow.timestamp = 2000 + loc;
+    entries.push_back(std::move(narrow));
+    snap.locations.emplace_back(loc, std::move(entries));
+    loc += 3;
+  }
+
+  std::string encoded;
+  CompactEncodeStats stats;
+  EncodeCompactUser(snap, CompactOptions{}, &encoded, &stats);
+  EXPECT_EQ(stats.patterns, 8u);
+
+  OnlineAdapter::UserSnapshot back;
+  const common::IoResult decoded = DecodeCompactUser(encoded, &back);
+  ASSERT_TRUE(static_cast<bool>(decoded)) << decoded.error;
+  EXPECT_TRUE(SnapshotsBitIdentical(snap, back));
+
+  int64_t user = 0;
+  ASSERT_TRUE(static_cast<bool>(PeekCompactUser(encoded, &user)));
+  EXPECT_EQ(user, 13);
+}
+
 TEST(CompactStateTest, DecodeRejectsCorruptBlobsStructurally) {
   const OnlineAdapter::UserSnapshot snap = CanonicalSnapshot(9, 3, 4, 8, 7);
   std::string encoded;

@@ -12,10 +12,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/durable_io.h"
 #include "common/qfloat.h"
 #include "common/rng.h"
 #include "core/lightmob.h"
 #include "serve/session_store.h"
+#include "shard/compact_state.h"
 #include "shard/compact_store.h"
 
 namespace adamove::shard {
@@ -210,6 +212,77 @@ TEST(TwoTierStoreTest, ExtractAndInjectMoveStateBetweenStores) {
 
   core::OnlineAdapter::UserSnapshot missing;
   EXPECT_FALSE(store_a.ExtractUser(99, &missing));
+}
+
+TEST(TwoTierStoreTest, HeterogeneousPatternDimsSurviveDehydration) {
+  // Regression: a user whose entries mix pattern sizes used to encode to a
+  // blob that could not decode — aborting the process at the next
+  // hydration (Take CHECKs decodability) instead of round-tripping.
+  CompactStore cold;
+  common::Rng rng(9);
+  core::OnlineAdapter::UserSnapshot snap;
+  snap.user = 3;
+  int64_t loc = 1;
+  for (size_t dim : {8u, 3u, 16u}) {
+    std::vector<core::OnlineAdapter::Entry> entries;
+    core::OnlineAdapter::Entry entry;
+    entry.pattern = RandomCanonicalPattern(rng, dim);
+    entry.timestamp = 1000 * loc;
+    entries.push_back(std::move(entry));
+    snap.locations.emplace_back(loc, std::move(entries));
+    loc += 2;
+  }
+  const core::OnlineAdapter::UserSnapshot original = snap;
+
+  cold.Accept(std::move(snap));
+  core::OnlineAdapter::UserSnapshot back;
+  ASSERT_TRUE(cold.Take(3, &back));
+  ASSERT_EQ(back.locations.size(), original.locations.size());
+  for (size_t l = 0; l < back.locations.size(); ++l) {
+    EXPECT_EQ(back.locations[l].first, original.locations[l].first);
+    const auto& got = back.locations[l].second;
+    const auto& want = original.locations[l].second;
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t e = 0; e < got.size(); ++e) {
+      EXPECT_EQ(got[e].timestamp, want[e].timestamp);
+      EXPECT_EQ(got[e].pattern, want[e].pattern);  // exact float ==
+    }
+  }
+}
+
+TEST(CompactStoreTest, LoadRejectsDuplicateUserFrames) {
+  const std::string path = TempPath("adamove_compact_store_dup");
+  common::Rng rng(11);
+  core::OnlineAdapter::UserSnapshot snap;
+  snap.user = 5;
+  std::vector<core::OnlineAdapter::Entry> entries;
+  core::OnlineAdapter::Entry entry;
+  entry.pattern = RandomCanonicalPattern(rng, 8);
+  entry.timestamp = 1000;
+  entries.push_back(std::move(entry));
+  snap.locations.emplace_back(2, std::move(entries));
+  std::string blob;
+  EncodeCompactUser(snap, CompactOptions{}, &blob);
+
+  // Hand-built file whose declared count matches the frame count, but the
+  // same user appears twice: Save never writes that, so Load must treat it
+  // as corruption rather than silently loading fewer users than reported.
+  common::FramedFileWriter writer(kCompactStoreMagic);
+  std::string header;
+  common::AppendU32(&header, 1);
+  common::AppendU64(&header, 2);
+  writer.AddFrame(header);
+  writer.AddFrame(blob);
+  writer.AddFrame(blob);
+  ASSERT_TRUE(static_cast<bool>(writer.Commit(path)));
+
+  CompactStore store;
+  serve::SnapshotStats stats;
+  const common::IoResult result = store.Load(path, &stats);
+  EXPECT_FALSE(static_cast<bool>(result));
+  EXPECT_NE(result.error.find("duplicate user"), std::string::npos)
+      << result.error;
+  std::remove(path.c_str());
 }
 
 // ---- the sharded service ---------------------------------------------------
