@@ -4,10 +4,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "data/preprocess.h"
+#include "nn/kernels.h"
 
 namespace adamove::bench {
 
@@ -91,6 +94,25 @@ void PrintBenchBanner(const std::string& bench_name, const BenchEnv& env) {
       "env: scale=%.2f epochs=%d hidden=%d "
       "(override via ADAMOVE_BENCH_SCALE / _EPOCHS / _HIDDEN)\n\n",
       env.scale, env.max_epochs, env.hidden);
+}
+
+std::string ApplyKernelBackendFlag(std::vector<char*>* args) {
+  for (auto it = args->begin(); it != args->end(); ++it) {
+    if (std::strncmp(*it, "--backend=", 10) != 0) continue;
+    const char* value = *it + 10;
+    if (std::strcmp(value, "scalar") != 0 && std::strcmp(value, "simd") != 0) {
+      std::fprintf(stderr,
+                   "--backend=%s: expected scalar or simd; keeping the "
+                   "default selection\n",
+                   value);
+    } else {
+      setenv("ADAMOVE_KERNEL_BACKEND", value, /*overwrite=*/1);
+    }
+    args->erase(it);
+    break;
+  }
+  nn::kernels::RefreshBackendFromEnv();
+  return nn::kernels::BackendDescription();
 }
 
 int64_t SteadyNowUs() {

@@ -65,6 +65,15 @@ std::vector<std::string> MetricCells(const core::Metrics& metrics);
 /// Prints the standard bench header (dataset sizes, env knobs).
 void PrintBenchBanner(const std::string& bench_name, const BenchEnv& env);
 
+/// Consumes a `--backend=scalar|simd` flag from `args` if present (other
+/// flags are left in place): sets ADAMOVE_KERNEL_BACKEND and reselects the
+/// kernel dispatch table, so the choice is active before any benchmark body
+/// runs. Without the flag the table is still selected now (env var or best
+/// available), so the return value — the active backend description, e.g.
+/// "simd (avx2+fma)" — is always meaningful for banners and the
+/// google-benchmark context block.
+std::string ApplyKernelBackendFlag(std::vector<char*>* args);
+
 /// Monotonic now() in microseconds for latency arithmetic across call
 /// sites. All bench timing must go through std::chrono::steady_clock —
 /// either common::Timer or this helper; system_clock/clock() are banned

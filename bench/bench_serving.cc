@@ -32,9 +32,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/cpu_features.h"
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "core/lightmob.h"
+#include "nn/kernels.h"
 #include "serve/load_gen.h"
 #include "serve/prediction_service.h"
 #include "serve/session_store.h"
@@ -197,6 +199,8 @@ void WriteServingJson(const char* json_path, size_t requests,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
+               nn::kernels::BackendDescription().c_str());
   std::fprintf(f, "  \"requests\": %zu,\n", requests);
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
@@ -276,6 +280,12 @@ int main(int argc, char** argv) {
   bench::BenchEnv env = bench::ReadBenchEnv();
   bench::PrintBenchBanner("bench_serving — concurrent online prediction",
                           env);
+  // Every latency number below depends on which kernel arithmetic served
+  // it, so the table header names the active backend (ADAMOVE_KERNEL_BACKEND
+  // overrides the CPUID-selected default).
+  std::printf("kernel backend: %s (cpu: %s)\n",
+              nn::kernels::BackendDescription().c_str(),
+              common::CpuFeatureString().c_str());
 
   bench::PreparedDataset prepared =
       bench::Prepare(data::NycLikePreset(), env);

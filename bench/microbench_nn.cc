@@ -14,8 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
+#include "common/cpu_features.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "nn/kernels.h"
 #include "core/config.h"
 #include "core/lightmob.h"
 #include "core/ptta.h"
@@ -29,9 +32,25 @@ namespace {
 
 using namespace adamove;
 
+// Pins the kernel backend for one benchmark run (third Args dimension:
+// 0 = scalar reference, 1 = simd), so the JSON keeps scalar baseline rows
+// next to the vector rows. Falls back to scalar when the host has no
+// vector kernels; the run is then a duplicate baseline, not a crash.
+class BackendPin {
+ public:
+  explicit BackendPin(int64_t backend_arg) {
+    nn::kernels::SetBackendForTest(backend_arg != 0
+                                       ? nn::kernels::Backend::kSimd
+                                       : nn::kernels::Backend::kScalar);
+  }
+  // Back to the flag/env-selected backend for un-pinned benchmarks.
+  ~BackendPin() { nn::kernels::RefreshBackendFromEnv(); }
+};
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   common::SetKernelThreads(static_cast<int>(state.range(1)));
+  BackendPin pin(state.range(2));
   common::Rng rng(1);
   nn::Tensor a = nn::Tensor::Randn({n, n}, rng);
   nn::Tensor b = nn::Tensor::Randn({n, n}, rng);
@@ -43,15 +62,21 @@ void BM_MatMul(benchmark::State& state) {
   common::SetKernelThreads(0);
 }
 BENCHMARK(BM_MatMul)
-    ->Args({32, 1})
-    ->Args({64, 1})
-    ->Args({128, 1})
-    ->Args({128, 2})
-    ->Args({128, 4})
-    ->Args({256, 1})
-    ->Args({256, 2})
-    ->Args({256, 4})
-    ->Args({256, 8});
+    // Scalar baseline rows (backend arg 0), one per size at 1 thread.
+    ->Args({32, 1, 0})
+    ->Args({64, 1, 0})
+    ->Args({128, 1, 0})
+    ->Args({256, 1, 0})
+    // The simd size × threads sweep.
+    ->Args({32, 1, 1})
+    ->Args({64, 1, 1})
+    ->Args({128, 1, 1})
+    ->Args({128, 2, 1})
+    ->Args({128, 4, 1})
+    ->Args({256, 1, 1})
+    ->Args({256, 2, 1})
+    ->Args({256, 4, 1})
+    ->Args({256, 8, 1});
 
 void BM_MatMulBackward(benchmark::State& state) {
   // Exercises the transpose-variant kernels (dA += dC·Bᵀ, dB += Aᵀ·dC).
@@ -145,6 +170,7 @@ BENCHMARK(BM_TapeOverhead);
 void BM_PttaAdjustedWeights(benchmark::State& state) {
   const int length = static_cast<int>(state.range(0));
   common::SetKernelThreads(static_cast<int>(state.range(1)));
+  BackendPin pin(state.range(2));
   core::ModelConfig config;
   config.num_locations = 500;
   config.num_users = 50;
@@ -179,18 +205,24 @@ void BM_PttaAdjustedWeights(benchmark::State& state) {
   common::SetKernelThreads(0);
 }
 BENCHMARK(BM_PttaAdjustedWeights)
-    ->Args({32, 1})
-    ->Args({32, 2})
-    ->Args({32, 4})
-    ->Args({64, 1})
-    ->Args({64, 2})
-    ->Args({64, 4});
+    // Scalar baseline rows, then the simd length × threads sweep.
+    ->Args({32, 1, 0})
+    ->Args({64, 1, 0})
+    ->Args({32, 1, 1})
+    ->Args({32, 2, 1})
+    ->Args({32, 4, 1})
+    ->Args({64, 1, 1})
+    ->Args({64, 2, 1})
+    ->Args({64, 4, 1});
 
 }  // namespace
 
 // Custom main: `--bench_report` additionally writes BENCH_kernels.json
 // (google-benchmark's JSON format) for the perf-tracking scripts, without
-// the caller having to remember the two underlying flags.
+// the caller having to remember the two underlying flags; `--backend=
+// scalar|simd` forces the kernel dispatch table for the un-pinned
+// benchmarks, and the selection lands in the JSON `context` block so a
+// checked-in baseline always names the arithmetic that produced it.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = "--benchmark_out=BENCH_kernels.json";
@@ -208,6 +240,10 @@ int main(int argc, char** argv) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
+  const std::string backend = adamove::bench::ApplyKernelBackendFlag(&args);
+  benchmark::AddCustomContext("kernel_backend", backend);
+  benchmark::AddCustomContext("cpu_features",
+                              adamove::common::CpuFeatureString());
   int fake_argc = static_cast<int>(args.size());
   benchmark::Initialize(&fake_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {

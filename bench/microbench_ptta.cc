@@ -7,6 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/lightmob.h"
@@ -106,4 +111,22 @@ BENCHMARK(BM_TopMBuffer)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--backend=scalar|simd` forces
+// the kernel dispatch table, and the active selection + CPU features are
+// recorded in the context block of any JSON the caller requests via the
+// standard --benchmark_out flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  const std::string backend = adamove::bench::ApplyKernelBackendFlag(&args);
+  benchmark::AddCustomContext("kernel_backend", backend);
+  benchmark::AddCustomContext("cpu_features",
+                              adamove::common::CpuFeatureString());
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # The repo's full verification ladder, in the order a reviewer should trust:
 #
-#   1. tier-1: plain build (-Werror) + the complete ctest suite
+#   1. tier-1: plain build (-Werror) + the complete ctest suite, twice:
+#              once under the dispatcher's default backend selection (SIMD
+#              on AVX2 hosts) and once with ADAMOVE_KERNEL_BACKEND=scalar
+#              forced, so the golden pin and every numeric suite are
+#              exercised against both arithmetic classes (DESIGN.md §13)
 #   2. TSan:   `concurrency` + `persist` + `shard` labels under
 #              -DADAMOVE_SANITIZE=thread (data races in the serving path /
 #              kernels / chaos suite, snapshot/restore racing live traffic,
@@ -30,7 +34,10 @@ JOBS="${JOBS:-$(nproc)}"
 echo "==> [1/4] tier-1: build (-Werror) + full test suite"
 cmake -B build -S . -DADAMOVE_WERROR=ON >/dev/null
 cmake --build build -j "${JOBS}"
+echo "    ... default kernel backend (runtime dispatch)"
 ctest --test-dir build --output-on-failure
+echo "    ... ADAMOVE_KERNEL_BACKEND=scalar forced"
+ADAMOVE_KERNEL_BACKEND=scalar ctest --test-dir build --output-on-failure
 
 echo "==> [2/4] TSan: concurrency + persist + shard labeled suites"
 cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null

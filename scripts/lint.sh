@@ -35,6 +35,14 @@
 #                      store silently opts out of capacity management
 #                      (DESIGN.md §12). Tests and bench/ stay exempt — the
 #                      unsharded path is still a legitimate harness subject.
+#        raw-intrinsics
+#                      x86 vector intrinsics (`_mm256_*`, `__m256`, any
+#                      `_mm512_*`) outside src/nn/kernels_avx2.cc, and NEON
+#                      intrinsics outside src/nn/kernels_neon.cc. All SIMD
+#                      lives behind the kernel dispatch table (DESIGN.md
+#                      §13); an intrinsic anywhere else bypasses the
+#                      backend contract, the scalar-forced golden pin and
+#                      the cross-backend agreement suite.
 #        todo-label    TODO without an owner label `TODO(name):` rots.
 #
 #   2. clang-tidy (.clang-tidy profile: bugprone-*, performance-*,
@@ -89,6 +97,18 @@ mapfile -t SRC_NO_SHARD < <(find src -name '*.cc' -o -name '*.h' |
 run_lint session-store-construction \
   '\bSessionStore[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]|make_unique<[^>]*SessionStore' \
   "${SRC_NO_SHARD[@]}"
+# SIMD containment: intrinsics only inside the one backend file per ISA, so
+# every vectorized path is reachable through the dispatch table and covered
+# by the scalar/simd agreement tests.
+mapfile -t SRC_NO_AVX2 < <(find src -name '*.cc' -o -name '*.h' |
+  grep -v '^src/nn/kernels_avx2\.cc$')
+run_lint raw-intrinsics-x86 '_mm256_|_mm512_|__m256|__m512' \
+  "${SRC_NO_AVX2[@]}"
+mapfile -t SRC_NO_NEON < <(find src -name '*.cc' -o -name '*.h' |
+  grep -v '^src/nn/kernels_neon\.cc$')
+run_lint raw-intrinsics-neon \
+  'vld1q_|vst1q_|vfmaq_|float32x4_t|float64x2_t|vaddvq_' \
+  "${SRC_NO_NEON[@]}"
 # todo-label needs a negative lookahead; grep -P is not portable, so
 # emulate it with two passes instead of run_lint.
 todo_hits=$(grep -rnE '\bTODO\b' src 2>/dev/null |

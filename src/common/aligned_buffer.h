@@ -1,0 +1,121 @@
+#ifndef ADAMOVE_COMMON_ALIGNED_BUFFER_H_
+#define ADAMOVE_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace adamove::common {
+
+/// A cache-line-aligned, trivially-copyable scratch buffer for the kernel
+/// layer: data() is always 64-byte aligned, so a vector backend can use
+/// aligned loads on the buffer head and never straddles a cache line it
+/// didn't pay for. Deliberately tiny compared to std::vector — no
+/// per-element construction, no initialization on Resize, move-only — the
+/// contract a flat float arena actually needs (DESIGN.md §13).
+///
+/// Alignment is a *performance* contract, not a correctness one: kernels
+/// must still use unaligned loads on interior pointers (the UBSan
+/// regression test in tests/nn feeds every backend deliberately offset
+/// views).
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is raw storage: elements are moved with "
+                "memcpy and never constructed or destroyed");
+
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t n) { Resize(n); }
+  ~AlignedBuffer() { Free(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) {
+    ADAMOVE_CHECK_LT(i, size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    ADAMOVE_CHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  /// Grows the allocation to hold at least `n` elements (contents
+  /// preserved); never shrinks.
+  void Reserve(size_t n) {
+    if (n <= capacity_) return;
+    size_t cap = capacity_ == 0 ? 64 : capacity_;
+    while (cap < n) cap += cap / 2 + 1;
+    T* grown = static_cast<T*>(
+        ::operator new(cap * sizeof(T), std::align_val_t{kAlignment}));
+    if (size_ > 0) std::memcpy(grown, data_, size_ * sizeof(T));
+    Free();
+    data_ = grown;
+    capacity_ = cap;
+  }
+
+  /// Sets the element count. New elements (beyond the previous size) are
+  /// uninitialized — this is scratch storage, callers overwrite before
+  /// reading.
+  void Resize(size_t n) {
+    Reserve(n);
+    size_ = n;
+  }
+
+  /// Appends `n` elements copied from `src`, growing as needed; returns the
+  /// element offset the copy landed at — the arena-handle idiom the batched
+  /// PTTA rebuild uses (jobs record offsets, never pointers, so growth
+  /// cannot invalidate them).
+  size_t Append(const T* src, size_t n) {
+    const size_t offset = size_;
+    Resize(size_ + n);
+    if (n > 0) std::memcpy(data_ + offset, src, n * sizeof(T));
+    return offset;
+  }
+
+  /// Forgets the contents but keeps the allocation (per-batch arena reuse).
+  void Clear() { size_ = 0; }
+
+ private:
+  void Free() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace adamove::common
+
+#endif  // ADAMOVE_COMMON_ALIGNED_BUFFER_H_

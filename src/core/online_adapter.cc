@@ -5,10 +5,8 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
-#include "common/parallel_for.h"
 #include "core/ptta.h"
 #include "nn/kernels.h"
-#include "nn/ops.h"
 
 namespace adamove::core {
 
@@ -17,29 +15,17 @@ namespace {
 /// Frozen-classifier scores without bias: scores[l] = query · θ_l. Shared by
 /// Predict (which then overwrites adapted columns) and PredictFrozen, so the
 /// fallback path is arithmetically identical to the untouched-column path.
+/// VecMatColsF64 keeps the historical ascending-i double accumulation per
+/// column on every backend.
 std::vector<float> FrozenColumnScores(const nn::Linear& classifier,
                                       const std::vector<float>& query) {
   const int64_t hidden = classifier.in_features();
   const int64_t num_loc = classifier.out_features();
   ADAMOVE_CHECK_EQ(static_cast<int64_t>(query.size()), hidden);
   const std::vector<float>& weight = classifier.weight().data();
-  // Column-parallel over the shared kernel pool: each thread owns a
-  // contiguous range of locations, accumulating each column in the same
-  // ascending-i double order as the serial loop.
   std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
-  common::ParallelFor(
-      0, num_loc, nn::kernels::GrainForWork(hidden),
-      [&](int64_t l0, int64_t l1) {
-        for (int64_t l = l0; l < l1; ++l) {
-          const float* column = weight.data() + l;
-          double acc = 0.0;
-          for (int64_t i = 0; i < hidden; ++i) {
-            acc += static_cast<double>(query[static_cast<size_t>(i)]) *
-                   column[i * num_loc];
-          }
-          scores[static_cast<size_t>(l)] = static_cast<float>(acc);
-        }
-      });
+  nn::kernels::VecMatColsF64(query.data(), weight.data(), scores.data(),
+                             hidden, num_loc);
   return scores;
 }
 
@@ -84,72 +70,91 @@ std::vector<float> OnlineAdapter::PredictFrozen(
   return scores;
 }
 
+size_t OnlineAdapter::CollectRebuildJobs(
+    int64_t user, const std::vector<float>& query, int64_t query_time,
+    common::AlignedBuffer<float>* arena,
+    std::vector<RebuildJob>* jobs) const {
+  // Simulated knowledge-base lookup failure: the per-user adjustment is
+  // skipped and the frozen scores stand — a valid base-model prediction.
+  auto it = common::FaultPoint("core.kb.lookup") ? users_.end()
+                                                 : users_.find(user);
+  if (it == users_.end()) return 0;
+  const size_t hidden = query.size();
+  size_t appended = 0;
+  // Ranking scratch hoisted out of the per-location loop: one allocation
+  // per collect instead of one per adapted location.
+  std::vector<std::pair<float, const Entry*>> fresh;
+  for (const auto& [location, entries] : it->second.by_location) {
+    // Fresh candidates ranked by similarity to the query pattern.
+    fresh.clear();
+    for (const auto& entry : entries) {
+      if (max_age_seconds_ > 0 &&
+          query_time - entry.timestamp > max_age_seconds_) {
+        continue;
+      }
+      fresh.emplace_back(Cosine(query, entry.pattern), &entry);
+    }
+    if (fresh.empty()) continue;
+    const size_t keep =
+        std::min(fresh.size(), static_cast<size_t>(config_.capacity));
+    std::partial_sort(fresh.begin(), fresh.begin() + keep, fresh.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    RebuildJob job;
+    job.location = location;
+    job.keep = static_cast<int64_t>(keep);
+    // Copy the kept patterns out in ranking order: the job survives any
+    // later adapter mutation, and the centroid kernel reads them as one
+    // contiguous {keep, hidden} block.
+    job.arena_offset = arena->size();
+    for (size_t k = 0; k < keep; ++k) {
+      arena->Append(fresh[k].second->pattern.data(), hidden);
+    }
+    jobs->push_back(job);
+    ++appended;
+  }
+  return appended;
+}
+
+std::vector<float> OnlineAdapter::ScoreCollectedJobs(
+    const AdaptableModel& model, const std::vector<float>& query,
+    const std::vector<RebuildJob>& jobs,
+    const common::AlignedBuffer<float>& arena) {
+  const nn::Linear& classifier = model.classifier();
+  const int64_t hidden = classifier.in_features();
+  const int64_t num_loc = classifier.out_features();
+  const std::vector<float>& weight = classifier.weight().data();
+
+  // Start from the frozen column scores; overwrite adapted columns below.
+  std::vector<float> scores = FrozenColumnScores(classifier, query);
+  for (const RebuildJob& job : jobs) {
+    // θ'_l = mean({θ_l} ∪ kept patterns); score = query · θ'_l. The fused
+    // kernel accumulates each centroid element exactly as the historical
+    // loop pair (θ first, patterns in ranking order, double throughout).
+    const double acc = nn::kernels::PttaCentroidDot(
+        query.data(), weight.data() + job.location, num_loc,
+        arena.data() + job.arena_offset, job.keep, hidden);
+    scores[static_cast<size_t>(job.location)] = static_cast<float>(
+        acc / (1.0 + static_cast<double>(job.keep)));
+  }
+  AddBias(classifier, &scores);
+  return scores;
+}
+
 std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
                                           int64_t user,
                                           const std::vector<float>& query,
                                           int64_t query_time,
                                           AdapterStats* stats) const {
-  const nn::Linear& classifier = model.classifier();
-  const int64_t hidden = classifier.in_features();
-  const int64_t num_loc = classifier.out_features();
-  const std::vector<float>& weight = classifier.weight().data();
-  int columns_updated = 0;
-
-  // Start from the frozen column scores; overwrite adapted columns below.
-  std::vector<float> scores = FrozenColumnScores(classifier, query);
-
-  // Simulated knowledge-base lookup failure: the per-user adjustment is
-  // skipped and the frozen scores stand — a valid base-model prediction.
-  auto it = common::FaultPoint("core.kb.lookup") ? users_.end()
-                                                 : users_.find(user);
-  if (it != users_.end()) {
-    // Scratch buffers hoisted out of the per-location loop: one allocation
-    // per Predict instead of one per adapted location.
-    std::vector<double> centroid(static_cast<size_t>(hidden));
-    std::vector<std::pair<float, const Entry*>> fresh;
-    for (const auto& [location, entries] : it->second.by_location) {
-      // Fresh candidates ranked by similarity to the query pattern.
-      fresh.clear();
-      for (const auto& entry : entries) {
-        if (max_age_seconds_ > 0 &&
-            query_time - entry.timestamp > max_age_seconds_) {
-          continue;
-        }
-        fresh.emplace_back(Cosine(query, entry.pattern), &entry);
-      }
-      if (fresh.empty()) continue;
-      const size_t keep =
-          std::min(fresh.size(), static_cast<size_t>(config_.capacity));
-      std::partial_sort(fresh.begin(), fresh.begin() + keep, fresh.end(),
-                        [](const auto& a, const auto& b) {
-                          return a.first > b.first;
-                        });
-      // θ'_l = mean({θ_l} ∪ kept patterns); score = query · θ'_l.
-      for (int64_t i = 0; i < hidden; ++i) {
-        centroid[static_cast<size_t>(i)] =
-            weight[static_cast<size_t>(i * num_loc + location)];
-      }
-      for (size_t k = 0; k < keep; ++k) {
-        for (int64_t i = 0; i < hidden; ++i) {
-          centroid[static_cast<size_t>(i)] +=
-              fresh[k].second->pattern[static_cast<size_t>(i)];
-        }
-      }
-      double acc = 0.0;
-      for (int64_t i = 0; i < hidden; ++i) {
-        acc += query[static_cast<size_t>(i)] *
-               centroid[static_cast<size_t>(i)];
-      }
-      scores[static_cast<size_t>(location)] =
-          static_cast<float>(acc / (1.0 + static_cast<double>(keep)));
-      ++columns_updated;
-    }
-  }
-  AddBias(classifier, &scores);
+  const int64_t hidden = model.classifier().in_features();
+  common::AlignedBuffer<float> arena;
+  std::vector<RebuildJob> jobs;
+  CollectRebuildJobs(user, query, query_time, &arena, &jobs);
+  std::vector<float> scores = ScoreCollectedJobs(model, query, jobs, arena);
   if (stats != nullptr) {
-    stats->columns_updated = columns_updated;
-    stats->weight_bytes_touched = static_cast<int64_t>(columns_updated) *
-                                  hidden *
+    stats->columns_updated = static_cast<int>(jobs.size());
+    stats->weight_bytes_touched = static_cast<int64_t>(jobs.size()) * hidden *
                                   static_cast<int64_t>(sizeof(float));
     stats->resident_bytes = static_cast<int64_t>(ResidentBytes(user));
   }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/durable_io.h"
 #include "core/config.h"
 #include "core/model.h"
@@ -87,6 +88,44 @@ class OnlineAdapter {
                              const std::vector<float>& query,
                              int64_t query_time,
                              AdapterStats* stats = nullptr) const;
+
+  /// One deferred adjusted-column rebuild produced by CollectRebuildJobs:
+  /// which classifier column the knowledge base touches, how many patterns
+  /// were kept for it, and where their contiguous copy starts in the
+  /// pattern arena.
+  struct RebuildJob {
+    int64_t location = 0;
+    int64_t keep = 0;
+    size_t arena_offset = 0;
+  };
+
+  /// Phase 1 of Predict, factored out so the serving layer can run it for a
+  /// whole micro-batch under the shard lock and defer the arithmetic: ranks
+  /// each location's fresh-at-`query_time` candidates by similarity to
+  /// `query`, copies the kept patterns into `arena` (contiguous, descending
+  /// similarity — the order the centroid sums them) and appends one
+  /// RebuildJob per touched location to `jobs`. Probes the core.kb.lookup
+  /// fault point exactly as Predict does (on fault: appends nothing). Jobs
+  /// record arena *offsets*, never pointers, so later appends (other
+  /// requests in the batch) and subsequent adapter mutation (eviction,
+  /// ingestion) cannot invalidate them. Returns the number of jobs
+  /// appended.
+  size_t CollectRebuildJobs(int64_t user, const std::vector<float>& query,
+                            int64_t query_time,
+                            common::AlignedBuffer<float>* arena,
+                            std::vector<RebuildJob>* jobs) const;
+
+  /// Phase 2: frozen-classifier scores for `query` with the adjusted
+  /// columns described by `jobs` (from CollectRebuildJobs with this same
+  /// query) overwritten, plus bias — exactly Predict's arithmetic,
+  /// bit-identical to the historical per-location centroid loops. Static
+  /// and read-only on the model + arena snapshot (no adapter state), so the
+  /// batched serving sweep runs it *outside* the shard lock, one contiguous
+  /// vectorized pass per request.
+  static std::vector<float> ScoreCollectedJobs(
+      const AdaptableModel& model, const std::vector<float>& query,
+      const std::vector<RebuildJob>& jobs,
+      const common::AlignedBuffer<float>& arena);
 
   /// Unadapted scores: `query` against the model's frozen classifier columns
   /// (plus bias) — exactly the scores Predict returns for locations the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/aligned_buffer.h"
 #include "common/check.h"
 #include "common/parallel_for.h"
 #include "nn/kernels.h"
@@ -25,36 +26,25 @@ float Cosine(const float* a, const float* b, int64_t h) {
 }
 
 // Logits of one pattern against the (original) classifier; weight is the
-// {H, L} row-major matrix, bias {L} or empty. Column-parallel kernel.
+// {H, L} row-major matrix, bias {L} or empty. Column-parallel kernel. The
+// scratch is a cache-line-aligned arena so the vector backend's column
+// stripes start aligned.
 void LogitsOf(const float* h, const std::vector<float>& weight,
               const std::vector<float>& bias, int64_t hidden, int64_t num_loc,
-              std::vector<float>* out) {
-  out->resize(static_cast<size_t>(num_loc));
+              common::AlignedBuffer<float>* out) {
+  out->Resize(static_cast<size_t>(num_loc));
   nn::kernels::VecMatCols(h, weight.data(), out->data(), hidden, num_loc,
                           /*skip_zero=*/true);
   if (!bias.empty()) {
-    for (int64_t l = 0; l < num_loc; ++l) (*out)[l] += bias[l];
+    float* o = out->data();
+    for (int64_t l = 0; l < num_loc; ++l) o[l] += bias[l];
   }
 }
 
-// Entropy of softmax(logits); lower entropy = more reliable prediction.
-float SoftmaxEntropy(const std::vector<float>& logits) {
-  float mx = logits[0];
-  for (float v : logits) mx = std::max(mx, v);
-  double denom = 0.0;
-  for (float v : logits) denom += std::exp(static_cast<double>(v - mx));
-  double entropy = 0.0;
-  for (float v : logits) {
-    const double p = std::exp(static_cast<double>(v - mx)) / denom;
-    if (p > 1e-12) entropy -= p * std::log(p);
-  }
-  return static_cast<float>(entropy);
-}
-
-int64_t ArgMax(const std::vector<float>& v) {
+int64_t ArgMax(const float* v, int64_t n) {
   int64_t best = 0;
-  for (int64_t i = 1; i < static_cast<int64_t>(v.size()); ++i) {
-    if (v[static_cast<size_t>(i)] > v[static_cast<size_t>(best)]) best = i;
+  for (int64_t i = 1; i < n; ++i) {
+    if (v[i] > v[best]) best = i;
   }
   return best;
 }
@@ -84,11 +74,13 @@ std::vector<float> PatternImportance(const nn::Tensor& reps,
     common::ParallelFor(
         0, t - 1, nn::kernels::GrainForWork(hidden * num_loc),
         [&](int64_t k0, int64_t k1) {
-          std::vector<float> logits;  // scratch reused within the chunk
+          common::AlignedBuffer<float> logits;  // scratch reused per chunk
           for (int64_t k = k0; k < k1; ++k) {
             LogitsOf(data + k * hidden, weight, bias, hidden, num_loc,
                      &logits);
-            importance[static_cast<size_t>(k)] = -SoftmaxEntropy(logits);
+            // Entropy of softmax(logits); lower entropy = more reliable.
+            importance[static_cast<size_t>(k)] =
+                -nn::kernels::SoftmaxEntropy(logits.data(), num_loc);
           }
         });
   }
@@ -260,11 +252,11 @@ std::vector<float> TestTimeAdapter::Predict(AdaptableModel& model,
       common::ParallelFor(
           0, t - 1, nn::kernels::GrainForWork(hidden * num_loc),
           [&](int64_t k0, int64_t k1) {
-            std::vector<float> logits;
+            common::AlignedBuffer<float> logits;
             for (int64_t k = k0; k < k1; ++k) {
               LogitsOf(reps_data + k * hidden, weight, bias, hidden, num_loc,
                        &logits);
-              labels[static_cast<size_t>(k)] = ArgMax(logits);
+              labels[static_cast<size_t>(k)] = ArgMax(logits.data(), num_loc);
             }
           });
     }

@@ -1,21 +1,104 @@
+// The kernel dispatch layer: selects a backend table once (lazily, from
+// ADAMOVE_KERNEL_BACKEND + CPU feature detection) and forwards every public
+// kernel through it. TransposeInto and GrainForWork live here directly —
+// pure data movement / scheduling policy, identical for all backends.
+
 #include "nn/kernels.h"
 
 #include <algorithm>
-#include <cmath>
+#include <atomic>
+#include <cstdlib>
+#include <string>
 
+#include "common/cpu_features.h"
+#include "common/mutex.h"
 #include "common/parallel_for.h"
+#include "nn/kernels_backend.h"
 
 namespace adamove::nn::kernels {
 
 namespace {
 
-// Micro-panel of C rows that share one streamed B stripe (fits registers /
-// L1 comfortably at the hidden sizes this repo uses).
-constexpr int64_t kRowTile = 8;
-// Width (in floats) of the B stripe kept hot across a row micro-panel.
-constexpr int64_t kColTile = 128;
+// Selected table + backend tag. The table pointer is the synchronization
+// point: published with release after the tag, read with acquire. nullptr
+// means "not yet selected".
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_backend{static_cast<int>(Backend::kScalar)};
+common::Mutex g_select_mu;
+
+const KernelTable* SimdTableOrNull() {
+  if (const KernelTable* t = Avx2TableOrNull()) return t;
+  if (const KernelTable* t = NeonTableOrNull()) return t;
+  return nullptr;
+}
+
+struct Selection {
+  Backend backend;
+  const KernelTable* table;
+};
+
+Selection Resolve(Backend requested) {
+  if (requested == Backend::kSimd) {
+    if (const KernelTable* simd = SimdTableOrNull()) {
+      return {Backend::kSimd, simd};
+    }
+  }
+  return {Backend::kScalar, &ScalarTable()};
+}
+
+Selection SelectFromEnv() {
+  const char* env = std::getenv("ADAMOVE_KERNEL_BACKEND");
+  const std::string requested = env == nullptr ? "" : env;
+  if (requested == "scalar") return Resolve(Backend::kScalar);
+  // "simd", unset, or anything unrecognized: the dispatcher default — the
+  // best backend this host can execute.
+  return Resolve(Backend::kSimd);
+}
+
+void InstallLocked(Selection s) {
+  g_backend.store(static_cast<int>(s.backend), std::memory_order_relaxed);
+  g_table.store(s.table, std::memory_order_release);
+}
+
+const KernelTable& Table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    common::MutexLock lock(g_select_mu);
+    t = g_table.load(std::memory_order_acquire);
+    if (t == nullptr) {
+      InstallLocked(SelectFromEnv());
+      t = g_table.load(std::memory_order_acquire);
+    }
+  }
+  return *t;
+}
 
 }  // namespace
+
+Backend ActiveBackend() {
+  Table();  // force selection on first query
+  return static_cast<Backend>(g_backend.load(std::memory_order_relaxed));
+}
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kScalar ? "scalar" : "simd";
+}
+
+std::string BackendDescription() {
+  if (ActiveBackend() == Backend::kScalar) return "scalar";
+  return std::string("simd (") + common::CpuFeatureString() + ")";
+}
+
+Backend RefreshBackendFromEnv() {
+  common::MutexLock lock(g_select_mu);
+  InstallLocked(SelectFromEnv());
+  return static_cast<Backend>(g_backend.load(std::memory_order_relaxed));
+}
+
+void SetBackendForTest(Backend backend) {
+  common::MutexLock lock(g_select_mu);
+  InstallLocked(Resolve(backend));
+}
 
 int64_t GrainForWork(int64_t per_item_work) {
   constexpr int64_t kMinTaskWork = 1 << 15;
@@ -25,63 +108,17 @@ int64_t GrainForWork(int64_t per_item_work) {
 
 void MatMulNN(const float* a, const float* b, float* c, int64_t n, int64_t k,
               int64_t m) {
-  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
-    for (int64_t i0 = r0; i0 < r1; i0 += kRowTile) {
-      const int64_t i1 = std::min(i0 + kRowTile, r1);
-      for (int64_t j0 = 0; j0 < m; j0 += kColTile) {
-        const int64_t j1 = std::min(j0 + kColTile, m);
-        for (int64_t p = 0; p < k; ++p) {
-          const float* brow = b + p * m;
-          for (int64_t i = i0; i < i1; ++i) {
-            const float av = a[i * k + p];
-            if (av == 0.0f) continue;
-            float* crow = c + i * m;
-            for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  });
+  Table().matmul_nn(a, b, c, n, k, m);
 }
 
 void MatMulTN(const float* a, const float* b, float* c, int64_t k, int64_t n,
               int64_t m) {
-  // Output rows i index the columns of A; each thread owns a contiguous
-  // range of them, streaming all k rows of A and B.
-  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
-    for (int64_t j0 = 0; j0 < m; j0 += kColTile) {
-      const int64_t j1 = std::min(j0 + kColTile, m);
-      for (int64_t p = 0; p < k; ++p) {
-        const float* arow = a + p * n;
-        const float* brow = b + p * m;
-        for (int64_t i = r0; i < r1; ++i) {
-          const float av = arow[i];
-          if (av == 0.0f) continue;
-          float* crow = c + i * m;
-          for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
+  Table().matmul_tn(a, b, c, k, n, m);
 }
 
 void MatMulNT(const float* a, const float* b, float* c, int64_t n, int64_t k,
               int64_t m) {
-  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
-    for (int64_t i0 = r0; i0 < r1; i0 += kRowTile) {
-      const int64_t i1 = std::min(i0 + kRowTile, r1);
-      // j outer / i inner reuses each B row across the whole micro-panel.
-      for (int64_t j = 0; j < m; ++j) {
-        const float* brow = b + j * k;
-        for (int64_t i = i0; i < i1; ++i) {
-          const float* arow = a + i * k;
-          float acc = 0.0f;
-          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          c[i * m + j] += acc;
-        }
-      }
-    }
-  });
+  Table().matmul_nt(a, b, c, n, k, m);
 }
 
 void TransposeInto(const float* a, float* out, int64_t n, int64_t m,
@@ -103,101 +140,44 @@ void TransposeInto(const float* a, float* out, int64_t n, int64_t m,
 
 void VecMatCols(const float* x, const float* w, float* out, int64_t n,
                 int64_t m, bool skip_zero) {
-  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
-    for (int64_t l = c0; l < c1; ++l) {
-      float acc = 0.0f;
-      const float* col = w + l;
-      if (skip_zero) {
-        for (int64_t i = 0; i < n; ++i) {
-          const float xv = x[i];
-          if (xv == 0.0f) continue;
-          acc += xv * col[i * m];
-        }
-      } else {
-        for (int64_t i = 0; i < n; ++i) acc += x[i] * col[i * m];
-      }
-      out[l] = acc;
-    }
-  });
+  Table().vec_mat_cols(x, w, out, n, m, skip_zero);
+}
+
+void VecMatColsF64(const float* x, const float* w, float* out, int64_t n,
+                   int64_t m) {
+  Table().vec_mat_cols_f64(x, w, out, n, m);
 }
 
 void BiasTanh(const float* x, const float* b, float* out, int64_t rows,
               int64_t cols, bool broadcast_bias) {
-  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
-                                                       int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xrow = x + r * cols;
-      const float* brow = broadcast_bias ? b : b + r * cols;
-      float* orow = out + r * cols;
-      for (int64_t c = 0; c < cols; ++c) {
-        orow[c] = std::tanh(xrow[c] + brow[c]);
-      }
-    }
-  });
+  Table().bias_tanh(x, b, out, rows, cols, broadcast_bias);
 }
 
 void BiasSigmoid(const float* x, const float* b, float* out, int64_t rows,
                  int64_t cols, bool broadcast_bias) {
-  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
-                                                       int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xrow = x + r * cols;
-      const float* brow = broadcast_bias ? b : b + r * cols;
-      float* orow = out + r * cols;
-      for (int64_t c = 0; c < cols; ++c) {
-        orow[c] = 1.0f / (1.0f + std::exp(-(xrow[c] + brow[c])));
-      }
-    }
-  });
+  Table().bias_sigmoid(x, b, out, rows, cols, broadcast_bias);
 }
 
 void Axpy(int64_t n, float alpha, const float* x, float* y) {
-  common::ParallelFor(0, n, GrainForWork(1), [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
-  });
+  Table().axpy(n, alpha, x, y);
 }
 
 void MaskedSoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols,
                        const int64_t* valid) {
-  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
-                                                           int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t v = valid[r];
-      const float* xrow = x + r * cols;
-      float* orow = out + r * cols;
-      float mx = xrow[0];
-      for (int64_t c = 1; c < v; ++c) mx = std::max(mx, xrow[c]);
-      float denom = 0.0f;
-      for (int64_t c = 0; c < v; ++c) {
-        const float e = std::exp(xrow[c] - mx);
-        orow[c] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t c = 0; c < v; ++c) orow[c] *= inv;
-      for (int64_t c = v; c < cols; ++c) orow[c] = 0.0f;
-    }
-  });
+  Table().masked_softmax_rows(x, out, rows, cols, valid);
 }
 
 void SoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols) {
-  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
-                                                           int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xrow = x + r * cols;
-      float* orow = out + r * cols;
-      float mx = xrow[0];
-      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xrow[c]);
-      float denom = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) {
-        const float e = std::exp(xrow[c] - mx);
-        orow[c] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
-    }
-  });
+  Table().softmax_rows(x, out, rows, cols);
+}
+
+float SoftmaxEntropy(const float* logits, int64_t n) {
+  return Table().softmax_entropy(logits, n);
+}
+
+double PttaCentroidDot(const float* query, const float* wcol, int64_t wstride,
+                       const float* patterns, int64_t keep, int64_t h) {
+  return Table().ptta_centroid_dot(query, wcol, wstride, patterns, keep, h);
 }
 
 }  // namespace adamove::nn::kernels

@@ -2,6 +2,7 @@
 #define ADAMOVE_NN_KERNELS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace adamove::nn::kernels {
 
@@ -16,33 +17,82 @@ namespace adamove::nn::kernels {
 // the reference serial loop (ascending inner index, identical skip-zero
 // shortcuts), so results are bit-identical to a single-threaded run at any
 // thread count. Tiling only reorders *which element* is visited next, never
-// the accumulation order *within* an element.
+// the accumulation order *within* an element. This holds for every backend.
+//
+// Backends (DESIGN.md §13): each kernel below dispatches through a
+// function-pointer table selected once, lazily, at first kernel use:
+//   * scalar — the historical portable loops; the repo's arithmetic
+//     reference. All golden pins are defined against it.
+//   * simd   — AVX2+FMA on x86 hosts that support it (NEON subset on ARM).
+//     Bit-identical to scalar for the column-parallel kernels (VecMatCols,
+//     VecMatColsF64, Axpy) whose per-element operation sequence it
+//     preserves; tolerance-bounded for MatMul* (FMA micro-panels) and the
+//     transcendental kernels (polynomial exp/tanh).
+// Selection: ADAMOVE_KERNEL_BACKEND=scalar forces the reference;
+// ADAMOVE_KERNEL_BACKEND=simd requests vector kernels (falls back to scalar
+// when the host can't run them); unset picks the best available.
 
-/// C({n,m}) += A({n,k}) * B({k,m}). Per element: ascending p, skipping
-/// A(i,p) == 0 (matches the historical ikj loop bit-for-bit).
+/// Which kernel table is active. kSimd covers any vector ISA (AVX2 or NEON);
+/// BackendDescription() names the specific one.
+enum class Backend {
+  kScalar = 0,
+  kSimd = 1,
+};
+
+/// The active backend, selecting one (env var + CPUID) on first call.
+Backend ActiveBackend();
+
+/// Stable short name for a backend value: "scalar" or "simd".
+const char* BackendName(Backend backend);
+
+/// Human-readable description of the *active* backend, e.g. "scalar" or
+/// "simd (avx2+fma)" — what benches and bench_serving print.
+std::string BackendDescription();
+
+/// Re-reads ADAMOVE_KERNEL_BACKEND and reselects. For tests and bench mains
+/// that set the env var after startup; returns the newly active backend.
+/// Must not race in-flight kernels (callers swap backends only between
+/// self-contained computations).
+Backend RefreshBackendFromEnv();
+
+/// Installs `backend` directly (still subject to availability: requesting
+/// kSimd on a host without vector kernels installs scalar). Test-only.
+void SetBackendForTest(Backend backend);
+
+/// C({n,m}) += A({n,k}) * B({k,m}). Per element: ascending p. Scalar backend
+/// skips A(i,p) == 0 terms (matches the historical ikj loop bit-for-bit);
+/// vector backends are tolerance-bounded against it.
 void MatMulNN(const float* a, const float* b, float* c, int64_t n, int64_t k,
               int64_t m);
 
-/// C({n,m}) += A({k,n})^T * B({k,m}). Per element: ascending p, skipping
-/// A(p,i) == 0.
+/// C({n,m}) += A({k,n})^T * B({k,m}). Per element: ascending p; scalar
+/// backend skips A(p,i) == 0.
 void MatMulTN(const float* a, const float* b, float* c, int64_t k, int64_t n,
               int64_t m);
 
 /// C({n,m}) += A({n,k}) * B({m,k})^T. Per element: a single ascending-p dot
-/// product accumulated in a local float (no skip-zero, as historically).
+/// product accumulated locally (no skip-zero, as historically).
 void MatMulNT(const float* a, const float* b, float* c, int64_t n, int64_t k,
               int64_t m);
 
-/// out({m,n}) = a({n,m})^T (assignment) or += when `accumulate`.
+/// out({m,n}) = a({n,m})^T (assignment) or += when `accumulate`. Pure data
+/// movement — shared by all backends, always bit-exact.
 void TransposeInto(const float* a, float* out, int64_t n, int64_t m,
                    bool accumulate);
 
 /// out[l] = sum_i x[i] * w[i*m + l] for l in [0, m) — a row vector times a
 /// row-major {n, m} matrix, parallelized over output columns. When
 /// `skip_zero`, terms with x[i] == 0 are skipped (the PTTA LogitsOf
-/// contract). Accumulation is a per-column float in ascending i.
+/// contract). Accumulation is a per-column float in ascending i; the simd
+/// backend vectorizes *across* columns and is bit-identical to scalar.
 void VecMatCols(const float* x, const float* w, float* out, int64_t n,
                 int64_t m, bool skip_zero);
+
+/// VecMatCols with per-column double accumulation (ascending i, no
+/// skip-zero), rounded to float on store — the frozen-classifier scoring
+/// semantics of OnlineAdapter. Bit-identical across backends.
+void VecMatColsF64(const float* x, const float* w, float* out, int64_t n,
+                   int64_t m);
 
 // -- fused elementwise kernels (one pass, vectorization-friendly bodies) ----
 
@@ -55,7 +105,7 @@ void BiasTanh(const float* x, const float* b, float* out, int64_t rows,
 void BiasSigmoid(const float* x, const float* b, float* out, int64_t rows,
                  int64_t cols, bool broadcast_bias);
 
-/// y[i] += alpha * x[i] for i in [0, n).
+/// y[i] += alpha * x[i] for i in [0, n). Bit-identical across backends.
 void Axpy(int64_t n, float alpha, const float* x, float* y);
 
 /// Row-wise masked softmax: row r is a softmax over its first valid[r]
@@ -67,6 +117,19 @@ void MaskedSoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols,
 
 /// Dense row-wise softmax (valid == cols for every row).
 void SoftmaxRows(const float* x, float* out, int64_t rows, int64_t cols);
+
+/// Shannon entropy (nats) of softmax(logits) — the PTTA entropy-importance
+/// primitive. Scalar backend reproduces the historical double-accumulation
+/// loop exactly; simd is tolerance-bounded.
+float SoftmaxEntropy(const float* logits, int64_t n);
+
+/// The PTTA adjusted-column score core: with centroid
+///   c[i] = wcol[i*wstride] + sum_k patterns[k*h + i],
+/// returns sum_i query[i] * c[i], accumulated in double, ascending i, θ
+/// first then patterns in arrival order per element — bit-identical to
+/// materializing the centroid and dotting it (the historical loop pair).
+double PttaCentroidDot(const float* query, const float* wcol, int64_t wstride,
+                       const float* patterns, int64_t keep, int64_t h);
 
 /// Suggested ParallelFor grain for a loop whose per-index cost is roughly
 /// `per_item_work` scalar operations: chunks are sized so each task does at

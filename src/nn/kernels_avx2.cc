@@ -1,0 +1,718 @@
+// The AVX2+FMA backend. This is the only translation unit compiled with
+// -mavx2 -mfma (and -ffp-contract=off, so the scalar remainder loops below
+// keep the exact mul-then-add semantics of the scalar backend — only the
+// explicit _mm256_fmadd intrinsics fuse).
+//
+// Exactness classes (DESIGN.md §13):
+//  * bit-identical to scalar: VecMatCols, VecMatColsF64, Axpy, and the
+//    per-element centroid accumulation of PttaCentroidDot — these vectorize
+//    across independent output columns, so each element still sees the same
+//    mul/add sequence in the same order;
+//  * tolerance-bounded: MatMul NN/TN/NT (FMA micro-panels reassociate
+//    nothing but round once per fused step), the transcendental kernels
+//    (polynomial exp/tanh instead of libm), and the entropy/dot reductions
+//    (lane partials + horizontal sum).
+
+#include "nn/kernels_backend.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "common/cpu_features.h"
+#include "common/parallel_for.h"
+#include "nn/kernels.h"
+
+namespace adamove::nn::kernels {
+
+namespace {
+
+inline float Hsum8(__m256 v) {
+  __m128 lo =
+      _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_movehdup_ps(lo));
+  return _mm_cvtss_f32(lo);
+}
+
+inline double Hsum4d(__m256d v) {
+  __m128d lo =
+      _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+inline float Hmax8(__m256 v) {
+  __m128 lo =
+      _mm_max_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_max_ss(lo, _mm_movehdup_ps(lo));
+  return _mm_cvtss_f32(lo);
+}
+
+// ---- polynomial exp/tanh/sigmoid ------------------------------------------
+// Cephes-style expf: x = n·ln2 + r, e^x = 2^n · P(r). The scalar helpers
+// perform the *identical* float operation sequence as the vector lanes
+// (mul/add, never fused), so a row's remainder elements agree bit-for-bit
+// with its vectorized prefix — the kernel's output does not depend on where
+// the 8-lane stripes happen to fall.
+
+constexpr float kExpLo = -87.33654f;  // exp underflows float below this
+constexpr float kExpHi = 88.72283f;   // ~log(FLT_MAX); clamp above
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpC0 = 1.9875691500e-4f;
+constexpr float kExpC1 = 1.3981999507e-3f;
+constexpr float kExpC2 = 8.3334519073e-3f;
+constexpr float kExpC3 = 4.1665795894e-2f;
+constexpr float kExpC4 = 1.6666665459e-1f;
+constexpr float kExpC5 = 5.0000001201e-1f;
+
+inline float ExpScalar(float x0) {
+  if (x0 < kExpLo) return 0.0f;
+  const float x = std::min(x0, kExpHi);
+  const float nf = std::nearbyintf(x * kLog2e);
+  float r = x - nf * kLn2Hi;
+  r = r - nf * kLn2Lo;
+  float y = kExpC0;
+  y = y * r + kExpC1;
+  y = y * r + kExpC2;
+  y = y * r + kExpC3;
+  y = y * r + kExpC4;
+  y = y * r + kExpC5;
+  y = y * (r * r) + r + 1.0f;
+  const int32_t n = static_cast<int32_t>(nf);
+  const uint32_t bits = static_cast<uint32_t>(n + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return y * scale;
+}
+
+inline __m256 Exp8(__m256 x0) {
+  const __m256 underflow =
+      _mm256_cmp_ps(x0, _mm256_set1_ps(kExpLo), _CMP_LT_OQ);
+  const __m256 x = _mm256_min_ps(x0, _mm256_set1_ps(kExpHi));
+  const __m256 nf =
+      _mm256_round_ps(_mm256_mul_ps(x, _mm256_set1_ps(kLog2e)),
+                      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_sub_ps(x, _mm256_mul_ps(nf, _mm256_set1_ps(kLn2Hi)));
+  r = _mm256_sub_ps(r, _mm256_mul_ps(nf, _mm256_set1_ps(kLn2Lo)));
+  __m256 y = _mm256_set1_ps(kExpC0);
+  y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(kExpC1));
+  y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(kExpC2));
+  y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(kExpC3));
+  y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(kExpC4));
+  y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(kExpC5));
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, r2), r),
+                    _mm256_set1_ps(1.0f));
+  const __m256i n = _mm256_cvtps_epi32(nf);
+  const __m256i ebits =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  y = _mm256_mul_ps(y, _mm256_castsi256_ps(ebits));
+  return _mm256_andnot_ps(underflow, y);
+}
+
+// Cephes tanhf split: odd polynomial below |x| = 0.625, exp form above
+// (1 - 2/(e^{2|x|}+1) stays exact at ±1 for saturated inputs).
+constexpr float kTanhSwitch = 0.625f;
+constexpr float kTanhC0 = -5.70498872745e-3f;
+constexpr float kTanhC1 = 2.06390887954e-2f;
+constexpr float kTanhC2 = -5.37397155531e-2f;
+constexpr float kTanhC3 = 1.33314422036e-1f;
+constexpr float kTanhC4 = -3.33332819422e-1f;
+
+inline float TanhScalar(float x) {
+  const float ax = std::fabs(x);
+  if (ax < kTanhSwitch) {
+    const float z = x * x;
+    float p = kTanhC0;
+    p = p * z + kTanhC1;
+    p = p * z + kTanhC2;
+    p = p * z + kTanhC3;
+    p = p * z + kTanhC4;
+    return x + x * (z * p);
+  }
+  const float e = ExpScalar(2.0f * ax);
+  const float t = 1.0f - 2.0f / (e + 1.0f);
+  return x < 0.0f ? -t : t;
+}
+
+inline __m256 Tanh8(__m256 x) {
+  const __m256 sign_bit = _mm256_set1_ps(-0.0f);
+  const __m256 ax = _mm256_andnot_ps(sign_bit, x);
+  const __m256 e = Exp8(_mm256_mul_ps(ax, _mm256_set1_ps(2.0f)));
+  __m256 large =
+      _mm256_sub_ps(_mm256_set1_ps(1.0f),
+                    _mm256_div_ps(_mm256_set1_ps(2.0f),
+                                  _mm256_add_ps(e, _mm256_set1_ps(1.0f))));
+  large = _mm256_or_ps(large, _mm256_and_ps(x, sign_bit));
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 p = _mm256_set1_ps(kTanhC0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhC1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhC2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhC3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhC4));
+  const __m256 small =
+      _mm256_add_ps(x, _mm256_mul_ps(x, _mm256_mul_ps(z, p)));
+  const __m256 use_small =
+      _mm256_cmp_ps(ax, _mm256_set1_ps(kTanhSwitch), _CMP_LT_OQ);
+  return _mm256_blendv_ps(large, small, use_small);
+}
+
+inline float SigmoidScalar(float x) {
+  return 1.0f / (1.0f + ExpScalar(-x));
+}
+
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+// ---- MatMul micro-panels ---------------------------------------------------
+// 6 C rows × 16 C columns of FMA accumulators per panel (the classic BLIS
+// shape): 12 ymm accumulators plus 2 streamed B vectors and 1 broadcast fill
+// 15 of the 16 registers, and the 12 FMAs per p amortize the 8 loads (2 B
+// stripes + 6 A broadcasts) well enough to be FMA-port-bound instead of
+// load-bound. Each C element still accumulates in ascending p with one fused
+// step per p — the same per-element sequence as the 8-wide row stripes below
+// — so results are identical at any thread count and any panel split (the
+// partition only decides panel membership, never accumulation order).
+
+inline void MatMulNNPanel(const float* a, const float* b, float* c,
+                          int64_t i0, int64_t rows, int64_t k, int64_t m) {
+  const float* arow[6];
+  float* crow[6];
+  for (int64_t r = 0; r < rows; ++r) {
+    arow[r] = a + (i0 + r) * k;
+    crow[r] = c + (i0 + r) * m;
+  }
+  int64_t j = 0;
+  if (rows == 6) {
+    for (; j + 16 <= m; j += 16) {
+      __m256 x00 = _mm256_loadu_ps(crow[0] + j);
+      __m256 x01 = _mm256_loadu_ps(crow[0] + j + 8);
+      __m256 x10 = _mm256_loadu_ps(crow[1] + j);
+      __m256 x11 = _mm256_loadu_ps(crow[1] + j + 8);
+      __m256 x20 = _mm256_loadu_ps(crow[2] + j);
+      __m256 x21 = _mm256_loadu_ps(crow[2] + j + 8);
+      __m256 x30 = _mm256_loadu_ps(crow[3] + j);
+      __m256 x31 = _mm256_loadu_ps(crow[3] + j + 8);
+      __m256 x40 = _mm256_loadu_ps(crow[4] + j);
+      __m256 x41 = _mm256_loadu_ps(crow[4] + j + 8);
+      __m256 x50 = _mm256_loadu_ps(crow[5] + j);
+      __m256 x51 = _mm256_loadu_ps(crow[5] + j + 8);
+      // p unrolled by 2 to amortize loop overhead against the 4-wide
+      // front-end; each accumulator still sees one fused step per p in
+      // ascending order, so the unroll does not change any result bit.
+      int64_t p = 0;
+      for (; p + 2 <= k; p += 2) {
+        const float* bp = b + p * m + j;
+        __m256 b0 = _mm256_loadu_ps(bp);
+        __m256 b1 = _mm256_loadu_ps(bp + 8);
+        __m256 av = _mm256_set1_ps(arow[0][p]);
+        x00 = _mm256_fmadd_ps(av, b0, x00);
+        x01 = _mm256_fmadd_ps(av, b1, x01);
+        av = _mm256_set1_ps(arow[1][p]);
+        x10 = _mm256_fmadd_ps(av, b0, x10);
+        x11 = _mm256_fmadd_ps(av, b1, x11);
+        av = _mm256_set1_ps(arow[2][p]);
+        x20 = _mm256_fmadd_ps(av, b0, x20);
+        x21 = _mm256_fmadd_ps(av, b1, x21);
+        av = _mm256_set1_ps(arow[3][p]);
+        x30 = _mm256_fmadd_ps(av, b0, x30);
+        x31 = _mm256_fmadd_ps(av, b1, x31);
+        av = _mm256_set1_ps(arow[4][p]);
+        x40 = _mm256_fmadd_ps(av, b0, x40);
+        x41 = _mm256_fmadd_ps(av, b1, x41);
+        av = _mm256_set1_ps(arow[5][p]);
+        x50 = _mm256_fmadd_ps(av, b0, x50);
+        x51 = _mm256_fmadd_ps(av, b1, x51);
+        const float* bq = bp + m;
+        b0 = _mm256_loadu_ps(bq);
+        b1 = _mm256_loadu_ps(bq + 8);
+        av = _mm256_set1_ps(arow[0][p + 1]);
+        x00 = _mm256_fmadd_ps(av, b0, x00);
+        x01 = _mm256_fmadd_ps(av, b1, x01);
+        av = _mm256_set1_ps(arow[1][p + 1]);
+        x10 = _mm256_fmadd_ps(av, b0, x10);
+        x11 = _mm256_fmadd_ps(av, b1, x11);
+        av = _mm256_set1_ps(arow[2][p + 1]);
+        x20 = _mm256_fmadd_ps(av, b0, x20);
+        x21 = _mm256_fmadd_ps(av, b1, x21);
+        av = _mm256_set1_ps(arow[3][p + 1]);
+        x30 = _mm256_fmadd_ps(av, b0, x30);
+        x31 = _mm256_fmadd_ps(av, b1, x31);
+        av = _mm256_set1_ps(arow[4][p + 1]);
+        x40 = _mm256_fmadd_ps(av, b0, x40);
+        x41 = _mm256_fmadd_ps(av, b1, x41);
+        av = _mm256_set1_ps(arow[5][p + 1]);
+        x50 = _mm256_fmadd_ps(av, b0, x50);
+        x51 = _mm256_fmadd_ps(av, b1, x51);
+      }
+      for (; p < k; ++p) {
+        const float* bp = b + p * m + j;
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        __m256 av = _mm256_set1_ps(arow[0][p]);
+        x00 = _mm256_fmadd_ps(av, b0, x00);
+        x01 = _mm256_fmadd_ps(av, b1, x01);
+        av = _mm256_set1_ps(arow[1][p]);
+        x10 = _mm256_fmadd_ps(av, b0, x10);
+        x11 = _mm256_fmadd_ps(av, b1, x11);
+        av = _mm256_set1_ps(arow[2][p]);
+        x20 = _mm256_fmadd_ps(av, b0, x20);
+        x21 = _mm256_fmadd_ps(av, b1, x21);
+        av = _mm256_set1_ps(arow[3][p]);
+        x30 = _mm256_fmadd_ps(av, b0, x30);
+        x31 = _mm256_fmadd_ps(av, b1, x31);
+        av = _mm256_set1_ps(arow[4][p]);
+        x40 = _mm256_fmadd_ps(av, b0, x40);
+        x41 = _mm256_fmadd_ps(av, b1, x41);
+        av = _mm256_set1_ps(arow[5][p]);
+        x50 = _mm256_fmadd_ps(av, b0, x50);
+        x51 = _mm256_fmadd_ps(av, b1, x51);
+      }
+      _mm256_storeu_ps(crow[0] + j, x00);
+      _mm256_storeu_ps(crow[0] + j + 8, x01);
+      _mm256_storeu_ps(crow[1] + j, x10);
+      _mm256_storeu_ps(crow[1] + j + 8, x11);
+      _mm256_storeu_ps(crow[2] + j, x20);
+      _mm256_storeu_ps(crow[2] + j + 8, x21);
+      _mm256_storeu_ps(crow[3] + j, x30);
+      _mm256_storeu_ps(crow[3] + j + 8, x31);
+      _mm256_storeu_ps(crow[4] + j, x40);
+      _mm256_storeu_ps(crow[4] + j + 8, x41);
+      _mm256_storeu_ps(crow[5] + j, x50);
+      _mm256_storeu_ps(crow[5] + j + 8, x51);
+    }
+  }
+  // 8-wide stripes (and all stripes of short panels), one row at a time.
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* ar = arow[r];
+    float* cr = crow[r];
+    for (int64_t jj = j; jj + 8 <= m; jj += 8) {
+      __m256 acc = _mm256_loadu_ps(cr + jj);
+      for (int64_t p = 0; p < k; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(ar[p]),
+                              _mm256_loadu_ps(b + p * m + jj), acc);
+      }
+      _mm256_storeu_ps(cr + jj, acc);
+    }
+    const int64_t jtail = j + ((m - j) / 8) * 8;
+    for (int64_t jj = jtail; jj < m; ++jj) {
+      float acc = cr[jj];
+      for (int64_t p = 0; p < k; ++p) acc += ar[p] * b[p * m + jj];
+      cr[jj] = acc;
+    }
+  }
+}
+
+void MatMulNNAvx2(const float* a, const float* b, float* c, int64_t n,
+                  int64_t k, int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    int64_t i = r0;
+    for (; i + 6 <= r1; i += 6) MatMulNNPanel(a, b, c, i, 6, k, m);
+    if (i < r1) MatMulNNPanel(a, b, c, i, r1 - i, k, m);
+  });
+}
+
+// TN: output row i is column i of A, so the broadcasts stride by n.
+inline void MatMulTNPanel(const float* a, const float* b, float* c,
+                          int64_t i0, int64_t rows, int64_t k, int64_t n,
+                          int64_t m) {
+  float* crow[4];
+  for (int64_t r = 0; r < rows; ++r) crow[r] = c + (i0 + r) * m;
+  int64_t j = 0;
+  if (rows == 4) {
+    for (; j + 16 <= m; j += 16) {
+      __m256 x00 = _mm256_loadu_ps(crow[0] + j);
+      __m256 x01 = _mm256_loadu_ps(crow[0] + j + 8);
+      __m256 x10 = _mm256_loadu_ps(crow[1] + j);
+      __m256 x11 = _mm256_loadu_ps(crow[1] + j + 8);
+      __m256 x20 = _mm256_loadu_ps(crow[2] + j);
+      __m256 x21 = _mm256_loadu_ps(crow[2] + j + 8);
+      __m256 x30 = _mm256_loadu_ps(crow[3] + j);
+      __m256 x31 = _mm256_loadu_ps(crow[3] + j + 8);
+      for (int64_t p = 0; p < k; ++p) {
+        const float* ap = a + p * n + i0;
+        const float* bp = b + p * m + j;
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        __m256 av = _mm256_set1_ps(ap[0]);
+        x00 = _mm256_fmadd_ps(av, b0, x00);
+        x01 = _mm256_fmadd_ps(av, b1, x01);
+        av = _mm256_set1_ps(ap[1]);
+        x10 = _mm256_fmadd_ps(av, b0, x10);
+        x11 = _mm256_fmadd_ps(av, b1, x11);
+        av = _mm256_set1_ps(ap[2]);
+        x20 = _mm256_fmadd_ps(av, b0, x20);
+        x21 = _mm256_fmadd_ps(av, b1, x21);
+        av = _mm256_set1_ps(ap[3]);
+        x30 = _mm256_fmadd_ps(av, b0, x30);
+        x31 = _mm256_fmadd_ps(av, b1, x31);
+      }
+      _mm256_storeu_ps(crow[0] + j, x00);
+      _mm256_storeu_ps(crow[0] + j + 8, x01);
+      _mm256_storeu_ps(crow[1] + j, x10);
+      _mm256_storeu_ps(crow[1] + j + 8, x11);
+      _mm256_storeu_ps(crow[2] + j, x20);
+      _mm256_storeu_ps(crow[2] + j + 8, x21);
+      _mm256_storeu_ps(crow[3] + j, x30);
+      _mm256_storeu_ps(crow[3] + j + 8, x31);
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t i = i0 + r;
+    float* cr = crow[r];
+    for (int64_t jj = j; jj + 8 <= m; jj += 8) {
+      __m256 acc = _mm256_loadu_ps(cr + jj);
+      for (int64_t p = 0; p < k; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a[p * n + i]),
+                              _mm256_loadu_ps(b + p * m + jj), acc);
+      }
+      _mm256_storeu_ps(cr + jj, acc);
+    }
+    const int64_t jtail = j + ((m - j) / 8) * 8;
+    for (int64_t jj = jtail; jj < m; ++jj) {
+      float acc = cr[jj];
+      for (int64_t p = 0; p < k; ++p) acc += a[p * n + i] * b[p * m + jj];
+      cr[jj] = acc;
+    }
+  }
+}
+
+void MatMulTNAvx2(const float* a, const float* b, float* c, int64_t k,
+                  int64_t n, int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    int64_t i = r0;
+    for (; i + 4 <= r1; i += 4) MatMulTNPanel(a, b, c, i, 4, k, n, m);
+    if (i < r1) MatMulTNPanel(a, b, c, i, r1 - i, k, n, m);
+  });
+}
+
+// NT: per output element a k-dot of two contiguous rows — vectorize the dot
+// with 4 B rows sharing each streamed A vector.
+void MatMulNTAvx2(const float* a, const float* b, float* c, int64_t n,
+                  int64_t k, int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      int64_t j = 0;
+      for (; j + 4 <= m; j += 4) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        const float* b0 = b + (j + 0) * k;
+        const float* b1 = b + (j + 1) * k;
+        const float* b2 = b + (j + 2) * k;
+        const float* b3 = b + (j + 3) * k;
+        int64_t p = 0;
+        for (; p + 8 <= k; p += 8) {
+          const __m256 av = _mm256_loadu_ps(arow + p);
+          acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + p), acc0);
+          acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + p), acc1);
+          acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + p), acc2);
+          acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + p), acc3);
+        }
+        float t0 = Hsum8(acc0);
+        float t1 = Hsum8(acc1);
+        float t2 = Hsum8(acc2);
+        float t3 = Hsum8(acc3);
+        for (; p < k; ++p) {
+          const float av = arow[p];
+          t0 += av * b0[p];
+          t1 += av * b1[p];
+          t2 += av * b2[p];
+          t3 += av * b3[p];
+        }
+        crow[j + 0] += t0;
+        crow[j + 1] += t1;
+        crow[j + 2] += t2;
+        crow[j + 3] += t3;
+      }
+      for (; j < m; ++j) {
+        const float* brow = b + j * k;
+        __m256 acc = _mm256_setzero_ps();
+        int64_t p = 0;
+        for (; p + 8 <= k; p += 8) {
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                                _mm256_loadu_ps(brow + p), acc);
+        }
+        float t = Hsum8(acc);
+        for (; p < k; ++p) t += arow[p] * brow[p];
+        crow[j] += t;
+      }
+    }
+  });
+}
+
+// ---- exact column-parallel kernels ----------------------------------------
+// Vectorizing across output columns turns the scalar backend's stride-m
+// column walks into contiguous row loads while leaving every column's
+// ascending-i mul/add sequence untouched: fast *and* bit-identical.
+
+void VecMatColsAvx2(const float* x, const float* w, float* out, int64_t n,
+                    int64_t m, bool skip_zero) {
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
+    int64_t l = c0;
+    for (; l + 8 <= c1; l += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int64_t i = 0; i < n; ++i) {
+        const float xv = x[i];
+        if (skip_zero && xv == 0.0f) continue;
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(xv),
+                               _mm256_loadu_ps(w + i * m + l)));
+      }
+      _mm256_storeu_ps(out + l, acc);
+    }
+    for (; l < c1; ++l) {
+      float acc = 0.0f;
+      const float* col = w + l;
+      if (skip_zero) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float xv = x[i];
+          if (xv == 0.0f) continue;
+          acc += xv * col[i * m];
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) acc += x[i] * col[i * m];
+      }
+      out[l] = acc;
+    }
+  });
+}
+
+void VecMatColsF64Avx2(const float* x, const float* w, float* out, int64_t n,
+                       int64_t m) {
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
+    int64_t l = c0;
+    for (; l + 4 <= c1; l += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (int64_t i = 0; i < n; ++i) {
+        const __m256d wd = _mm256_cvtps_pd(_mm_loadu_ps(w + i * m + l));
+        const __m256d xd = _mm256_set1_pd(static_cast<double>(x[i]));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(xd, wd));
+      }
+      _mm_storeu_ps(out + l, _mm256_cvtpd_ps(acc));
+    }
+    for (; l < c1; ++l) {
+      const float* col = w + l;
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += static_cast<double>(x[i]) * col[i * m];
+      }
+      out[l] = static_cast<float>(acc);
+    }
+  });
+}
+
+void AxpyAvx2(int64_t n, float alpha, const float* x, float* y) {
+  common::ParallelFor(0, n, GrainForWork(1), [=](int64_t lo, int64_t hi) {
+    const __m256 av = _mm256_set1_ps(alpha);
+    int64_t i = lo;
+    for (; i + 8 <= hi; i += 8) {
+      const __m256 yv = _mm256_add_ps(
+          _mm256_loadu_ps(y + i), _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+      _mm256_storeu_ps(y + i, yv);
+    }
+    for (; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+// ---- transcendental row kernels -------------------------------------------
+
+void BiasTanhAvx2(const float* x, const float* b, float* out, int64_t rows,
+                  int64_t cols, bool broadcast_bias) {
+  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
+                                                       int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      const float* brow = broadcast_bias ? b : b + r * cols;
+      float* orow = out + r * cols;
+      int64_t c = 0;
+      for (; c + 8 <= cols; c += 8) {
+        const __m256 pre = _mm256_add_ps(_mm256_loadu_ps(xrow + c),
+                                         _mm256_loadu_ps(brow + c));
+        _mm256_storeu_ps(orow + c, Tanh8(pre));
+      }
+      for (; c < cols; ++c) orow[c] = TanhScalar(xrow[c] + brow[c]);
+    }
+  });
+}
+
+void BiasSigmoidAvx2(const float* x, const float* b, float* out, int64_t rows,
+                     int64_t cols, bool broadcast_bias) {
+  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
+                                                       int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      const float* brow = broadcast_bias ? b : b + r * cols;
+      float* orow = out + r * cols;
+      int64_t c = 0;
+      for (; c + 8 <= cols; c += 8) {
+        const __m256 pre = _mm256_add_ps(_mm256_loadu_ps(xrow + c),
+                                         _mm256_loadu_ps(brow + c));
+        _mm256_storeu_ps(orow + c, Sigmoid8(pre));
+      }
+      for (; c < cols; ++c) orow[c] = SigmoidScalar(xrow[c] + brow[c]);
+    }
+  });
+}
+
+// One softmax row over xrow[0, v): vector max (max is order-invariant, so
+// this matches the scalar max exactly), Exp8 written through orow, scalar
+// ascending-order sum (position-fixed, thread-invariant), vector scale.
+inline void SoftmaxRowAvx2(const float* xrow, float* orow, int64_t v) {
+  float mx;
+  if (v >= 8) {
+    __m256 m8 = _mm256_loadu_ps(xrow);
+    int64_t c = 8;
+    for (; c + 8 <= v; c += 8) {
+      m8 = _mm256_max_ps(m8, _mm256_loadu_ps(xrow + c));
+    }
+    mx = Hmax8(m8);
+    for (; c < v; ++c) mx = std::max(mx, xrow[c]);
+  } else {
+    mx = xrow[0];
+    for (int64_t c = 1; c < v; ++c) mx = std::max(mx, xrow[c]);
+  }
+  const __m256 mxv = _mm256_set1_ps(mx);
+  int64_t c = 0;
+  for (; c + 8 <= v; c += 8) {
+    _mm256_storeu_ps(orow + c,
+                     Exp8(_mm256_sub_ps(_mm256_loadu_ps(xrow + c), mxv)));
+  }
+  for (; c < v; ++c) orow[c] = ExpScalar(xrow[c] - mx);
+  float denom = 0.0f;
+  for (int64_t cc = 0; cc < v; ++cc) denom += orow[cc];
+  const float inv = 1.0f / denom;
+  const __m256 invv = _mm256_set1_ps(inv);
+  c = 0;
+  for (; c + 8 <= v; c += 8) {
+    _mm256_storeu_ps(orow + c,
+                     _mm256_mul_ps(_mm256_loadu_ps(orow + c), invv));
+  }
+  for (; c < v; ++c) orow[c] *= inv;
+}
+
+void MaskedSoftmaxRowsAvx2(const float* x, float* out, int64_t rows,
+                           int64_t cols, const int64_t* valid) {
+  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
+                                                           int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t v = valid[r];
+      float* orow = out + r * cols;
+      SoftmaxRowAvx2(x + r * cols, orow, v);
+      for (int64_t c = v; c < cols; ++c) orow[c] = 0.0f;
+    }
+  });
+}
+
+void SoftmaxRowsAvx2(const float* x, float* out, int64_t rows, int64_t cols) {
+  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
+                                                           int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      SoftmaxRowAvx2(x + r * cols, out + r * cols, cols);
+    }
+  });
+}
+
+// One-pass entropy: with e_i = exp(v_i - mx), S0 = Σe_i, S1 = Σe_i(v_i-mx),
+// H = -Σ (e_i/S0)·log(e_i/S0) = log(S0) - S1/S0 — one Exp8 sweep instead of
+// the scalar backend's two std::exp passes (whose tiny-p guard contributes
+// O(1e-12·log) terms this form absorbs into the sum).
+float SoftmaxEntropyAvx2(const float* logits, int64_t n) {
+  float mx;
+  if (n >= 8) {
+    __m256 m8 = _mm256_loadu_ps(logits);
+    int64_t c = 8;
+    for (; c + 8 <= n; c += 8) {
+      m8 = _mm256_max_ps(m8, _mm256_loadu_ps(logits + c));
+    }
+    mx = Hmax8(m8);
+    for (; c < n; ++c) mx = std::max(mx, logits[c]);
+  } else {
+    mx = logits[0];
+    for (int64_t c = 1; c < n; ++c) mx = std::max(mx, logits[c]);
+  }
+  const __m256 mxv = _mm256_set1_ps(mx);
+  __m256 s0 = _mm256_setzero_ps();
+  __m256 s1 = _mm256_setzero_ps();
+  int64_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(logits + c), mxv);
+    const __m256 e = Exp8(d);
+    s0 = _mm256_add_ps(s0, e);
+    s1 = _mm256_add_ps(s1, _mm256_mul_ps(e, d));
+  }
+  double sum0 = Hsum8(s0);
+  double sum1 = Hsum8(s1);
+  for (; c < n; ++c) {
+    const float d = logits[c] - mx;
+    const float e = ExpScalar(d);
+    sum0 += e;
+    sum1 += static_cast<double>(e) * d;
+  }
+  return static_cast<float>(std::log(sum0) - sum1 / sum0);
+}
+
+// Four centroid elements per step, accumulated in double exactly as the
+// scalar backend (θ first, then patterns in arrival order); only the final
+// query·centroid reduction uses lane partials.
+double PttaCentroidDotAvx2(const float* query, const float* wcol,
+                           int64_t wstride, const float* patterns,
+                           int64_t keep, int64_t h) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= h; i += 4) {
+    __m256d ci = _mm256_set_pd(
+        wcol[(i + 3) * wstride], wcol[(i + 2) * wstride],
+        wcol[(i + 1) * wstride], wcol[i * wstride]);
+    for (int64_t k = 0; k < keep; ++k) {
+      ci = _mm256_add_pd(ci,
+                         _mm256_cvtps_pd(_mm_loadu_ps(patterns + k * h + i)));
+    }
+    const __m256d qd = _mm256_cvtps_pd(_mm_loadu_ps(query + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(qd, ci));
+  }
+  double result = Hsum4d(acc);
+  for (; i < h; ++i) {
+    double ci = wcol[i * wstride];
+    for (int64_t k = 0; k < keep; ++k) ci += patterns[k * h + i];
+    result += static_cast<double>(query[i]) * ci;
+  }
+  return result;
+}
+
+}  // namespace
+
+const KernelTable* Avx2TableOrNull() {
+  if (!common::CpuHasAvx2() || !common::CpuHasFma()) return nullptr;
+  static const KernelTable table = {
+      MatMulNNAvx2,      MatMulTNAvx2,         MatMulNTAvx2,
+      VecMatColsAvx2,    VecMatColsF64Avx2,    BiasTanhAvx2,
+      BiasSigmoidAvx2,   AxpyAvx2,             MaskedSoftmaxRowsAvx2,
+      SoftmaxRowsAvx2,   SoftmaxEntropyAvx2,   PttaCentroidDotAvx2,
+  };
+  return &table;
+}
+
+}  // namespace adamove::nn::kernels
+
+#else  // !(__AVX2__ && __FMA__): non-x86 build or flags missing
+
+namespace adamove::nn::kernels {
+const KernelTable* Avx2TableOrNull() { return nullptr; }
+}  // namespace adamove::nn::kernels
+
+#endif

@@ -1,0 +1,117 @@
+// The NEON backend: float32x4 variants of the bandwidth-bound kernels that
+// can stay bit-identical to scalar (explicit vmulq+vaddq, never vfmaq, and
+// per-element accumulation order preserved), scalar table entries for
+// everything else. Conservative by design — ARM hosts get the contiguous
+// column loads that dominate PTTA serving without this repo carrying an
+// unverifiable transcendental approximation for a second ISA.
+
+#include "nn/kernels_backend.h"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "common/cpu_features.h"
+#include "common/parallel_for.h"
+#include "nn/kernels.h"
+
+namespace adamove::nn::kernels {
+
+namespace {
+
+void MatMulNNNeon(const float* a, const float* b, float* c, int64_t n,
+                  int64_t k, int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        float32x4_t acc0 = vld1q_f32(crow + j);
+        float32x4_t acc1 = vld1q_f32(crow + j + 4);
+        for (int64_t p = 0; p < k; ++p) {
+          const float32x4_t av = vdupq_n_f32(arow[p]);
+          const float* brow = b + p * m + j;
+          acc0 = vaddq_f32(acc0, vmulq_f32(av, vld1q_f32(brow)));
+          acc1 = vaddq_f32(acc1, vmulq_f32(av, vld1q_f32(brow + 4)));
+        }
+        vst1q_f32(crow + j, acc0);
+        vst1q_f32(crow + j + 4, acc1);
+      }
+      for (; j < m; ++j) {
+        float acc = crow[j];
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * b[p * m + j];
+        crow[j] = acc;
+      }
+    }
+  });
+}
+
+void VecMatColsNeon(const float* x, const float* w, float* out, int64_t n,
+                    int64_t m, bool skip_zero) {
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
+    int64_t l = c0;
+    for (; l + 4 <= c1; l += 4) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      for (int64_t i = 0; i < n; ++i) {
+        const float xv = x[i];
+        if (skip_zero && xv == 0.0f) continue;
+        acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(xv),
+                                       vld1q_f32(w + i * m + l)));
+      }
+      vst1q_f32(out + l, acc);
+    }
+    for (; l < c1; ++l) {
+      float acc = 0.0f;
+      const float* col = w + l;
+      if (skip_zero) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float xv = x[i];
+          if (xv == 0.0f) continue;
+          acc += xv * col[i * m];
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) acc += x[i] * col[i * m];
+      }
+      out[l] = acc;
+    }
+  });
+}
+
+void AxpyNeon(int64_t n, float alpha, const float* x, float* y) {
+  common::ParallelFor(0, n, GrainForWork(1), [=](int64_t lo, int64_t hi) {
+    const float32x4_t av = vdupq_n_f32(alpha);
+    int64_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      vst1q_f32(y + i,
+                vaddq_f32(vld1q_f32(y + i), vmulq_f32(av, vld1q_f32(x + i))));
+    }
+    for (; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+}  // namespace
+
+const KernelTable* NeonTableOrNull() {
+  if (!common::CpuHasNeon()) return nullptr;
+  static const KernelTable table = [] {
+    KernelTable t = ScalarTable();
+    t.matmul_nn = MatMulNNNeon;
+    t.vec_mat_cols = VecMatColsNeon;
+    t.axpy = AxpyNeon;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace adamove::nn::kernels
+
+#else  // non-ARM build
+
+namespace adamove::nn::kernels {
+const KernelTable* NeonTableOrNull() { return nullptr; }
+}  // namespace adamove::nn::kernels
+
+#endif

@@ -1,0 +1,245 @@
+// The scalar reference backend: the historical portable loops, verbatim.
+// This translation unit is compiled for the baseline ISA and defines the
+// repo's arithmetic ground truth — every golden pin and bit-identity test
+// runs against these semantics (force with ADAMOVE_KERNEL_BACKEND=scalar).
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel_for.h"
+#include "nn/kernels.h"
+#include "nn/kernels_backend.h"
+
+namespace adamove::nn::kernels {
+
+namespace {
+
+// Micro-panel of C rows that share one streamed B stripe (fits registers /
+// L1 comfortably at the hidden sizes this repo uses).
+constexpr int64_t kRowTile = 8;
+// Width (in floats) of the B stripe kept hot across a row micro-panel.
+constexpr int64_t kColTile = 128;
+
+void MatMulNNScalar(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kRowTile) {
+      const int64_t i1 = std::min(i0 + kRowTile, r1);
+      for (int64_t j0 = 0; j0 < m; j0 += kColTile) {
+        const int64_t j1 = std::min(j0 + kColTile, m);
+        for (int64_t p = 0; p < k; ++p) {
+          const float* brow = b + p * m;
+          for (int64_t i = i0; i < i1; ++i) {
+            const float av = a[i * k + p];
+            if (av == 0.0f) continue;
+            float* crow = c + i * m;
+            for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void MatMulTNScalar(const float* a, const float* b, float* c, int64_t k,
+                    int64_t n, int64_t m) {
+  // Output rows i index the columns of A; each thread owns a contiguous
+  // range of them, streaming all k rows of A and B.
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t j0 = 0; j0 < m; j0 += kColTile) {
+      const int64_t j1 = std::min(j0 + kColTile, m);
+      for (int64_t p = 0; p < k; ++p) {
+        const float* arow = a + p * n;
+        const float* brow = b + p * m;
+        for (int64_t i = r0; i < r1; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* crow = c + i * m;
+          for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+void MatMulNTScalar(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m) {
+  common::ParallelFor(0, n, GrainForWork(k * m), [=](int64_t r0, int64_t r1) {
+    for (int64_t i0 = r0; i0 < r1; i0 += kRowTile) {
+      const int64_t i1 = std::min(i0 + kRowTile, r1);
+      // j outer / i inner reuses each B row across the whole micro-panel.
+      for (int64_t j = 0; j < m; ++j) {
+        const float* brow = b + j * k;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* arow = a + i * k;
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          c[i * m + j] += acc;
+        }
+      }
+    }
+  });
+}
+
+void VecMatColsScalar(const float* x, const float* w, float* out, int64_t n,
+                      int64_t m, bool skip_zero) {
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
+    for (int64_t l = c0; l < c1; ++l) {
+      float acc = 0.0f;
+      const float* col = w + l;
+      if (skip_zero) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float xv = x[i];
+          if (xv == 0.0f) continue;
+          acc += xv * col[i * m];
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) acc += x[i] * col[i * m];
+      }
+      out[l] = acc;
+    }
+  });
+}
+
+void VecMatColsF64Scalar(const float* x, const float* w, float* out,
+                         int64_t n, int64_t m) {
+  // Ascending-i double accumulation per column — the frozen-classifier
+  // scoring semantics OnlineAdapter has always used.
+  common::ParallelFor(0, m, GrainForWork(n), [=](int64_t c0, int64_t c1) {
+    for (int64_t l = c0; l < c1; ++l) {
+      const float* col = w + l;
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += static_cast<double>(x[i]) * col[i * m];
+      }
+      out[l] = static_cast<float>(acc);
+    }
+  });
+}
+
+void BiasTanhScalar(const float* x, const float* b, float* out, int64_t rows,
+                    int64_t cols, bool broadcast_bias) {
+  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
+                                                       int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      const float* brow = broadcast_bias ? b : b + r * cols;
+      float* orow = out + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = std::tanh(xrow[c] + brow[c]);
+      }
+    }
+  });
+}
+
+void BiasSigmoidScalar(const float* x, const float* b, float* out,
+                       int64_t rows, int64_t cols, bool broadcast_bias) {
+  common::ParallelFor(0, rows, GrainForWork(cols), [=](int64_t r0,
+                                                       int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      const float* brow = broadcast_bias ? b : b + r * cols;
+      float* orow = out + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = 1.0f / (1.0f + std::exp(-(xrow[c] + brow[c])));
+      }
+    }
+  });
+}
+
+void AxpyScalar(int64_t n, float alpha, const float* x, float* y) {
+  common::ParallelFor(0, n, GrainForWork(1), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+void MaskedSoftmaxRowsScalar(const float* x, float* out, int64_t rows,
+                             int64_t cols, const int64_t* valid) {
+  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
+                                                           int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t v = valid[r];
+      const float* xrow = x + r * cols;
+      float* orow = out + r * cols;
+      float mx = xrow[0];
+      for (int64_t c = 1; c < v; ++c) mx = std::max(mx, xrow[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < v; ++c) {
+        const float e = std::exp(xrow[c] - mx);
+        orow[c] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < v; ++c) orow[c] *= inv;
+      for (int64_t c = v; c < cols; ++c) orow[c] = 0.0f;
+    }
+  });
+}
+
+void SoftmaxRowsScalar(const float* x, float* out, int64_t rows,
+                       int64_t cols) {
+  common::ParallelFor(0, rows, GrainForWork(2 * cols), [=](int64_t r0,
+                                                           int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xrow = x + r * cols;
+      float* orow = out + r * cols;
+      float mx = xrow[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xrow[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float e = std::exp(xrow[c] - mx);
+        orow[c] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+    }
+  });
+}
+
+float SoftmaxEntropyScalar(const float* logits, int64_t n) {
+  // The historical PTTA importance loop: double accumulation, max-subtract,
+  // p > 1e-12 guard.
+  float mx = logits[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  double denom = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    denom += std::exp(static_cast<double>(logits[i] - mx));
+  }
+  double entropy = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double p = std::exp(static_cast<double>(logits[i] - mx)) / denom;
+    if (p > 1e-12) entropy -= p * std::log(p);
+  }
+  return static_cast<float>(entropy);
+}
+
+double PttaCentroidDotScalar(const float* query, const float* wcol,
+                             int64_t wstride, const float* patterns,
+                             int64_t keep, int64_t h) {
+  // Per element i: θ first, then patterns in arrival order, then one
+  // multiply into the ascending-i dot — exactly the order the historical
+  // centroid loops used, so this is bit-identical to materializing the
+  // centroid vector first.
+  double acc = 0.0;
+  for (int64_t i = 0; i < h; ++i) {
+    double ci = wcol[i * wstride];
+    for (int64_t k = 0; k < keep; ++k) ci += patterns[k * h + i];
+    acc += static_cast<double>(query[i]) * ci;
+  }
+  return acc;
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      MatMulNNScalar,     MatMulTNScalar,        MatMulNTScalar,
+      VecMatColsScalar,   VecMatColsF64Scalar,   BiasTanhScalar,
+      BiasSigmoidScalar,  AxpyScalar,            MaskedSoftmaxRowsScalar,
+      SoftmaxRowsScalar,  SoftmaxEntropyScalar,  PttaCentroidDotScalar,
+  };
+  return table;
+}
+
+}  // namespace adamove::nn::kernels

@@ -223,15 +223,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   ADAMOVE_CHECK_EQ(k, b.rows());
   bool rg = AnyRequiresGrad({&a, &b});
   auto out = NewNode({n, m}, rg);
-  if (n == 1) {
-    // Vector × matrix: a row partition has nothing to parallelize over, so
-    // split the output columns instead.
-    kernels::VecMatCols(a.data().data(), b.data().data(), out->data.data(), k,
-                        m, /*skip_zero=*/true);
-  } else {
-    kernels::MatMulNN(a.data().data(), b.data().data(), out->data.data(), n, k,
-                      m);
-  }
+  // Always the same kernel regardless of n: the causal-prefix contract
+  // (rnn_test CausalPrefixProperty) requires row i of an n-row product to be
+  // bit-identical to the same row computed alone, which holds within one
+  // kernel (per-row arithmetic is row-count-invariant) but not across
+  // kernels of different rounding classes (VecMatCols is exact-class, the
+  // SIMD MatMulNN uses FMA).
+  kernels::MatMulNN(a.data().data(), b.data().data(), out->data.data(), n, k,
+                    m);
   if (rg) {
     auto ai = a.impl(), bi = b.impl();
     TensorImpl* oi = out.get();

@@ -211,12 +211,19 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
     out[i].queue_us = ElapsedUs(batch[i].enqueue, picked_up);
   }
 
-  // Adapt stage: strictly per-request — per-user knowledge-base update +
-  // adapted prediction through the sharded store, unless this request's
-  // deadline already expired or the batch degraded, in which case the
-  // base-model fallback answers immediately.
+  // Adapt stage: requests that can take the adapted path (no missed
+  // deadline, batch not degraded, not frozen-only) go through the store's
+  // batched API — per-user knowledge-base updates run per shard lock, then
+  // every rebuild is scored in one contiguous vectorized sweep over the
+  // batch's flat pattern arena. The rest fall back to the base model
+  // immediately. Per-request adapt_us is the stage's cost split evenly
+  // across its adapted requests (the sweep is genuinely joint work).
   const auto deadline_budget = std::chrono::microseconds(config_.deadline_us);
   std::vector<char> warm_fallback(batch.size(), 0);
+  std::vector<size_t> adapted;  // indices routed to the batched store call
+  adapted.reserve(batch.size());
+  std::vector<SessionStore::BatchRequest> store_batch;
+  store_batch.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     common::Timer timer;
     Prediction& p = out[i];
@@ -227,16 +234,33 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
       p.scores = store_.PredictFrozen(model_, reps[i]);
       p.outcome = deadline_missed ? RequestOutcome::kTimedOut
                                   : RequestOutcome::kDegraded;
+      p.adapt_us = timer.ElapsedMs() * 1000.0;
     } else {
-      AdaptStatus status = AdaptStatus::kAdapted;
-      p.scores = store_.ObserveAndPredictEncoded(model_, batch[i].sample,
-                                                 reps[i], &status);
-      p.outcome = status == AdaptStatus::kAdapted && encode_degraded[i] == 0
-                      ? RequestOutcome::kOk
-                      : RequestOutcome::kDegraded;
-      if (status == AdaptStatus::kWarmStartPending) warm_fallback[i] = 1;
+      adapted.push_back(i);
+      SessionStore::BatchRequest request;
+      request.sample = &batch[i].sample;
+      request.reps = &reps[i];
+      store_batch.push_back(request);
     }
-    p.adapt_us = timer.ElapsedMs() * 1000.0;
+  }
+  if (!adapted.empty()) {
+    common::Timer timer;
+    std::vector<AdaptStatus> statuses;
+    std::vector<std::vector<float>> scores =
+        store_.BatchObserveAndPredictEncoded(model_, store_batch, &statuses);
+    const double per_request_us =
+        timer.ElapsedMs() * 1000.0 / static_cast<double>(adapted.size());
+    for (size_t a = 0; a < adapted.size(); ++a) {
+      const size_t i = adapted[a];
+      Prediction& p = out[i];
+      p.scores = std::move(scores[a]);
+      p.outcome =
+          statuses[a] == AdaptStatus::kAdapted && encode_degraded[i] == 0
+              ? RequestOutcome::kOk
+              : RequestOutcome::kDegraded;
+      if (statuses[a] == AdaptStatus::kWarmStartPending) warm_fallback[i] = 1;
+      p.adapt_us = per_request_us;
+    }
   }
 
   {

@@ -111,8 +111,12 @@ struct ServiceStats {
 /// flush dynamic micro-batches (on max_batch or max_wait_us). A batch runs
 /// the encoder forwards back-to-back — one cache-warm pass over the model
 /// weights instead of interleaving them with per-request adapter work —
-/// while the PTTA adjustment stays strictly per-request against the sharded
-/// SessionStore, preserving per-user state semantics.
+/// then the PTTA adjustment for the whole batch goes through
+/// SessionStore::BatchObserveAndPredictEncoded: per-user knowledge-base
+/// updates still run in request order under their shard locks (per-user
+/// state semantics are preserved exactly), but the adjusted-column rebuilds
+/// are collected into one flat pattern arena and scored in a single
+/// lock-free vectorized sweep.
 ///
 /// Failure semantics (DESIGN.md §9): the service never crashes on an armed
 /// fault and never fabricates scores. Faults on the adapted path (session

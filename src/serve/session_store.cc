@@ -5,9 +5,12 @@
 #include <string>
 #include <utility>
 
+#include "common/aligned_buffer.h"
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/parallel_for.h"
 #include "common/qfloat.h"
+#include "nn/kernels.h"
 
 namespace adamove::serve {
 
@@ -112,69 +115,128 @@ std::vector<float> SessionStore::PredictFrozen(
 std::vector<float> SessionStore::ObserveAndPredictEncoded(
     const core::AdaptableModel& model, const data::Sample& sample,
     const nn::Tensor& reps, AdaptStatus* status) {
-  const int64_t t = reps.rows();
-  const int64_t hidden = reps.cols();
-  ADAMOVE_CHECK_EQ(static_cast<size_t>(t), sample.recent.size());
-  if (status != nullptr) *status = AdaptStatus::kAdapted;
-  // Simulated session-state loss (cache miss, shard failover): no per-user
-  // state is touched; the base model still answers.
-  if (common::FaultPoint("serve.session_lookup")) {
-    if (status != nullptr) *status = AdaptStatus::kStateUnavailable;
-    return PredictFrozen(model, reps);
+  BatchRequest request;
+  request.sample = &sample;
+  request.reps = &reps;
+  std::vector<AdaptStatus> statuses;
+  std::vector<std::vector<float>> scores =
+      BatchObserveAndPredictEncoded(model, {request}, &statuses);
+  if (status != nullptr) *status = statuses[0];
+  return std::move(scores[0]);
+}
+
+std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
+    const core::AdaptableModel& model,
+    const std::vector<BatchRequest>& requests,
+    std::vector<AdaptStatus>* statuses) {
+  const size_t n = requests.size();
+  if (statuses != nullptr) {
+    statuses->assign(n, AdaptStatus::kAdapted);
   }
-  // Warm-start gate: while a Restore is in flight, a user whose durable
-  // state has not landed yet is served the frozen base model and writes
-  // nothing — growing fresh state here would be clobbered by the user's
-  // snapshot frame. Users already restored fall through to the normal
-  // adapted path (progressive recovery).
-  if (warming_.load(std::memory_order_acquire)) {
-    Shard& gate_shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
-    bool resident;
-    {
-      common::MutexLock lock(gate_shard.mu);
-      resident = gate_shard.adapter.HasUser(sample.user);
+  // Phase 1 state per request: the query pattern (last row of reps) and the
+  // rebuild jobs collected under the shard lock. Every kept pattern is
+  // *copied* into the shared arena at collect time, so phase 2 is immune to
+  // anything that happens to adapter state afterwards — including a later
+  // request of this very batch observing more patterns for the same user
+  // (sequential semantics: request i's prediction must not see request
+  // i+1's ingestion).
+  common::AlignedBuffer<float> arena;
+  std::vector<std::vector<float>> queries(n);
+  std::vector<std::vector<core::OnlineAdapter::RebuildJob>> jobs(n);
+
+  for (size_t r = 0; r < n; ++r) {
+    const data::Sample& sample = *requests[r].sample;
+    const nn::Tensor& reps = *requests[r].reps;
+    const int64_t t = reps.rows();
+    const int64_t hidden = reps.cols();
+    ADAMOVE_CHECK_EQ(static_cast<size_t>(t), sample.recent.size());
+    // The query pattern; also what the frozen fallback scores, so it is
+    // built unconditionally (degraded requests keep jobs[r] empty and the
+    // phase-2 sweep degenerates to PredictFrozen's arithmetic).
+    queries[r].assign(reps.data().end() - hidden, reps.data().end());
+
+    // Simulated session-state loss (cache miss, shard failover): no
+    // per-user state is touched; the base model still answers.
+    if (common::FaultPoint("serve.session_lookup")) {
+      if (statuses != nullptr) (*statuses)[r] = AdaptStatus::kStateUnavailable;
+      continue;
     }
-    if (!resident) {
-      if (status != nullptr) *status = AdaptStatus::kWarmStartPending;
-      return PredictFrozen(model, reps);
-    }
-  }
-  Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
-  common::MutexLock lock(shard.mu);
-  // Cold-tier hydration failure: same degraded outcome as a session-lookup
-  // fault — the base model answers, and by the hydrate contract no state
-  // (hot, cold, or LRU) has been touched.
-  if (!EnsureResidentLocked(shard, sample.user)) {
-    if (status != nullptr) *status = AdaptStatus::kStateUnavailable;
-    return PredictFrozen(model, reps);
-  }
-  TouchLocked(shard, sample.user);
-  // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism test
-  // depends on bit-identical arithmetic): each prefix representation is a
-  // labeled pattern for the *next* point, the final row is the query.
-  // A `serve.ptta_generate` fault skips ingestion of this request's
-  // transitions — the prediction below then answers from stale state.
-  if (!common::FaultPoint("serve.ptta_generate")) {
-    for (int64_t k = 0; k + 1 < t; ++k) {
-      std::vector<float> pattern(reps.data().begin() + k * hidden,
-                                 reps.data().begin() + (k + 1) * hidden);
-      // Canonical ingest projects the stored pattern onto the q8 grid (the
-      // query below stays untouched — it is never stored), making every
-      // later dehydrate→rehydrate cycle of this entry bit-exact.
-      if (config_.canonicalize_patterns) {
-        common::QfloatCanonicalize(&pattern);
+    // Warm-start gate: while a Restore is in flight, a user whose durable
+    // state has not landed yet is served the frozen base model and writes
+    // nothing — growing fresh state here would be clobbered by the user's
+    // snapshot frame. Users already restored fall through to the normal
+    // adapted path (progressive recovery).
+    if (warming_.load(std::memory_order_acquire)) {
+      Shard& gate_shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
+      bool resident;
+      {
+        common::MutexLock lock(gate_shard.mu);
+        resident = gate_shard.adapter.HasUser(sample.user);
       }
-      shard.adapter.Observe(
-          sample.user, pattern,
-          sample.recent[static_cast<size_t>(k + 1)].location,
-          sample.recent[static_cast<size_t>(k + 1)].timestamp);
+      if (!resident) {
+        if (statuses != nullptr) {
+          (*statuses)[r] = AdaptStatus::kWarmStartPending;
+        }
+        continue;
+      }
     }
-  } else if (status != nullptr) {
-    *status = AdaptStatus::kStaleState;
+    Shard& shard = *shards_[static_cast<size_t>(ShardOf(sample.user))];
+    common::MutexLock lock(shard.mu);
+    // Cold-tier hydration failure: same degraded outcome as a
+    // session-lookup fault — the base model answers, and by the hydrate
+    // contract no state (hot, cold, or LRU) has been touched.
+    if (!EnsureResidentLocked(shard, sample.user)) {
+      if (statuses != nullptr) (*statuses)[r] = AdaptStatus::kStateUnavailable;
+      continue;
+    }
+    TouchLocked(shard, sample.user);
+    // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism
+    // test depends on bit-identical arithmetic): each prefix representation
+    // is a labeled pattern for the *next* point, the final row is the
+    // query. A `serve.ptta_generate` fault skips ingestion of this
+    // request's transitions — the prediction then answers from stale state.
+    if (!common::FaultPoint("serve.ptta_generate")) {
+      for (int64_t k = 0; k + 1 < t; ++k) {
+        std::vector<float> pattern(reps.data().begin() + k * hidden,
+                                   reps.data().begin() + (k + 1) * hidden);
+        // Canonical ingest projects the stored pattern onto the q8 grid
+        // (the query stays untouched — it is never stored), making every
+        // later dehydrate→rehydrate cycle of this entry bit-exact.
+        if (config_.canonicalize_patterns) {
+          common::QfloatCanonicalize(&pattern);
+        }
+        shard.adapter.Observe(
+            sample.user, pattern,
+            sample.recent[static_cast<size_t>(k + 1)].location,
+            sample.recent[static_cast<size_t>(k + 1)].timestamp);
+      }
+    } else if (statuses != nullptr) {
+      (*statuses)[r] = AdaptStatus::kStaleState;
+    }
+    shard.adapter.CollectRebuildJobs(sample.user, queries[r],
+                                     sample.target.timestamp, &arena,
+                                     &jobs[r]);
   }
-  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
-  return shard.adapter.Predict(model, sample.user, query,
-                               sample.target.timestamp);
+
+  // Phase 2: one contiguous scoring sweep, outside every shard lock. Each
+  // request is frozen column scores + its collected adjusted columns + bias
+  // — Predict's exact arithmetic, batched. Parallel across requests; the
+  // kernels' nested ParallelFors run inline on the pool threads.
+  const int64_t hidden = model.classifier().in_features();
+  const int64_t num_loc = model.classifier().out_features();
+  std::vector<std::vector<float>> scores(n);
+  common::ParallelFor(
+      0, static_cast<int64_t>(n),
+      nn::kernels::GrainForWork(hidden * num_loc),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          scores[static_cast<size_t>(r)] =
+              core::OnlineAdapter::ScoreCollectedJobs(
+                  model, queries[static_cast<size_t>(r)],
+                  jobs[static_cast<size_t>(r)], arena);
+        }
+      });
+  return scores;
 }
 
 void SessionStore::Forget(int64_t user) {

@@ -136,6 +136,34 @@ class SessionStore {
                                               const nn::Tensor& reps,
                                               AdaptStatus* status = nullptr);
 
+  /// One request of an adapt micro-batch: the sample and its pre-computed
+  /// prefix representations, both borrowed (must outlive the call).
+  struct BatchRequest {
+    const data::Sample* sample = nullptr;
+    const nn::Tensor* reps = nullptr;
+  };
+
+  /// ObserveAndPredictEncoded over a micro-batch, in two phases. Phase 1
+  /// walks the requests in order and, per request, does exactly what the
+  /// single-request path does under its shard lock — fault probes, warm
+  /// gate, hydration, LRU touch, pattern ingestion — but instead of scoring
+  /// in place it *collects* the adjusted-column rebuild jobs, copying the
+  /// kept patterns into one flat arena shared by the whole batch
+  /// (core::OnlineAdapter::CollectRebuildJobs). Phase 2 then scores every
+  /// request in one lock-free parallel sweep over the arena
+  /// (ScoreCollectedJobs) — degraded requests simply carry zero jobs, so
+  /// the frozen fallback is the same sweep. Request i's scores and status
+  /// are bit-identical to calling ObserveAndPredictEncoded sequentially in
+  /// request order (fault-point evaluation order included); what changes is
+  /// only where the arithmetic runs — outside the shard locks, batched.
+  ///
+  /// `statuses`, when non-null, is resized to requests.size() with request
+  /// i's AdaptStatus at index i.
+  std::vector<std::vector<float>> BatchObserveAndPredictEncoded(
+      const core::AdaptableModel& model,
+      const std::vector<BatchRequest>& requests,
+      std::vector<AdaptStatus>* statuses = nullptr);
+
   /// The base-model fallback: frozen-classifier scores for the final row of
   /// `reps` (the query pattern). Reads no per-user state and takes no lock.
   std::vector<float> PredictFrozen(const core::AdaptableModel& model,

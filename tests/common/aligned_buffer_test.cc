@@ -1,0 +1,102 @@
+// Contract tests for the kernel-layer scratch arena (DESIGN.md §13):
+// 64-byte-aligned head, offset-stable appends across growth, allocation
+// reuse via Clear(). Runs under the `nn` label so the UBSan stage of
+// scripts/check.sh covers the aligned operator-new path too.
+
+#include "common/aligned_buffer.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adamove::common {
+namespace {
+
+TEST(AlignedBufferTest, DataIsCacheLineAlignedAtEverySize) {
+  for (size_t n : {1u, 7u, 64u, 65u, 1000u}) {
+    AlignedBuffer<float> buf(n);
+    EXPECT_EQ(n, buf.size());
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(buf.data()) %
+                      AlignedBuffer<float>::kAlignment);
+  }
+}
+
+TEST(AlignedBufferTest, DefaultConstructedIsEmpty) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(0u, buf.size());
+}
+
+TEST(AlignedBufferTest, ResizePreservesExistingContents) {
+  AlignedBuffer<int32_t> buf(8);
+  for (size_t i = 0; i < 8; ++i) buf[i] = static_cast<int32_t>(i);
+  buf.Resize(4096);  // forces reallocation
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(static_cast<int32_t>(i), buf[i]);
+  }
+  EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(buf.data()) %
+                    AlignedBuffer<int32_t>::kAlignment);
+}
+
+TEST(AlignedBufferTest, AppendReturnsStableOffsetsAcrossGrowth) {
+  // The arena-handle idiom of the batched PTTA rebuild: record offsets at
+  // Append time, read them back after arbitrary later growth.
+  AlignedBuffer<float> arena;
+  std::vector<size_t> offsets;
+  std::vector<std::vector<float>> chunks;
+  for (int c = 0; c < 50; ++c) {
+    std::vector<float> chunk(static_cast<size_t>(c % 17 + 1),
+                             static_cast<float>(c));
+    offsets.push_back(arena.Append(chunk.data(), chunk.size()));
+    chunks.push_back(std::move(chunk));
+  }
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const float* at = arena.data() + offsets[c];
+    for (size_t i = 0; i < chunks[c].size(); ++i) {
+      EXPECT_EQ(chunks[c][i], at[i]) << "chunk " << c << " elem " << i;
+    }
+  }
+}
+
+TEST(AlignedBufferTest, ClearKeepsAllocationForReuse) {
+  AlignedBuffer<float> arena;
+  arena.Append(std::vector<float>(100, 1.0f).data(), 100);
+  const float* before = arena.data();
+  arena.Clear();
+  EXPECT_TRUE(arena.empty());
+  // Re-filling within the old capacity must not reallocate (per-batch
+  // arena reuse is the point of Clear over a fresh buffer).
+  arena.Append(std::vector<float>(100, 2.0f).data(), 100);
+  EXPECT_EQ(before, arena.data());
+  EXPECT_EQ(2.0f, arena[99]);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<float> a(16);
+  for (size_t i = 0; i < 16; ++i) a[i] = static_cast<float>(i);
+  const float* p = a.data();
+  AlignedBuffer<float> b(std::move(a));
+  EXPECT_EQ(p, b.data());
+  EXPECT_EQ(16u, b.size());
+  EXPECT_EQ(0u, a.size());  // NOLINT(bugprone-use-after-move): pinned state
+  EXPECT_EQ(nullptr, a.data());
+  AlignedBuffer<float> c;
+  c = std::move(b);
+  EXPECT_EQ(p, c.data());
+  EXPECT_EQ(15.0f, c[15]);
+}
+
+TEST(AlignedBufferTest, AppendEmptyChunkIsValidOffset) {
+  AlignedBuffer<float> arena;
+  const float x = 7.0f;
+  EXPECT_EQ(0u, arena.Append(&x, 1));
+  // A keep==0 rebuild job appends nothing but still needs a well-defined
+  // arena offset.
+  EXPECT_EQ(1u, arena.Append(nullptr, 0));
+  EXPECT_EQ(1u, arena.size());
+}
+
+}  // namespace
+}  // namespace adamove::common

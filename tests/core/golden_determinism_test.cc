@@ -11,9 +11,20 @@
 #include "core/adamove.h"
 #include "data/preprocess.h"
 #include "data/synthetic.h"
+#include "nn/kernels.h"
 
 namespace adamove::core {
 namespace {
+
+// The golden file pins the *scalar* backend's arithmetic (the bit-identical
+// reference). Force it through the env knob so the dispatcher's override
+// path is exercised end to end; the SIMD backend is tolerance-bounded, not
+// bit-identical, and is covered by kernels_backend_test instead.
+const bool kScalarPinned = [] {
+  setenv("ADAMOVE_KERNEL_BACKEND", "scalar", /*overwrite=*/1);
+  nn::kernels::RefreshBackendFromEnv();
+  return true;
+}();
 
 /// End-to-end golden determinism: a fully seeded train -> adapt -> evaluate
 /// run must produce Rec@K / MRR values that are (a) bit-identical between

@@ -1,0 +1,427 @@
+// Cross-backend agreement suite for the kernel dispatch layer (DESIGN.md
+// §13): every kernel is run under the scalar backend (the bit-identical
+// reference) and under the simd backend, across odd and remainder-heavy
+// sizes 1..17 that stress every vector-width tail path.
+//
+//   * Exact-class kernels (VecMatCols, VecMatColsF64, Axpy) must agree
+//     bit-for-bit: their simd implementations preserve the scalar
+//     per-element operation sequence.
+//   * Tolerance-class kernels (MatMul*, the transcendental fused
+//     activations, softmax, entropy, the PTTA centroid dot) must agree to
+//     tight numeric tolerances.
+//
+// On hosts without vector kernels, requesting kSimd installs scalar (the
+// dispatcher's availability fallback), so every comparison degenerates to
+// scalar-vs-scalar and still passes — the suite is portable by design.
+//
+// Also here: the dispatcher-observability tests (ADAMOVE_KERNEL_BACKEND
+// env override must be visible through ActiveBackend/BackendDescription)
+// and the unaligned-load regression test (kernels take interior, deliberately
+// misaligned pointers; runs under the `nn` label so the UBSan stage of
+// scripts/check.sh proves the loads are UB-free on every backend).
+
+#include "nn/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned_buffer.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+
+namespace adamove::nn {
+namespace {
+
+namespace k = ::adamove::nn::kernels;
+
+/// Sizes that exercise: size-1 degenerate, sub-vector-width, exact widths
+/// (4, 8, 16), and every remainder class around them.
+constexpr int64_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 15, 16, 17};
+
+bool SimdAvailable() {
+  k::SetBackendForTest(k::Backend::kSimd);
+  const bool available = k::ActiveBackend() == k::Backend::kSimd;
+  k::SetBackendForTest(k::Backend::kScalar);
+  return available;
+}
+
+std::vector<float> RandomVec(size_t n, common::Rng& rng,
+                             double zero_fraction = 0.15) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    // Exact zeros exercise the scalar skip-zero shortcuts, which must not
+    // perturb cross-backend agreement.
+    x = rng.Uniform(0.0, 1.0) < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng.Uniform(-2.0, 2.0));
+  }
+  return v;
+}
+
+/// Runs `fn` (which writes its result into caller-captured storage) once
+/// per backend and returns the two results via out-params.
+template <typename Fn>
+void OnBothBackends(Fn fn, std::vector<float>* scalar_out,
+                    std::vector<float>* simd_out) {
+  k::SetBackendForTest(k::Backend::kScalar);
+  *scalar_out = fn();
+  k::SetBackendForTest(k::Backend::kSimd);
+  *simd_out = fn();
+  k::SetBackendForTest(k::Backend::kScalar);
+}
+
+void ExpectBitIdentical(const std::vector<float>& ref,
+                        const std::vector<float>& got,
+                        const std::string& what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], got[i]) << what << " diverges at [" << i << "]";
+  }
+}
+
+void ExpectClose(const std::vector<float>& ref, const std::vector<float>& got,
+                 const std::string& what, double rtol = 2e-5) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double tol =
+        rtol * std::max(1.0, std::abs(static_cast<double>(ref[i])));
+    EXPECT_NEAR(ref[i], got[i], tol) << what << " at [" << i << "]";
+  }
+}
+
+// -- exact-class kernels ------------------------------------------------------
+
+TEST(KernelsBackendTest, VecMatColsBitIdenticalAcrossBackends) {
+  common::Rng rng(101);
+  for (int64_t n : kSizes) {
+    for (int64_t m : kSizes) {
+      const std::vector<float> x = RandomVec(static_cast<size_t>(n), rng);
+      const std::vector<float> w = RandomVec(static_cast<size_t>(n * m), rng);
+      for (bool skip_zero : {false, true}) {
+        std::vector<float> ref, got;
+        OnBothBackends(
+            [&] {
+              std::vector<float> out(static_cast<size_t>(m), 0.25f);
+              k::VecMatCols(x.data(), w.data(), out.data(), n, m, skip_zero);
+              return out;
+            },
+            &ref, &got);
+        ExpectBitIdentical(ref, got,
+                           "VecMatCols n=" + std::to_string(n) +
+                               " m=" + std::to_string(m) +
+                               " skip=" + std::to_string(skip_zero));
+      }
+    }
+  }
+}
+
+TEST(KernelsBackendTest, VecMatColsF64BitIdenticalAcrossBackends) {
+  common::Rng rng(102);
+  for (int64_t n : kSizes) {
+    for (int64_t m : kSizes) {
+      const std::vector<float> x = RandomVec(static_cast<size_t>(n), rng);
+      const std::vector<float> w = RandomVec(static_cast<size_t>(n * m), rng);
+      std::vector<float> ref, got;
+      OnBothBackends(
+          [&] {
+            std::vector<float> out(static_cast<size_t>(m), 0.0f);
+            k::VecMatColsF64(x.data(), w.data(), out.data(), n, m);
+            return out;
+          },
+          &ref, &got);
+      ExpectBitIdentical(ref, got,
+                         "VecMatColsF64 n=" + std::to_string(n) +
+                             " m=" + std::to_string(m));
+    }
+  }
+}
+
+TEST(KernelsBackendTest, AxpyBitIdenticalAcrossBackends) {
+  common::Rng rng(103);
+  for (int64_t n : kSizes) {
+    const std::vector<float> x = RandomVec(static_cast<size_t>(n), rng);
+    const std::vector<float> y0 = RandomVec(static_cast<size_t>(n), rng);
+    for (float alpha : {0.0f, 1.0f, -0.37f}) {
+      std::vector<float> ref, got;
+      OnBothBackends(
+          [&] {
+            std::vector<float> y = y0;
+            k::Axpy(n, alpha, x.data(), y.data());
+            return y;
+          },
+          &ref, &got);
+      ExpectBitIdentical(ref, got,
+                         "Axpy n=" + std::to_string(n) +
+                             " alpha=" + std::to_string(alpha));
+    }
+  }
+}
+
+// -- tolerance-class kernels --------------------------------------------------
+
+TEST(KernelsBackendTest, MatMulVariantsAgreeAcrossBackends) {
+  common::Rng rng(104);
+  for (int64_t n : {1, 3, 4, 5, 8, 17}) {
+    for (int64_t kk : {1, 2, 7, 16}) {
+      for (int64_t m : kSizes) {
+        const auto nu = static_cast<size_t>(n), ku = static_cast<size_t>(kk),
+                   mu = static_cast<size_t>(m);
+        const std::vector<float> a_nk = RandomVec(nu * ku, rng);
+        const std::vector<float> b_km = RandomVec(ku * mu, rng);
+        const std::vector<float> a_kn = RandomVec(ku * nu, rng);
+        const std::vector<float> b_mk = RandomVec(mu * ku, rng);
+        const std::vector<float> c0 = RandomVec(nu * mu, rng, 0.0);
+        const std::string shape = " n=" + std::to_string(n) +
+                                  " k=" + std::to_string(kk) +
+                                  " m=" + std::to_string(m);
+        std::vector<float> ref, got;
+        OnBothBackends(
+            [&] {
+              std::vector<float> c = c0;
+              k::MatMulNN(a_nk.data(), b_km.data(), c.data(), n, kk, m);
+              return c;
+            },
+            &ref, &got);
+        ExpectClose(ref, got, "MatMulNN" + shape);
+        OnBothBackends(
+            [&] {
+              std::vector<float> c = c0;
+              k::MatMulTN(a_kn.data(), b_km.data(), c.data(), kk, n, m);
+              return c;
+            },
+            &ref, &got);
+        ExpectClose(ref, got, "MatMulTN" + shape);
+        OnBothBackends(
+            [&] {
+              std::vector<float> c = c0;
+              k::MatMulNT(a_nk.data(), b_mk.data(), c.data(), n, kk, m);
+              return c;
+            },
+            &ref, &got);
+        ExpectClose(ref, got, "MatMulNT" + shape);
+      }
+    }
+  }
+}
+
+TEST(KernelsBackendTest, FusedBiasActivationsAgreeAcrossBackends) {
+  common::Rng rng(105);
+  for (int64_t rows : {1, 3, 8, 17}) {
+    for (int64_t cols : kSizes) {
+      const auto ru = static_cast<size_t>(rows), cu = static_cast<size_t>(cols);
+      // Wide range so the tanh/sigmoid large-|x| branches and the exp
+      // clamp paths are hit, not just the polynomial core.
+      std::vector<float> x(ru * cu);
+      for (auto& v : x) v = static_cast<float>(rng.Uniform(-12.0, 12.0));
+      const std::vector<float> brow = RandomVec(cu, rng);
+      const std::vector<float> bfull = RandomVec(ru * cu, rng);
+      const std::string shape =
+          " rows=" + std::to_string(rows) + " cols=" + std::to_string(cols);
+      for (bool broadcast : {true, false}) {
+        const float* bias = broadcast ? brow.data() : bfull.data();
+        std::vector<float> ref, got;
+        OnBothBackends(
+            [&] {
+              std::vector<float> out(ru * cu);
+              k::BiasTanh(x.data(), bias, out.data(), rows, cols, broadcast);
+              return out;
+            },
+            &ref, &got);
+        ExpectClose(ref, got, "BiasTanh" + shape, 4e-6);
+        OnBothBackends(
+            [&] {
+              std::vector<float> out(ru * cu);
+              k::BiasSigmoid(x.data(), bias, out.data(), rows, cols,
+                             broadcast);
+              return out;
+            },
+            &ref, &got);
+        ExpectClose(ref, got, "BiasSigmoid" + shape, 4e-6);
+      }
+    }
+  }
+}
+
+TEST(KernelsBackendTest, SoftmaxFamilyAgreesAcrossBackends) {
+  common::Rng rng(106);
+  for (int64_t rows : {1, 2, 5}) {
+    for (int64_t cols : kSizes) {
+      const auto ru = static_cast<size_t>(rows), cu = static_cast<size_t>(cols);
+      std::vector<float> x(ru * cu);
+      for (auto& v : x) v = static_cast<float>(rng.Uniform(-30.0, 30.0));
+      std::vector<int64_t> valid(ru);
+      for (int64_t r = 0; r < rows; ++r) {
+        valid[static_cast<size_t>(r)] =
+            1 + static_cast<int64_t>(rng.Uniform(0.0, 1.0) *
+                                     static_cast<double>(cols - 1) + 0.5);
+      }
+      const std::string shape =
+          " rows=" + std::to_string(rows) + " cols=" + std::to_string(cols);
+      std::vector<float> ref, got;
+      OnBothBackends(
+          [&] {
+            std::vector<float> out(ru * cu);
+            k::SoftmaxRows(x.data(), out.data(), rows, cols);
+            return out;
+          },
+          &ref, &got);
+      ExpectClose(ref, got, "SoftmaxRows" + shape, 4e-6);
+      OnBothBackends(
+          [&] {
+            std::vector<float> out(ru * cu);
+            k::MaskedSoftmaxRows(x.data(), out.data(), rows, cols,
+                                 valid.data());
+            return out;
+          },
+          &ref, &got);
+      ExpectClose(ref, got, "MaskedSoftmaxRows" + shape, 4e-6);
+      // Masked-out tail must be exactly zero on every backend.
+      k::SetBackendForTest(k::Backend::kSimd);
+      std::vector<float> masked(ru * cu);
+      k::MaskedSoftmaxRows(x.data(), masked.data(), rows, cols, valid.data());
+      k::SetBackendForTest(k::Backend::kScalar);
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = valid[static_cast<size_t>(r)]; c < cols; ++c) {
+          EXPECT_EQ(0.0f, masked[static_cast<size_t>(r * cols + c)]) << shape;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsBackendTest, SoftmaxEntropyAgreesAcrossBackends) {
+  common::Rng rng(107);
+  for (int64_t n : kSizes) {
+    std::vector<float> logits(static_cast<size_t>(n));
+    for (auto& v : logits) v = static_cast<float>(rng.Uniform(-10.0, 10.0));
+    k::SetBackendForTest(k::Backend::kScalar);
+    const float ref = k::SoftmaxEntropy(logits.data(), n);
+    k::SetBackendForTest(k::Backend::kSimd);
+    const float got = k::SoftmaxEntropy(logits.data(), n);
+    k::SetBackendForTest(k::Backend::kScalar);
+    EXPECT_NEAR(ref, got, 1e-5) << "SoftmaxEntropy n=" << n;
+    EXPECT_GE(got, -1e-6f);  // entropy is non-negative on every backend
+  }
+}
+
+TEST(KernelsBackendTest, PttaCentroidDotAgreesAcrossBackends) {
+  common::Rng rng(108);
+  for (int64_t h : kSizes) {
+    for (int64_t keep : {0, 1, 2, 5}) {
+      for (int64_t wstride : {1, 3}) {
+        const std::vector<float> query =
+            RandomVec(static_cast<size_t>(h), rng);
+        const std::vector<float> wcol =
+            RandomVec(static_cast<size_t>(h * wstride), rng);
+        const std::vector<float> patterns =
+            RandomVec(static_cast<size_t>(std::max<int64_t>(keep, 1) * h),
+                      rng);
+        k::SetBackendForTest(k::Backend::kScalar);
+        const double ref = k::PttaCentroidDot(query.data(), wcol.data(),
+                                              wstride, patterns.data(), keep,
+                                              h);
+        k::SetBackendForTest(k::Backend::kSimd);
+        const double got = k::PttaCentroidDot(query.data(), wcol.data(),
+                                              wstride, patterns.data(), keep,
+                                              h);
+        k::SetBackendForTest(k::Backend::kScalar);
+        // Per-element centroid arithmetic is identical (double, ascending
+        // k); only the final dot reduction is reassociated, so the bound is
+        // double-precision-tight.
+        EXPECT_NEAR(ref, got, 1e-10 * std::max(1.0, std::abs(ref)))
+            << "PttaCentroidDot h=" << h << " keep=" << keep
+            << " wstride=" << wstride;
+      }
+    }
+  }
+}
+
+// -- dispatcher observability -------------------------------------------------
+
+TEST(KernelsBackendTest, EnvOverrideForcesScalar) {
+  setenv("ADAMOVE_KERNEL_BACKEND", "scalar", /*overwrite=*/1);
+  EXPECT_EQ(k::Backend::kScalar, k::RefreshBackendFromEnv());
+  EXPECT_EQ(k::Backend::kScalar, k::ActiveBackend());
+  EXPECT_STREQ("scalar", k::BackendName(k::ActiveBackend()));
+  EXPECT_EQ("scalar", k::BackendDescription());
+  unsetenv("ADAMOVE_KERNEL_BACKEND");
+  k::SetBackendForTest(k::Backend::kScalar);
+}
+
+TEST(KernelsBackendTest, EnvOverrideRequestsSimdWithAvailabilityFallback) {
+  const bool simd = SimdAvailable();
+  setenv("ADAMOVE_KERNEL_BACKEND", "simd", /*overwrite=*/1);
+  const k::Backend active = k::RefreshBackendFromEnv();
+  if (simd) {
+    EXPECT_EQ(k::Backend::kSimd, active);
+    EXPECT_STREQ("simd", k::BackendName(active));
+    // The description names the concrete ISA, e.g. "simd (avx2+fma)".
+    EXPECT_EQ(0u, k::BackendDescription().find("simd"));
+  } else {
+    // No vector kernels on this host: the request falls back to scalar
+    // instead of crashing on unsupported instructions.
+    EXPECT_EQ(k::Backend::kScalar, active);
+  }
+  unsetenv("ADAMOVE_KERNEL_BACKEND");
+  k::SetBackendForTest(k::Backend::kScalar);
+}
+
+TEST(KernelsBackendTest, DefaultSelectionPicksBestAvailable) {
+  const bool simd = SimdAvailable();
+  unsetenv("ADAMOVE_KERNEL_BACKEND");
+  const k::Backend active = k::RefreshBackendFromEnv();
+  EXPECT_EQ(simd ? k::Backend::kSimd : k::Backend::kScalar, active);
+  // On x86 the CPUID gate and the selection must agree.
+  if (common::CpuHasAvx2() && common::CpuHasFma()) {
+    EXPECT_EQ(k::Backend::kSimd, active);
+  }
+  k::SetBackendForTest(k::Backend::kScalar);
+}
+
+// -- unaligned-load regression ------------------------------------------------
+
+// Kernels receive interior pointers in production (Row() views, arena
+// offsets, strided classifier columns), so no backend may assume its inputs
+// are vector-aligned. Feed every kernel deliberately offset views of an
+// aligned allocation; under the UBSan stage of scripts/check.sh this proves
+// the loads are UB-free, and the cross-backend comparison proves the tail
+// handling is still right at misaligned bases.
+TEST(KernelsBackendTest, KernelsAcceptMisalignedPointers) {
+  common::Rng rng(109);
+  constexpr int64_t kN = 9, kK = 7, kM = 13;
+  constexpr size_t kSlack = 16;
+  common::AlignedBuffer<float> pool(3 * kSlack + 4096);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  for (size_t offset : {1u, 3u, 5u}) {
+    // Carve three disjoint, deliberately misaligned regions out of the pool.
+    float* a = pool.data() + offset;
+    float* b = a + kN * kK + static_cast<ptrdiff_t>(kSlack);
+    float* c = b + kK * kM + static_cast<ptrdiff_t>(kSlack);
+    ASSERT_NE(0u, reinterpret_cast<uintptr_t>(a) % 32);
+    for (k::Backend backend : {k::Backend::kScalar, k::Backend::kSimd}) {
+      k::SetBackendForTest(backend);
+      std::vector<float> out(kN * kM, 0.0f);
+      k::MatMulNN(a, b, out.data(), kN, kK, kM);
+      k::VecMatCols(a, b, out.data(), kK, kM, /*skip_zero=*/true);
+      k::VecMatColsF64(a, b, out.data(), kK, kM);
+      k::BiasTanh(b, a, out.data(), kK, kM, /*broadcast_bias=*/true);
+      k::BiasSigmoid(b, a, out.data(), kK, kM, /*broadcast_bias=*/true);
+      k::Axpy(kN * kK, 0.5f, a, c);
+      k::SoftmaxRows(b, out.data(), kK, kM);
+      const double dot = k::PttaCentroidDot(a, b, 2, c, 3, kK);
+      EXPECT_TRUE(std::isfinite(dot));
+      for (float v : out) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+  k::SetBackendForTest(k::Backend::kScalar);
+}
+
+}  // namespace
+}  // namespace adamove::nn

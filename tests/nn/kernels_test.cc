@@ -21,6 +21,15 @@
 namespace adamove::nn {
 namespace {
 
+// Every comparison in this file is against the historical serial loops
+// verbatim, i.e. against the scalar backend's definition of the arithmetic.
+// Pin it for the whole binary; scalar-vs-simd agreement has its own suite
+// (kernels_backend_test).
+const bool kScalarPinned = [] {
+  kernels::SetBackendForTest(kernels::Backend::kScalar);
+  return true;
+}();
+
 constexpr int kThreadCounts[] = {1, 2, 8};
 
 // Runs `fn` once per swept thread count, then restores the default pool.
