@@ -61,13 +61,16 @@ struct RunReport {
 RunReport RunOnce(core::AdaptableModel& model,
                   const std::vector<data::Sample>& stream, int workers,
                   int max_batch, const serve::LoadGenConfig& lg,
-                  size_t resident_cap) {
+                  size_t resident_cap,
+                  serve::ServiceForwardMode forward =
+                      serve::ServiceForwardMode::kAuto) {
   serve::SessionStoreConfig sc;
   sc.max_resident_users = resident_cap;
   serve::SessionStore store(sc);
   serve::ServiceConfig svc;
   svc.workers = workers;
   svc.max_batch = max_batch;
+  svc.forward = forward;
   serve::PredictionService service(model, store, svc);
   RunReport report;
   report.workers = workers;
@@ -189,9 +192,13 @@ DurabilityReport RunDurability(core::AdaptableModel& model,
 }
 
 /// The serving baseline artifact (BENCH_serving.json): one entry per
-/// worker/batch config with throughput, end-to-end tails, and process RSS.
+/// worker/batch config with throughput, end-to-end tails, and process RSS —
+/// plus, when the forward-mode comparison ran, a `forward_compare` block
+/// with the graph vs plan paced-rate rows.
 void WriteServingJson(const char* json_path, size_t requests,
-                      const std::vector<RunReport>& reports) {
+                      const std::vector<RunReport>& reports,
+                      const RunReport* graph_run, const RunReport* plan_run,
+                      double paced_qps) {
   std::FILE* f = std::fopen(json_path, "w");  // NOLINT(durable-io): bench
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
@@ -218,7 +225,27 @@ void WriteServingJson(const char* json_path, size_t requests,
                  static_cast<double>(r.rss_bytes) / (1024.0 * 1024.0),
                  i + 1 < reports.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (graph_run != nullptr && plan_run != nullptr) {
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"forward_compare\": {\n");
+    std::fprintf(f, "    \"offered_qps\": %.1f,\n", paced_qps);
+    const RunReport* rows[] = {graph_run, plan_run};
+    const char* names[] = {"graph", "plan"};
+    for (int i = 0; i < 2; ++i) {
+      const RunReport& r = *rows[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"e2e_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+                   "\"p99\": %.3f}, \"plan_fallbacks\": %llu}%s\n",
+                   names[i], r.load.e2e_us.QuantileUs(0.50) / 1000.0,
+                   r.load.e2e_us.QuantileUs(0.95) / 1000.0,
+                   r.load.e2e_us.QuantileUs(0.99) / 1000.0,
+                   static_cast<unsigned long long>(r.stats.plan_fallbacks),
+                   i == 0 ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+  } else {
+    std::fprintf(f, "  ]\n}\n");
+  }
   std::fclose(f);
   std::printf("wrote %s\n", json_path);
 }
@@ -349,7 +376,50 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(r));
   }
   table.Print();
-  if (report) WriteServingJson("BENCH_serving.json", requests, reports);
+
+  // Forward-mode comparison at a fixed offered rate: graph walk vs static
+  // plans on the same 4-worker config, paced well below the closed-loop
+  // max so the delta is latency, not saturation. The static-plan claim
+  // under test (DESIGN.md §14): p50 improves at fixed QPS because the
+  // steady state performs zero per-request heap allocations.
+  const double paced_qps =
+      lg.target_qps > 0 ? lg.target_qps : std::max(quad_qps * 0.5, 50.0);
+  serve::LoadGenConfig paced = lg;
+  paced.target_qps = paced_qps;
+  std::printf("\nforward-mode comparison at %.1f offered qps "
+              "(ADAMOVE_FORWARD equivalent, same arithmetic both ways):\n",
+              paced_qps);
+  RunReport graph_run = RunOnce(model, stream, 4, 8, paced, cap,
+                                serve::ServiceForwardMode::kGraph);
+  RunReport plan_run = RunOnce(model, stream, 4, 8, paced, cap,
+                               serve::ServiceForwardMode::kPlan);
+  common::TablePrinter ftable({"forward", "qps", "e2e p50 ms", "e2e p95 ms",
+                               "e2e p99 ms", "encode p95 ms",
+                               "plan fallbacks"});
+  const struct {
+    const char* name;
+    const RunReport* r;
+  } frows[] = {{"graph", &graph_run}, {"plan", &plan_run}};
+  for (const auto& row : frows) {
+    ftable.AddRow({row.name, common::TablePrinter::Fmt(row.r->qps, 1),
+                   Ms(row.r->load.e2e_us, 0.50), Ms(row.r->load.e2e_us, 0.95),
+                   Ms(row.r->load.e2e_us, 0.99),
+                   Ms(row.r->stats.encode_us, 0.95),
+                   std::to_string(row.r->stats.plan_fallbacks)});
+  }
+  ftable.Print();
+  const double graph_p50 = graph_run.load.e2e_us.QuantileUs(0.50);
+  const double plan_p50 = plan_run.load.e2e_us.QuantileUs(0.50);
+  if (graph_p50 > 0) {
+    std::printf("plan p50 vs graph p50 at fixed qps: %+.1f%% "
+                "(negative = plan faster)\n",
+                (plan_p50 - graph_p50) / graph_p50 * 100.0);
+  }
+
+  if (report) {
+    WriteServingJson("BENCH_serving.json", requests, reports, &graph_run,
+                     &plan_run, paced_qps);
+  }
   if (single_qps > 0) {
     const unsigned cores = std::thread::hardware_concurrency();
     std::printf("\n4-worker speedup over single worker: %.2fx "

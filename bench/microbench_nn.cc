@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/alloc_probe.h"
 #include "common/cpu_features.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
@@ -47,6 +48,18 @@ class BackendPin {
   ~BackendPin() { nn::kernels::RefreshBackendFromEnv(); }
 };
 
+// Adds the `allocs/op` column: heap allocations per iteration over the
+// timed loop, from the common/alloc_probe interposition. The graph-mode
+// rows here are the baseline the static-plan rows in bench_plan drive to
+// zero (DESIGN.md §14). Omitted under sanitizer builds (probe unavailable).
+void ReportAllocsPerOp(benchmark::State& state,
+                       const common::AllocProbeScope& window) {
+  if (!common::AllocProbeAvailable()) return;
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(window.allocations()),
+      benchmark::Counter::kAvgIterations);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   common::SetKernelThreads(static_cast<int>(state.range(1)));
@@ -55,9 +68,11 @@ void BM_MatMul(benchmark::State& state) {
   nn::Tensor a = nn::Tensor::Randn({n, n}, rng);
   nn::Tensor b = nn::Tensor::Randn({n, n}, rng);
   nn::NoGradGuard no_grad;
+  common::AllocProbeScope allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(nn::MatMul(a, b).data().data());
   }
+  ReportAllocsPerOp(state, allocs);
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
   common::SetKernelThreads(0);
 }
@@ -99,9 +114,11 @@ void BM_LstmForward(benchmark::State& state) {
   nn::LstmEncoder enc(72, 64, rng);
   nn::Tensor x = nn::Tensor::Randn({t, 72}, rng);
   nn::NoGradGuard no_grad;
+  common::AllocProbeScope allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(enc.Forward(x, false).data().data());
   }
+  ReportAllocsPerOp(state, allocs);
   state.SetItemsProcessed(state.iterations() * t);
 }
 BENCHMARK(BM_LstmForward)->Arg(8)->Arg(32)->Arg(64);
@@ -147,9 +164,11 @@ void BM_EmbeddingLookup(benchmark::State& state) {
     idx[i] = static_cast<int64_t>(rng.UniformInt(0, 4999));
   }
   nn::NoGradGuard no_grad;
+  common::AllocProbeScope allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(nn::EmbeddingLookup(w, idx).data().data());
   }
+  ReportAllocsPerOp(state, allocs);
 }
 BENCHMARK(BM_EmbeddingLookup);
 
@@ -197,10 +216,12 @@ void BM_PttaAdjustedWeights(benchmark::State& state) {
   core::PttaConfig ptta;
   ptta.similarity_importance = false;
   core::TestTimeAdapter adapter{ptta};
+  common::AllocProbeScope allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         adapter.AdjustedWeights(reps, labels, model.classifier()).data());
   }
+  ReportAllocsPerOp(state, allocs);
   state.SetItemsProcessed(state.iterations() * length);
   common::SetKernelThreads(0);
 }

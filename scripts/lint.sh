@@ -43,6 +43,13 @@
 #                      §13); an intrinsic anywhere else bypasses the
 #                      backend contract, the scalar-forced golden pin and
 #                      the cross-backend agreement suite.
+#        plan-executor-alloc
+#                      allocation idioms (Tensor construction, naked new,
+#                      container growth/resize) inside the static-plan
+#                      executor (src/nn/plan/executor.*). Its hot path is
+#                      contractually zero-allocation (DESIGN.md §14); every
+#                      temp lives in the pre-planned arena. The plan-rebind
+#                      arena sizing carries NOLINT.
 #        todo-label    TODO without an owner label `TODO(name):` rots.
 #
 #   2. clang-tidy (.clang-tidy profile: bugprone-*, performance-*,
@@ -109,8 +116,15 @@ mapfile -t SRC_NO_NEON < <(find src -name '*.cc' -o -name '*.h' |
 run_lint raw-intrinsics-neon \
   'vld1q_|vst1q_|vfmaq_|float32x4_t|float64x2_t|vaddvq_' \
   "${SRC_NO_NEON[@]}"
-# todo-label needs a negative lookahead; grep -P is not portable, so
-# emulate it with two passes instead of run_lint.
+# Zero-allocation executor discipline (DESIGN.md §14): the static-plan
+# executor's hot path may not construct tensors, heap-allocate, or grow
+# containers — every temp it touches was packed into the arena at plan
+# compile time, and the `plan`-labeled alloc-probe tests pin the result.
+# The one legitimate allocation (Bind sizing the arena on a plan rebind)
+# carries an inline NOLINT with its reason.
+run_lint plan-executor-alloc \
+  '\bnew\b|\bTensor\b|push_back|emplace_back|\.[Rr]esize\(|\.reserve\(|make_unique|make_shared' \
+  src/nn/plan/executor.cc src/nn/plan/executor.h
 todo_hits=$(grep -rnE '\bTODO\b' src 2>/dev/null |
   grep -vE 'TODO\([A-Za-z0-9_.-]+\)' | grep -v 'NOLINT' || true)
 if [[ -n "$todo_hits" ]]; then

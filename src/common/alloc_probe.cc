@@ -1,0 +1,167 @@
+#include "common/alloc_probe.h"
+
+#include <cstdlib>
+#include <new>
+
+// The probe stands down under ASan/TSan/MSan: their runtimes own the
+// allocator (shadow memory, quarantine, happens-before on malloc/free) and
+// replacing operator new underneath them would silently disable that
+// instrumentation. UBSan does not interpose the allocator, so the probe
+// stays live there and the zero-alloc contract is enforced in that stage
+// too.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_MEMORY__)
+#define ADAMOVE_ALLOC_PROBE_DISABLED 1
+#endif
+#if !defined(ADAMOVE_ALLOC_PROBE_DISABLED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define ADAMOVE_ALLOC_PROBE_DISABLED 1
+#endif
+#endif
+
+namespace adamove::common {
+
+namespace {
+
+// Plain (non-atomic) thread-locals: each thread only ever touches its own
+// slot, so no synchronization is needed and the probe adds one increment
+// per allocation to the hot path.
+thread_local uint64_t tls_alloc_count = 0;
+thread_local uint64_t tls_free_count = 0;
+
+}  // namespace
+
+bool AllocProbeAvailable() {
+#if defined(ADAMOVE_ALLOC_PROBE_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+uint64_t ThreadAllocCount() { return tls_alloc_count; }
+uint64_t ThreadFreeCount() { return tls_free_count; }
+
+namespace internal_alloc_probe {
+
+// Shared backends for the replaced operators below. All flavors funnel into
+// malloc/posix_memalign so every deallocation path (sized, aligned, nothrow)
+// can uniformly call free().
+
+void* CountedAlloc(std::size_t size) noexcept {
+  ++tls_alloc_count;
+  if (size == 0) size = 1;  // malloc(0) may return nullptr legitimately
+  return std::malloc(size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  ++tls_alloc_count;
+  if (align < sizeof(void*)) align = sizeof(void*);  // posix_memalign floor
+  if (size == 0) size = 1;
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, align, size) != 0) return nullptr;
+  return ptr;
+}
+
+void CountedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;  // deleting null is not a deallocation
+  ++tls_free_count;
+  std::free(ptr);
+}
+
+[[noreturn]] void ThrowBadAlloc() { throw std::bad_alloc(); }
+
+}  // namespace internal_alloc_probe
+
+}  // namespace adamove::common
+
+#if !defined(ADAMOVE_ALLOC_PROBE_DISABLED)
+
+namespace probe = adamove::common::internal_alloc_probe;
+
+// Replaceable global allocation functions ([new.delete] — replacing them is
+// the standard-sanctioned interposition point). Every flavor is replaced so
+// no allocation slips past the counter regardless of which overload the
+// compiler selects.
+
+void* operator new(std::size_t size) {
+  void* ptr = probe::CountedAlloc(size);
+  if (ptr == nullptr) probe::ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = probe::CountedAlloc(size);
+  if (ptr == nullptr) probe::ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return probe::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return probe::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr =
+      probe::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) probe::ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* ptr =
+      probe::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) probe::ThrowBadAlloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return probe::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return probe::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { probe::CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { probe::CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  probe::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  probe::CountedFree(ptr);
+}
+
+#endif  // !ADAMOVE_ALLOC_PROBE_DISABLED

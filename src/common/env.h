@@ -23,6 +23,14 @@ inline int EnvInt(const char* name, int fallback) {
   return static_cast<int>(EnvDouble(name, static_cast<double>(fallback)));
 }
 
+/// Reads a string-valued environment override (e.g. ADAMOVE_FORWARD);
+/// returns `fallback` when unset or empty.
+inline std::string EnvString(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
 }  // namespace adamove::common
 
 #endif  // ADAMOVE_COMMON_ENV_H_

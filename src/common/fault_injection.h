@@ -67,6 +67,9 @@ bool EvaluateSlow(const char* point);
 ///                         to a fallback group frozen-only (kDegraded)
 ///   serve.ptta_generate   pattern generation skipped — stale-KB prediction
 ///   serve.encode_forward  encoder forward fails — bounded retry
+///   serve.plan_execute    static-plan execute fails — bit-identical graph
+///                         fallback (request stays kOk; plan_fallbacks
+///                         ticks)
 ///   serve.batch_flush     whole batch degrades to the base model
 ///   io.snapshot_write     durable_io payload write fails — commit aborted,
 ///                         previous durable file intact

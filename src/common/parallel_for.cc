@@ -18,6 +18,8 @@ namespace {
 // Set while a thread is executing a ParallelFor chunk; nested calls detect
 // it and run inline instead of re-entering the pool (which could otherwise
 // deadlock: a pool thread blocking on futures served by the same pool).
+// SerialKernelRegion sets the same flag to pin kernels inline for
+// zero-allocation request scopes.
 thread_local bool tls_in_parallel_region = false;
 
 int DefaultThreads() {
@@ -57,6 +59,14 @@ ThreadPool* GetPool() {
 
 }  // namespace
 
+SerialKernelRegion::SerialKernelRegion() : previous_(tls_in_parallel_region) {
+  tls_in_parallel_region = true;
+}
+
+SerialKernelRegion::~SerialKernelRegion() {
+  tls_in_parallel_region = previous_;
+}
+
 int KernelThreads() {
   MutexLock lock(g_pool_mu);
   if (g_pool_built) return g_pool ? g_pool->size() + 1 : 1;
@@ -70,13 +80,15 @@ void SetKernelThreads(int n) {
   g_pool_built = false;
 }
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+bool parallel_internal::InSerialRegion() { return tls_in_parallel_region; }
+
+void parallel_internal::ParallelForPool(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  // The inline template already handled empty/serial/at-grain ranges; this
+  // path only re-checks for a pool (size 1 -> run inline after all).
   const int64_t range = end - begin;
-  if (range <= 0) return;
-  grain = std::max<int64_t>(grain, 1);
-  ThreadPool* pool = nullptr;
-  if (!tls_in_parallel_region && range > grain) pool = GetPool();
+  ThreadPool* pool = GetPool();
   if (pool == nullptr) {
     fn(begin, end);
     return;

@@ -73,18 +73,25 @@ PointEmbedding::PointEmbedding(const ModelConfig& config, common::Rng& rng) {
   RegisterModule("user_emb", user_emb_.get());
 }
 
+void PointEmbedding::IndexArrays(const std::vector<data::Point>& points,
+                                 std::vector<int64_t>* locs,
+                                 std::vector<int64_t>* slots,
+                                 std::vector<int64_t>* users) const {
+  locs->reserve(locs->size() + points.size());
+  slots->reserve(slots->size() + points.size());
+  users->reserve(users->size() + points.size());
+  for (const auto& p : points) {
+    locs->push_back(p.location);
+    slots->push_back(data::TimeSlotOf(p.timestamp));
+    users->push_back(p.user);
+  }
+}
+
 nn::Tensor PointEmbedding::Forward(
     const std::vector<data::Point>& points) const {
   ADAMOVE_CHECK(!points.empty());
   std::vector<int64_t> locs, slots, users;
-  locs.reserve(points.size());
-  slots.reserve(points.size());
-  users.reserve(points.size());
-  for (const auto& p : points) {
-    locs.push_back(p.location);
-    slots.push_back(data::TimeSlotOf(p.timestamp));
-    users.push_back(p.user);
-  }
+  IndexArrays(points, &locs, &slots, &users);
   return nn::ConcatCols({location_emb_->Forward(locs),
                          time_emb_->Forward(slots),
                          user_emb_->Forward(users)});

@@ -1,0 +1,90 @@
+#include "core/forward_plan.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "nn/plan/encoder_trace.h"
+
+namespace adamove::core {
+
+ForwardMode ForwardModeFromEnv() {
+  const std::string mode = common::EnvString("ADAMOVE_FORWARD", "graph");
+  if (mode == "plan") return ForwardMode::kPlan;
+  return ForwardMode::kGraph;
+}
+
+ForwardPlanner::ForwardPlanner(const AdaptableModel& model) {
+  const TrajectoryEncoder* encoder = model.trajectory_encoder();
+  if (encoder == nullptr) return;
+  embedding_ = &encoder->embedding();
+  seq_ = &encoder->seq();
+  // Table order must match PointEmbedding::Forward's ConcatCols order —
+  // the gathers write the same column ranges the graph concat produces.
+  tables_ = {&embedding_->location_embedding(), &embedding_->time_embedding(),
+             &embedding_->user_embedding()};
+}
+
+std::shared_ptr<const nn::plan::CompiledPlan> ForwardPlanner::PlanFor(
+    int64_t t) {
+  common::MutexLock lock(mu_);
+  if (untraceable_) return nullptr;
+  auto it = plans_.find(t);
+  if (it != plans_.end()) {
+    const auto& fp = it->second->weight_fingerprint;
+    if (nn::plan::EncoderWeightsMatch(tables_, *seq_, fp.data(), fp.size())) {
+      return it->second;
+    }
+    // A weight tensor's storage moved (checkpoint hot-swap with
+    // reallocation): every cached plan borrows stale pointers.
+    plans_.clear();
+  }
+  auto plan = nn::plan::CompileEncoderForward(tables_, *seq_, t);
+  if (plan == nullptr) {
+    // Compile failure is a property of the encoder family (e.g.
+    // transformer), not of this sequence length — remember it so steady
+    // state is a single flag check instead of a re-trace per request.
+    untraceable_ = true;
+    return nullptr;
+  }
+  ++compiles_;
+  plans_[t] = plan;
+  return plan;
+}
+
+bool ForwardPlanner::EncodeInto(const data::Sample& sample,
+                                PlanScratch* scratch) {
+  if (seq_ == nullptr) return false;
+  const int64_t t = static_cast<int64_t>(sample.recent.size());
+  if (t <= 0) return false;
+  std::shared_ptr<const nn::plan::CompiledPlan> plan = PlanFor(t);
+  if (plan == nullptr) return false;
+  ADAMOVE_CHECK_EQ(plan->num_index_inputs, 3);
+
+  scratch->locs.clear();
+  scratch->slots.clear();
+  scratch->users.clear();
+  embedding_->IndexArrays(sample.recent, &scratch->locs, &scratch->slots,
+                          &scratch->users);
+  if (scratch->executor.plan() != plan.get()) scratch->executor.Bind(plan);
+  scratch->rows = plan->out_rows;
+  scratch->cols = plan->out_cols;
+  scratch->reps.Resize(static_cast<size_t>(plan->out_rows * plan->out_cols));
+  const int64_t* inputs[3] = {scratch->locs.data(), scratch->slots.data(),
+                              scratch->users.data()};
+  scratch->executor.Run(inputs, scratch->reps.data());
+  return true;
+}
+
+void ForwardPlanner::InvalidateAll() {
+  common::MutexLock lock(mu_);
+  plans_.clear();
+  untraceable_ = false;
+}
+
+int64_t ForwardPlanner::compiles() const {
+  common::MutexLock lock(mu_);
+  return compiles_;
+}
+
+}  // namespace adamove::core

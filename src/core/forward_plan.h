@@ -1,0 +1,95 @@
+#ifndef ADAMOVE_CORE_FORWARD_PLAN_H_
+#define ADAMOVE_CORE_FORWARD_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "core/encoder.h"
+#include "core/model.h"
+#include "nn/plan/executor.h"
+
+namespace adamove::core {
+
+/// Which encode path serves inference (DESIGN.md §14):
+///  - kGraph: walk the autograd graph per request (the bit-identical
+///    reference; allocates TensorImpl nodes per op);
+///  - kPlan: execute a compiled static forward plan (same arithmetic, zero
+///    heap allocations per request).
+enum class ForwardMode { kGraph, kPlan };
+
+/// Reads ADAMOVE_FORWARD (``graph`` | ``plan``; default graph). Unknown
+/// values fall back to graph — the reference path is always safe.
+ForwardMode ForwardModeFromEnv();
+
+/// Per-thread (or per-serving-worker) mutable state for plan execution.
+/// Everything reuses capacity: after the first request of a given shape,
+/// encoding a sample performs zero heap allocations.
+struct PlanScratch {
+  nn::plan::PlanExecutor executor;
+  std::vector<int64_t> locs;
+  std::vector<int64_t> slots;
+  std::vector<int64_t> users;
+  common::AlignedBuffer<float> reps;  // {rows, cols} encode output
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+/// Compiles and caches static forward plans for one AdaptableModel, keyed
+/// by sequence length (the only shape degree of freedom at serve time).
+/// Thread-safe; plans are immutable and shared, executors live in
+/// caller-owned PlanScratch.
+///
+/// Staleness: plans borrow the model's weight storage. Cached plans are
+/// revalidated on every use by comparing their weight-pointer fingerprint
+/// against the live model (allocation-free), which catches any checkpoint
+/// hot-swap that reallocated tensor storage; an in-place overwrite keeps
+/// pointers valid and needs no invalidation at all. InvalidateAll() is the
+/// explicit belt-and-suspenders hook serving calls on hot-swap.
+class ForwardPlanner {
+ public:
+  explicit ForwardPlanner(const AdaptableModel& model);
+
+  /// Whether the model exposed a trajectory encoder to trace. (A traceable
+  /// model can still fail to compile — e.g. a transformer sequence layer —
+  /// in which case EncodeInto returns false and callers use graph mode.)
+  bool traceable() const { return seq_ != nullptr; }
+
+  /// Encodes sample.recent through the compiled plan into scratch->reps
+  /// ({scratch->rows, scratch->cols}, row k = prefix representation h_k).
+  /// Returns false when no plan is available (untraceable model or encoder
+  /// family); the caller falls back to the graph path. Bit-identical to
+  /// graph-mode PrefixRepresentations under every backend.
+  bool EncodeInto(const data::Sample& sample, PlanScratch* scratch);
+
+  /// Drops every cached plan. Call after a checkpoint hot-swap; the next
+  /// request recompiles against the new weights.
+  void InvalidateAll();
+
+  /// Plan compilations so far (distinct sequence lengths, plus recompiles
+  /// after invalidation) — a test/diagnostic counter.
+  int64_t compiles() const;
+
+ private:
+  std::shared_ptr<const nn::plan::CompiledPlan> PlanFor(int64_t t);
+
+  // Borrowed component pointers (stable: they are unique_ptr members of
+  // the model); null when the model has no trajectory encoder.
+  const PointEmbedding* embedding_ = nullptr;
+  const nn::SequenceEncoder* seq_ = nullptr;
+  std::vector<const nn::Embedding*> tables_;
+
+  mutable common::Mutex mu_;
+  std::map<int64_t, std::shared_ptr<const nn::plan::CompiledPlan>> plans_
+      ADAMOVE_GUARDED_BY(mu_);
+  int64_t compiles_ ADAMOVE_GUARDED_BY(mu_) = 0;
+  bool untraceable_ ADAMOVE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace adamove::core
+
+#endif  // ADAMOVE_CORE_FORWARD_PLAN_H_

@@ -7,6 +7,7 @@
 
 #include "core/config.h"
 #include "core/encoder.h"
+#include "core/forward_plan.h"
 #include "core/history_attention.h"
 #include "core/model.h"
 
@@ -43,6 +44,15 @@ class LightMob : public AdaptableModel {
   TrajectoryEncoder& encoder() { return *encoder_; }
   const ModelConfig& config() const { return config_; }
 
+  /// Static-plan hooks: PrefixRepresentations consults ADAMOVE_FORWARD and,
+  /// in plan mode, encodes through a compiled plan (bit-identical to the
+  /// graph walk); the exposed encoder is also the serving layer's
+  /// forced-graph reference path.
+  const TrajectoryEncoder* trajectory_encoder() const override {
+    return encoder_.get();
+  }
+  TrajectoryEncoder* trajectory_encoder() override { return encoder_.get(); }
+
   /// Builds the contrastive InfoNCE term for already-encoded recent/history
   /// representations; returns an undefined Tensor when no valid negative
   /// exists (the loss is skipped, matching the filtering rule of §III-C).
@@ -57,6 +67,10 @@ class LightMob : public AdaptableModel {
   std::unique_ptr<TrajectoryEncoder> encoder_;
   std::unique_ptr<HistoryAttention> hist_attn_;
   std::unique_ptr<nn::Linear> classifier_;
+  // Plan-mode encode state: mode is pinned at construction from
+  // ADAMOVE_FORWARD; the planner caches compiled plans per sequence length.
+  ForwardMode forward_mode_ = ForwardMode::kGraph;
+  std::unique_ptr<ForwardPlanner> planner_;
 };
 
 }  // namespace adamove::core

@@ -11,6 +11,8 @@
 
 namespace adamove::core {
 
+class TrajectoryEncoder;
+
 /// Common interface of every next-location model in this repository
 /// (AdaMove's LightMob and all baselines): a training loss per sample and
 /// per-location scores at inference. One shared Trainer/Evaluator drives any
@@ -61,6 +63,17 @@ class AdaptableModel : public MobilityModel {
   /// backpropagate through the model beyond its built-in Loss().
   virtual nn::Tensor TrainingLogits(const data::Sample& sample,
                                     bool training) = 0;
+
+  /// The trajectory encoder backing PrefixRepresentations, when the model
+  /// has one — the hook the static forward-plan compiler (src/nn/plan)
+  /// traces, and the forced-graph reference path the serving degradation
+  /// ladder falls back to. nullptr (the default) means "graph mode only";
+  /// models with bespoke encode paths (e.g. DeepMove's dual encoders) keep
+  /// the default.
+  virtual const TrajectoryEncoder* trajectory_encoder() const {
+    return nullptr;
+  }
+  virtual TrajectoryEncoder* trajectory_encoder() { return nullptr; }
 };
 
 }  // namespace adamove::core

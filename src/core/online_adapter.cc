@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/parallel_for.h"
 #include "core/ptta.h"
 #include "nn/kernels.h"
 
@@ -12,21 +13,21 @@ namespace adamove::core {
 
 namespace {
 
-/// Frozen-classifier scores without bias: scores[l] = query · θ_l. Shared by
-/// Predict (which then overwrites adapted columns) and PredictFrozen, so the
-/// fallback path is arithmetically identical to the untouched-column path.
-/// VecMatColsF64 keeps the historical ascending-i double accumulation per
-/// column on every backend.
-std::vector<float> FrozenColumnScores(const nn::Linear& classifier,
-                                      const std::vector<float>& query) {
-  const int64_t hidden = classifier.in_features();
+/// Frozen-classifier scores without bias, written into `scores` (resized to
+/// num_locations; zero-filled first because VecMatColsF64 accumulates):
+/// scores[l] = query · θ_l. Shared by every predict flavour — adapted,
+/// frozen, batched — so the fallback path is arithmetically identical to the
+/// untouched-column path. VecMatColsF64 keeps the historical ascending-i
+/// double accumulation per column on every backend.
+void FrozenColumnScoresInto(const nn::Linear& classifier, const float* query,
+                            int64_t hidden, std::vector<float>* scores) {
+  ADAMOVE_CHECK_EQ(hidden, classifier.in_features());
   const int64_t num_loc = classifier.out_features();
-  ADAMOVE_CHECK_EQ(static_cast<int64_t>(query.size()), hidden);
   const std::vector<float>& weight = classifier.weight().data();
-  std::vector<float> scores(static_cast<size_t>(num_loc), 0.0f);
-  nn::kernels::VecMatColsF64(query.data(), weight.data(), scores.data(),
-                             hidden, num_loc);
-  return scores;
+  scores->resize(static_cast<size_t>(num_loc));
+  std::fill(scores->begin(), scores->end(), 0.0f);
+  nn::kernels::VecMatColsF64(query, weight.data(), scores->data(), hidden,
+                             num_loc);
 }
 
 void AddBias(const nn::Linear& classifier, std::vector<float>* scores) {
@@ -35,10 +36,10 @@ void AddBias(const nn::Linear& classifier, std::vector<float>* scores) {
   for (size_t l = 0; l < scores->size(); ++l) (*scores)[l] += bias[l];
 }
 
-float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
-  ADAMOVE_CHECK_EQ(a.size(), b.size());
+float Cosine(const float* a, size_t n, const std::vector<float>& b) {
+  ADAMOVE_CHECK_EQ(n, b.size());
   double dot = 0, na = 0, nb = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     dot += static_cast<double>(a[i]) * b[i];
     na += static_cast<double>(a[i]) * a[i];
     nb += static_cast<double>(b[i]) * b[i];
@@ -62,11 +63,22 @@ void OnlineAdapter::Observe(int64_t user, const std::vector<float>& pattern,
   }
 }
 
+void OnlineAdapter::PredictFrozenInto(const AdaptableModel& model,
+                                      const float* query, int64_t hidden,
+                                      std::vector<float>* scores) {
+  // Serial kernels: the pool path would allocate per-range futures, and the
+  // §13 determinism contract makes scheduling value-neutral anyway.
+  common::SerialKernelRegion serial;
+  const nn::Linear& classifier = model.classifier();
+  FrozenColumnScoresInto(classifier, query, hidden, scores);
+  AddBias(classifier, scores);
+}
+
 std::vector<float> OnlineAdapter::PredictFrozen(
     const AdaptableModel& model, const std::vector<float>& query) {
-  const nn::Linear& classifier = model.classifier();
-  std::vector<float> scores = FrozenColumnScores(classifier, query);
-  AddBias(classifier, &scores);
+  std::vector<float> scores;
+  PredictFrozenInto(model, query.data(),
+                    static_cast<int64_t>(query.size()), &scores);
   return scores;
 }
 
@@ -74,30 +86,40 @@ size_t OnlineAdapter::CollectRebuildJobs(
     int64_t user, const std::vector<float>& query, int64_t query_time,
     common::AlignedBuffer<float>* arena,
     std::vector<RebuildJob>* jobs) const {
+  // Ranking scratch hoisted out of the per-location loop: one allocation
+  // per collect instead of one per adapted location. (The zero-alloc path
+  // passes a reused scratch through the pointer overload instead.)
+  std::vector<std::pair<float, const Entry*>> fresh;
+  return CollectRebuildJobs(user, query.data(),
+                            static_cast<int64_t>(query.size()), query_time,
+                            arena, jobs, &fresh);
+}
+
+size_t OnlineAdapter::CollectRebuildJobs(
+    int64_t user, const float* query, int64_t hidden, int64_t query_time,
+    common::AlignedBuffer<float>* arena, std::vector<RebuildJob>* jobs,
+    std::vector<std::pair<float, const Entry*>>* fresh) const {
   // Simulated knowledge-base lookup failure: the per-user adjustment is
   // skipped and the frozen scores stand — a valid base-model prediction.
   auto it = common::FaultPoint("core.kb.lookup") ? users_.end()
                                                  : users_.find(user);
   if (it == users_.end()) return 0;
-  const size_t hidden = query.size();
+  const size_t width = static_cast<size_t>(hidden);
   size_t appended = 0;
-  // Ranking scratch hoisted out of the per-location loop: one allocation
-  // per collect instead of one per adapted location.
-  std::vector<std::pair<float, const Entry*>> fresh;
   for (const auto& [location, entries] : it->second.by_location) {
     // Fresh candidates ranked by similarity to the query pattern.
-    fresh.clear();
+    fresh->clear();
     for (const auto& entry : entries) {
       if (max_age_seconds_ > 0 &&
           query_time - entry.timestamp > max_age_seconds_) {
         continue;
       }
-      fresh.emplace_back(Cosine(query, entry.pattern), &entry);
+      fresh->emplace_back(Cosine(query, width, entry.pattern), &entry);
     }
-    if (fresh.empty()) continue;
+    if (fresh->empty()) continue;
     const size_t keep =
-        std::min(fresh.size(), static_cast<size_t>(config_.capacity));
-    std::partial_sort(fresh.begin(), fresh.begin() + keep, fresh.end(),
+        std::min(fresh->size(), static_cast<size_t>(config_.capacity));
+    std::partial_sort(fresh->begin(), fresh->begin() + keep, fresh->end(),
                       [](const auto& a, const auto& b) {
                         return a.first > b.first;
                       });
@@ -109,7 +131,7 @@ size_t OnlineAdapter::CollectRebuildJobs(
     // contiguous {keep, hidden} block.
     job.arena_offset = arena->size();
     for (size_t k = 0; k < keep; ++k) {
-      arena->Append(fresh[k].second->pattern.data(), hidden);
+      arena->Append((*fresh)[k].second->pattern.data(), width);
     }
     jobs->push_back(job);
     ++appended;
@@ -117,29 +139,57 @@ size_t OnlineAdapter::CollectRebuildJobs(
   return appended;
 }
 
-std::vector<float> OnlineAdapter::ScoreCollectedJobs(
-    const AdaptableModel& model, const std::vector<float>& query,
+void OnlineAdapter::ScoreCollectedJobsInto(
+    const AdaptableModel& model, const float* query, int64_t hidden,
     const std::vector<RebuildJob>& jobs,
-    const common::AlignedBuffer<float>& arena) {
+    const common::AlignedBuffer<float>& arena, std::vector<float>* scores) {
+  common::SerialKernelRegion serial;
   const nn::Linear& classifier = model.classifier();
-  const int64_t hidden = classifier.in_features();
   const int64_t num_loc = classifier.out_features();
   const std::vector<float>& weight = classifier.weight().data();
 
   // Start from the frozen column scores; overwrite adapted columns below.
-  std::vector<float> scores = FrozenColumnScores(classifier, query);
+  FrozenColumnScoresInto(classifier, query, hidden, scores);
   for (const RebuildJob& job : jobs) {
     // θ'_l = mean({θ_l} ∪ kept patterns); score = query · θ'_l. The fused
     // kernel accumulates each centroid element exactly as the historical
     // loop pair (θ first, patterns in ranking order, double throughout).
     const double acc = nn::kernels::PttaCentroidDot(
-        query.data(), weight.data() + job.location, num_loc,
+        query, weight.data() + job.location, num_loc,
         arena.data() + job.arena_offset, job.keep, hidden);
-    scores[static_cast<size_t>(job.location)] = static_cast<float>(
+    (*scores)[static_cast<size_t>(job.location)] = static_cast<float>(
         acc / (1.0 + static_cast<double>(job.keep)));
   }
-  AddBias(classifier, &scores);
+  AddBias(classifier, scores);
+}
+
+std::vector<float> OnlineAdapter::ScoreCollectedJobs(
+    const AdaptableModel& model, const std::vector<float>& query,
+    const std::vector<RebuildJob>& jobs,
+    const common::AlignedBuffer<float>& arena) {
+  std::vector<float> scores;
+  ScoreCollectedJobsInto(model, query.data(),
+                         static_cast<int64_t>(query.size()), jobs, arena,
+                         &scores);
   return scores;
+}
+
+void OnlineAdapter::PredictInto(const AdaptableModel& model, int64_t user,
+                                const float* query, int64_t hidden,
+                                int64_t query_time, PredictScratch* scratch,
+                                AdapterStats* stats) const {
+  scratch->arena.Clear();
+  scratch->jobs.clear();
+  CollectRebuildJobs(user, query, hidden, query_time, &scratch->arena,
+                     &scratch->jobs, &scratch->fresh);
+  ScoreCollectedJobsInto(model, query, hidden, scratch->jobs, scratch->arena,
+                         &scratch->scores);
+  if (stats != nullptr) {
+    stats->columns_updated = static_cast<int>(scratch->jobs.size());
+    stats->weight_bytes_touched = static_cast<int64_t>(scratch->jobs.size()) *
+                                  hidden * static_cast<int64_t>(sizeof(float));
+    stats->resident_bytes = static_cast<int64_t>(ResidentBytes(user));
+  }
 }
 
 std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
@@ -147,18 +197,10 @@ std::vector<float> OnlineAdapter::Predict(const AdaptableModel& model,
                                           const std::vector<float>& query,
                                           int64_t query_time,
                                           AdapterStats* stats) const {
-  const int64_t hidden = model.classifier().in_features();
-  common::AlignedBuffer<float> arena;
-  std::vector<RebuildJob> jobs;
-  CollectRebuildJobs(user, query, query_time, &arena, &jobs);
-  std::vector<float> scores = ScoreCollectedJobs(model, query, jobs, arena);
-  if (stats != nullptr) {
-    stats->columns_updated = static_cast<int>(jobs.size());
-    stats->weight_bytes_touched = static_cast<int64_t>(jobs.size()) * hidden *
-                                  static_cast<int64_t>(sizeof(float));
-    stats->resident_bytes = static_cast<int64_t>(ResidentBytes(user));
-  }
-  return scores;
+  PredictScratch scratch;
+  PredictInto(model, user, query.data(), static_cast<int64_t>(query.size()),
+              query_time, &scratch, stats);
+  return std::move(scratch.scores);
 }
 
 std::vector<float> OnlineAdapter::ObserveAndPredict(

@@ -99,6 +99,18 @@ class OnlineAdapter {
     size_t arena_offset = 0;
   };
 
+  /// Reusable per-worker state for the zero-allocation predict path
+  /// (DESIGN.md §14). Every container reuses capacity across requests, so
+  /// after warm-up PredictInto / PredictFrozenInto / ScoreCollectedJobsInto
+  /// perform zero heap allocations per request (pinned by
+  /// tests/core/zero_alloc_predict_test.cc under the `plan` ctest label).
+  struct PredictScratch {
+    common::AlignedBuffer<float> arena;              // kept pattern copies
+    std::vector<RebuildJob> jobs;                    // phase-1 output
+    std::vector<std::pair<float, const Entry*>> fresh;  // ranking scratch
+    std::vector<float> scores;                       // final scores
+  };
+
   /// Phase 1 of Predict, factored out so the serving layer can run it for a
   /// whole micro-batch under the shard lock and defer the arithmetic: ranks
   /// each location's fresh-at-`query_time` candidates by similarity to
@@ -115,6 +127,19 @@ class OnlineAdapter {
                             common::AlignedBuffer<float>* arena,
                             std::vector<RebuildJob>* jobs) const;
 
+  /// Allocation-free CollectRebuildJobs: the raw-pointer query variant the
+  /// zero-alloc serving path feeds straight from a plan-encoded
+  /// representation buffer, with the ranking scratch (`fresh`) supplied by
+  /// the caller so its capacity is reused across requests. Identical
+  /// arithmetic and arena layout to the vector overload (which delegates
+  /// here). `query` must point at `hidden` floats.
+  size_t CollectRebuildJobs(int64_t user, const float* query, int64_t hidden,
+                            int64_t query_time,
+                            common::AlignedBuffer<float>* arena,
+                            std::vector<RebuildJob>* jobs,
+                            std::vector<std::pair<float, const Entry*>>* fresh)
+      const;
+
   /// Phase 2: frozen-classifier scores for `query` with the adjusted
   /// columns described by `jobs` (from CollectRebuildJobs with this same
   /// query) overwritten, plus bias — exactly Predict's arithmetic,
@@ -127,6 +152,18 @@ class OnlineAdapter {
       const std::vector<RebuildJob>& jobs,
       const common::AlignedBuffer<float>& arena);
 
+  /// Allocation-free ScoreCollectedJobs: writes into `scores` (resized once
+  /// to num_locations; capacity reuse makes steady state alloc-free) and
+  /// forces kernels serial inside the call (common::SerialKernelRegion —
+  /// value-neutral by the §13 determinism contract, and the thread-pool path
+  /// would allocate futures). The vector overload delegates here, so the
+  /// arithmetic is single-sourced and bit-identical.
+  static void ScoreCollectedJobsInto(const AdaptableModel& model,
+                                     const float* query, int64_t hidden,
+                                     const std::vector<RebuildJob>& jobs,
+                                     const common::AlignedBuffer<float>& arena,
+                                     std::vector<float>* scores);
+
   /// Unadapted scores: `query` against the model's frozen classifier columns
   /// (plus bias) — exactly the scores Predict returns for locations the
   /// knowledge base never touched. This is the serving path's base-model
@@ -135,6 +172,23 @@ class OnlineAdapter {
   /// per-user state, hence static and safe without any shard lock.
   static std::vector<float> PredictFrozen(const AdaptableModel& model,
                                           const std::vector<float>& query);
+
+  /// Allocation-free PredictFrozen (same delegation scheme as
+  /// ScoreCollectedJobsInto). `query` must point at `hidden` floats; the
+  /// result lands in `scores`, resized to num_locations.
+  static void PredictFrozenInto(const AdaptableModel& model,
+                                const float* query, int64_t hidden,
+                                std::vector<float>* scores);
+
+  /// Allocation-free Predict: phase 1 + phase 2 through the caller's
+  /// PredictScratch (arena cleared, capacity kept), result in
+  /// scratch->scores. Exactly Predict's arithmetic — Predict delegates
+  /// here — with zero heap allocations per request once the scratch is
+  /// warm.
+  void PredictInto(const AdaptableModel& model, int64_t user,
+                   const float* query, int64_t hidden, int64_t query_time,
+                   PredictScratch* scratch,
+                   AdapterStats* stats = nullptr) const;
 
   /// Convenience: encode `sample.recent` with the model, observe all of
   /// its transitions (idempotence is the caller's concern), and predict.

@@ -30,6 +30,13 @@ class RnnEncoder : public SequenceEncoder {
   Tensor Forward(const Tensor& x, bool training) override;
   int64_t hidden_size() const override { return hidden_size_; }
 
+  /// Weight accessors for the static forward-plan compiler (src/nn/plan),
+  /// which re-expresses Forward as a flat op list over these tensors.
+  int64_t input_size() const { return input_size_; }
+  const Tensor& w_ih() const { return w_ih_; }
+  const Tensor& w_hh() const { return w_hh_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   int64_t input_size_;
   int64_t hidden_size_;
@@ -46,6 +53,12 @@ class LstmEncoder : public SequenceEncoder {
   Tensor Forward(const Tensor& x, bool training) override;
   int64_t hidden_size() const override { return hidden_size_; }
 
+  /// Weight accessors for the static forward-plan compiler (src/nn/plan).
+  int64_t input_size() const { return input_size_; }
+  const Tensor& w_ih() const { return w_ih_; }
+  const Tensor& w_hh() const { return w_hh_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   int64_t input_size_;
   int64_t hidden_size_;
@@ -61,6 +74,13 @@ class GruEncoder : public SequenceEncoder {
 
   Tensor Forward(const Tensor& x, bool training) override;
   int64_t hidden_size() const override { return hidden_size_; }
+
+  /// Weight accessors for the static forward-plan compiler (src/nn/plan).
+  int64_t input_size() const { return input_size_; }
+  const Tensor& w_ih() const { return w_ih_; }
+  const Tensor& w_hh() const { return w_hh_; }
+  const Tensor& b_ih() const { return b_ih_; }
+  const Tensor& b_hh() const { return b_hh_; }
 
  private:
   int64_t input_size_;

@@ -34,6 +34,12 @@ class StackedEncoder : public SequenceEncoder {
 
   size_t num_layers() const { return layers_.size(); }
 
+  /// Layer access for the static forward-plan compiler (src/nn/plan), which
+  /// chains per-layer traces through intermediate arena buffers.
+  const std::vector<std::unique_ptr<SequenceEncoder>>& layers() const {
+    return layers_;
+  }
+
  private:
   std::vector<std::unique_ptr<SequenceEncoder>> layers_;
 };

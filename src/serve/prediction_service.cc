@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/timer.h"
+#include "core/encoder.h"
+#include "nn/autograd_mode.h"
 #include "nn/tensor.h"
 
 namespace adamove::serve {
@@ -23,12 +25,28 @@ double ElapsedUs(std::chrono::steady_clock::time_point from,
 /// answer) and the request is marked degraded.
 constexpr int kMaxEncodeAttempts = 3;
 
+core::ForwardMode ResolveForwardMode(ServiceForwardMode mode) {
+  switch (mode) {
+    case ServiceForwardMode::kGraph:
+      return core::ForwardMode::kGraph;
+    case ServiceForwardMode::kPlan:
+      return core::ForwardMode::kPlan;
+    case ServiceForwardMode::kAuto:
+      break;
+  }
+  return core::ForwardModeFromEnv();
+}
+
 }  // namespace
 
 PredictionService::PredictionService(core::AdaptableModel& model,
                                      SessionStore& store,
                                      const ServiceConfig& config)
-    : model_(model), store_(store), config_(config) {
+    : model_(model),
+      store_(store),
+      config_(config),
+      forward_mode_(ResolveForwardMode(config.forward)),
+      planner_(model) {
   ADAMOVE_CHECK_GT(config_.workers, 0);
   ADAMOVE_CHECK_GT(config_.max_batch, 0);
   ADAMOVE_CHECK_GT(config_.queue_capacity, 0u);
@@ -151,6 +169,7 @@ common::IoResult PredictionService::WaitWarmStart(SnapshotStats* stats) {
 
 void PredictionService::WorkerLoop(int worker_index) {
   WorkerStats& stats = *worker_stats_[static_cast<size_t>(worker_index)];
+  WorkerScratch scratch;
   for (;;) {
     std::vector<Request> batch;
     {
@@ -178,12 +197,13 @@ void PredictionService::WorkerLoop(int worker_index) {
       }
     }
     not_full_.NotifyAll();
-    ProcessBatch(batch, stats);
+    ProcessBatch(batch, stats, scratch);
   }
 }
 
 void PredictionService::ProcessBatch(std::vector<Request>& batch,
-                                     WorkerStats& stats) {
+                                     WorkerStats& stats,
+                                     WorkerScratch& scratch) {
   const auto picked_up = Clock::now();
   std::vector<Prediction> out(batch.size());
 
@@ -195,8 +215,20 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
   // on the shared model; per-request share timed individually so the
   // histogram stays per-request). A faulting forward is retried up to
   // kMaxEncodeAttempts times, then recomputed locally and marked degraded.
+  //
+  // Plan mode executes the compiled static plan into this worker's scratch
+  // slot (zero allocations once warm) and takes the plan→graph rung of the
+  // degradation ladder when the execute stage fails (`serve.plan_execute`
+  // fault, or no plan for this encoder family): the graph walk is
+  // bit-identical, so the request stays kOk and only plan_fallbacks ticks.
   std::vector<nn::Tensor> reps(batch.size());
+  std::vector<SessionStore::RepsView> views(batch.size());
   std::vector<char> encode_degraded(batch.size(), 0);
+  uint64_t plan_fallbacks = 0;
+  if (forward_mode_ == core::ForwardMode::kPlan &&
+      scratch.plan.size() < batch.size()) {
+    scratch.plan.resize(batch.size());
+  }
   for (size_t i = 0; i < batch.size(); ++i) {
     common::Timer timer;
     int attempt = 1;
@@ -206,7 +238,29 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
         break;
       }
     }
-    reps[i] = model_.PrefixRepresentations(batch[i].sample);
+    if (forward_mode_ == core::ForwardMode::kPlan) {
+      core::PlanScratch& slot = scratch.plan[i];
+      if (!common::FaultPoint("serve.plan_execute") &&
+          planner_.EncodeInto(batch[i].sample, &slot)) {
+        views[i] =
+            SessionStore::RepsView(slot.reps.data(), slot.rows, slot.cols);
+      } else {
+        // Forced-graph fallback: the reference walk, deliberately not
+        // PrefixRepresentations (which would re-enter plan mode).
+        ++plan_fallbacks;
+        if (core::TrajectoryEncoder* encoder = model_.trajectory_encoder()) {
+          nn::NoGradGuard no_grad;
+          reps[i] = encoder->Forward(batch[i].sample.recent,
+                                     /*training=*/false);
+        } else {
+          reps[i] = model_.PrefixRepresentations(batch[i].sample);
+        }
+        views[i] = SessionStore::RepsView(reps[i]);
+      }
+    } else {
+      reps[i] = model_.PrefixRepresentations(batch[i].sample);
+      views[i] = SessionStore::RepsView(reps[i]);
+    }
     out[i].encode_us = timer.ElapsedMs() * 1000.0;
     out[i].queue_us = ElapsedUs(batch[i].enqueue, picked_up);
   }
@@ -231,7 +285,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
         config_.deadline_us > 0 &&
         Clock::now() > batch[i].enqueue + deadline_budget;
     if (deadline_missed || batch_degraded || batch[i].frozen_only) {
-      p.scores = store_.PredictFrozen(model_, reps[i]);
+      p.scores = store_.PredictFrozen(model_, views[i]);
       p.outcome = deadline_missed ? RequestOutcome::kTimedOut
                                   : RequestOutcome::kDegraded;
       p.adapt_us = timer.ElapsedMs() * 1000.0;
@@ -239,7 +293,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
       adapted.push_back(i);
       SessionStore::BatchRequest request;
       request.sample = &batch[i].sample;
-      request.reps = &reps[i];
+      request.reps = views[i];
       store_batch.push_back(request);
     }
   }
@@ -279,6 +333,7 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
     }
     stats.stats.completed += batch.size();
     stats.stats.batches += 1;
+    stats.stats.plan_fallbacks += plan_fallbacks;
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(std::move(out[i]));
@@ -298,6 +353,7 @@ ServiceStats PredictionService::Stats() const {
     merged.degraded_requests += ws->stats.degraded_requests;
     merged.warm_start_fallbacks += ws->stats.warm_start_fallbacks;
     merged.timeouts += ws->stats.timeouts;
+    merged.plan_fallbacks += ws->stats.plan_fallbacks;
   }
   merged.shed_requests = shed_requests_.load(std::memory_order_relaxed);
   return merged;

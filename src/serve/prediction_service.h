@@ -15,6 +15,7 @@
 #include "common/annotations.h"
 #include "common/latency_histogram.h"
 #include "common/mutex.h"
+#include "core/forward_plan.h"
 #include "core/model.h"
 #include "data/dataset.h"
 #include "serve/session_store.h"
@@ -48,6 +49,18 @@ enum class RequestOutcome {
   kShed,
 };
 
+/// Which encode path the serving workers use (DESIGN.md §14).
+enum class ServiceForwardMode {
+  /// Defer to ADAMOVE_FORWARD at service construction (the default).
+  kAuto,
+  /// Force the autograd graph walk (the bit-identical reference path).
+  kGraph,
+  /// Force compiled static forward plans (zero-allocation steady state;
+  /// per-request failures fall back to the graph walk — see
+  /// ServiceStats::plan_fallbacks).
+  kPlan,
+};
+
 struct ServiceConfig {
   /// Serving worker threads; each forms and executes whole micro-batches.
   int workers = 4;
@@ -63,6 +76,8 @@ struct ServiceConfig {
   /// deadline has passed when its adapt stage would start skips adaptation
   /// and is served the base-model fallback as kTimedOut.
   int64_t deadline_us = 0;
+  /// Encode path selection (see ServiceForwardMode).
+  ServiceForwardMode forward = ServiceForwardMode::kAuto;
 };
 
 /// One served prediction plus its per-stage wall-clock breakdown.
@@ -94,6 +109,13 @@ struct ServiceStats {
   uint64_t timeouts = 0;
   /// Rejected at admission (kShed) — never received scores.
   uint64_t shed_requests = 0;
+  /// Plan-mode encode fallbacks: the static-plan execute stage failed for a
+  /// request (armed `serve.plan_execute` fault, or an untraceable encoder
+  /// family) and the graph walk answered instead. The fallback result is
+  /// bit-identical to the plan's, so these requests still count as kOk —
+  /// this counter is visibility into the plan→graph rung of the
+  /// degradation ladder, not a degradation tally.
+  uint64_t plan_fallbacks = 0;
   /// Fully adapted, on-time responses.
   uint64_t ok_requests() const {
     return completed - degraded_requests - timeouts;
@@ -192,6 +214,17 @@ class PredictionService {
   /// concurrently with serving (workers guard their stats with a mutex).
   ServiceStats Stats() const;
 
+  /// Drops every cached forward plan — the checkpoint hot-swap hook: call
+  /// after overwriting model weights so the next request re-traces against
+  /// the new storage. (Plans are also revalidated per use against a
+  /// weight-pointer fingerprint, so a swap that *reallocates* tensor
+  /// storage is caught even without this call; an in-place overwrite keeps
+  /// plans valid and needs neither.)
+  void InvalidatePlans() { planner_.InvalidateAll(); }
+
+  /// The encode path this service resolved at construction.
+  core::ForwardMode forward_mode() const { return forward_mode_; }
+
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -217,12 +250,25 @@ class PredictionService {
     ServiceStats stats ADAMOVE_GUARDED_BY(mu);
   };
 
+  /// Per-worker encode scratch: one PlanScratch per batch slot, so a
+  /// worker's steady-state plan encodes reuse arena/vector capacity and
+  /// allocate nothing (graph-mode workers never touch it).
+  struct WorkerScratch {
+    std::vector<core::PlanScratch> plan;
+  };
+
   void WorkerLoop(int worker_index);
-  void ProcessBatch(std::vector<Request>& batch, WorkerStats& stats);
+  void ProcessBatch(std::vector<Request>& batch, WorkerStats& stats,
+                    WorkerScratch& scratch);
 
   core::AdaptableModel& model_;
   SessionStore& store_;
   ServiceConfig config_;
+  /// Resolved encode path (ServiceForwardMode::kAuto → ADAMOVE_FORWARD).
+  core::ForwardMode forward_mode_;
+  /// Service-owned plan cache, shared by all workers (thread-safe; keyed by
+  /// sequence length, revalidated against the live weights per use).
+  core::ForwardPlanner planner_;
 
   common::Mutex mu_;
   common::CondVar not_empty_;

@@ -107,9 +107,15 @@ std::vector<float> SessionStore::Predict(const core::AdaptableModel& model,
 
 std::vector<float> SessionStore::PredictFrozen(
     const core::AdaptableModel& model, const nn::Tensor& reps) const {
-  const int64_t hidden = reps.cols();
-  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
-  return core::OnlineAdapter::PredictFrozen(model, query);
+  return PredictFrozen(model, RepsView(reps));
+}
+
+std::vector<float> SessionStore::PredictFrozen(
+    const core::AdaptableModel& model, RepsView reps) const {
+  std::vector<float> scores;
+  core::OnlineAdapter::PredictFrozenInto(model, reps.query(), reps.cols,
+                                         &scores);
+  return scores;
 }
 
 std::vector<float> SessionStore::ObserveAndPredictEncoded(
@@ -117,7 +123,7 @@ std::vector<float> SessionStore::ObserveAndPredictEncoded(
     const nn::Tensor& reps, AdaptStatus* status) {
   BatchRequest request;
   request.sample = &sample;
-  request.reps = &reps;
+  request.reps = RepsView(reps);
   std::vector<AdaptStatus> statuses;
   std::vector<std::vector<float>> scores =
       BatchObserveAndPredictEncoded(model, {request}, &statuses);
@@ -133,27 +139,25 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
   if (statuses != nullptr) {
     statuses->assign(n, AdaptStatus::kAdapted);
   }
-  // Phase 1 state per request: the query pattern (last row of reps) and the
-  // rebuild jobs collected under the shard lock. Every kept pattern is
-  // *copied* into the shared arena at collect time, so phase 2 is immune to
-  // anything that happens to adapter state afterwards — including a later
-  // request of this very batch observing more patterns for the same user
-  // (sequential semantics: request i's prediction must not see request
-  // i+1's ingestion).
+  // Phase 1 state per request: the rebuild jobs collected under the shard
+  // lock. The query pattern is read in place from the request's RepsView
+  // (last row; the view is borrowed and must outlive the call, so phase 2
+  // can read it too). Every kept pattern is *copied* into the shared arena
+  // at collect time, so phase 2 is immune to anything that happens to
+  // adapter state afterwards — including a later request of this very batch
+  // observing more patterns for the same user (sequential semantics:
+  // request i's prediction must not see request i+1's ingestion).
   common::AlignedBuffer<float> arena;
-  std::vector<std::vector<float>> queries(n);
   std::vector<std::vector<core::OnlineAdapter::RebuildJob>> jobs(n);
+  // Ranking scratch shared across the whole batch's collect calls.
+  std::vector<std::pair<float, const core::OnlineAdapter::Entry*>> fresh;
 
   for (size_t r = 0; r < n; ++r) {
     const data::Sample& sample = *requests[r].sample;
-    const nn::Tensor& reps = *requests[r].reps;
-    const int64_t t = reps.rows();
-    const int64_t hidden = reps.cols();
+    const RepsView& reps = requests[r].reps;
+    const int64_t t = reps.rows;
+    const int64_t hidden = reps.cols;
     ADAMOVE_CHECK_EQ(static_cast<size_t>(t), sample.recent.size());
-    // The query pattern; also what the frozen fallback scores, so it is
-    // built unconditionally (degraded requests keep jobs[r] empty and the
-    // phase-2 sweep degenerates to PredictFrozen's arithmetic).
-    queries[r].assign(reps.data().end() - hidden, reps.data().end());
 
     // Simulated session-state loss (cache miss, shard failover): no
     // per-user state is touched; the base model still answers.
@@ -197,8 +201,8 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
     // request's transitions — the prediction then answers from stale state.
     if (!common::FaultPoint("serve.ptta_generate")) {
       for (int64_t k = 0; k + 1 < t; ++k) {
-        std::vector<float> pattern(reps.data().begin() + k * hidden,
-                                   reps.data().begin() + (k + 1) * hidden);
+        std::vector<float> pattern(reps.data + k * hidden,
+                                   reps.data + (k + 1) * hidden);
         // Canonical ingest projects the stored pattern onto the q8 grid
         // (the query stays untouched — it is never stored), making every
         // later dehydrate→rehydrate cycle of this entry bit-exact.
@@ -213,15 +217,16 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
     } else if (statuses != nullptr) {
       (*statuses)[r] = AdaptStatus::kStaleState;
     }
-    shard.adapter.CollectRebuildJobs(sample.user, queries[r],
+    shard.adapter.CollectRebuildJobs(sample.user, reps.query(), hidden,
                                      sample.target.timestamp, &arena,
-                                     &jobs[r]);
+                                     &jobs[r], &fresh);
   }
 
   // Phase 2: one contiguous scoring sweep, outside every shard lock. Each
   // request is frozen column scores + its collected adjusted columns + bias
   // — Predict's exact arithmetic, batched. Parallel across requests; the
-  // kernels' nested ParallelFors run inline on the pool threads.
+  // per-request kernels run serial inside ScoreCollectedJobsInto
+  // (value-neutral — DESIGN.md §13 — and allocation-free).
   const int64_t hidden = model.classifier().in_features();
   const int64_t num_loc = model.classifier().out_features();
   std::vector<std::vector<float>> scores(n);
@@ -230,10 +235,10 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
       nn::kernels::GrainForWork(hidden * num_loc),
       [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
-          scores[static_cast<size_t>(r)] =
-              core::OnlineAdapter::ScoreCollectedJobs(
-                  model, queries[static_cast<size_t>(r)],
-                  jobs[static_cast<size_t>(r)], arena);
+          core::OnlineAdapter::ScoreCollectedJobsInto(
+              model, requests[static_cast<size_t>(r)].reps.query(), hidden,
+              jobs[static_cast<size_t>(r)], arena,
+              &scores[static_cast<size_t>(r)]);
         }
       });
   return scores;

@@ -136,11 +136,31 @@ class SessionStore {
                                               const nn::Tensor& reps,
                                               AdaptStatus* status = nullptr);
 
+  /// Borrowed view of pre-computed prefix representations ({rows, cols},
+  /// row-major, row k = prefix representation h_k). A view rather than a
+  /// Tensor so the zero-allocation serving path can feed plan-encoded arena
+  /// buffers (core::PlanScratch::reps) straight into the batch API without
+  /// materializing a Tensor per request (DESIGN.md §14).
+  struct RepsView {
+    const float* data = nullptr;
+    int64_t rows = 0;
+    int64_t cols = 0;
+
+    RepsView() = default;
+    RepsView(const float* d, int64_t r, int64_t c)
+        : data(d), rows(r), cols(c) {}
+    explicit RepsView(const nn::Tensor& reps)
+        : data(reps.data().data()), rows(reps.rows()), cols(reps.cols()) {}
+
+    /// The query pattern: the final row (the current trajectory state).
+    const float* query() const { return data + (rows - 1) * cols; }
+  };
+
   /// One request of an adapt micro-batch: the sample and its pre-computed
   /// prefix representations, both borrowed (must outlive the call).
   struct BatchRequest {
     const data::Sample* sample = nullptr;
-    const nn::Tensor* reps = nullptr;
+    RepsView reps;
   };
 
   /// ObserveAndPredictEncoded over a micro-batch, in two phases. Phase 1
@@ -168,6 +188,11 @@ class SessionStore {
   /// `reps` (the query pattern). Reads no per-user state and takes no lock.
   std::vector<float> PredictFrozen(const core::AdaptableModel& model,
                                    const nn::Tensor& reps) const;
+
+  /// RepsView variant of the fallback — the zero-alloc serving path's
+  /// flavour (no query copy; the Tensor overload delegates here).
+  std::vector<float> PredictFrozen(const core::AdaptableModel& model,
+                                   RepsView reps) const;
 
   /// Drops one user's state wherever it lives — hot tier and cold tier
   /// (no-op if absent from both).

@@ -486,5 +486,95 @@ TEST_F(ChaosTest, RouterLookupFaultFallsBackFrozenWithExactAccounting) {
   partial.Shutdown();
 }
 
+/// `serve.plan_execute` at 100%: the static-plan rung of the ladder fails on
+/// every request, the service falls back to the graph walk — which is
+/// BIT-IDENTICAL, so every request stays kOk and only the plan_fallbacks
+/// visibility counter ticks. Like core.state_hydrate above, this point is
+/// deliberately NOT in kAllFaultPoints: it only evaluates in plan forward
+/// mode, which those runs never select.
+TEST_F(ChaosTest, PlanExecuteFaultFallsBackToBitIdenticalGraphWalk) {
+  core::LightMob model(SmallConfig());
+  const std::vector<data::Sample> stream = MakeStream(4, 10);
+
+  // Reference: the plain adapter fed the same stream (graph arithmetic).
+  core::OnlineAdapter reference{core::PttaConfig{}};
+  std::vector<std::vector<float>> expected;
+  for (const auto& sample : stream) {
+    expected.push_back(reference.ObserveAndPredict(model, sample));
+  }
+
+  FaultRegistry::Instance().Arm("serve.plan_execute", FaultSpec{1.0, 0, true});
+  SessionStore store{SessionStoreConfig{}};
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_batch = 1;
+  config.forward = ServiceForwardMode::kPlan;
+  PredictionService service(model, store, config);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Prediction p = service.Submit(stream[i]).get();
+    EXPECT_EQ(p.outcome, RequestOutcome::kOk) << "request " << i;
+    ASSERT_EQ(p.scores.size(), expected[i].size());
+    for (size_t j = 0; j < p.scores.size(); ++j) {
+      ASSERT_EQ(p.scores[j], expected[i][j])
+          << "request " << i << " score " << j;
+    }
+  }
+  service.Shutdown();
+  const ServiceStats stats = service.Stats();
+  // Every request took the fallback; none of them degraded.
+  EXPECT_EQ(stats.plan_fallbacks, stream.size());
+  EXPECT_EQ(stats.ok_requests(), stream.size());
+  EXPECT_EQ(stats.degraded_requests, 0u);
+  EXPECT_GT(FaultRegistry::Instance().StatsFor("serve.plan_execute").fired,
+            0u);
+}
+
+/// Endurance: 10k requests through the plan-mode service with the plan
+/// fault firing at a partial rate. Exact outcome accounting must hold —
+/// every submission completes, plan_fallbacks equals exactly the number of
+/// fired faults, nothing degrades — and (under the sanitizer stages) the
+/// plan arenas neither leak nor race across the faulted/unfaulted mix.
+TEST_F(ChaosTest, PlanFaultEnduresTenThousandRequestsWithExactAccounting) {
+  core::LightMob model(SmallConfig());
+  const std::vector<data::Sample> stream =
+      BuildReplayStream(MakeStream(8, 25), /*min_requests=*/10000);
+
+  FaultRegistry::Instance().Arm("serve.plan_execute", FaultSpec{0.3, 0, true});
+  SessionStore store{SessionStoreConfig{}};
+  ServiceConfig config;
+  config.workers = 4;
+  config.max_batch = 8;
+  config.max_wait_us = 500;
+  config.queue_capacity = 64;
+  config.forward = ServiceForwardMode::kPlan;
+  PredictionService service(model, store, config);
+
+  LoadGenConfig lg;
+  lg.clients = 4;
+  lg.max_requests = 10000;
+  lg.target_qps = 0.0;  // closed loop, as fast as the service drains
+  const LoadGenResult result = RunLoadGen(service, stream, lg);
+  service.Shutdown();
+
+  EXPECT_EQ(result.completed, 10000u);
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.degraded, 0u);  // plan fallback is not a degradation
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 10000u);
+  EXPECT_EQ(stats.accounted(), 10000u);
+  EXPECT_EQ(stats.ok_requests() + stats.timeouts, 10000u);
+  EXPECT_EQ(stats.degraded_requests, 0u);
+
+  // Exact fault ledger: the point is evaluated once per request, and every
+  // fired evaluation is one (and only one) graph fallback.
+  const common::FaultPointStats fault =
+      FaultRegistry::Instance().StatsFor("serve.plan_execute");
+  EXPECT_EQ(fault.evaluations, 10000u);
+  EXPECT_EQ(stats.plan_fallbacks, fault.fired);
+  EXPECT_GT(fault.fired, 0u);
+  EXPECT_LT(fault.fired, 10000u);  // 30%: both paths genuinely exercised
+}
+
 }  // namespace
 }  // namespace adamove::serve
