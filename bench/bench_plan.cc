@@ -7,9 +7,16 @@
 //
 // Run with --bench_report to also write BENCH_plan.json (google-benchmark
 // JSON) next to the binary, with graph and plan rows side by side.
+//
+// The BM_PlanCompile rows price the one-time plan compile with and without
+// static verification (DESIGN.md §15), and main() enforces the verifier's
+// cost contract as a second hard gate: verification must add <10% to the
+// one-time compile and exactly zero verifier work per steady-state request.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +34,8 @@
 #include "data/point.h"
 #include "nn/autograd_mode.h"
 #include "nn/kernels.h"
+#include "nn/plan/encoder_trace.h"
+#include "nn/plan/verifier.h"
 #include "nn/tensor.h"
 
 namespace {
@@ -179,6 +188,115 @@ BENCHMARK(BM_PredictRequest)
     ->Args({32, kGraph})
     ->Args({32, kPlan});
 
+std::vector<const nn::Embedding*> EncoderTables(const core::LightMob& model) {
+  const core::PointEmbedding& e = model.trajectory_encoder()->embedding();
+  return {&e.location_embedding(), &e.time_embedding(), &e.user_embedding()};
+}
+
+// One-time plan compile, priced with and without the static verifier pass
+// so its cost contract stays visible in BENCH_plan.json. Args({len,
+// verify}); "items" are traced sequence steps.
+void BM_PlanCompile(benchmark::State& state) {
+  const int64_t length = state.range(0);
+  const bool verify = state.range(1) != 0;
+  const core::ModelConfig config = BenchConfig(64);
+  core::LightMob model(config);
+  const std::vector<const nn::Embedding*> tables = EncoderTables(model);
+  const nn::SequenceEncoder& seq = model.trajectory_encoder()->seq();
+  for (auto _ : state) {
+    auto plan = nn::plan::CompileEncoderForward(tables, seq, length);
+    if (verify) {
+      const nn::plan::VerifyResult result = nn::plan::VerifyPlan(*plan);
+      benchmark::DoNotOptimize(result.ok);
+    }
+    benchmark::DoNotOptimize(plan.get());
+  }
+  state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_PlanCompile)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+// The verifier's cost contract (DESIGN.md §15), enforced before the timed
+// runs like the zero-alloc gate below:
+//   (a) in the default compile mode, a steady-state request performs ZERO
+//       verifier work — counted exactly via ForwardPlanner::verifies(),
+//       not timed;
+//   (b) the one-time verification pass adds <10% to the plan compile —
+//       compared as per-rep minima: the min over many reps estimates the
+//       intrinsic cost of each side, so a scheduler preemption landing in
+//       one timing window cannot flip the verdict on a shared box.
+bool PlanVerifyGate() {
+  const core::ModelConfig config = BenchConfig(64);
+  core::LightMob model(config);
+  const data::Sample sample = BenchSample(config, 32);
+
+  core::ForwardPlanner planner(model);
+  planner.SetVerifyModeForTest(nn::plan::VerifyMode::kCompile);
+  core::PlanScratch scratch;
+  if (!planner.EncodeInto(sample, &scratch)) {
+    std::fprintf(stderr, "plan-verify gate: plan compile failed\n");
+    return false;
+  }
+  const int64_t after_warm = planner.verifies();
+  for (int i = 0; i < 100; ++i) planner.EncodeInto(sample, &scratch);
+  if (planner.verifies() != after_warm) {
+    std::fprintf(stderr,
+                 "plan-verify gate: FAILED — %lld verifier passes across "
+                 "100 steady-state requests (expected 0)\n",
+                 static_cast<long long>(planner.verifies() - after_warm));
+    return false;
+  }
+
+  const std::vector<const nn::Embedding*> tables = EncoderTables(model);
+  const nn::SequenceEncoder& seq = model.trajectory_encoder()->seq();
+  const auto min_ns = [](const std::vector<int64_t>& ns) {
+    return *std::min_element(ns.begin(), ns.end());
+  };
+  constexpr int kReps = 60;
+  constexpr int64_t kLen = 64;
+  std::vector<int64_t> compile_ns, verify_ns;
+  for (int i = 0; i < kReps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto plan = nn::plan::CompileEncoderForward(tables, seq, kLen);
+    const auto t1 = std::chrono::steady_clock::now();
+    const nn::plan::VerifyResult result = nn::plan::VerifyPlan(*plan);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!result.ok) {
+      std::fprintf(stderr, "plan-verify gate: verifier rejected the traced "
+                           "plan: %s\n", result.message.c_str());
+      return false;
+    }
+    compile_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    verify_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+            .count());
+  }
+  const int64_t compile_med = min_ns(compile_ns);
+  const int64_t verify_med = min_ns(verify_ns);
+  const double pct = compile_med > 0
+                         ? 100.0 * static_cast<double>(verify_med) /
+                               static_cast<double>(compile_med)
+                         : 0.0;
+  if (pct >= 10.0) {
+    std::fprintf(stderr,
+                 "plan-verify gate: FAILED — verification adds %.1f%% to "
+                 "the one-time compile (%lld ns vs %lld ns, gate <10%%)\n",
+                 pct, static_cast<long long>(verify_med),
+                 static_cast<long long>(compile_med));
+    return false;
+  }
+  std::printf("plan-verify gate: OK (verify %lld ns = %.1f%% of %lld ns "
+              "compile; 0 verifier passes per steady-state request)\n",
+              static_cast<long long>(verify_med), pct,
+              static_cast<long long>(compile_med));
+  return true;
+}
+
 // The hard gate behind the allocs/op column: a warmed plan-mode request
 // must perform ZERO heap allocations. Returns false (and prints why) if it
 // allocated; bench_plan then exits non-zero without running the timed
@@ -260,6 +378,7 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("cpu_features",
                               adamove::common::CpuFeatureString());
   if (!ZeroAllocGate()) return 1;
+  if (!PlanVerifyGate()) return 1;
   int fake_argc = static_cast<int>(args.size());
   benchmark::Initialize(&fake_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {

@@ -10,21 +10,22 @@
 #              over the static-plan inference path (DESIGN.md §14). The
 #              `plan` label (alloc-probe pins, plan/graph bit-identity,
 #              plan-mode golden) runs in all three passes.
-#   2. TSan:   `concurrency` + `persist` + `shard` + `plan` labels under
-#              -DADAMOVE_SANITIZE=thread (data races in the serving path /
-#              kernels / chaos suite, snapshot/restore racing live traffic,
-#              rebalance-while-serving in the shard subsystem, and plan
-#              scratch/cache sharing across workers)
-#   3. ASan+UBSan: `fault` + `persist` + `shard` + `plan` labels under
-#              -DADAMOVE_SANITIZE=address (memory errors on the
+#   2. TSan:   `concurrency` + `persist` + `shard` + `plan` + `verify`
+#              labels under -DADAMOVE_SANITIZE=thread (data races in the
+#              serving path / kernels / chaos suite, snapshot/restore racing
+#              live traffic, rebalance-while-serving in the shard subsystem,
+#              and plan scratch/cache sharing across workers)
+#   3. ASan+UBSan: `fault` + `persist` + `shard` + `plan` + `verify` labels
+#              under -DADAMOVE_SANITIZE=address (memory errors on the
 #              fault-injection, degradation, checkpoint-parsing, compact
-#              codec and plan-arena paths), then `nn` + `fault` + `persist`
-#              + `shard` + `plan` under -DADAMOVE_SANITIZE=undefined with
-#              -fno-sanitize-recover=all (any UB aborts the test). The
-#              alloc-probe counting assertions skip themselves under
-#              sanitizers (the interposition is compiled out); the same
-#              requests still execute, now leak/race/UB-checked.
-#   4. static: scripts/lint.sh (custom grep lints + clang-tidy), then the
+#              codec and plan-arena paths), then `nn` + `backend` + `fault`
+#              + `persist` + `shard` + `plan` + `verify` under
+#              -DADAMOVE_SANITIZE=undefined with -fno-sanitize-recover=all
+#              (any UB aborts the test). The alloc-probe counting assertions
+#              skip themselves under sanitizers (the interposition is
+#              compiled out); the same requests still execute, now
+#              leak/race/UB-checked.
+#   4. static: scripts/lint.sh (adamove_lint + clang-tidy), then the
 #              thread-safety analysis build (-DADAMOVE_ANALYZE=ON under
 #              clang++, -Werror=thread-safety) including the negative-compile
 #              cases in tests/common/annotations_compile_fail/ and the
@@ -49,21 +50,22 @@ ADAMOVE_KERNEL_BACKEND=scalar ctest --test-dir build --output-on-failure
 echo "    ... ADAMOVE_FORWARD=plan forced (static-plan inference path)"
 ADAMOVE_FORWARD=plan ctest --test-dir build --output-on-failure
 
-echo "==> [2/4] TSan: concurrency + persist + shard + plan labeled suites"
+echo "==> [2/4] TSan: concurrency + persist + shard + plan + verify labeled suites"
 cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L 'concurrency|persist|shard|plan' \
+ctest --test-dir build-tsan -L 'concurrency|persist|shard|plan|verify' \
   --output-on-failure
 
-echo "==> [3/4] ASan: fault + persist + shard + plan labeled suites"
+echo "==> [3/4] ASan: fault + persist + shard + plan + verify labeled suites"
 cmake -B build-asan -S . -DADAMOVE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L 'fault|persist|shard|plan' --output-on-failure
+ctest --test-dir build-asan -L 'fault|persist|shard|plan|verify' \
+  --output-on-failure
 
-echo "==> [3/4] UBSan: nn + fault + persist + shard + plan labels (-fno-sanitize-recover=all)"
+echo "==> [3/4] UBSan: nn + backend + fault + persist + shard + plan + verify labels (-fno-sanitize-recover=all)"
 cmake -B build-ubsan -S . -DADAMOVE_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "${JOBS}"
-ctest --test-dir build-ubsan -L 'nn|fault|persist|shard|plan' \
+ctest --test-dir build-ubsan -L 'nn|backend|fault|persist|shard|plan|verify' \
   --output-on-failure
 
 echo "==> [4/4] static analysis: lint + thread-safety contracts"
@@ -74,7 +76,8 @@ if command -v clang++ >/dev/null 2>&1; then
   cmake --build build-analyze -j "${JOBS}"
   ctest --test-dir build-analyze -R annotations_compile_fail \
     --output-on-failure
-  ctest --test-dir build-analyze -L 'persist|shard|plan' --output-on-failure
+  ctest --test-dir build-analyze -L 'persist|shard|plan|verify' \
+    --output-on-failure
 else
   echo "    clang++ not installed — thread-safety analysis build skipped"
   echo "    (annotations are checked only by Clang; lint pass above gates)"

@@ -1,143 +1,59 @@
 #!/usr/bin/env bash
 # Repo lint driver — stage 4 of scripts/check.sh, also runnable standalone.
 #
-#   scripts/lint.sh                 # custom lints + clang-tidy (if present)
-#   ADAMOVE_LINT_BUILD_DIR=build scripts/lint.sh   # compile DB location
+#   scripts/lint.sh                 # adamove_lint + clang-tidy (if present)
+#   ADAMOVE_LINT_BUILD_DIR=build scripts/lint.sh   # build dir / compile DB
 #
 # Two passes:
 #
-#   1. Custom grep lints: repo-specific hazards that clang-tidy has no
-#      check for. Exits non-zero on any hit. A line may opt out with an
-#      inline NOLINT comment stating the reason.
-#
-#        raw-mutex     std::mutex / lock_guard / unique_lock / scoped_lock /
-#                      condition_variable anywhere outside common/mutex.h.
-#                      All locking must go through the annotated
-#                      common::Mutex wrappers so ADAMOVE_ANALYZE can check
-#                      the contracts (DESIGN.md §10).
-#        naked-new     `new` outside smart-pointer factories. The two
-#                      intentional leaks (fault registry) carry NOLINT.
-#        rand          rand()/srand(): unseeded global state breaks the
-#                      repo-wide determinism contract; use common/rng.h.
-#        raw-write     std::ofstream / fopen write paths in src/ outside
-#                      common/durable_io and data/. Anything that persists
-#                      state the process must survive losing has to go
-#                      through WriteFileAtomic + framing (DESIGN.md §11) —
-#                      a raw write is exactly the torn-file bug the durable
-#                      layer exists to prevent. data/ is exempt (exports of
-#                      derivable artifacts), as is anything else carrying a
-#                      NOLINT with a stated reason.
-#        session-store-construction
-#                      direct SessionStore construction in src/ outside
-#                      src/shard. Production session state must be owned by
-#                      a shard group (shard::ShardedService wires the cold
-#                      tier, canonical ingest and per-group stats); a bare
-#                      store silently opts out of capacity management
-#                      (DESIGN.md §12). Tests and bench/ stay exempt — the
-#                      unsharded path is still a legitimate harness subject.
-#        raw-intrinsics
-#                      x86 vector intrinsics (`_mm256_*`, `__m256`, any
-#                      `_mm512_*`) outside src/nn/kernels_avx2.cc, and NEON
-#                      intrinsics outside src/nn/kernels_neon.cc. All SIMD
-#                      lives behind the kernel dispatch table (DESIGN.md
-#                      §13); an intrinsic anywhere else bypasses the
-#                      backend contract, the scalar-forced golden pin and
-#                      the cross-backend agreement suite.
-#        plan-executor-alloc
-#                      allocation idioms (Tensor construction, naked new,
-#                      container growth/resize) inside the static-plan
-#                      executor (src/nn/plan/executor.*). Its hot path is
-#                      contractually zero-allocation (DESIGN.md §14); every
-#                      temp lives in the pre-planned arena. The plan-rebind
-#                      arena sizing carries NOLINT.
-#        todo-label    TODO without an owner label `TODO(name):` rots.
+#   1. tools/adamove_lint — the compiled repo invariant linter. It owns the
+#      nine per-line rules this script used to express as grep pipelines
+#      (raw-mutex, naked-new, rand, raw-write, session-store-construction,
+#      raw-intrinsics-x86/-neon, plan-executor-alloc, todo-label — see
+#      tools/adamove_lint/lint.h for each rule's rationale), running them
+#      over a real comment- and string-literal-aware tokenizer with per-rule
+#      NOLINT(rule) scoping, plus the cross-registry checks no grep can do:
+#      every FaultPoint in src/ documented in DESIGN.md and exercised under
+#      tests/, every ADAMOVE_* knob documented in README.md, every ctest
+#      label run by a check.sh stage. Diagnostics are `file:line: rule:
+#      message`; any finding fails the pass. The rules themselves are
+#      unit-tested (tests/tools/adamove_lint_test.cc), including regressions
+#      for the grep era's two defect classes: NOLINT anywhere on a line
+#      (even inside a string literal) silencing every rule, and the
+#      comment stripper recognizing only line-leading //.
 #
 #   2. clang-tidy (.clang-tidy profile: bugprone-*, performance-*,
 #      concurrency-*, container/string readability checks) over every .cc
 #      under src/, using the compile database of an existing build dir.
-#      Skipped with a notice when clang-tidy is not installed — the custom
-#      lints still gate.
+#      Skipped with a notice when clang-tidy is not installed — pass 1
+#      still gates.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 status=0
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${ADAMOVE_LINT_BUILD_DIR:-build}"
 
-# ---- pass 1: custom grep lints ------------------------------------------
-# Strips pure comment lines so prose mentioning std::mutex doesn't trip the
-# lint, then drops lines carrying an inline NOLINT opt-out.
-run_lint() { # <name> <regex> <path...>
-  local name="$1" regex="$2"
-  shift 2
-  local hits
-  hits=$(grep -rnE "$regex" "$@" 2>/dev/null |
-    grep -vE '^[^:]+:[0-9]+:\s*(//|///|\*)' |
-    grep -v 'NOLINT' || true)
-  if [[ -n "$hits" ]]; then
-    echo "lint[$name]: FAIL"
-    echo "$hits"
-    status=1
-  else
-    echo "lint[$name]: ok"
-  fi
-}
-
-# Every file under src/ except the one place raw primitives are allowed.
-mapfile -t SRC_NO_MUTEX < <(find src -name '*.cc' -o -name '*.h' |
-  grep -v '^src/common/mutex\.h$')
-
-run_lint raw-mutex \
-  'std::mutex|std::condition_variable|std::lock_guard|std::unique_lock|std::scoped_lock|std::shared_mutex' \
-  "${SRC_NO_MUTEX[@]}"
-run_lint naked-new '\bnew +[A-Za-z_][A-Za-z0-9_:<>]*' src
-run_lint rand '\b(s)?rand\(' src
-
-# Durable-write discipline: only common/durable_io may open files for
-# writing in src/ (data/ exports derivable artifacts and is exempt).
-mapfile -t SRC_NO_DURABLE < <(find src -name '*.cc' -o -name '*.h' |
-  grep -vE '^src/(common/durable_io\.(h|cc)|data/)')
-run_lint raw-write 'std::ofstream|\b(std::)?fopen *\(' \
-  "${SRC_NO_DURABLE[@]}"
-# SessionStore ownership discipline: only the shard subsystem may construct
-# stores in src/ (the class's own files are excluded along with src/shard).
-mapfile -t SRC_NO_SHARD < <(find src -name '*.cc' -o -name '*.h' |
-  grep -vE '^src/(shard/|serve/session_store\.(h|cc))')
-run_lint session-store-construction \
-  '\bSessionStore[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]|make_unique<[^>]*SessionStore' \
-  "${SRC_NO_SHARD[@]}"
-# SIMD containment: intrinsics only inside the one backend file per ISA, so
-# every vectorized path is reachable through the dispatch table and covered
-# by the scalar/simd agreement tests.
-mapfile -t SRC_NO_AVX2 < <(find src -name '*.cc' -o -name '*.h' |
-  grep -v '^src/nn/kernels_avx2\.cc$')
-run_lint raw-intrinsics-x86 '_mm256_|_mm512_|__m256|__m512' \
-  "${SRC_NO_AVX2[@]}"
-mapfile -t SRC_NO_NEON < <(find src -name '*.cc' -o -name '*.h' |
-  grep -v '^src/nn/kernels_neon\.cc$')
-run_lint raw-intrinsics-neon \
-  'vld1q_|vst1q_|vfmaq_|float32x4_t|float64x2_t|vaddvq_' \
-  "${SRC_NO_NEON[@]}"
-# Zero-allocation executor discipline (DESIGN.md §14): the static-plan
-# executor's hot path may not construct tensors, heap-allocate, or grow
-# containers — every temp it touches was packed into the arena at plan
-# compile time, and the `plan`-labeled alloc-probe tests pin the result.
-# The one legitimate allocation (Bind sizing the arena on a plan rebind)
-# carries an inline NOLINT with its reason.
-run_lint plan-executor-alloc \
-  '\bnew\b|\bTensor\b|push_back|emplace_back|\.[Rr]esize\(|\.reserve\(|make_unique|make_shared' \
-  src/nn/plan/executor.cc src/nn/plan/executor.h
-todo_hits=$(grep -rnE '\bTODO\b' src 2>/dev/null |
-  grep -vE 'TODO\([A-Za-z0-9_.-]+\)' | grep -v 'NOLINT' || true)
-if [[ -n "$todo_hits" ]]; then
-  echo "lint[todo-label]: FAIL (use TODO(owner): ...)"
-  echo "$todo_hits"
-  status=1
+# ---- pass 1: adamove_lint ------------------------------------------------
+if ! cmake -B "$BUILD_DIR" -S . >/dev/null; then
+  echo "lint[adamove_lint]: cmake configure of $BUILD_DIR failed"
+  exit 1
+fi
+if ! cmake --build "$BUILD_DIR" --target adamove_lint -j "$JOBS" >/dev/null
+then
+  echo "lint[adamove_lint]: build failed"
+  exit 1
+fi
+if "$BUILD_DIR/tools/adamove_lint" --root .; then
+  echo "lint[adamove_lint]: ok"
 else
-  echo "lint[todo-label]: ok"
+  echo "lint[adamove_lint]: FAIL"
+  status=1
 fi
 
 # ---- pass 2: clang-tidy --------------------------------------------------
-BUILD_DIR="${ADAMOVE_LINT_BUILD_DIR:-build}"
 if command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint[clang-tidy]: $(clang-tidy --version | grep -m1 -o 'LLVM version [0-9.]*')"
   if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
     echo "lint[clang-tidy]: no $BUILD_DIR/compile_commands.json —" \
          "configure first (cmake -B $BUILD_DIR -S .)"

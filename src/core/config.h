@@ -7,7 +7,7 @@
 namespace adamove::core {
 
 /// Sequential encoder families evaluated in Fig. 5.
-enum class EncoderType { kRnn, kLstm, kGru, kTransformer };
+enum class EncoderType : uint8_t { kRnn, kLstm, kGru, kTransformer };
 
 std::string EncoderTypeName(EncoderType type);
 

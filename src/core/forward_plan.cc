@@ -1,5 +1,6 @@
 #include "core/forward_plan.h"
 
+#include <cstdio>
 #include <string>
 
 #include "common/check.h"
@@ -14,7 +15,8 @@ ForwardMode ForwardModeFromEnv() {
   return ForwardMode::kGraph;
 }
 
-ForwardPlanner::ForwardPlanner(const AdaptableModel& model) {
+ForwardPlanner::ForwardPlanner(const AdaptableModel& model)
+    : verify_mode_(nn::plan::PlanVerifyModeFromEnv()) {
   const TrajectoryEncoder* encoder = model.trajectory_encoder();
   if (encoder == nullptr) return;
   embedding_ = &encoder->embedding();
@@ -29,15 +31,33 @@ std::shared_ptr<const nn::plan::CompiledPlan> ForwardPlanner::PlanFor(
     int64_t t) {
   common::MutexLock lock(mu_);
   if (untraceable_) return nullptr;
+  if (rejected_.count(t) != 0) return nullptr;  // verified bad for these
+                                                // weights; graph serves
   auto it = plans_.find(t);
   if (it != plans_.end()) {
     const auto& fp = it->second->weight_fingerprint;
     if (nn::plan::EncoderWeightsMatch(tables_, *seq_, fp.data(), fp.size())) {
+      if (verify_mode_ == nn::plan::VerifyMode::kParanoid) {
+        ++verifies_;
+        nn::plan::VerifyResult check = nn::plan::VerifyPlan(*it->second);
+        if (!check.ok) {
+          ++verify_rejects_;
+          std::fprintf(stderr,
+                       "adamove: plan verifier rejected cached plan "
+                       "(seq_len=%lld): %s — serving the graph walk\n",
+                       static_cast<long long>(t), check.message.c_str());
+          plans_.erase(it);
+          rejected_.insert(t);
+          return nullptr;
+        }
+      }
       return it->second;
     }
     // A weight tensor's storage moved (checkpoint hot-swap with
-    // reallocation): every cached plan borrows stale pointers.
+    // reallocation): every cached plan borrows stale pointers, and every
+    // cached rejection verdict judged weights that no longer exist.
     plans_.clear();
+    rejected_.clear();
   }
   auto plan = nn::plan::CompileEncoderForward(tables_, *seq_, t);
   if (plan == nullptr) {
@@ -46,6 +66,23 @@ std::shared_ptr<const nn::plan::CompiledPlan> ForwardPlanner::PlanFor(
     // state is a single flag check instead of a re-trace per request.
     untraceable_ = true;
     return nullptr;
+  }
+  if (verify_mode_ != nn::plan::VerifyMode::kOff) {
+    ++verifies_;
+    nn::plan::VerifyResult check = nn::plan::VerifyPlan(*plan);
+    if (!check.ok) {
+      // An unverifiable plan never executes: raw-pointer interpretation of
+      // a plan with a bad offset or lifetime is silent memory corruption.
+      // The graph walk is bit-identical, so correctness is preserved and
+      // only the zero-alloc property is lost for this sequence length.
+      ++verify_rejects_;
+      std::fprintf(stderr,
+                   "adamove: plan verifier rejected compiled plan "
+                   "(seq_len=%lld): %s — serving the graph walk\n",
+                   static_cast<long long>(t), check.message.c_str());
+      rejected_.insert(t);
+      return nullptr;
+    }
   }
   ++compiles_;
   plans_[t] = plan;
@@ -79,12 +116,29 @@ bool ForwardPlanner::EncodeInto(const data::Sample& sample,
 void ForwardPlanner::InvalidateAll() {
   common::MutexLock lock(mu_);
   plans_.clear();
+  rejected_.clear();
   untraceable_ = false;
 }
 
 int64_t ForwardPlanner::compiles() const {
   common::MutexLock lock(mu_);
   return compiles_;
+}
+
+int64_t ForwardPlanner::verifies() const {
+  common::MutexLock lock(mu_);
+  return verifies_;
+}
+
+int64_t ForwardPlanner::verify_rejects() const {
+  common::MutexLock lock(mu_);
+  return verify_rejects_;
+}
+
+void ForwardPlanner::SetVerifyModeForTest(nn::plan::VerifyMode mode) {
+  common::MutexLock lock(mu_);
+  verify_mode_ = mode;
+  rejected_.clear();
 }
 
 }  // namespace adamove::core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -12,6 +13,7 @@
 #include "core/encoder.h"
 #include "core/model.h"
 #include "nn/plan/executor.h"
+#include "nn/plan/verifier.h"
 
 namespace adamove::core {
 
@@ -20,7 +22,7 @@ namespace adamove::core {
 ///    reference; allocates TensorImpl nodes per op);
 ///  - kPlan: execute a compiled static forward plan (same arithmetic, zero
 ///    heap allocations per request).
-enum class ForwardMode { kGraph, kPlan };
+enum class ForwardMode : uint8_t { kGraph, kPlan };
 
 /// Reads ADAMOVE_FORWARD (``graph`` | ``plan``; default graph). Unknown
 /// values fall back to graph — the reference path is always safe.
@@ -50,6 +52,17 @@ struct PlanScratch {
 /// hot-swap that reallocated tensor storage; an in-place overwrite keeps
 /// pointers valid and needs no invalidation at all. InvalidateAll() is the
 /// explicit belt-and-suspenders hook serving calls on hot-swap.
+///
+/// Verification: every freshly compiled plan is run through the static
+/// verifier (nn/plan/verifier.h) before it may serve — once per compile,
+/// zero per-request cost. A rejected plan is never cached or executed; the
+/// sequence length is remembered as rejected (until weights change or
+/// InvalidateAll) and callers fall back to the graph walk, with
+/// verify_rejects() feeding ServiceStats::plan_verify_rejects.
+/// ADAMOVE_PLAN_VERIFY picks the mode: `off`, `compile` (default), or
+/// `paranoid` — the latter re-verifies the cached plan on every
+/// weight-pointer revalidation, a corruption-hunting mode that puts the
+/// verifier's cost (and allocations) on the request path.
 class ForwardPlanner {
  public:
   explicit ForwardPlanner(const AdaptableModel& model);
@@ -74,6 +87,18 @@ class ForwardPlanner {
   /// after invalidation) — a test/diagnostic counter.
   int64_t compiles() const;
 
+  /// Verifier runs so far. In kCompile mode this tracks compiles() (one
+  /// verification per accepted compile); steady-state cache hits add
+  /// nothing — the "0 ns per request" half of the bench gate.
+  int64_t verifies() const;
+
+  /// Plans the verifier rejected (each followed by a graph fallback).
+  int64_t verify_rejects() const;
+
+  /// Overrides the ADAMOVE_PLAN_VERIFY mode read at construction. Test
+  /// hook; also drops cached rejection verdicts so the new mode applies.
+  void SetVerifyModeForTest(nn::plan::VerifyMode mode);
+
  private:
   std::shared_ptr<const nn::plan::CompiledPlan> PlanFor(int64_t t);
 
@@ -87,7 +112,15 @@ class ForwardPlanner {
   std::map<int64_t, std::shared_ptr<const nn::plan::CompiledPlan>> plans_
       ADAMOVE_GUARDED_BY(mu_);
   int64_t compiles_ ADAMOVE_GUARDED_BY(mu_) = 0;
+  int64_t verifies_ ADAMOVE_GUARDED_BY(mu_) = 0;
+  int64_t verify_rejects_ ADAMOVE_GUARDED_BY(mu_) = 0;
   bool untraceable_ ADAMOVE_GUARDED_BY(mu_) = false;
+  nn::plan::VerifyMode verify_mode_ ADAMOVE_GUARDED_BY(mu_);
+  // Sequence lengths whose compiled plan failed verification for the
+  // current weights: steady state pays one set lookup instead of a
+  // recompile-and-reject per request. Cleared when weights move or on
+  // InvalidateAll.
+  std::set<int64_t> rejected_ ADAMOVE_GUARDED_BY(mu_);
 };
 
 }  // namespace adamove::core

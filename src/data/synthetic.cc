@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -12,7 +13,7 @@ namespace adamove::data {
 namespace {
 
 // Anchor roles drive the weekly routine.
-enum class Role { kHome, kWork, kLeisure };
+enum class Role : uint8_t { kHome, kWork, kLeisure };
 
 // Hour-of-day activity profile (when people check in at all): morning,
 // lunch, and evening peaks.

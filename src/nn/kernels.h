@@ -34,7 +34,7 @@ namespace adamove::nn::kernels {
 
 /// Which kernel table is active. kSimd covers any vector ISA (AVX2 or NEON);
 /// BackendDescription() names the specific one.
-enum class Backend {
+enum class Backend : uint8_t {
   kScalar = 0,
   kSimd = 1,
 };

@@ -356,6 +356,8 @@ ServiceStats PredictionService::Stats() const {
     merged.plan_fallbacks += ws->stats.plan_fallbacks;
   }
   merged.shed_requests = shed_requests_.load(std::memory_order_relaxed);
+  merged.plan_verify_rejects =
+      static_cast<uint64_t>(planner_.verify_rejects());
   return merged;
 }
 

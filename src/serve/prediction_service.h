@@ -24,7 +24,7 @@ namespace adamove::serve {
 
 /// What the service does when a request arrives and the admission queue is
 /// already at capacity.
-enum class OverflowPolicy {
+enum class OverflowPolicy : uint8_t {
   /// Submit blocks until space frees up (backpressure onto the caller).
   kBlock,
   /// Submit resolves the request immediately as shed (no scores) — the
@@ -34,7 +34,7 @@ enum class OverflowPolicy {
 
 /// How one request was ultimately answered. Every submitted request ends in
 /// exactly one of these states; ServiceStats accounts for all of them.
-enum class RequestOutcome {
+enum class RequestOutcome : uint8_t {
   /// Fully adapted prediction from fresh per-user state.
   kOk,
   /// A valid real-model prediction produced through a degradation path
@@ -50,7 +50,7 @@ enum class RequestOutcome {
 };
 
 /// Which encode path the serving workers use (DESIGN.md §14).
-enum class ServiceForwardMode {
+enum class ServiceForwardMode : uint8_t {
   /// Defer to ADAMOVE_FORWARD at service construction (the default).
   kAuto,
   /// Force the autograd graph walk (the bit-identical reference path).
@@ -116,6 +116,13 @@ struct ServiceStats {
   /// this counter is visibility into the plan→graph rung of the
   /// degradation ladder, not a degradation tally.
   uint64_t plan_fallbacks = 0;
+  /// Compiled plans the static verifier rejected (DESIGN.md §15): the
+  /// tracer produced a plan that failed an IR invariant (SSA, shape,
+  /// lifetime, or arena proof), so it was never executed and the graph
+  /// walk serves that sequence length instead. Any non-zero value is a
+  /// compiler bug made visible — the requests themselves stay correct
+  /// (and kOk), they just are not allocation-free.
+  uint64_t plan_verify_rejects = 0;
   /// Fully adapted, on-time responses.
   uint64_t ok_requests() const {
     return completed - degraded_requests - timeouts;

@@ -66,7 +66,7 @@ struct SessionStoreConfig {
 
 /// How one adapted prediction was actually produced — the degradation
 /// outcome the serving layer turns into per-request accounting.
-enum class AdaptStatus {
+enum class AdaptStatus : uint8_t {
   /// Normal path: patterns ingested, prediction from the user's fresh state.
   kAdapted,
   /// Session-store lookup faulted (simulated state loss): no per-user state

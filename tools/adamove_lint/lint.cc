@@ -1,0 +1,487 @@
+#include "adamove_lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace adamove::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// The nine per-line rules.
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  const char* name;
+  std::regex pattern;
+  bool (*applies)(const std::string& path);
+  const char* message;
+};
+
+// Scoping predicates mirror the path exemptions the shell lints encoded
+// with find|grep -v: the one file per invariant that is allowed to hold the
+// raw primitive, and the subsystems whose job the rule is protecting.
+bool InSrc(const std::string& p) { return HasPrefix(p, "src/"); }
+
+bool MutexScope(const std::string& p) {
+  return InSrc(p) && p != "src/common/mutex.h";
+}
+
+bool DurableScope(const std::string& p) {
+  return InSrc(p) && p != "src/common/durable_io.h" &&
+         p != "src/common/durable_io.cc" && !HasPrefix(p, "src/data/");
+}
+
+bool SessionStoreScope(const std::string& p) {
+  return InSrc(p) && !HasPrefix(p, "src/shard/") &&
+         p != "src/serve/session_store.h" && p != "src/serve/session_store.cc";
+}
+
+bool X86Scope(const std::string& p) {
+  return InSrc(p) && p != "src/nn/kernels_avx2.cc";
+}
+
+bool NeonScope(const std::string& p) {
+  return InSrc(p) && p != "src/nn/kernels_neon.cc";
+}
+
+bool PlanExecutorScope(const std::string& p) {
+  return p == "src/nn/plan/executor.cc" || p == "src/nn/plan/executor.h";
+}
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule>* rules = new std::vector<Rule>{
+      {"raw-mutex",
+       std::regex("std::(mutex|condition_variable|lock_guard|unique_lock|"
+                  "scoped_lock|shared_mutex)\\b"),
+       &MutexScope,
+       "raw standard locking primitive — all locking goes through the "
+       "annotated common::Mutex wrappers so ADAMOVE_ANALYZE can check the "
+       "contracts (common/mutex.h, DESIGN.md §10)"},
+      {"naked-new", std::regex("\\bnew +[A-Za-z_][A-Za-z0-9_:<>]*"), &InSrc,
+       "naked `new` — use make_unique/make_shared or an owning factory"},
+      {"rand", std::regex("\\bs?rand\\("), &InSrc,
+       "rand()/srand() is unseeded global state that breaks the repo-wide "
+       "determinism contract — use common/rng.h"},
+      {"raw-write", std::regex("std::ofstream|\\b(std::)?fopen *\\("),
+       &DurableScope,
+       "raw file-write path outside common/durable_io — state the process "
+       "must survive losing goes through WriteFileAtomic + framing "
+       "(DESIGN.md §11); data/ exports of derivable artifacts are "
+       "exempt"},
+      {"session-store-construction",
+       std::regex("\\bSessionStore[ \\t]+[A-Za-z_][A-Za-z0-9_]*[ \\t]*[({]|"
+                  "make_unique<[^>]*SessionStore"),
+       &SessionStoreScope,
+       "direct SessionStore construction outside src/shard — production "
+       "session state must be owned by a shard group so it gets the cold "
+       "tier, canonical ingest and capacity management (DESIGN.md §12)"},
+      {"raw-intrinsics-x86", std::regex("_mm256_|_mm512_|__m256|__m512"),
+       &X86Scope,
+       "x86 vector intrinsic outside src/nn/kernels_avx2.cc — all SIMD "
+       "lives behind the kernel dispatch table (DESIGN.md §13)"},
+      {"raw-intrinsics-neon",
+       std::regex("vld1q_|vst1q_|vfmaq_|float32x4_t|float64x2_t|vaddvq_"),
+       &NeonScope,
+       "NEON intrinsic outside src/nn/kernels_neon.cc — all SIMD lives "
+       "behind the kernel dispatch table (DESIGN.md §13)"},
+      {"plan-executor-alloc",
+       std::regex("\\bnew\\b|\\bTensor\\b|push_back|emplace_back|"
+                  "\\.[Rr]esize\\(|\\.reserve\\(|make_unique|make_shared"),
+       &PlanExecutorScope,
+       "allocation idiom in the static-plan executor — its hot path is "
+       "contractually zero-allocation; every temp lives in the pre-planned "
+       "arena (DESIGN.md §14)"},
+  };
+  return *rules;
+}
+
+// todo-label is separate: it scans comment text too (that is where TODOs
+// live) and its exemption is per-occurrence, not per-line — a line carrying
+// both TODO(owner): and a bare TODO still fails.
+bool HasUnownedTodo(const std::string& text) {
+  static const std::regex kTodo("\\bTODO\\b");
+  static const std::regex kOwned("^\\(([A-Za-z0-9_.-]+)\\)");
+  auto it = std::sregex_iterator(text.begin(), text.end(), kTodo);
+  for (; it != std::sregex_iterator(); ++it) {
+    const std::string rest = text.substr(
+        static_cast<size_t>(it->position()) + it->length());
+    if (!std::regex_search(rest, kOwned)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
+         d.message;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------------
+
+std::vector<LintLine> Tokenize(const std::string& text) {
+  std::vector<LintLine> lines;
+  LintLine cur;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string literal;    // accumulating string-literal contents
+  std::string raw_close;  // ")delim\"" terminator of the open raw string
+  char last_code = '\0';  // previous significant code char (separator test)
+
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      // Line comments end; an unterminated "..." or '...' is ill-formed
+      // C++ — recover to code so one bad line cannot blank the whole file.
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.push_back(std::move(cur));
+      cur = {};
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"' && last_code == 'R') {
+          // R"delim( ... )delim" — find the open paren to learn the delim.
+          size_t open = text.find('(', i + 1);
+          if (open == std::string::npos) {
+            cur.code += c;  // ill-formed; treat as plain char
+          } else {
+            raw_close = ")" + text.substr(i + 1, open - i - 1) + "\"";
+            literal.clear();
+            cur.code += '"';
+            for (size_t j = i + 1; j <= open; ++j) cur.code += ' ';
+            i = open;
+            state = State::kRawString;
+          }
+          last_code = '"';
+        } else if (c == '"') {
+          literal.clear();
+          cur.code += '"';
+          state = State::kString;
+          last_code = '"';
+        } else if (c == '\'' && !IsIdentChar(last_code)) {
+          cur.code += '\'';
+          state = State::kChar;
+          last_code = '\'';
+        } else {
+          cur.code += c;
+          if (c != ' ' && c != '\t') last_code = c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        cur.code += ' ';
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          cur.code += "  ";
+          ++i;
+        } else {
+          cur.code += ' ';
+          cur.comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          literal += c;
+          literal += text[i + 1];
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          cur.code += '"';
+          cur.strings.push_back(literal);
+          state = State::kCode;
+        } else {
+          literal += c;
+          cur.code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          cur.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_close.size(), raw_close) == 0) {
+          for (size_t j = 0; j + 1 < raw_close.size(); ++j) cur.code += ' ';
+          cur.code += '"';
+          cur.strings.push_back(literal);
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else {
+          literal += c;
+          cur.code += ' ';
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+Nolint ParseNolint(const std::string& comment) {
+  Nolint out;
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    out.present = true;
+    size_t after = pos + 6;  // past "NOLINT"
+    if (after < comment.size() && comment[after] == '(') {
+      const size_t close = comment.find(')', after);
+      if (close != std::string::npos) {
+        std::string list = comment.substr(after + 1, close - after - 1);
+        size_t start = 0;
+        while (start <= list.size()) {
+          const size_t comma = list.find(',', start);
+          const std::string item = Trim(
+              comma == std::string::npos ? list.substr(start)
+                                         : list.substr(start, comma - start));
+          if (!item.empty()) out.rules.insert(item);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+        pos = close;
+        continue;
+      }
+    }
+    out.all = true;  // bare NOLINT (incl. "NOLINT:" with a stated reason)
+    pos = after;
+  }
+  return out;
+}
+
+bool Suppresses(const Nolint& n, const std::string& rule) {
+  return n.present && (n.all || n.rules.count(rule) != 0);
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& contents) {
+  std::vector<Diagnostic> out;
+  const std::vector<LintLine> lines = Tokenize(contents);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const LintLine& line = lines[i];
+    const Nolint nolint = ParseNolint(line.comment);
+    const int lineno = static_cast<int>(i) + 1;
+    for (const Rule& rule : Rules()) {
+      if (!rule.applies(path)) continue;
+      if (!std::regex_search(line.code, rule.pattern)) continue;
+      if (Suppresses(nolint, rule.name)) continue;
+      out.push_back({path, lineno, rule.name, rule.message});
+    }
+    if (InSrc(path) &&
+        (HasUnownedTodo(line.code) || HasUnownedTodo(line.comment)) &&
+        !Suppresses(nolint, "todo-label")) {
+      out.push_back({path, lineno, "todo-label",
+                     "TODO without an owner rots — write TODO(owner): ..."});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-registry checks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<fs::path> SourceFiles(const fs::path& root) {
+  std::vector<fs::path> files;
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cc" || ext == ".h") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string RelPath(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+struct Decl {
+  std::string file;
+  int line;
+  std::string name;
+};
+
+/// First declaration site of each distinct name (map keeps output stable).
+std::map<std::string, Decl> CollectDecls(
+    const fs::path& root, const std::regex& code_trigger,
+    const std::regex& name_shape) {
+  std::map<std::string, Decl> decls;
+  for (const fs::path& file : SourceFiles(root)) {
+    const std::vector<LintLine> lines = Tokenize(ReadFile(file));
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (!std::regex_search(lines[i].code, code_trigger)) continue;
+      for (const std::string& s : lines[i].strings) {
+        if (!std::regex_match(s, name_shape)) continue;
+        decls.emplace(s, Decl{RelPath(root, file),
+                              static_cast<int>(i) + 1, s});
+      }
+    }
+  }
+  return decls;
+}
+
+std::string ReadTreeText(const fs::path& dir) {
+  std::string all;
+  if (!fs::exists(dir)) return all;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) all += ReadFile(entry.path());
+  }
+  return all;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CrossRegistryLints(const fs::path& root) {
+  std::vector<Diagnostic> out;
+
+  // Fault points: every FaultPoint("subsystem.site") wired into src/ must be
+  // catalogued in DESIGN.md and exercised somewhere under tests/ — an
+  // undocumented point is invisible to operators, an untested one is a
+  // degradation path that has never actually degraded.
+  const auto fault_points =
+      CollectDecls(root, std::regex("\\bFaultPoint\\s*\\(\\s*\""),
+                   std::regex("[a-z0-9_]+\\.[a-z0-9_.]+"));
+  const std::string design = ReadFile(root / "DESIGN.md");
+  const std::string tests_text = ReadTreeText(root / "tests");
+  for (const auto& [name, decl] : fault_points) {
+    if (design.find(name) == std::string::npos) {
+      out.push_back({decl.file, decl.line, "fault-point-docs",
+                     "fault point \"" + name +
+                         "\" is not documented in DESIGN.md"});
+    }
+    if (tests_text.find(name) == std::string::npos) {
+      out.push_back({decl.file, decl.line, "fault-point-coverage",
+                     "fault point \"" + name +
+                         "\" is not exercised by any test under tests/"});
+    }
+  }
+
+  // Env knobs: every "ADAMOVE_*" literal read in src/ must be documented in
+  // README.md — a knob nobody can discover is a behavior fork nobody can
+  // explain.
+  const auto env_vars = CollectDecls(
+      root, std::regex("\\b(EnvString|EnvInt|EnvDouble|getenv)\\s*\\(\\s*\""),
+      std::regex("ADAMOVE_[A-Z0-9_]+"));
+  const std::string readme = ReadFile(root / "README.md");
+  for (const auto& [name, decl] : env_vars) {
+    if (readme.find(name) == std::string::npos) {
+      out.push_back({decl.file, decl.line, "env-docs",
+                     "environment knob " + name +
+                         " is read here but not documented in README.md"});
+    }
+  }
+
+  // ctest labels: every label registered in tests/CMakeLists.txt must appear
+  // in some `ctest -L` expression in scripts/check.sh — otherwise a labeled
+  // suite silently runs in no gate stage beyond the unlabeled tier-1 pass.
+  const std::string cmake_path = "tests/CMakeLists.txt";
+  const std::string cmake_text = ReadFile(root / "tests" / "CMakeLists.txt");
+  const std::string check_text = ReadFile(root / "scripts" / "check.sh");
+  std::set<std::string> staged;
+  {
+    static const std::regex kStage("-L +'([^']+)'");
+    auto it = std::sregex_iterator(check_text.begin(), check_text.end(),
+                                   kStage);
+    for (; it != std::sregex_iterator(); ++it) {
+      std::istringstream expr((*it)[1].str());
+      std::string label;
+      while (std::getline(expr, label, '|')) staged.insert(label);
+    }
+  }
+  {
+    static const std::regex kLabels("LABELS +(\"([^\"]+)\"|([A-Za-z0-9_;]+))");
+    std::istringstream stream(cmake_text);
+    std::string line;
+    int lineno = 0;
+    std::set<std::string> reported;
+    while (std::getline(stream, line)) {
+      ++lineno;
+      std::smatch m;
+      if (!std::regex_search(line, m, kLabels)) continue;
+      std::istringstream list(m[2].matched ? m[2].str() : m[3].str());
+      std::string label;
+      while (std::getline(list, label, ';')) {
+        if (label.empty() || staged.count(label) != 0) continue;
+        if (!reported.insert(label).second) continue;
+        out.push_back({cmake_path, lineno, "ctest-labels",
+                       "ctest label '" + label +
+                           "' is not run by any `ctest -L` stage in "
+                           "scripts/check.sh"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> LintTree(const fs::path& root, int* files_scanned) {
+  std::vector<Diagnostic> out;
+  int scanned = 0;
+  for (const fs::path& file : SourceFiles(root)) {
+    ++scanned;
+    std::vector<Diagnostic> file_diags =
+        LintSource(RelPath(root, file), ReadFile(file));
+    out.insert(out.end(), file_diags.begin(), file_diags.end());
+  }
+  std::vector<Diagnostic> cross = CrossRegistryLints(root);
+  out.insert(out.end(), cross.begin(), cross.end());
+  if (files_scanned != nullptr) *files_scanned = scanned;
+  return out;
+}
+
+}  // namespace adamove::lint
