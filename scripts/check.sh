@@ -10,21 +10,22 @@
 #              over the static-plan inference path (DESIGN.md §14). The
 #              `plan` label (alloc-probe pins, plan/graph bit-identity,
 #              plan-mode golden) runs in all three passes.
-#   2. TSan:   `concurrency` + `persist` + `shard` + `plan` + `verify`
-#              labels under -DADAMOVE_SANITIZE=thread (data races in the
-#              serving path / kernels / chaos suite, snapshot/restore racing
-#              live traffic, rebalance-while-serving in the shard subsystem,
-#              and plan scratch/cache sharing across workers)
-#   3. ASan+UBSan: `fault` + `persist` + `shard` + `plan` + `verify` labels
-#              under -DADAMOVE_SANITIZE=address (memory errors on the
-#              fault-injection, degradation, checkpoint-parsing, compact
-#              codec and plan-arena paths), then `nn` + `backend` + `fault`
-#              + `persist` + `shard` + `plan` + `verify` under
-#              -DADAMOVE_SANITIZE=undefined with -fno-sanitize-recover=all
-#              (any UB aborts the test). The alloc-probe counting assertions
-#              skip themselves under sanitizers (the interposition is
-#              compiled out); the same requests still execute, now
-#              leak/race/UB-checked.
+#   2. TSan:   `concurrency` + `persist` + `shard` + `plan` + `verify` +
+#              `overload` labels under -DADAMOVE_SANITIZE=thread (data races
+#              in the serving path / kernels / chaos suite, snapshot/restore
+#              racing live traffic, rebalance-while-serving in the shard
+#              subsystem, plan scratch/cache sharing across workers, and the
+#              elastic-adaptation scheduler under open-loop bursts)
+#   3. ASan+UBSan: `fault` + `persist` + `shard` + `plan` + `verify` +
+#              `overload` labels under -DADAMOVE_SANITIZE=address (memory
+#              errors on the fault-injection, degradation, checkpoint-parsing,
+#              compact codec, plan-arena and deferred-adaptation paths), then
+#              `nn` + `backend` + `fault` + `persist` + `shard` + `plan` +
+#              `verify` + `overload` under -DADAMOVE_SANITIZE=undefined with
+#              -fno-sanitize-recover=all (any UB aborts the test). The
+#              alloc-probe counting assertions skip themselves under
+#              sanitizers (the interposition is compiled out); the same
+#              requests still execute, now leak/race/UB-checked.
 #   4. static: scripts/lint.sh (adamove_lint + clang-tidy), then the
 #              thread-safety analysis build (-DADAMOVE_ANALYZE=ON under
 #              clang++, -Werror=thread-safety) including the negative-compile
@@ -49,23 +50,33 @@ echo "    ... ADAMOVE_KERNEL_BACKEND=scalar forced"
 ADAMOVE_KERNEL_BACKEND=scalar ctest --test-dir build --output-on-failure
 echo "    ... ADAMOVE_FORWARD=plan forced (static-plan inference path)"
 ADAMOVE_FORWARD=plan ctest --test-dir build --output-on-failure
+echo "    ... bench_serving --overload smoke (small env, no gate)"
+# Exercises the full elastic-adaptation overload pass end to end — saturation
+# probe, both postures, drain, JSON write — at toy scale. Deliberately no
+# --overload_gate: the latency bar needs >= 4 dedicated cores (DESIGN.md §16);
+# the checked-in BENCH_overload.json baseline carries the frontier numbers.
+# Run from the build tree so the JSON lands next to the other bench outputs
+# instead of clobbering the checked-in baseline at the repo root.
+(cd build/bench && \
+  ADAMOVE_BENCH_SCALE=0.1 ADAMOVE_BENCH_EPOCHS=1 ADAMOVE_BENCH_TRAIN_CAP=300 \
+  ADAMOVE_BENCH_SERVE_REQUESTS=200 ./bench_serving --overload)
 
-echo "==> [2/4] TSan: concurrency + persist + shard + plan + verify labeled suites"
+echo "==> [2/4] TSan: concurrency + persist + shard + plan + verify + overload labeled suites"
 cmake -B build-tsan -S . -DADAMOVE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan -L 'concurrency|persist|shard|plan|verify' \
+ctest --test-dir build-tsan -L 'concurrency|persist|shard|plan|verify|overload' \
   --output-on-failure
 
-echo "==> [3/4] ASan: fault + persist + shard + plan + verify labeled suites"
+echo "==> [3/4] ASan: fault + persist + shard + plan + verify + overload labeled suites"
 cmake -B build-asan -S . -DADAMOVE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan -L 'fault|persist|shard|plan|verify' \
+ctest --test-dir build-asan -L 'fault|persist|shard|plan|verify|overload' \
   --output-on-failure
 
-echo "==> [3/4] UBSan: nn + backend + fault + persist + shard + plan + verify labels (-fno-sanitize-recover=all)"
+echo "==> [3/4] UBSan: nn + backend + fault + persist + shard + plan + verify + overload labels (-fno-sanitize-recover=all)"
 cmake -B build-ubsan -S . -DADAMOVE_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "${JOBS}"
-ctest --test-dir build-ubsan -L 'nn|backend|fault|persist|shard|plan|verify' \
+ctest --test-dir build-ubsan -L 'nn|backend|fault|persist|shard|plan|verify|overload' \
   --output-on-failure
 
 echo "==> [4/4] static analysis: lint + thread-safety contracts"
@@ -76,7 +87,7 @@ if command -v clang++ >/dev/null 2>&1; then
   cmake --build build-analyze -j "${JOBS}"
   ctest --test-dir build-analyze -R annotations_compile_fail \
     --output-on-failure
-  ctest --test-dir build-analyze -L 'persist|shard|plan|verify' \
+  ctest --test-dir build-analyze -L 'persist|shard|plan|verify|overload' \
     --output-on-failure
 else
   echo "    clang++ not installed — thread-safety analysis build skipped"

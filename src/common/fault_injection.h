@@ -71,6 +71,9 @@ bool EvaluateSlow(const char* point);
 ///                         fallback (request stays kOk; plan_fallbacks
 ///                         ticks)
 ///   serve.batch_flush     whole batch degrades to the base model
+///   serve.adapt_schedule  elastic scheduler misfire — the batch is forced
+///                         into deferred adaptation regardless of pressure
+///                         (probed only in AdaptMode::kElastic services)
 ///   io.snapshot_write     durable_io payload write fails — commit aborted,
 ///                         previous durable file intact
 ///   io.snapshot_fsync     pre-rename fsync fails — commit aborted, previous

@@ -63,6 +63,121 @@ void OnlineAdapter::Observe(int64_t user, const std::vector<float>& pattern,
   }
 }
 
+size_t OnlineAdapter::ObserveDeferred(int64_t user,
+                                      std::vector<float>&& pattern,
+                                      int64_t next_location,
+                                      int64_t timestamp) {
+  ADAMOVE_CHECK(!pattern.empty());
+  UserState& state = users_[user];
+  state.pending.push_back(
+      PendingDelta{std::move(pattern), next_location, timestamp});
+  dirty_.insert(user);
+  // Exact coalescing: Observe's per-location FIFO cap keeps only the newest
+  // kMaxCandidatesPerLocation entries, so once that many deltas for one
+  // location are buffered, the oldest buffered delta for it could never
+  // survive the drain — drop it now and the post-drain state is unchanged.
+  size_t for_location = 0;
+  for (const PendingDelta& delta : state.pending) {
+    if (delta.next_location == next_location) ++for_location;
+  }
+  if (for_location <= kMaxCandidatesPerLocation) return 0;
+  for (auto it = state.pending.begin(); it != state.pending.end(); ++it) {
+    if (it->next_location == next_location) {
+      state.pending.erase(it);
+      break;
+    }
+  }
+  return 1;
+}
+
+size_t OnlineAdapter::DrainPending(int64_t user) {
+  auto it = users_.find(user);
+  if (it == users_.end() || it->second.pending.empty()) return 0;
+  // Move the buffer out first: Observe touches users_ and could in
+  // principle rehash the map under us.
+  std::vector<PendingDelta> pending = std::move(it->second.pending);
+  it->second.pending.clear();
+  dirty_.erase(user);
+  for (PendingDelta& delta : pending) {
+    Observe(user, delta.pattern, delta.next_location, delta.timestamp);
+  }
+  return pending.size();
+}
+
+size_t OnlineAdapter::DrainSomePending(size_t max_users) {
+  size_t drained = 0;
+  while (!dirty_.empty() && (max_users == 0 || drained < max_users)) {
+    DrainPending(*dirty_.begin());
+    ++drained;
+  }
+  return drained;
+}
+
+size_t OnlineAdapter::PendingCount(int64_t user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.pending.size();
+}
+
+size_t OnlineAdapter::PendingTotal() const {
+  size_t n = 0;
+  for (int64_t user : dirty_) n += PendingCount(user);
+  return n;
+}
+
+void OnlineAdapter::StoreRebuildCache(
+    int64_t user, const std::vector<RebuildJob>& jobs,
+    const common::AlignedBuffer<float>& arena) {
+  auto it = users_.find(user);
+  if (it == users_.end()) return;
+  CachedRebuild& cache = it->second.cache;
+  cache.jobs.clear();
+  cache.patterns.clear();
+  if (jobs.empty()) return;
+  // A job's block spans keep * width floats; the width is the user's
+  // pattern dimension, recoverable from any stored entry (jobs only exist
+  // when entries do).
+  size_t width = 0;
+  for (const auto& [location, entries] : it->second.by_location) {
+    if (!entries.empty()) {
+      width = entries.front().pattern.size();
+      break;
+    }
+  }
+  if (width == 0) return;
+  cache.jobs.reserve(jobs.size());
+  for (const RebuildJob& job : jobs) {
+    const size_t len = static_cast<size_t>(job.keep) * width;
+    ADAMOVE_CHECK_LE(job.arena_offset + len, arena.size());
+    RebuildJob rebased = job;
+    rebased.arena_offset = cache.patterns.size();
+    cache.patterns.insert(cache.patterns.end(),
+                          arena.data() + job.arena_offset,
+                          arena.data() + job.arena_offset + len);
+    cache.jobs.push_back(rebased);
+  }
+}
+
+size_t OnlineAdapter::CollectCachedJobs(int64_t user,
+                                        common::AlignedBuffer<float>* arena,
+                                        std::vector<RebuildJob>* jobs) const {
+  auto it = users_.find(user);
+  if (it == users_.end() || it->second.cache.jobs.empty()) return 0;
+  const CachedRebuild& cache = it->second.cache;
+  const size_t base = arena->size();
+  arena->Append(cache.patterns.data(), cache.patterns.size());
+  for (const RebuildJob& job : cache.jobs) {
+    RebuildJob rebased = job;
+    rebased.arena_offset += base;
+    jobs->push_back(rebased);
+  }
+  return cache.jobs.size();
+}
+
+bool OnlineAdapter::HasRebuildCache(int64_t user) const {
+  auto it = users_.find(user);
+  return it != users_.end() && !it->second.cache.jobs.empty();
+}
+
 void OnlineAdapter::PredictFrozenInto(const AdaptableModel& model,
                                       const float* query, int64_t hidden,
                                       std::vector<float>* scores) {
@@ -239,6 +354,7 @@ OnlineAdapter::UserSnapshot OnlineAdapter::ExportUser(int64_t user) const {
   }
   std::sort(snap.locations.begin(), snap.locations.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  snap.pending = it->second.pending;
   return snap;
 }
 
@@ -253,9 +369,33 @@ void OnlineAdapter::Adopt(UserSnapshot&& snap) {
     }
     state.by_location[location] = std::move(entries);
   }
-  if (state.by_location.empty()) {
+  // Install pending deltas under the same per-location coalescing bound
+  // ObserveDeferred enforces (newest win), so a hostile snapshot cannot
+  // inflate the buffer past what a live deferral could hold.
+  for (PendingDelta& delta : snap.pending) {
+    if (delta.pattern.empty()) continue;
+    size_t for_location = 0;
+    for (const PendingDelta& kept : state.pending) {
+      if (kept.next_location == delta.next_location) ++for_location;
+    }
+    state.pending.push_back(std::move(delta));
+    if (for_location + 1 <= kMaxCandidatesPerLocation) continue;
+    for (auto p = state.pending.begin(); p != state.pending.end(); ++p) {
+      if (p->next_location == state.pending.back().next_location) {
+        state.pending.erase(p);
+        break;
+      }
+    }
+  }
+  if (state.by_location.empty() && state.pending.empty()) {
     users_.erase(snap.user);  // adopting an empty snapshot == Forget
+    dirty_.erase(snap.user);
     return;
+  }
+  if (state.pending.empty()) {
+    dirty_.erase(snap.user);
+  } else {
+    dirty_.insert(snap.user);
   }
   users_[snap.user] = std::move(state);
 }
@@ -272,11 +412,24 @@ void OnlineAdapter::EncodeUser(const UserSnapshot& snap, std::string* out) {
       common::AppendF32Array(out, entry.pattern.data(), entry.pattern.size());
     }
   }
+  // Pending-delta section, appended only when non-empty: a clean user's
+  // frame is byte-identical to the pre-deferral format, so existing golden
+  // snapshots (and old readers of clean users) are untouched. Decoders
+  // treat end-of-frame after the locations as "no pending".
+  if (snap.pending.empty()) return;
+  common::AppendU32(out, static_cast<uint32_t>(snap.pending.size()));
+  for (const PendingDelta& delta : snap.pending) {
+    common::AppendU64(out, static_cast<uint64_t>(delta.timestamp));
+    common::AppendU64(out, static_cast<uint64_t>(delta.next_location));
+    common::AppendU32(out, static_cast<uint32_t>(delta.pattern.size()));
+    common::AppendF32Array(out, delta.pattern.data(), delta.pattern.size());
+  }
 }
 
 common::IoResult OnlineAdapter::DecodeUser(std::string_view bytes,
                                            UserSnapshot* out) {
   out->locations.clear();
+  out->pending.clear();
   common::WireReader reader(bytes);
   uint64_t user = 0;
   if (!reader.ReadU64(&user)) {
@@ -331,6 +484,39 @@ common::IoResult OnlineAdapter::DecodeUser(std::string_view bytes,
     out->locations.emplace_back(static_cast<int64_t>(location),
                                 std::move(entries));
   }
+  if (reader.AtEnd()) return common::IoResult::Ok();  // no pending section
+  uint32_t pending_count = 0;
+  if (!reader.ReadU32(&pending_count)) {
+    return common::IoResult::Fail("user frame: truncated pending count");
+  }
+  // A pending record is at least ts + location + length (20 bytes).
+  if (pending_count == 0 || pending_count > reader.remaining() / 20) {
+    return common::IoResult::Fail(
+        "user frame: pending count " + std::to_string(pending_count) +
+        " larger than the frame could hold");
+  }
+  out->pending.reserve(pending_count);
+  for (uint32_t p = 0; p < pending_count; ++p) {
+    PendingDelta delta;
+    uint64_t timestamp = 0;
+    uint64_t location = 0;
+    uint32_t pattern_len = 0;
+    if (!reader.ReadU64(&timestamp) || !reader.ReadU64(&location) ||
+        !reader.ReadU32(&pattern_len)) {
+      return common::IoResult::Fail("user frame: truncated pending record");
+    }
+    if (pattern_len == 0) {
+      return common::IoResult::Fail("user frame: zero-length pending pattern");
+    }
+    if (!reader.ReadF32Array(pattern_len, &delta.pattern)) {
+      return common::IoResult::Fail(
+          "user frame: pending pattern length " + std::to_string(pattern_len) +
+          " larger than the remaining frame");
+    }
+    delta.timestamp = static_cast<int64_t>(timestamp);
+    delta.next_location = static_cast<int64_t>(location);
+    out->pending.push_back(std::move(delta));
+  }
   if (!reader.AtEnd()) {
     return common::IoResult::Fail("user frame: trailing bytes");
   }
@@ -345,6 +531,7 @@ size_t OnlineAdapter::Forget(int64_t user) {
     n += entries.size();
   }
   users_.erase(it);
+  dirty_.erase(user);
   return n;
 }
 
@@ -360,6 +547,10 @@ size_t OnlineAdapter::StateBytes(const UserState& state) {
     for (const Entry& entry : entries) {
       bytes += entry.pattern.capacity() * sizeof(float);
     }
+  }
+  bytes += state.pending.capacity() * sizeof(PendingDelta);
+  for (const PendingDelta& delta : state.pending) {
+    bytes += delta.pattern.capacity() * sizeof(float);
   }
   return bytes;
 }

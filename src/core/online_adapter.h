@@ -2,6 +2,7 @@
 #define ADAMOVE_CORE_ONLINE_ADAPTER_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -50,13 +51,27 @@ class OnlineAdapter {
     int64_t timestamp = 0;
   };
 
+  /// One buffered (not yet ingested) transition of a deferred-mode user:
+  /// exactly Observe's arguments, queued in arrival order. Draining the
+  /// buffer replays them through Observe, so a drained user's knowledge
+  /// base is bit-identical to an inline run of the same observations.
+  struct PendingDelta {
+    std::vector<float> pattern;
+    int64_t next_location = 0;
+    int64_t timestamp = 0;
+  };
+
   /// The complete stored state of one user, in the deterministic order the
   /// snapshot wire format uses (locations ascending, entries in FIFO
-  /// arrival order) — so identical adapter state encodes to identical
-  /// bytes, which is what lets the durability tests pin snapshots golden.
+  /// arrival order, pending deltas in arrival order) — so identical adapter
+  /// state encodes to identical bytes, which is what lets the durability
+  /// tests pin snapshots golden. `pending` is the deferred-mode ingest
+  /// buffer; it travels with the user through eviction, migration and
+  /// snapshots so deferral never loses observations.
   struct UserSnapshot {
     int64_t user = 0;
     std::vector<std::pair<int64_t, std::vector<Entry>>> locations;
+    std::vector<PendingDelta> pending;
   };
 
   OnlineAdapter(const PttaConfig& config, int64_t max_age_seconds =
@@ -68,6 +83,42 @@ class OnlineAdapter {
   /// location turned out to be `next_location` at `timestamp`.
   void Observe(int64_t user, const std::vector<float>& pattern,
                int64_t next_location, int64_t timestamp);
+
+  /// Deferred-mode ingest: buffers the transition into the user's pending
+  /// queue instead of touching the knowledge base. Pending deltas are
+  /// coalesced exactly: at most kMaxCandidatesPerLocation deltas per next
+  /// location are kept (dropping the oldest), because Observe's FIFO cap
+  /// would discard anything older on drain anyway — so coalescing changes
+  /// nothing about the post-drain state. Returns the number of deltas
+  /// dropped by coalescing (0 or 1). Does not probe core.kb.ingest; the
+  /// probe happens at drain time, when the observation actually lands.
+  size_t ObserveDeferred(int64_t user, std::vector<float>&& pattern,
+                         int64_t next_location, int64_t timestamp);
+
+  /// Replays the user's pending deltas through Observe in arrival order and
+  /// clears the buffer. Returns the number of deltas drained. With faults
+  /// disarmed, Drain after any mix of ObserveDeferred calls leaves the
+  /// knowledge base bit-identical to inline Observe calls of the same
+  /// sequence (the deferred-drain parity invariant, pinned by tests).
+  size_t DrainPending(int64_t user);
+
+  /// Drains up to `max_users` dirty users (ascending user id — the
+  /// deterministic order; 0 = all). Returns the number of users drained.
+  size_t DrainSomePending(size_t max_users);
+
+  /// Buffered deltas for a user (0 if unknown or clean).
+  size_t PendingCount(int64_t user) const;
+
+  /// Total buffered deltas across users.
+  size_t PendingTotal() const;
+
+  /// Users with a non-empty pending buffer.
+  size_t DirtyUserCount() const { return dirty_.size(); }
+
+  /// All dirty users, ascending.
+  std::vector<int64_t> DirtyUsers() const {
+    return std::vector<int64_t>(dirty_.begin(), dirty_.end());
+  }
 
   /// Adapted scores for `user`'s current trajectory state: the model's
   /// classifier columns are replaced by centroids of {θ_l} ∪ the top-M
@@ -139,6 +190,26 @@ class OnlineAdapter {
                             std::vector<RebuildJob>* jobs,
                             std::vector<std::pair<float, const Entry*>>* fresh)
       const;
+
+  /// Caches one user's collected rebuild (jobs + the kept-pattern bytes
+  /// they reference) so a later deferred-mode predict can reuse it without
+  /// re-ranking. `jobs` and `arena` are a CollectRebuildJobs result for
+  /// this user; the kept patterns are copied out of `arena`, so the cache
+  /// survives any later arena reuse. Purely derived state: it is never
+  /// serialized, and Forget/Adopt drop it.
+  void StoreRebuildCache(int64_t user, const std::vector<RebuildJob>& jobs,
+                         const common::AlignedBuffer<float>& arena);
+
+  /// Appends the user's cached rebuild jobs (rebased into `arena`) to
+  /// `jobs` — the deferred-mode predict path: no ranking, one memcpy of
+  /// the cached pattern block. Returns the number of jobs appended (0 when
+  /// the user has no cache; the caller then serves frozen-column scores,
+  /// which is the same scoring sweep with zero jobs).
+  size_t CollectCachedJobs(int64_t user, common::AlignedBuffer<float>* arena,
+                           std::vector<RebuildJob>* jobs) const;
+
+  /// Whether the user has a cached rebuild.
+  bool HasRebuildCache(int64_t user) const;
 
   /// Phase 2: frozen-classifier scores for `query` with the adjusted
   /// columns described by `jobs` (from CollectRebuildJobs with this same
@@ -244,12 +315,27 @@ class OnlineAdapter {
                                      UserSnapshot* out);
 
   /// Drops state for all users.
-  void Reset() { users_.clear(); }
+  void Reset() {
+    users_.clear();
+    dirty_.clear();
+  }
 
  private:
+  /// One user's cached rebuild: CollectRebuildJobs output with the kept
+  /// patterns copied into a private block (offsets rebased to 0). Derived
+  /// state only — never serialized, dropped on Forget/Adopt.
+  struct CachedRebuild {
+    std::vector<RebuildJob> jobs;
+    std::vector<float> patterns;
+  };
+
   struct UserState {
     // location -> stored candidate patterns (bounded FIFO).
     std::unordered_map<int64_t, std::vector<Entry>> by_location;
+    // Deferred-mode ingest buffer, arrival order (see ObserveDeferred).
+    std::vector<PendingDelta> pending;
+    // Last inline rebuild, reusable by deferred predicts (may be empty).
+    CachedRebuild cache;
   };
 
   /// The ResidentBytes accounting for one user's state.
@@ -262,6 +348,9 @@ class OnlineAdapter {
   PttaConfig config_;
   int64_t max_age_seconds_;
   std::unordered_map<int64_t, UserState> users_;
+  /// Users with a non-empty pending buffer, ordered — so drains walk users
+  /// deterministically and DirtyUsers() needs no sort.
+  std::set<int64_t> dirty_;
 };
 
 }  // namespace adamove::core

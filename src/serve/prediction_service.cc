@@ -45,6 +45,8 @@ PredictionService::PredictionService(core::AdaptableModel& model,
     : model_(model),
       store_(store),
       config_(config),
+      adapt_config_(config.adapt.Resolve()),
+      gauge_(adapt_config_),
       forward_mode_(ResolveForwardMode(config.forward)),
       planner_(model) {
   ADAMOVE_CHECK_GT(config_.workers, 0);
@@ -111,10 +113,12 @@ std::future<Prediction> PredictionService::SubmitInternal(
 }
 
 bool PredictionService::TrySubmit(data::Sample sample,
-                                  std::future<Prediction>* out) {
+                                  std::future<Prediction>* out,
+                                  std::function<void()> on_complete) {
   ADAMOVE_CHECK(!sample.recent.empty());
   Request request;
   request.sample = std::move(sample);
+  request.on_complete = std::move(on_complete);
   std::future<Prediction> result = request.promise.get_future();
   {
     common::MutexLock lock(mu_);
@@ -123,11 +127,14 @@ bool PredictionService::TrySubmit(data::Sample sample,
       shed_requests_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
+    // Hand the future over *before* the request is queued: once a worker
+    // can see the request it may complete it (and fire on_complete) at any
+    // moment, and an open-loop caller reads `*out` from that callback.
+    if (out != nullptr) *out = std::move(result);
     request.enqueue = Clock::now();
     queue_.push_back(std::move(request));
   }
   not_empty_.NotifyOne();
-  if (out != nullptr) *out = std::move(result);
   return true;
 }
 
@@ -172,6 +179,7 @@ void PredictionService::WorkerLoop(int worker_index) {
   WorkerScratch scratch;
   for (;;) {
     std::vector<Request> batch;
+    size_t depth = 0;
     {
       common::MutexLock lock(mu_);
       while (!stop_ && queue_.empty()) not_empty_.Wait(mu_);
@@ -188,6 +196,11 @@ void PredictionService::WorkerLoop(int worker_index) {
         if (queue_.empty()) break;  // another worker flushed it first
       }
       if (queue_.empty()) continue;
+      // The pressure signal is the depth at batch formation — including the
+      // batch being taken. Measuring only the leftover would read a full
+      // queue as calm whenever max_batch can swallow it in one take (small
+      // elastic queues do exactly that), hiding genuine saturation.
+      depth = queue_.size();
       const size_t take = std::min(
           queue_.size(), static_cast<size_t>(config_.max_batch));
       batch.reserve(take);
@@ -197,15 +210,39 @@ void PredictionService::WorkerLoop(int worker_index) {
       }
     }
     not_full_.NotifyAll();
-    ProcessBatch(batch, stats, scratch);
+    ProcessBatch(batch, depth, stats, scratch);
   }
 }
 
 void PredictionService::ProcessBatch(std::vector<Request>& batch,
-                                     WorkerStats& stats,
+                                     size_t queue_depth, WorkerStats& stats,
                                      WorkerScratch& scratch) {
   const auto picked_up = Clock::now();
   std::vector<Prediction> out(batch.size());
+
+  // Elastic scheduling (DESIGN.md §16): fold this batch's backlog and the
+  // oldest request's wait into the pressure gauge, then pick how the adapt
+  // stage executes. The `serve.adapt_schedule` fault simulates a scheduler
+  // misfire — the batch is forced deferred regardless of pressure — and is
+  // probed only in elastic mode, so inline services keep their exact fault
+  // evaluation sequence (bit-identity with the pre-scheduler path).
+  AdaptExecMode exec_mode = AdaptExecMode::kInline;
+  if (adapt_config_.mode == AdaptMode::kElastic) {
+    const double oldest_wait_us = ElapsedUs(batch.front().enqueue, picked_up);
+    // Saturation reference for the wait ratio: the request deadline when one
+    // is configured, else several flush windows' worth of queueing.
+    const double slack_ref_us =
+        config_.deadline_us > 0
+            ? static_cast<double>(config_.deadline_us)
+            : 4.0 * static_cast<double>(config_.max_wait_us);
+    gauge_.Update(queue_depth, config_.queue_capacity, oldest_wait_us,
+                  slack_ref_us);
+    const bool forced = common::FaultPoint("serve.adapt_schedule");
+    exec_mode = gauge_.deferred() || forced ? AdaptExecMode::kDeferred
+                                            : AdaptExecMode::kInlineElastic;
+  } else if (adapt_config_.mode == AdaptMode::kDeferredAlways) {
+    exec_mode = AdaptExecMode::kDeferred;
+  }
 
   // A flush-path fault (e.g. a corrupted batch buffer) degrades the whole
   // batch to the base model rather than failing any request.
@@ -297,21 +334,33 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
       store_batch.push_back(request);
     }
   }
+  BatchAdaptStats adapt_stats;
   if (!adapted.empty()) {
     common::Timer timer;
+    BatchAdaptOptions options;
+    options.mode = exec_mode;
+    options.max_stale = adapt_config_.max_stale;
     std::vector<AdaptStatus> statuses;
     std::vector<std::vector<float>> scores =
-        store_.BatchObserveAndPredictEncoded(model_, store_batch, &statuses);
+        store_.BatchObserveAndPredictEncoded(model_, store_batch, options,
+                                             &statuses, &adapt_stats);
     const double per_request_us =
         timer.ElapsedMs() * 1000.0 / static_cast<double>(adapted.size());
     for (size_t a = 0; a < adapted.size(); ++a) {
       const size_t i = adapted[a];
       Prediction& p = out[i];
       p.scores = std::move(scores[a]);
-      p.outcome =
-          statuses[a] == AdaptStatus::kAdapted && encode_degraded[i] == 0
-              ? RequestOutcome::kOk
-              : RequestOutcome::kDegraded;
+      // A stale_adapt answer is a valid on-time adapted prediction — kOk,
+      // flagged out-of-band (the RequestOutcome-adjacent deferral signal).
+      const bool valid_adapt = statuses[a] == AdaptStatus::kAdapted ||
+                               statuses[a] == AdaptStatus::kStaleAdapt;
+      p.outcome = valid_adapt && encode_degraded[i] == 0
+                      ? RequestOutcome::kOk
+                      : RequestOutcome::kDegraded;
+      if (statuses[a] == AdaptStatus::kStaleAdapt) {
+        p.stale_adapt = true;
+        p.stale_depth = adapt_stats.stale_depth[a];
+      }
       if (statuses[a] == AdaptStatus::kWarmStartPending) warm_fallback[i] = 1;
       p.adapt_us = per_request_us;
     }
@@ -324,6 +373,10 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
       stats.stats.queue_us.Record(p.queue_us);
       stats.stats.encode_us.Record(p.encode_us);
       stats.stats.adapt_us.Record(p.adapt_us);
+      if (p.stale_adapt) {
+        stats.stats.stale_adapt_requests += 1;
+        stats.stats.stale_depth.Record(static_cast<double>(p.stale_depth));
+      }
       if (p.outcome == RequestOutcome::kDegraded) {
         stats.stats.degraded_requests += 1;
         if (warm_fallback[i] != 0) stats.stats.warm_start_fallbacks += 1;
@@ -334,10 +387,28 @@ void PredictionService::ProcessBatch(std::vector<Request>& batch,
     stats.stats.completed += batch.size();
     stats.stats.batches += 1;
     stats.stats.plan_fallbacks += plan_fallbacks;
+    stats.stats.deferred_ingests += adapt_stats.deferred_ingests;
+    stats.stats.coalesced_ingests += adapt_stats.coalesced_ingests;
+    stats.stats.lazy_rebuilds += adapt_stats.lazy_rebuilds;
+    stats.stats.forced_inline_rebuilds += adapt_stats.forced_inline;
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(std::move(out[i]));
     if (batch[i].on_complete) batch[i].on_complete();
+  }
+
+  // Background drain: once pressure has subsided, each batch retires a few
+  // dirty users' pending queues — after the batch's promises resolved, so
+  // callers never wait on catch-up work. Deferral therefore converges to
+  // the inline state even for users who stop sending requests.
+  if (adapt_config_.mode == AdaptMode::kElastic &&
+      adapt_config_.drain_users_per_batch > 0 && !gauge_.deferred()) {
+    const size_t drained =
+        store_.DrainDirtyUsers(adapt_config_.drain_users_per_batch);
+    if (drained > 0) {
+      common::MutexLock lock(stats.mu);
+      stats.stats.background_drains += drained;
+    }
   }
 }
 
@@ -354,7 +425,15 @@ ServiceStats PredictionService::Stats() const {
     merged.warm_start_fallbacks += ws->stats.warm_start_fallbacks;
     merged.timeouts += ws->stats.timeouts;
     merged.plan_fallbacks += ws->stats.plan_fallbacks;
+    merged.stale_adapt_requests += ws->stats.stale_adapt_requests;
+    merged.deferred_ingests += ws->stats.deferred_ingests;
+    merged.coalesced_ingests += ws->stats.coalesced_ingests;
+    merged.lazy_rebuilds += ws->stats.lazy_rebuilds;
+    merged.forced_inline_rebuilds += ws->stats.forced_inline_rebuilds;
+    merged.background_drains += ws->stats.background_drains;
+    merged.stale_depth.Merge(ws->stats.stale_depth);
   }
+  merged.adapt_mode_switches = gauge_.mode_switches();
   merged.shed_requests = shed_requests_.load(std::memory_order_relaxed);
   merged.plan_verify_rejects =
       static_cast<uint64_t>(planner_.verify_rejects());

@@ -18,6 +18,7 @@
 #include "core/forward_plan.h"
 #include "core/model.h"
 #include "data/dataset.h"
+#include "serve/adapt_scheduler.h"
 #include "serve/session_store.h"
 
 namespace adamove::serve {
@@ -78,12 +79,27 @@ struct ServiceConfig {
   int64_t deadline_us = 0;
   /// Encode path selection (see ServiceForwardMode).
   ServiceForwardMode forward = ServiceForwardMode::kAuto;
+  /// Elastic adaptation scheduling (DESIGN.md §16). Resolved at service
+  /// construction against the ADAMOVE_ADAPT_* environment knobs; the
+  /// default resolves to AdaptMode::kInline, the legacy bit-identical path.
+  AdaptSchedulerConfig adapt;
 };
 
 /// One served prediction plus its per-stage wall-clock breakdown.
 struct Prediction {
   std::vector<float> scores;  // empty iff outcome == kShed
   RequestOutcome outcome = RequestOutcome::kOk;
+  /// RequestOutcome-adjacent deferral signal: the answer is a valid adapted
+  /// prediction served from slightly stale per-user state (this request's
+  /// observations were buffered, the rebuild was the user's cached one).
+  /// Orthogonal to `outcome` — a stale_adapt response is still kOk: it was
+  /// on time and came from the real adapted model, just not the freshest
+  /// state (DESIGN.md §16's deferral rung sits between full adaptation and
+  /// the frozen fallback).
+  bool stale_adapt = false;
+  /// Pending-delta depth the prediction was served at (0 unless
+  /// stale_adapt) — bounded by the scheduler's max_stale knob.
+  uint32_t stale_depth = 0;
   double queue_us = 0;   // enqueue -> picked up by a worker
   double encode_us = 0;  // encoder forward (share of the batched stage)
   double adapt_us = 0;   // PTTA observe + adapted predict
@@ -123,6 +139,25 @@ struct ServiceStats {
   /// compiler bug made visible — the requests themselves stay correct
   /// (and kOk), they just are not allocation-free.
   uint64_t plan_verify_rejects = 0;
+  /// Elastic-adaptation ledger (DESIGN.md §16; all zero on an inline-mode
+  /// service): requests answered from deferred (stale) state, transitions
+  /// buffered instead of ingested, buffered deltas dropped by exact
+  /// coalescing, pending queues drained by an inline predict, deferred
+  /// requests forced inline by the max_stale bound, and users drained in
+  /// the background once pressure subsided.
+  uint64_t stale_adapt_requests = 0;
+  uint64_t deferred_ingests = 0;
+  uint64_t coalesced_ingests = 0;
+  uint64_t lazy_rebuilds = 0;
+  uint64_t forced_inline_rebuilds = 0;
+  uint64_t background_drains = 0;
+  /// Pressure-gauge inline<->deferred transitions (hysteresis crossings).
+  uint64_t adapt_mode_switches = 0;
+  /// Staleness depth distribution: one sample per stale_adapt request,
+  /// valued at the pending-delta depth it was served at. (The histogram is
+  /// log-bucketed for latencies but exact in count/sum/max, which is what
+  /// the bounded-staleness gate reads.)
+  common::LatencyHistogram stale_depth;
   /// Fully adapted, on-time responses.
   uint64_t ok_requests() const {
     return completed - degraded_requests - timeouts;
@@ -184,8 +219,13 @@ class PredictionService {
                                  std::function<void()> on_complete = nullptr);
 
   /// Non-blocking variant: false (and no enqueue) when the queue is full;
-  /// the rejection is counted in ServiceStats::shed_requests.
-  bool TrySubmit(data::Sample sample, std::future<Prediction>* out);
+  /// the rejection is counted in ServiceStats::shed_requests. On success
+  /// `*out` is assigned *before* the request becomes visible to workers, so
+  /// an `on_complete` that reads the future through shared state cannot
+  /// race the assignment (the open-loop LoadGen leans on this). On false,
+  /// `*out` is untouched and `on_complete` never fires.
+  bool TrySubmit(data::Sample sample, std::future<Prediction>* out,
+                 std::function<void()> on_complete = nullptr);
 
   /// Frozen-only admission: the request flows through the normal queue and
   /// encode stage, but the adapt stage is skipped — the frozen base model
@@ -232,6 +272,17 @@ class PredictionService {
   /// The encode path this service resolved at construction.
   core::ForwardMode forward_mode() const { return forward_mode_; }
 
+  /// The adaptation schedule this service resolved at construction
+  /// (ADAMOVE_ADAPT_* applied, kAuto replaced by a concrete mode).
+  const AdaptSchedulerConfig& adapt_config() const { return adapt_config_; }
+
+  /// Whether the pressure gauge currently schedules adaptation deferred
+  /// (always false outside AdaptMode::kElastic unless forced).
+  bool adapt_deferred() const { return gauge_.deferred(); }
+
+  /// Current smoothed queue pressure (diagnostics).
+  double adapt_pressure() const { return gauge_.pressure(); }
+
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -265,12 +316,18 @@ class PredictionService {
   };
 
   void WorkerLoop(int worker_index);
-  void ProcessBatch(std::vector<Request>& batch, WorkerStats& stats,
-                    WorkerScratch& scratch);
+  /// `queue_depth` is the admission-queue size observed right after this
+  /// batch was extracted — the gauge's backlog signal.
+  void ProcessBatch(std::vector<Request>& batch, size_t queue_depth,
+                    WorkerStats& stats, WorkerScratch& scratch);
 
   core::AdaptableModel& model_;
   SessionStore& store_;
   ServiceConfig config_;
+  /// Resolved adaptation schedule (ServiceConfig::adapt + ADAMOVE_ADAPT_*).
+  AdaptSchedulerConfig adapt_config_;
+  /// The per-service pressure signal driving elastic scheduling.
+  PressureGauge gauge_;
   /// Resolved encode path (ServiceForwardMode::kAuto → ADAMOVE_FORWARD).
   core::ForwardMode forward_mode_;
   /// Service-owned plan cache, shared by all workers (thread-safe; keyed by

@@ -135,9 +135,21 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
     const core::AdaptableModel& model,
     const std::vector<BatchRequest>& requests,
     std::vector<AdaptStatus>* statuses) {
+  return BatchObserveAndPredictEncoded(model, requests, BatchAdaptOptions{},
+                                       statuses, nullptr);
+}
+
+std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
+    const core::AdaptableModel& model,
+    const std::vector<BatchRequest>& requests,
+    const BatchAdaptOptions& options, std::vector<AdaptStatus>* statuses,
+    BatchAdaptStats* adapt_stats) {
   const size_t n = requests.size();
   if (statuses != nullptr) {
     statuses->assign(n, AdaptStatus::kAdapted);
+  }
+  if (adapt_stats != nullptr) {
+    adapt_stats->stale_depth.assign(n, 0);
   }
   // Phase 1 state per request: the rebuild jobs collected under the shard
   // lock. The query pattern is read in place from the request's RepsView
@@ -194,12 +206,71 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
       continue;
     }
     TouchLocked(shard, sample.user);
+    // A `serve.ptta_generate` fault drops this request's transitions in
+    // every exec mode (nothing is ingested *or* buffered) — fault precedence
+    // over scheduling, so deferral never smuggles a faulted request's
+    // patterns in later.
+    const bool generate_fault = common::FaultPoint("serve.ptta_generate");
+    if (generate_fault && statuses != nullptr) {
+      (*statuses)[r] = AdaptStatus::kStaleState;
+    }
+    // Scheduler decision: a deferred-mode request stays deferred only while
+    // its pending depth is under the max_stale bound; at the bound it is
+    // forced inline (drain + fresh rebuild), so staleness is bounded by
+    // construction.
+    bool defer = options.mode == AdaptExecMode::kDeferred;
+    if (defer && shard.adapter.PendingCount(sample.user) >= options.max_stale) {
+      defer = false;
+      if (adapt_stats != nullptr) adapt_stats->forced_inline += 1;
+    }
+
+    if (defer) {
+      if (!generate_fault) {
+        uint64_t coalesced = 0;
+        for (int64_t k = 0; k + 1 < t; ++k) {
+          std::vector<float> pattern(reps.data + k * hidden,
+                                     reps.data + (k + 1) * hidden);
+          if (config_.canonicalize_patterns) {
+            common::QfloatCanonicalize(&pattern);
+          }
+          coalesced += shard.adapter.ObserveDeferred(
+              sample.user, std::move(pattern),
+              sample.recent[static_cast<size_t>(k + 1)].location,
+              sample.recent[static_cast<size_t>(k + 1)].timestamp);
+        }
+        if (adapt_stats != nullptr) {
+          adapt_stats->deferred_ingests +=
+              t > 1 ? static_cast<uint64_t>(t - 1) : 0;
+          adapt_stats->coalesced_ingests += coalesced;
+        }
+        if (statuses != nullptr) (*statuses)[r] = AdaptStatus::kStaleAdapt;
+      }
+      // Predict from the last cached rebuild — no ranking, one block copy.
+      // An empty cache contributes zero jobs: the frozen scores stand,
+      // through the same phase-2 sweep.
+      shard.adapter.CollectCachedJobs(sample.user, &arena, &jobs[r]);
+      if (adapt_stats != nullptr) {
+        adapt_stats->stale_depth[r] = static_cast<uint32_t>(
+            std::min<size_t>(shard.adapter.PendingCount(sample.user),
+                             UINT32_MAX));
+      }
+      continue;
+    }
+
+    // Inline path. Any pending deltas from an earlier deferral drain first
+    // (the lazy rebuild), so an inline predict always answers from fully
+    // caught-up state; on a store that never deferred this is a no-op map
+    // probe and the path below is byte-for-byte the historical one.
+    if (shard.adapter.PendingCount(sample.user) > 0) {
+      shard.adapter.DrainPending(sample.user);
+      if (adapt_stats != nullptr) adapt_stats->lazy_rebuilds += 1;
+    }
     // Mirrors OnlineAdapter::ObserveAndPredict exactly (the determinism
     // test depends on bit-identical arithmetic): each prefix representation
     // is a labeled pattern for the *next* point, the final row is the
     // query. A `serve.ptta_generate` fault skips ingestion of this
     // request's transitions — the prediction then answers from stale state.
-    if (!common::FaultPoint("serve.ptta_generate")) {
+    if (!generate_fault) {
       for (int64_t k = 0; k + 1 < t; ++k) {
         std::vector<float> pattern(reps.data + k * hidden,
                                    reps.data + (k + 1) * hidden);
@@ -214,12 +285,16 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
             sample.recent[static_cast<size_t>(k + 1)].location,
             sample.recent[static_cast<size_t>(k + 1)].timestamp);
       }
-    } else if (statuses != nullptr) {
-      (*statuses)[r] = AdaptStatus::kStaleState;
     }
     shard.adapter.CollectRebuildJobs(sample.user, reps.query(), hidden,
                                      sample.target.timestamp, &arena,
                                      &jobs[r], &fresh);
+    // In an elastic service the fresh rebuild doubles as the user's stale
+    // cache for later deferred predicts. Pure kInline skips this entirely,
+    // so the legacy path keeps its exact memory behaviour.
+    if (options.mode != AdaptExecMode::kInline) {
+      shard.adapter.StoreRebuildCache(sample.user, jobs[r], arena);
+    }
   }
 
   // Phase 2: one contiguous scoring sweep, outside every shard lock. Each
@@ -242,6 +317,35 @@ std::vector<std::vector<float>> SessionStore::BatchObserveAndPredictEncoded(
         }
       });
   return scores;
+}
+
+size_t SessionStore::DrainDirtyUsers(size_t max_users) {
+  size_t drained = 0;
+  for (const auto& shard : shards_) {
+    if (max_users > 0 && drained >= max_users) break;
+    common::MutexLock lock(shard->mu);
+    drained += shard->adapter.DrainSomePending(
+        max_users == 0 ? 0 : max_users - drained);
+  }
+  return drained;
+}
+
+size_t SessionStore::DirtyUserCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mu);
+    n += shard->adapter.DirtyUserCount();
+  }
+  return n;
+}
+
+size_t SessionStore::PendingDeltaCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mu);
+    n += shard->adapter.PendingTotal();
+  }
+  return n;
 }
 
 void SessionStore::Forget(int64_t user) {
@@ -278,7 +382,9 @@ bool SessionStore::ExtractUser(int64_t user,
 }
 
 void SessionStore::InjectUser(core::OnlineAdapter::UserSnapshot&& snap) {
-  if (snap.locations.empty()) return;
+  // A user whose only state is a pending buffer is still a user — dropping
+  // the snapshot would lose deferred observations across a migration.
+  if (snap.locations.empty() && snap.pending.empty()) return;
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(snap.user))];
   common::MutexLock lock(shard.mu);
   TouchLocked(shard, snap.user);
@@ -355,7 +461,7 @@ common::IoResult SessionStore::Snapshot(const std::string& path,
     }
     // Encode outside the lock — byte work doesn't need the shard.
     for (const auto& snap : exported) {
-      if (snap.locations.empty()) continue;
+      if (snap.locations.empty() && snap.pending.empty()) continue;
       std::string frame;
       core::OnlineAdapter::EncodeUser(snap, &frame);
       frames.push_back(std::move(frame));
@@ -366,6 +472,13 @@ common::IoResult SessionStore::Snapshot(const std::string& path,
           pattern_dim =
               static_cast<uint32_t>(entries.front().pattern.size());
         }
+      }
+      // A dirty user's buffered deltas persist too (frozen mid-deferral is
+      // still durable); they can carry the dimension when the user holds
+      // nothing else yet.
+      if (pattern_dim == 0 && !snap.pending.empty()) {
+        pattern_dim =
+            static_cast<uint32_t>(snap.pending.front().pattern.size());
       }
     }
   }
@@ -441,6 +554,9 @@ common::IoResult SessionStore::Restore(const std::string& path,
         ++user_patterns;
       }
     }
+    for (const auto& delta : snap.pending) {
+      if (delta.pattern.size() != pattern_dim) dim_ok = false;
+    }
     if (!dim_ok) {
       if (stats != nullptr) {
         stats->users = users;
@@ -453,7 +569,9 @@ common::IoResult SessionStore::Restore(const std::string& path,
           std::to_string(snap.user) + " has a pattern whose dimension " +
           "does not match the snapshot header");
     }
-    if (snap.locations.empty()) continue;  // nothing to install
+    if (snap.locations.empty() && snap.pending.empty()) {
+      continue;  // nothing to install
+    }
     const int64_t user = snap.user;
     bytes += framed.frames[f].size();
     patterns += user_patterns;

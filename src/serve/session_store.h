@@ -81,6 +81,53 @@ enum class AdaptStatus : uint8_t {
   /// (a fresh knowledge base would be clobbered — or worse, merged — when
   /// the user's snapshot frame arrives).
   kWarmStartPending,
+  /// Deferred adaptation (DESIGN.md §16): this request's transitions were
+  /// buffered into the user's pending queue instead of ingested, and the
+  /// prediction came from the user's last cached rebuild — a valid, slightly
+  /// stale adapted answer. The buffered deltas drain lazily (next inline
+  /// predict) or in the background, after which state is bit-identical to
+  /// the inline run.
+  kStaleAdapt,
+};
+
+/// How one adapt micro-batch executes its per-user adaptation work.
+enum class AdaptExecMode : uint8_t {
+  /// Legacy inline adaptation — with no prior deferral this is byte-for-byte
+  /// the pre-scheduler path (it still drains any pending deltas it finds, so
+  /// a mode switch back to inline self-heals).
+  kInline,
+  /// Inline adaptation in an elastic service: same state semantics as
+  /// kInline, plus each request's fresh rebuild is cached for later deferred
+  /// predicts of the same user.
+  kInlineElastic,
+  /// Deferred adaptation: ingests buffered, predictions from the cached
+  /// rebuild (kStaleAdapt), bounded by BatchAdaptOptions::max_stale.
+  kDeferred,
+};
+
+/// Scheduler inputs of one BatchObserveAndPredictEncoded call.
+struct BatchAdaptOptions {
+  AdaptExecMode mode = AdaptExecMode::kInline;
+  /// A deferred request that finds this many pending deltas is forced
+  /// inline instead (drain + fresh rebuild), bounding staleness depth.
+  size_t max_stale = 256;
+};
+
+/// Exact accounting of one batch's scheduler decisions (all zero in
+/// kInline mode on a store that never deferred).
+struct BatchAdaptStats {
+  /// Transitions buffered into pending queues instead of ingested.
+  uint64_t deferred_ingests = 0;
+  /// Buffered deltas dropped by exact coalescing (provably could not have
+  /// survived the per-location FIFO cap on drain).
+  uint64_t coalesced_ingests = 0;
+  /// Pending queues drained because an inline predict found them.
+  uint64_t lazy_rebuilds = 0;
+  /// Deferred requests forced inline by the max_stale bound.
+  uint64_t forced_inline = 0;
+  /// Per request: pending-delta depth the prediction was served at
+  /// (0 for inline-served requests). Resized to requests.size().
+  std::vector<uint32_t> stale_depth;
 };
 
 /// On-disk serving snapshots: a durable_io framed file (DESIGN.md §11).
@@ -183,6 +230,38 @@ class SessionStore {
       const core::AdaptableModel& model,
       const std::vector<BatchRequest>& requests,
       std::vector<AdaptStatus>* statuses = nullptr);
+
+  /// Scheduler-aware variant (DESIGN.md §16): `options.mode` picks how each
+  /// request's adaptation executes (see AdaptExecMode), `adapt_stats`, when
+  /// non-null, receives this batch's exact deferral accounting. The
+  /// default-options overload above delegates here with kInline, which is
+  /// bit-identical to the historical path on a store that never deferred.
+  ///
+  /// Deferred-mode semantics per request: the transitions are buffered
+  /// (ObserveDeferred — exact coalescing against the per-location FIFO cap),
+  /// the prediction reuses the user's cached rebuild (no ranking; an empty
+  /// cache means frozen scores through the same sweep), and the status is
+  /// kStaleAdapt. A request that would exceed `options.max_stale` pending
+  /// deltas is forced inline instead, so staleness stays bounded. Faults
+  /// keep precedence: an armed serve.ptta_generate drops the transitions in
+  /// every mode (kStaleState — nothing is buffered either).
+  std::vector<std::vector<float>> BatchObserveAndPredictEncoded(
+      const core::AdaptableModel& model,
+      const std::vector<BatchRequest>& requests,
+      const BatchAdaptOptions& options, std::vector<AdaptStatus>* statuses,
+      BatchAdaptStats* adapt_stats);
+
+  /// Drains up to `max_users` dirty users' pending deltas into their
+  /// knowledge bases (per shard, ascending user id within a shard; 0 = all).
+  /// The background-drain hook the service calls when pressure subsides.
+  /// Returns the number of users drained.
+  size_t DrainDirtyUsers(size_t max_users);
+
+  /// Hot-resident users with a non-empty pending buffer, across shards.
+  size_t DirtyUserCount() const;
+
+  /// Buffered pending deltas across all hot-resident users.
+  size_t PendingDeltaCount() const;
 
   /// The base-model fallback: frozen-classifier scores for the final row of
   /// `reps` (the query pattern). Reads no per-user state and takes no lock.

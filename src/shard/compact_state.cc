@@ -34,6 +34,91 @@ bool Q8RoundTripsExactly(const std::vector<float>& x,
   return true;
 }
 
+/// Appends one pattern as mode byte + payload (shared by stored entries and
+/// pending deltas, so both sections keep the same lossless-quantize rules).
+/// Returns whether the q8 mode was used.
+bool AppendPattern(const std::vector<float>& pattern, uint64_t dim,
+                   const CompactOptions& options, common::QfloatBlock* block,
+                   std::string* out) {
+  const size_t size = pattern.size();
+  // q8 payloads are implicitly `dim` bytes, so only uniform-size patterns
+  // qualify; off-dimension patterns fall through to the explicit-length raw
+  // mode and the blob stays decodable.
+  if (options.quantize && size == dim &&
+      common::QfloatEncodable(pattern.data(), size)) {
+    common::QfloatEncode(pattern.data(), size, block);
+    if (Q8RoundTripsExactly(pattern, *block)) {
+      out->push_back(static_cast<char>(kModeQ8));
+      common::AppendZigzag(out, block->exponent);
+      out->append(reinterpret_cast<const char*>(block->q.data()),
+                  block->q.size());
+      return true;
+    }
+  }
+  if (size == dim) {
+    out->push_back(static_cast<char>(kModeRawF32));
+  } else {
+    out->push_back(static_cast<char>(kModeRawVar));
+    common::AppendVarint(out, size);
+  }
+  common::AppendF32Array(out, pattern.data(), size);
+  return false;
+}
+
+/// Reads one mode byte + pattern payload (the inverse of AppendPattern).
+common::IoResult ReadPattern(common::WireReader* reader, uint64_t dim,
+                             std::vector<float>* pattern) {
+  std::string_view mode_byte;
+  if (!reader->ReadBytes(1, &mode_byte)) {
+    return common::IoResult::Fail("compact user: truncated pattern mode");
+  }
+  const auto mode = static_cast<uint8_t>(mode_byte[0]);
+  if (mode == kModeRawF32) {
+    if (!reader->ReadF32Array(dim, pattern)) {
+      return common::IoResult::Fail(
+          "compact user: raw pattern larger than the remaining blob");
+    }
+  } else if (mode == kModeQ8) {
+    int64_t exponent = 0;
+    std::string_view q_bytes;
+    if (!reader->ReadZigzag(&exponent) || !reader->ReadBytes(dim, &q_bytes)) {
+      return common::IoResult::Fail(
+          "compact user: q8 pattern larger than the remaining blob");
+    }
+    // Float exponents live in a narrow band; anything else is corrupt (and
+    // would push ldexp into inf/0, breaking the exactness contract).
+    if (exponent < -160 || exponent > 140) {
+      return common::IoResult::Fail("compact user: q8 exponent " +
+                                    std::to_string(exponent) +
+                                    " out of range");
+    }
+    const float scale = std::ldexp(1.0f, static_cast<int>(exponent));
+    pattern->resize(dim);
+    for (uint64_t i = 0; i < dim; ++i) {
+      (*pattern)[i] =
+          static_cast<float>(static_cast<int8_t>(q_bytes[i])) * scale;
+    }
+  } else if (mode == kModeRawVar) {
+    uint64_t size = 0;
+    if (!reader->ReadVarint(&size)) {
+      return common::IoResult::Fail("compact user: truncated pattern length");
+    }
+    if (size > kMaxPatternDim) {
+      return common::IoResult::Fail("compact user: pattern length " +
+                                    std::to_string(size) +
+                                    " exceeds the cap");
+    }
+    if (!reader->ReadF32Array(size, pattern)) {
+      return common::IoResult::Fail(
+          "compact user: raw pattern larger than the remaining blob");
+    }
+  } else {
+    return common::IoResult::Fail("compact user: unknown pattern mode " +
+                                  std::to_string(mode));
+  }
+  return common::IoResult::Ok();
+}
+
 }  // namespace
 
 void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
@@ -45,6 +130,11 @@ void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
       dim = entries.front().pattern.size();
       break;
     }
+  }
+  // A pending-only user (dirty, nothing drained yet) still has a natural
+  // dimension; taking it keeps q8 available for the buffered deltas.
+  if (dim == 0 && !snap.pending.empty()) {
+    dim = snap.pending.front().pattern.size();
   }
   common::AppendZigzag(out, snap.user);
   common::AppendVarint(out, dim);
@@ -59,31 +149,8 @@ void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
     for (const OnlineAdapter::Entry& entry : entries) {
       common::AppendZigzag(out, entry.timestamp - prev_timestamp);
       prev_timestamp = entry.timestamp;
-      const size_t size = entry.pattern.size();
-      bool quantized = false;
-      // q8 payloads are implicitly `dim` bytes, so only uniform-size
-      // entries qualify; off-dimension entries fall through to the
-      // explicit-length raw mode and the blob stays decodable.
-      if (options.quantize && size == dim &&
-          common::QfloatEncodable(entry.pattern.data(), size)) {
-        common::QfloatEncode(entry.pattern.data(), size, &block);
-        if (Q8RoundTripsExactly(entry.pattern, block)) {
-          out->push_back(static_cast<char>(kModeQ8));
-          common::AppendZigzag(out, block.exponent);
-          out->append(reinterpret_cast<const char*>(block.q.data()),
-                      block.q.size());
-          quantized = true;
-        }
-      }
-      if (!quantized) {
-        if (size == dim) {
-          out->push_back(static_cast<char>(kModeRawF32));
-        } else {
-          out->push_back(static_cast<char>(kModeRawVar));
-          common::AppendVarint(out, size);
-        }
-        common::AppendF32Array(out, entry.pattern.data(), size);
-      }
+      const bool quantized =
+          AppendPattern(entry.pattern, dim, options, &block, out);
       if (stats != nullptr) {
         stats->patterns += 1;
         if (!quantized) stats->raw_patterns += 1;
@@ -91,11 +158,31 @@ void EncodeCompactUser(const OnlineAdapter::UserSnapshot& snap,
     }
     if (stats != nullptr) stats->locations += 1;
   }
+  // Pending-delta section, present only for dirty users, so every
+  // pending-free blob stays byte-identical to the pre-deferral encoding
+  // (decoders treat end-of-blob after the locations as "no pending").
+  // Layout per delta (arrival order): zigzag timestamp delta vs previous
+  // delta, zigzag next location, then the shared mode byte + payload.
+  if (snap.pending.empty()) return;
+  common::AppendVarint(out, snap.pending.size());
+  int64_t prev_timestamp = 0;
+  for (const OnlineAdapter::PendingDelta& delta : snap.pending) {
+    common::AppendZigzag(out, delta.timestamp - prev_timestamp);
+    prev_timestamp = delta.timestamp;
+    common::AppendZigzag(out, delta.next_location);
+    const bool quantized =
+        AppendPattern(delta.pattern, dim, options, &block, out);
+    if (stats != nullptr) {
+      stats->patterns += 1;
+      if (!quantized) stats->raw_patterns += 1;
+    }
+  }
 }
 
 common::IoResult DecodeCompactUser(std::string_view bytes,
                                    OnlineAdapter::UserSnapshot* out) {
   out->locations.clear();
+  out->pending.clear();
   common::WireReader reader(bytes);
   if (!reader.ReadZigzag(&out->user)) {
     return common::IoResult::Fail("compact user: truncated user id");
@@ -153,62 +240,50 @@ common::IoResult DecodeCompactUser(std::string_view bytes,
     for (uint64_t e = 0; e < entry_count; ++e) {
       OnlineAdapter::Entry entry;
       int64_t ts_delta = 0;
-      std::string_view mode_byte;
-      if (!reader.ReadZigzag(&ts_delta) || !reader.ReadBytes(1, &mode_byte)) {
+      if (!reader.ReadZigzag(&ts_delta)) {
         return common::IoResult::Fail("compact user: truncated entry header");
       }
       entry.timestamp = prev_timestamp + ts_delta;
       prev_timestamp = entry.timestamp;
-      const auto mode = static_cast<uint8_t>(mode_byte[0]);
-      if (mode == kModeRawF32) {
-        if (!reader.ReadF32Array(dim, &entry.pattern)) {
-          return common::IoResult::Fail(
-              "compact user: raw pattern larger than the remaining blob");
-        }
-      } else if (mode == kModeQ8) {
-        int64_t exponent = 0;
-        std::string_view q_bytes;
-        if (!reader.ReadZigzag(&exponent) || !reader.ReadBytes(dim, &q_bytes)) {
-          return common::IoResult::Fail(
-              "compact user: q8 pattern larger than the remaining blob");
-        }
-        // Float exponents live in a narrow band; anything else is corrupt
-        // (and would push ldexp into inf/0, breaking the exactness
-        // contract).
-        if (exponent < -160 || exponent > 140) {
-          return common::IoResult::Fail("compact user: q8 exponent " +
-                                        std::to_string(exponent) +
-                                        " out of range");
-        }
-        const float scale =
-            std::ldexp(1.0f, static_cast<int>(exponent));
-        entry.pattern.resize(dim);
-        for (uint64_t i = 0; i < dim; ++i) {
-          entry.pattern[i] =
-              static_cast<float>(static_cast<int8_t>(q_bytes[i])) * scale;
-        }
-      } else if (mode == kModeRawVar) {
-        uint64_t size = 0;
-        if (!reader.ReadVarint(&size)) {
-          return common::IoResult::Fail(
-              "compact user: truncated pattern length");
-        }
-        if (size > kMaxPatternDim) {
-          return common::IoResult::Fail("compact user: pattern length " +
-                                        std::to_string(size) +
-                                        " exceeds the cap");
-        }
-        if (!reader.ReadF32Array(size, &entry.pattern)) {
-          return common::IoResult::Fail(
-              "compact user: raw pattern larger than the remaining blob");
-        }
-      } else {
-        return common::IoResult::Fail("compact user: unknown pattern mode " +
-                                      std::to_string(mode));
-      }
+      common::IoResult read = ReadPattern(&reader, dim, &entry.pattern);
+      if (!read.ok) return read;
       entries.push_back(std::move(entry));
     }
     out->locations.emplace_back(location, std::move(entries));
+  }
+  // Pending-delta section: absent (end of blob — the pre-deferral layout
+  // and every clean user) or a varint count followed by that many deltas.
+  if (reader.AtEnd()) return common::IoResult::Ok();
+  uint64_t pending_count = 0;
+  if (!reader.ReadVarint(&pending_count)) {
+    return common::IoResult::Fail("compact user: truncated pending count");
+  }
+  if (pending_count == 0) {
+    // The encoder omits the section entirely when there is nothing pending;
+    // an explicit zero is a corrupt (or trailing-garbage) blob.
+    return common::IoResult::Fail("compact user: empty pending section");
+  }
+  // A pending delta is at least timestamp + location + mode (3 bytes).
+  if (pending_count > reader.remaining() / 3 + 1) {
+    return common::IoResult::Fail(
+        "compact user: pending count " + std::to_string(pending_count) +
+        " larger than the blob could hold");
+  }
+  out->pending.reserve(pending_count);
+  int64_t prev_timestamp = 0;
+  for (uint64_t p = 0; p < pending_count; ++p) {
+    OnlineAdapter::PendingDelta delta;
+    int64_t ts_delta = 0;
+    if (!reader.ReadZigzag(&ts_delta) ||
+        !reader.ReadZigzag(&delta.next_location)) {
+      return common::IoResult::Fail(
+          "compact user: truncated pending delta header");
+    }
+    delta.timestamp = prev_timestamp + ts_delta;
+    prev_timestamp = delta.timestamp;
+    common::IoResult read = ReadPattern(&reader, dim, &delta.pattern);
+    if (!read.ok) return read;
+    out->pending.push_back(std::move(delta));
   }
   if (!reader.AtEnd()) {
     return common::IoResult::Fail("compact user: trailing bytes");

@@ -26,6 +26,15 @@ namespace adamove::shard {
 ///       u8      mode: 0 = raw f32 (4·D bytes), 1 = q8 (zigzag exponent
 ///               followed by D int8 bytes — common/qfloat.h), 2 = raw f32
 ///               with an explicit varint length (entries whose size != D)
+///   pending-delta section (present only when the user carries deferred
+///   ingests — DESIGN.md §16; clean users end after the locations, keeping
+///   their blobs byte-identical to the pre-deferral layout):
+///     varint  pending count (>= 1)
+///     per delta (arrival order, timestamps delta-encoded across the
+///     section):
+///       zigzag  timestamp delta vs previous delta
+///       zigzag  next location (raw, arrival order is not sorted)
+///       u8      mode + payload, same modes as entries above
 ///
 /// Encode is *unconditionally lossless and unconditionally decodable*: a
 /// pattern is stored as q8 only when it has the header dimension and the

@@ -270,6 +270,8 @@ std::vector<ShardedService::GroupStats> ShardedService::Stats() const {
     s.hot_bytes = group->store->ResidentBytes();
     s.hydrations = group->store->HydrationCount();
     s.dehydrations = group->store->DehydrationCount();
+    s.dirty_users = group->store->DirtyUserCount();
+    s.pending_deltas = group->store->PendingDeltaCount();
     if (group->cold != nullptr) {
       const CompactStore::Stats cold = group->cold->GetStats();
       s.cold_users = cold.users;

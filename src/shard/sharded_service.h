@@ -103,6 +103,12 @@ class ShardedService {
     uint64_t cold_reserved_bytes = 0;
     uint64_t hydrations = 0;
     uint64_t dehydrations = 0;
+    /// Elastic-adaptation backlog (DESIGN.md §16): hot-resident users with
+    /// buffered pending deltas, and the deltas themselves. Migration and
+    /// dehydration carry this state losslessly, so it is a live gauge, not
+    /// a loss counter.
+    size_t dirty_users = 0;
+    size_t pending_deltas = 0;
   };
 
   ShardedService(core::AdaptableModel& model,

@@ -110,5 +110,173 @@ TEST(OnlineAdapterTest, OldPatternsAgeOut) {
   EXPECT_NEAR(scores[7], model.Scores(future)[7], 1e-4f);
 }
 
+/// The state two adapters hold for one user, as comparable bytes (the wire
+/// encoding is deterministic, so bit-identical state <=> identical bytes).
+std::string StateBytes(const OnlineAdapter& adapter, int64_t user) {
+  std::string bytes;
+  OnlineAdapter::EncodeUser(adapter.ExportUser(user), &bytes);
+  return bytes;
+}
+
+/// The deferred-drain parity invariant (DESIGN.md §16): buffering a mixed
+/// observation sequence through ObserveDeferred and draining leaves the
+/// knowledge base bit-identical to inline Observe calls of the same
+/// sequence — including interleavings where some observations went inline.
+TEST(OnlineAdapterTest, DeferredDrainMatchesInlineBitIdentically) {
+  LightMob model(SmallConfig());
+  OnlineAdapter inline_run{PttaConfig{}};
+  OnlineAdapter deferred_run{PttaConfig{}};
+  const int64_t user = 2;  // must index into SmallConfig's user embedding
+  int64_t t = 1333238400;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> pattern(8, 0.0f);
+    pattern[static_cast<size_t>(i % 8)] = 1.0f + static_cast<float>(i) * 0.25f;
+    const int64_t location = i % 7;
+    inline_run.Observe(user, pattern, location, t);
+    if (i % 3 == 0) {
+      // Interleaved inline observation: the deferred adapter must drain its
+      // backlog first or the arrival order would fork.
+      deferred_run.DrainPending(user);
+      deferred_run.Observe(user, pattern, location, t);
+    } else {
+      deferred_run.ObserveDeferred(user, std::move(pattern), location, t);
+    }
+    t += 3600;
+  }
+  EXPECT_GT(deferred_run.PendingCount(user), 0u);
+  EXPECT_EQ(deferred_run.DirtyUserCount(), 1u);
+  deferred_run.DrainPending(user);
+  EXPECT_EQ(deferred_run.PendingCount(user), 0u);
+  EXPECT_EQ(deferred_run.DirtyUserCount(), 0u);
+  EXPECT_EQ(StateBytes(deferred_run, user), StateBytes(inline_run, user));
+
+  // And the adapted predictions agree bit for bit.
+  data::Sample s = MakeSample(user, {2, 4, 6}, 1, t);
+  nn::Tensor reps = model.PrefixRepresentations(s);
+  const int64_t hidden = reps.cols();
+  std::vector<float> query(reps.data().end() - hidden, reps.data().end());
+  const std::vector<float> a =
+      inline_run.Predict(model, user, query, s.target.timestamp);
+  const std::vector<float> b =
+      deferred_run.Predict(model, user, query, s.target.timestamp);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+/// Pending coalescing is exact: with > kMaxCandidatesPerLocation deltas
+/// buffered for one location, the oldest are dropped — which is provably
+/// what Observe's FIFO cap would have done on drain, so the post-drain
+/// state still matches the inline run of the *full* sequence.
+TEST(OnlineAdapterTest, PendingCoalescingDropsOnlyWhatTheFifoCapWould) {
+  OnlineAdapter inline_run{PttaConfig{}};
+  OnlineAdapter deferred_run{PttaConfig{}};
+  const int64_t user = 2;
+  size_t coalesced = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> pattern(4, static_cast<float>(i));
+    inline_run.Observe(user, pattern, 3, 1000 + i);
+    coalesced +=
+        deferred_run.ObserveDeferred(user, std::move(pattern), 3, 1000 + i);
+  }
+  // The buffer is bounded exactly like the knowledge base.
+  EXPECT_EQ(deferred_run.PendingCount(user), 32u);
+  EXPECT_EQ(coalesced, 100u - 32u);
+  EXPECT_EQ(deferred_run.DrainPending(user), 32u);
+  EXPECT_EQ(StateBytes(deferred_run, user), StateBytes(inline_run, user));
+  EXPECT_EQ(deferred_run.PatternCount(user), 32u);
+}
+
+/// The user wire codec carries pending deltas, and stays byte-identical to
+/// the pre-deferral encoding for clean users (the backward-compat contract:
+/// old snapshots decode as pending-free, new clean frames decode under old
+/// expectations).
+TEST(OnlineAdapterTest, PendingSectionRoundTripsAndCleanUsersAreUnchanged) {
+  OnlineAdapter adapter{PttaConfig{}};
+  const int64_t user = 9;
+  adapter.Observe(user, {1, 2, 3, 4}, 5, 1000);
+  const std::string clean_bytes = StateBytes(adapter, user);
+
+  adapter.ObserveDeferred(user, {5, 6, 7, 8}, 2, 2000);
+  adapter.ObserveDeferred(user, {9, 10, 11, 12}, 5, 3000);
+  const OnlineAdapter::UserSnapshot snap = adapter.ExportUser(user);
+  ASSERT_EQ(snap.pending.size(), 2u);
+  std::string dirty_bytes;
+  OnlineAdapter::EncodeUser(snap, &dirty_bytes);
+  // The pending section is strictly appended: the clean prefix is intact.
+  ASSERT_GT(dirty_bytes.size(), clean_bytes.size());
+  EXPECT_EQ(dirty_bytes.compare(0, clean_bytes.size(), clean_bytes), 0);
+
+  OnlineAdapter::UserSnapshot back;
+  ASSERT_TRUE(static_cast<bool>(OnlineAdapter::DecodeUser(dirty_bytes, &back)));
+  ASSERT_EQ(back.pending.size(), 2u);
+  EXPECT_EQ(back.pending[0].pattern, snap.pending[0].pattern);
+  EXPECT_EQ(back.pending[0].next_location, 2);
+  EXPECT_EQ(back.pending[0].timestamp, 2000);
+  EXPECT_EQ(back.pending[1].next_location, 5);
+
+  // Old-format bytes (exactly what a clean user encodes to) decode with an
+  // empty pending buffer, not an error.
+  OnlineAdapter::UserSnapshot old_format;
+  ASSERT_TRUE(
+      static_cast<bool>(OnlineAdapter::DecodeUser(clean_bytes, &old_format)));
+  EXPECT_TRUE(old_format.pending.empty());
+
+  // Adopt of the dirty snapshot round-trips through a fresh adapter: the
+  // user is dirty there too, and drains to the same final state.
+  OnlineAdapter fresh{PttaConfig{}};
+  OnlineAdapter::UserSnapshot copy = snap;
+  fresh.Adopt(std::move(copy));
+  EXPECT_EQ(fresh.PendingCount(user), 2u);
+  adapter.DrainPending(user);
+  fresh.DrainPending(user);
+  EXPECT_EQ(StateBytes(fresh, user), StateBytes(adapter, user));
+}
+
+/// A pending-only user (buffered observations, nothing drained yet) is real
+/// state: Adopt keeps it, and Forget clears both the buffer and the dirty
+/// mark.
+TEST(OnlineAdapterTest, PendingOnlyUsersSurviveAdoptAndForgetClearsDirty) {
+  OnlineAdapter::UserSnapshot snap;
+  snap.user = 6;
+  OnlineAdapter::PendingDelta delta;
+  delta.pattern = {1, 2, 3};
+  delta.next_location = 4;
+  delta.timestamp = 500;
+  snap.pending.push_back(delta);
+
+  OnlineAdapter adapter{PttaConfig{}};
+  adapter.Adopt(std::move(snap));
+  EXPECT_EQ(adapter.UserCount(), 1u);
+  EXPECT_EQ(adapter.PendingCount(6), 1u);
+  EXPECT_EQ(adapter.PendingTotal(), 1u);
+  EXPECT_EQ(adapter.DirtyUsers(), std::vector<int64_t>{6});
+
+  adapter.Forget(6);
+  EXPECT_EQ(adapter.UserCount(), 0u);
+  EXPECT_EQ(adapter.PendingCount(6), 0u);
+  EXPECT_EQ(adapter.DirtyUserCount(), 0u);
+
+  // An adopted empty-pending + empty-locations snapshot stays absent.
+  OnlineAdapter::UserSnapshot empty;
+  empty.user = 6;
+  adapter.Adopt(std::move(empty));
+  EXPECT_EQ(adapter.UserCount(), 0u);
+}
+
+/// DrainSomePending walks dirty users in ascending order with an exact
+/// budget — the deterministic background-drain primitive.
+TEST(OnlineAdapterTest, DrainSomePendingHonoursBudgetInUserOrder) {
+  OnlineAdapter adapter{PttaConfig{}};
+  for (int64_t user : {30, 10, 20}) {
+    adapter.ObserveDeferred(user, {1, 2}, 1, 100);
+  }
+  EXPECT_EQ(adapter.DirtyUserCount(), 3u);
+  EXPECT_EQ(adapter.DrainSomePending(2), 2u);  // drains users 10 and 20
+  EXPECT_EQ(adapter.DirtyUsers(), std::vector<int64_t>{30});
+  EXPECT_EQ(adapter.DrainSomePending(0), 1u);  // 0 = the rest
+  EXPECT_EQ(adapter.DirtyUserCount(), 0u);
+  EXPECT_EQ(adapter.PendingTotal(), 0u);
+}
+
 }  // namespace
 }  // namespace adamove::core

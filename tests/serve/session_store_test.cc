@@ -280,5 +280,158 @@ TEST(SessionStoreTest, ConcurrentForgetRacesRestoreUnderCap) {
   std::remove(path.c_str());
 }
 
+/// Minimal in-memory cold tier: stores whatever snapshot it is handed.
+/// (serve/ cannot depend on shard/'s CompactStore, and the property under
+/// test is what the *store* hands the tier, not how the tier packs it.)
+class MapColdTier : public ColdTier {
+ public:
+  bool Take(int64_t user, core::OnlineAdapter::UserSnapshot* out) override {
+    auto it = frames_.find(user);
+    if (it == frames_.end()) return false;
+    *out = std::move(it->second);
+    frames_.erase(it);
+    return true;
+  }
+  void Accept(core::OnlineAdapter::UserSnapshot&& snap) override {
+    frames_[snap.user] = std::move(snap);
+  }
+  const core::OnlineAdapter::UserSnapshot* Peek(int64_t user) const {
+    auto it = frames_.find(user);
+    return it == frames_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<int64_t, core::OnlineAdapter::UserSnapshot> frames_;
+};
+
+data::Sample WalkSample(int64_t user, std::initializer_list<int64_t> recent,
+                        int64_t target, int64_t t0) {
+  data::Sample s;
+  s.user = user;
+  int64_t t = t0;
+  for (int64_t l : recent) {
+    s.recent.push_back({user, l, t});
+    t += 3 * data::kSecondsPerHour;
+  }
+  s.target = {user, target, t};
+  return s;
+}
+
+/// Regression for the elastic scheduler (DESIGN.md §16): LRU-evicting a
+/// *dirty* user must dehydrate the pending deltas into the cold tier with
+/// the rest of the state — rehydrating and draining then yields exactly the
+/// state an inline run of the same observations produces. A cold tier that
+/// dropped the buffer would silently lose observations under overload.
+TEST(SessionStoreTest, DirtyUserEvictionDehydratesPendingDeltas) {
+  core::LightMob model(SmallConfig());
+  const data::Sample sample = WalkSample(1, {1, 2, 7, 2, 7}, 7, 1333238400);
+  const nn::Tensor reps = model.PrefixRepresentations(sample);
+
+  // Reference: the identical request served inline on a plain store.
+  SessionStoreConfig ref_config;
+  ref_config.num_shards = 1;
+  SessionStore reference(ref_config);
+  std::vector<AdaptStatus> ref_statuses;
+  const std::vector<std::vector<float>> ref_scores =
+      reference.BatchObserveAndPredictEncoded(
+          model, {{&sample, SessionStore::RepsView(reps)}}, &ref_statuses);
+  ASSERT_EQ(ref_statuses[0], AdaptStatus::kAdapted);
+
+  MapColdTier tier;
+  SessionStoreConfig config;
+  config.num_shards = 1;  // single stripe => user 2 evicts user 1
+  config.max_resident_users = 1;
+  config.cold_tier = &tier;
+  SessionStore store(config);
+
+  // Serve the same request deferred: observations land in the pending
+  // buffer, the prediction is the (empty-cache => frozen) stale rung.
+  BatchAdaptOptions options;
+  options.mode = AdaptExecMode::kDeferred;
+  std::vector<AdaptStatus> statuses;
+  BatchAdaptStats adapt_stats;
+  (void)store.BatchObserveAndPredictEncoded(
+      model, {{&sample, SessionStore::RepsView(reps)}}, options, &statuses,
+      &adapt_stats);
+  ASSERT_EQ(statuses[0], AdaptStatus::kStaleAdapt);
+  EXPECT_GT(adapt_stats.deferred_ingests, 0u);
+  EXPECT_EQ(store.DirtyUserCount(), 1u);
+  const size_t pending_before = store.PendingDeltaCount();
+  ASSERT_GT(pending_before, 0u);
+  EXPECT_EQ(store.PatternCount(1), 0u);  // nothing ingested yet
+
+  // Evict the dirty user: the cold frame must carry the pending buffer.
+  store.Observe(2, Pattern(9), 3, 2000000000);
+  EXPECT_EQ(store.DirtyUserCount(), 0u);
+  EXPECT_EQ(store.PendingDeltaCount(), 0u);
+  const core::OnlineAdapter::UserSnapshot* frame = tier.Peek(1);
+  ASSERT_NE(frame, nullptr);
+  EXPECT_TRUE(frame->locations.empty());
+  EXPECT_EQ(frame->pending.size(), pending_before);
+
+  // Rehydrate (Predict touches the user) and drain: bit-identical to the
+  // inline run — eviction lost nothing, reordered nothing.
+  std::vector<float> query(reps.data().end() - reps.cols(),
+                           reps.data().end());
+  (void)store.Predict(model, 1, query, sample.target.timestamp);
+  EXPECT_EQ(tier.Peek(1), nullptr);
+  EXPECT_EQ(store.DirtyUserCount(), 1u);
+  EXPECT_EQ(store.DrainDirtyUsers(0), 1u);
+  EXPECT_EQ(store.DirtyUserCount(), 0u);
+
+  core::OnlineAdapter::UserSnapshot drained;
+  ASSERT_TRUE(store.ExtractUser(1, &drained));
+  core::OnlineAdapter::UserSnapshot inline_state;
+  ASSERT_TRUE(reference.ExtractUser(1, &inline_state));
+  std::string drained_bytes;
+  std::string inline_bytes;
+  core::OnlineAdapter::EncodeUser(drained, &drained_bytes);
+  core::OnlineAdapter::EncodeUser(inline_state, &inline_bytes);
+  EXPECT_EQ(drained_bytes, inline_bytes);
+}
+
+/// The lazy-rebuild rung: an *inline* predict that finds pending deltas
+/// drains them first, so a single request self-heals the backlog and is
+/// served fresh — scores bit-identical to the never-deferred run.
+TEST(SessionStoreTest, InlinePredictLazilyDrainsPendingBacklog) {
+  core::LightMob model(SmallConfig());
+  const data::Sample first = WalkSample(3, {1, 2, 7, 2}, 7, 1333238400);
+  const data::Sample second =
+      WalkSample(3, {2, 7, 2, 7}, 7, first.target.timestamp);
+  const nn::Tensor first_reps = model.PrefixRepresentations(first);
+  const nn::Tensor second_reps = model.PrefixRepresentations(second);
+
+  // Reference: both requests inline.
+  SessionStore reference{SessionStoreConfig{}};
+  (void)reference.BatchObserveAndPredictEncoded(
+      model, {{&first, SessionStore::RepsView(first_reps)}});
+  const std::vector<std::vector<float>> want =
+      reference.BatchObserveAndPredictEncoded(
+          model, {{&second, SessionStore::RepsView(second_reps)}});
+
+  // Deferred first request, inline second: the second must lazy-drain.
+  SessionStore store{SessionStoreConfig{}};
+  BatchAdaptOptions deferred;
+  deferred.mode = AdaptExecMode::kDeferred;
+  std::vector<AdaptStatus> statuses;
+  (void)store.BatchObserveAndPredictEncoded(
+      model, {{&first, SessionStore::RepsView(first_reps)}}, deferred,
+      &statuses, nullptr);
+  ASSERT_EQ(statuses[0], AdaptStatus::kStaleAdapt);
+
+  BatchAdaptStats adapt_stats;
+  const std::vector<std::vector<float>> got =
+      store.BatchObserveAndPredictEncoded(
+          model, {{&second, SessionStore::RepsView(second_reps)}},
+          BatchAdaptOptions{}, &statuses, &adapt_stats);
+  ASSERT_EQ(statuses[0], AdaptStatus::kAdapted);
+  EXPECT_EQ(adapt_stats.lazy_rebuilds, 1u);
+  EXPECT_EQ(store.PendingDeltaCount(), 0u);
+  ASSERT_EQ(got[0].size(), want[0].size());
+  for (size_t i = 0; i < got[0].size(); ++i) {
+    ASSERT_EQ(got[0][i], want[0][i]) << "score " << i;
+  }
+}
+
 }  // namespace
 }  // namespace adamove::serve

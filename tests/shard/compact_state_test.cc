@@ -260,6 +260,12 @@ bool SnapshotsBitIdentical(const OnlineAdapter::UserSnapshot& a,
       if (ea[e].pattern != eb[e].pattern) return false;  // exact float ==
     }
   }
+  if (a.pending.size() != b.pending.size()) return false;
+  for (size_t p = 0; p < a.pending.size(); ++p) {
+    if (a.pending[p].timestamp != b.pending[p].timestamp) return false;
+    if (a.pending[p].next_location != b.pending[p].next_location) return false;
+    if (a.pending[p].pattern != b.pending[p].pattern) return false;
+  }
   return true;
 }
 
@@ -421,6 +427,137 @@ TEST(CompactStateTest, DecodeRejectsHostileCounts) {
   const common::IoResult r2 = DecodeCompactUser(blob2, &out);
   ASSERT_FALSE(static_cast<bool>(r2));
   EXPECT_NE(r2.error.find("ascending"), std::string::npos) << r2.error;
+}
+
+// ---- pending-delta section (elastic adaptation, DESIGN.md §16) -----------
+
+TEST(CompactStateTest, PendingDeltasRoundTripLosslessAndQuantized) {
+  common::Rng rng(61);
+  OnlineAdapter::UserSnapshot snap = CanonicalSnapshot(17, 3, 4, 8, 19);
+  // Canonical (q8-exact), non-canonical (raw fallback) and off-dimension
+  // (explicit-length raw) pending patterns, out-of-order locations, and a
+  // timestamp regression — arrival order is whatever arrived.
+  OnlineAdapter::PendingDelta canonical;
+  canonical.pattern = RandomPattern(rng, 8);
+  common::QfloatCanonicalize(&canonical.pattern);
+  canonical.next_location = 9;
+  canonical.timestamp = 5000;
+  snap.pending.push_back(std::move(canonical));
+  OnlineAdapter::PendingDelta raw;
+  raw.pattern = RandomPattern(rng, 8);
+  raw.pattern[2] = 0.1f;  // inexact in any 2^e grid
+  raw.next_location = 1;
+  raw.timestamp = 4000;  // earlier than the previous delta
+  snap.pending.push_back(std::move(raw));
+  OnlineAdapter::PendingDelta off_dim;
+  off_dim.pattern = RandomPattern(rng, 3);
+  off_dim.next_location = 9;
+  off_dim.timestamp = 6000;
+  snap.pending.push_back(std::move(off_dim));
+
+  std::string encoded;
+  CompactEncodeStats stats;
+  EncodeCompactUser(snap, CompactOptions{}, &encoded, &stats);
+  EXPECT_EQ(stats.patterns, 12u + 3u);
+  EXPECT_EQ(stats.raw_patterns, 2u);  // the inexact + off-dim deltas
+
+  OnlineAdapter::UserSnapshot back;
+  const common::IoResult r = DecodeCompactUser(encoded, &back);
+  ASSERT_TRUE(static_cast<bool>(r)) << r.error;
+  EXPECT_TRUE(SnapshotsBitIdentical(snap, back));
+}
+
+TEST(CompactStateTest, CleanBlobsStayByteIdenticalAndDecodeWithoutPending) {
+  // Backward compatibility both ways: a clean user's blob has no pending
+  // section (byte-identical to the pre-deferral encoder), and decoding it
+  // yields an empty pending buffer, not an error.
+  const OnlineAdapter::UserSnapshot snap = CanonicalSnapshot(3, 2, 3, 8, 29);
+  std::string clean;
+  EncodeCompactUser(snap, CompactOptions{}, &clean);
+
+  OnlineAdapter::UserSnapshot dirty = snap;
+  common::Rng rng(7);
+  OnlineAdapter::PendingDelta delta;
+  delta.pattern = RandomPattern(rng, 8);
+  delta.next_location = 2;
+  delta.timestamp = 100;
+  dirty.pending.push_back(std::move(delta));
+  std::string dirty_encoded;
+  EncodeCompactUser(dirty, CompactOptions{}, &dirty_encoded);
+  // The pending section strictly appends: the clean blob is a prefix.
+  ASSERT_GT(dirty_encoded.size(), clean.size());
+  EXPECT_EQ(dirty_encoded.compare(0, clean.size(), clean), 0);
+
+  OnlineAdapter::UserSnapshot back;
+  ASSERT_TRUE(static_cast<bool>(DecodeCompactUser(clean, &back)));
+  EXPECT_TRUE(back.pending.empty());
+}
+
+TEST(CompactStateTest, PendingOnlyUserRoundTrips) {
+  // A user evicted mid-deferral may hold *only* buffered deltas; the codec
+  // derives its dimension from them so q8 still applies.
+  common::Rng rng(43);
+  OnlineAdapter::UserSnapshot snap;
+  snap.user = 21;
+  for (int i = 0; i < 4; ++i) {
+    OnlineAdapter::PendingDelta delta;
+    delta.pattern = RandomPattern(rng, 8);
+    common::QfloatCanonicalize(&delta.pattern);
+    delta.next_location = i % 3;
+    delta.timestamp = 1000 + i;
+    snap.pending.push_back(std::move(delta));
+  }
+  std::string encoded;
+  CompactEncodeStats stats;
+  EncodeCompactUser(snap, CompactOptions{}, &encoded, &stats);
+  EXPECT_EQ(stats.raw_patterns, 0u);  // dim came from the pending section
+  OnlineAdapter::UserSnapshot back;
+  const common::IoResult r = DecodeCompactUser(encoded, &back);
+  ASSERT_TRUE(static_cast<bool>(r)) << r.error;
+  EXPECT_TRUE(SnapshotsBitIdentical(snap, back));
+}
+
+TEST(CompactStateTest, DecodeRejectsHostilePendingSections) {
+  OnlineAdapter::UserSnapshot snap = CanonicalSnapshot(5, 1, 1, 4, 53);
+  std::string clean;
+  EncodeCompactUser(snap, CompactOptions{}, &clean);
+  OnlineAdapter::UserSnapshot out;
+
+  // Explicit zero pending count: the encoder omits the empty section, so a
+  // zero can only be corruption (or trailing garbage).
+  std::string zero = clean;
+  common::AppendVarint(&zero, 0);
+  const common::IoResult r0 = DecodeCompactUser(zero, &out);
+  ASSERT_FALSE(static_cast<bool>(r0));
+  EXPECT_NE(r0.error.find("pending"), std::string::npos) << r0.error;
+
+  // A pending count far beyond what the bytes could hold.
+  std::string huge = clean;
+  common::AppendVarint(&huge, 1ULL << 40);
+  const common::IoResult r1 = DecodeCompactUser(huge, &out);
+  ASSERT_FALSE(static_cast<bool>(r1));
+  EXPECT_NE(r1.error.find("pending count"), std::string::npos) << r1.error;
+
+  // A complete dirty blob survives neither truncation nor trailing bytes.
+  snap.pending.push_back(OnlineAdapter::PendingDelta{{1.0f, 2.0f, 3.0f, 4.0f},
+                                                     2, 900});
+  std::string dirty;
+  EncodeCompactUser(snap, CompactOptions{}, &dirty);
+  // (cut == clean.size() is the valid pending-free blob, so start past it.)
+  for (size_t cut = clean.size() + 1; cut < dirty.size(); ++cut) {
+    const common::IoResult r =
+        DecodeCompactUser(std::string_view(dirty).substr(0, cut), &out);
+    EXPECT_FALSE(static_cast<bool>(r)) << "cut " << cut;
+  }
+  std::string padded = dirty + "x";
+  EXPECT_FALSE(static_cast<bool>(DecodeCompactUser(padded, &out)));
+  // Byte flips across the pending section: valid or structured error,
+  // never a crash (the sanitizer stages are the real assertion).
+  for (size_t i = clean.size(); i < dirty.size(); ++i) {
+    std::string flipped = dirty;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x5A);
+    (void)DecodeCompactUser(flipped, &out);
+  }
 }
 
 // ---- the pinned acceptance property: dehydrate → rehydrate → Predict -----
